@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks of the main network: broadcast and unicast
+//! delivery under the chip configuration (simulator throughput, plus
+//! zero-load latency sanity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scorpio_noc::{Endpoint, Mesh, Network, NocConfig, Packet, RouterId, Sid};
+
+fn broadcast_storm(c: &mut Criterion) {
+    c.bench_function("noc_broadcast_storm_6x6", |b| {
+        b.iter(|| {
+            let mesh = Mesh::scorpio_chip();
+            let mut cfg = NocConfig::scorpio();
+            cfg.track_deliveries = false;
+            let mut net: Network<u64> = Network::new(mesh, cfg);
+            for r in 0..36u16 {
+                let src = Endpoint::tile(RouterId(r));
+                let _ = net.try_inject(src, Packet::request(src, Sid(r), 0, r as u64));
+            }
+            for _ in 0..600 {
+                let eps: Vec<Endpoint> = net.mesh().endpoints().collect();
+                for ep in eps {
+                    let slots: Vec<_> = net.eject_heads(ep).map(|(s, _)| s).collect();
+                    for s in slots {
+                        net.eject_take(ep, s);
+                    }
+                }
+                net.step();
+                if net.is_drained() {
+                    break;
+                }
+            }
+            assert!(net.is_drained());
+        });
+    });
+}
+
+fn unicast_pingpong(c: &mut Criterion) {
+    c.bench_function("noc_unicast_data_6x6", |b| {
+        b.iter(|| {
+            let mesh = Mesh::scorpio_chip();
+            let mut cfg = NocConfig::scorpio();
+            cfg.track_deliveries = false;
+            let mut net: Network<u64> = Network::new(mesh, cfg);
+            let src = Endpoint::tile(RouterId(0));
+            let dst = Endpoint::tile(RouterId(35));
+            for k in 0..8 {
+                let _ = net.try_inject(src, Packet::response(src, dst, 3, k));
+            }
+            for _ in 0..400 {
+                let slots: Vec<_> = net.eject_heads(dst).map(|(s, _)| s).collect();
+                for s in slots {
+                    net.eject_take(dst, s);
+                }
+                net.step();
+                if net.is_drained() {
+                    break;
+                }
+            }
+            assert!(net.is_drained());
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = broadcast_storm, unicast_pingpong
+}
+criterion_main!(benches);

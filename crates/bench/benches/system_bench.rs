@@ -1,0 +1,28 @@
+//! Criterion benchmarks of full-system simulation throughput: one short
+//! workload per protocol on a 4×4 system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scorpio::{Protocol, System, SystemConfig};
+use scorpio_workloads::{generate, WorkloadParams};
+
+fn run(protocol: Protocol) {
+    let cfg = SystemConfig::square(4).with_protocol(protocol);
+    let params = WorkloadParams::by_name("fluidanimate").unwrap().with_ops(40);
+    let traces = generate(&params, cfg.cores(), 7);
+    let mut sys = System::with_traces(cfg, traces);
+    let r = sys.run_to_completion();
+    assert_eq!(r.ops_completed, 16 * 40);
+}
+
+fn system_protocols(c: &mut Criterion) {
+    c.bench_function("system_scorpio_4x4", |b| b.iter(|| run(Protocol::Scorpio)));
+    c.bench_function("system_tokenb_4x4", |b| b.iter(|| run(Protocol::TokenB)));
+    c.bench_function("system_htdir_4x4", |b| b.iter(|| run(Protocol::HtDir)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = system_protocols
+}
+criterion_main!(benches);

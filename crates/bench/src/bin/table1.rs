@@ -1,0 +1,8 @@
+//! Table 1: the chip feature summary.
+
+fn main() {
+    println!("=== Table 1 — SCORPIO chip features ===");
+    for (feature, value) in scorpio_physical::chip_feature_table() {
+        println!("{feature:<24}{value}");
+    }
+}

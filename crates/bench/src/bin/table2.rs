@@ -1,0 +1,15 @@
+//! Table 2: multicore processor comparison.
+
+fn main() {
+    println!("=== Table 2 — multicore processor comparison ===");
+    println!(
+        "{:<16}{:<8}{:<26}{:<32}{}",
+        "processor", "cores", "consistency", "coherence", "interconnect"
+    );
+    for c in scorpio_physical::processor_comparison_table() {
+        println!(
+            "{:<16}{:<8}{:<26}{:<32}{}",
+            c.name, c.cores, c.consistency, c.coherence, c.interconnect
+        );
+    }
+}

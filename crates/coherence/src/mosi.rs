@@ -1,0 +1,201 @@
+//! The MOSI stable-state protocol with the paper's O_D adaptation
+//! (Section 4.2).
+//!
+//! Instead of a per-line dirty bit, an `O_D` ("owned dirty") state keeps
+//! dirty data on chip: the owner of dirty data answers read snoops and
+//! stays owner, so data is written back to memory only on eviction.
+
+use crate::msg::MsgKind;
+
+/// Stable cache-line states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LineState {
+    /// Invalid / not present.
+    #[default]
+    I,
+    /// Shared, clean (memory or another cache owns).
+    S,
+    /// Owned dirty: this cache answers snoops; data is dirty on chip.
+    Od,
+    /// Modified: sole dirty copy.
+    M,
+}
+
+impl LineState {
+    /// Whether a load hits with sufficient permission.
+    pub fn can_read(self) -> bool {
+        !matches!(self, LineState::I)
+    }
+
+    /// Whether a store hits with sufficient permission.
+    pub fn can_write(self) -> bool {
+        matches!(self, LineState::M)
+    }
+
+    /// Whether this cache is the line's owner (answers snoops, must write
+    /// back on eviction).
+    pub fn is_owner(self) -> bool {
+        matches!(self, LineState::M | LineState::Od)
+    }
+}
+
+/// What a snoop requires of this cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnoopAction {
+    /// Send the line's data to the requester.
+    pub respond_with_data: bool,
+    /// The line's next state.
+    pub next: LineState,
+}
+
+/// The snoop transition table for *remote* ordered requests against a
+/// stable line state (transient states are handled by the RSHR machinery
+/// in `scorpio-mem`).
+///
+/// # Panics
+///
+/// Panics if `kind` is not an ordered request kind.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_coherence::{snoop_transition, LineState, MsgKind};
+///
+/// // Remote GETS against our M line: supply data, keep ownership as O_D.
+/// let a = snoop_transition(LineState::M, MsgKind::GetS);
+/// assert!(a.respond_with_data);
+/// assert_eq!(a.next, LineState::Od);
+///
+/// // Remote GETX against our S line: silent invalidation.
+/// let a = snoop_transition(LineState::S, MsgKind::GetX);
+/// assert!(!a.respond_with_data);
+/// assert_eq!(a.next, LineState::I);
+/// ```
+pub fn snoop_transition(state: LineState, kind: MsgKind) -> SnoopAction {
+    match kind {
+        MsgKind::GetS => match state {
+            // Owner of dirty data answers and permits on-chip sharing.
+            LineState::M => SnoopAction {
+                respond_with_data: true,
+                next: LineState::Od,
+            },
+            LineState::Od => SnoopAction {
+                respond_with_data: true,
+                next: LineState::Od,
+            },
+            // Non-owners stay put; memory (or the owner) serves the read.
+            s => SnoopAction {
+                respond_with_data: false,
+                next: s,
+            },
+        },
+        MsgKind::GetX => match state {
+            LineState::M | LineState::Od => SnoopAction {
+                respond_with_data: true,
+                next: LineState::I,
+            },
+            LineState::S => SnoopAction {
+                respond_with_data: false,
+                next: LineState::I,
+            },
+            LineState::I => SnoopAction {
+                respond_with_data: false,
+                next: LineState::I,
+            },
+        },
+        // Writebacks from other caches never touch our copy: a WbReq can
+        // only come from the owner, and ownership is exclusive of S copies
+        // elsewhere only for M; an O_D writeback leaves sharers intact and
+        // memory becomes the owner.
+        MsgKind::WbReq => SnoopAction {
+            respond_with_data: false,
+            next: state,
+        },
+        other => panic!("{other:?} is not an ordered snoop kind"),
+    }
+}
+
+/// The state a requester's line assumes when its own ordered request
+/// completes with data.
+pub fn fill_state(kind: MsgKind) -> LineState {
+    match kind {
+        MsgKind::GetS => LineState::S,
+        MsgKind::GetX => LineState::M,
+        other => panic!("{other:?} does not fill a line"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissions() {
+        assert!(!LineState::I.can_read());
+        assert!(LineState::S.can_read());
+        assert!(LineState::Od.can_read());
+        assert!(LineState::M.can_read());
+        assert!(LineState::M.can_write());
+        assert!(!LineState::Od.can_write());
+        assert!(!LineState::S.can_write());
+        assert!(LineState::M.is_owner());
+        assert!(LineState::Od.is_owner());
+        assert!(!LineState::S.is_owner());
+    }
+
+    #[test]
+    fn gets_keeps_dirty_data_on_chip() {
+        // The paper's example: owner in M answers a read and moves to O_D,
+        // continuing to own the dirty data (no memory writeback).
+        let a = snoop_transition(LineState::M, MsgKind::GetS);
+        assert_eq!(
+            a,
+            SnoopAction {
+                respond_with_data: true,
+                next: LineState::Od
+            }
+        );
+        let again = snoop_transition(LineState::Od, MsgKind::GetS);
+        assert!(again.respond_with_data);
+        assert_eq!(again.next, LineState::Od);
+    }
+
+    #[test]
+    fn getx_transfers_ownership() {
+        for owner in [LineState::M, LineState::Od] {
+            let a = snoop_transition(owner, MsgKind::GetX);
+            assert!(a.respond_with_data);
+            assert_eq!(a.next, LineState::I);
+        }
+    }
+
+    #[test]
+    fn nonowners_never_respond() {
+        for s in [LineState::I, LineState::S] {
+            for k in [MsgKind::GetS, MsgKind::GetX] {
+                assert!(!snoop_transition(s, k).respond_with_data);
+            }
+        }
+    }
+
+    #[test]
+    fn wbreq_is_inert_for_other_caches() {
+        for s in [LineState::I, LineState::S, LineState::Od, LineState::M] {
+            let a = snoop_transition(s, MsgKind::WbReq);
+            assert!(!a.respond_with_data);
+            assert_eq!(a.next, s);
+        }
+    }
+
+    #[test]
+    fn fill_states() {
+        assert_eq!(fill_state(MsgKind::GetS), LineState::S);
+        assert_eq!(fill_state(MsgKind::GetX), LineState::M);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an ordered snoop kind")]
+    fn data_is_not_a_snoop() {
+        let _ = snoop_transition(LineState::M, MsgKind::Data);
+    }
+}

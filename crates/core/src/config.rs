@@ -1,0 +1,234 @@
+//! Full-system configuration.
+
+use scorpio_mem::{L2Config, McConfig};
+use scorpio_nic::NicConfig;
+use scorpio_noc::{Endpoint, Mesh, NocConfig};
+
+/// Which coherence-ordering scheme the system runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// SCORPIO: snoopy MOSI over the ordered mesh (notification network +
+    /// ESID delivery). The paper's contribution.
+    Scorpio,
+    /// TokenB idealisation (Figure 7): the same snoopy protocol and the
+    /// same mesh, but ordering comes from a zero-cost global sequencer
+    /// (the paper models TokenB without races/persistent requests, so its
+    /// cost is delivery only).
+    TokenB,
+    /// INSO (Figure 7): per-source slot ordering with periodic expiry
+    /// broadcasts; the expiry window is the knob the paper sweeps.
+    Inso {
+        /// Expiry window in cycles (20 / 40 / 80 in Figure 7).
+        expiry_window: u64,
+    },
+    /// Distributed limited-pointer directory (LPD-D, Figure 6): requests
+    /// indirect through a home tile whose directory cache stores *wide*
+    /// entries (2 state bits + owner + pointer vector), so a fixed storage
+    /// budget caches few lines and misses pay an off-chip penalty.
+    LpdDir,
+    /// Distributed HyperTransport-style directory (HT-D, Figure 6): the
+    /// home is a pure ordering point with 2-bit entries that broadcasts
+    /// every request — no sharer storage, but still one indirection.
+    HtDir,
+}
+
+impl Protocol {
+    /// Short name for reports.
+    pub fn name(self) -> String {
+        match self {
+            Protocol::Scorpio => "SCORPIO".into(),
+            Protocol::TokenB => "TokenB".into(),
+            Protocol::Inso { expiry_window } => format!("INSO(exp={expiry_window})"),
+            Protocol::LpdDir => "LPD-D".into(),
+            Protocol::HtDir => "HT-D".into(),
+        }
+    }
+
+    /// Whether this protocol indirects requests through home directories.
+    pub fn uses_directory(self) -> bool {
+        matches!(self, Protocol::LpdDir | Protocol::HtDir)
+    }
+}
+
+/// Configuration of a full SCORPIO system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// The mesh (tiles + MC ports).
+    pub mesh: Mesh,
+    /// Ordering scheme.
+    pub protocol: Protocol,
+    /// Main-network configuration.
+    pub noc: NocConfig,
+    /// NIC configuration.
+    pub nic: NicConfig,
+    /// Notification bits per core (Figure 8d: 1/2/3).
+    pub notification_bits: u8,
+    /// Extra cycles added to the minimum notification window (ablation:
+    /// the chip uses the tight bound, 13 cycles on 6×6).
+    pub notification_window_slack: u64,
+    /// L1 data cache capacity in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 configuration template (MC endpoints filled in automatically).
+    pub l2: L2Config,
+    /// Memory-controller configuration.
+    pub mc: McConfig,
+    /// Total directory-cache storage across all home tiles, in bytes
+    /// (Section 5.1: 256 KB for the baseline comparisons).
+    pub dir_total_bytes: usize,
+    /// LPD sharer pointers per entry (Section 5.1: ~4 at 36 cores).
+    pub lpd_pointers: usize,
+    /// Outstanding accesses per core (1 = the AHB constraint; the paper's
+    /// Figure 8d exploration raises it alongside the RSHR count).
+    pub core_outstanding: usize,
+    /// Safety limit for [`crate::System::run_to_completion`].
+    pub max_cycles: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The 36-core chip configuration (Table 1).
+    pub fn chip() -> SystemConfig {
+        let mesh = Mesh::scorpio_chip();
+        SystemConfig::with_mesh(mesh)
+    }
+
+    /// A chip-like configuration over an arbitrary mesh (corner MCs).
+    pub fn with_mesh(mesh: Mesh) -> SystemConfig {
+        let mc_eps: Vec<Endpoint> = mesh.mc_routers().iter().map(|&r| Endpoint::mc(r)).collect();
+        SystemConfig {
+            mesh,
+            protocol: Protocol::Scorpio,
+            noc: NocConfig::scorpio(),
+            nic: NicConfig::default(),
+            notification_bits: 1,
+            notification_window_slack: 0,
+            l1_bytes: 16 * 1024,
+            l1_ways: 4,
+            l2: L2Config::chip(mc_eps),
+            mc: McConfig::default(),
+            dir_total_bytes: 256 * 1024,
+            lpd_pointers: 4,
+            core_outstanding: 1,
+            max_cycles: 2_000_000,
+            seed: 1,
+        }
+    }
+
+    /// A `k × k` system with corner memory controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn square(k: u16) -> SystemConfig {
+        SystemConfig::with_mesh(Mesh::square_with_corner_mcs(k))
+    }
+
+    /// Number of cores (tiles).
+    pub fn cores(&self) -> usize {
+        self.mesh.router_count()
+    }
+
+    /// Sets the protocol, builder-style.
+    #[must_use]
+    pub fn with_protocol(mut self, protocol: Protocol) -> SystemConfig {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the pipelining of the uncore (L2 + NIC), Figure 10.
+    #[must_use]
+    pub fn with_pipelined_uncore(mut self, pipelined: bool) -> SystemConfig {
+        self.l2.pipelined = pipelined;
+        self.nic.pipelined = pipelined;
+        self
+    }
+
+    /// Sets the channel width in bytes (Figure 8a).
+    #[must_use]
+    pub fn with_channel_bytes(mut self, bytes: u32) -> SystemConfig {
+        self.noc.channel_bytes = bytes;
+        self
+    }
+
+    /// Sets the GO-REQ VC count (Figure 8b).
+    #[must_use]
+    pub fn with_goreq_vcs(mut self, vcs: u8) -> SystemConfig {
+        self.noc.vnets[0].vcs = vcs;
+        self
+    }
+
+    /// Sets the UO-RESP VC count (Figure 8c).
+    #[must_use]
+    pub fn with_uoresp_vcs(mut self, vcs: u8) -> SystemConfig {
+        self.noc.vnets[1].vcs = vcs;
+        self
+    }
+
+    /// Sets the notification bits per core (Figure 8d).
+    #[must_use]
+    pub fn with_notification_bits(mut self, bits: u8) -> SystemConfig {
+        self.notification_bits = bits;
+        self
+    }
+
+    /// Sets the per-core outstanding-miss budget (RSHRs and the core's
+    /// in-flight access limit move together).
+    #[must_use]
+    pub fn with_outstanding(mut self, rshrs: usize) -> SystemConfig {
+        self.l2.rshr_entries = rshrs;
+        self.core_outstanding = rshrs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_matches_table1() {
+        let cfg = SystemConfig::chip();
+        assert_eq!(cfg.cores(), 36);
+        assert_eq!(cfg.noc.channel_bytes, 16);
+        assert_eq!(cfg.l2.capacity_bytes, 128 * 1024);
+        assert_eq!(cfg.l1_bytes, 16 * 1024);
+        assert_eq!(cfg.l2.rshr_entries, 2);
+        assert_eq!(cfg.notification_bits, 1);
+        assert_eq!(cfg.l2.mc_endpoints.len(), 4);
+        assert_eq!(cfg.protocol, Protocol::Scorpio);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = SystemConfig::square(4)
+            .with_channel_bytes(32)
+            .with_goreq_vcs(6)
+            .with_uoresp_vcs(4)
+            .with_notification_bits(2)
+            .with_outstanding(4)
+            .with_pipelined_uncore(false)
+            .with_protocol(Protocol::TokenB);
+        assert_eq!(cfg.noc.channel_bytes, 32);
+        assert_eq!(cfg.noc.vnets[0].vcs, 6);
+        assert_eq!(cfg.noc.vnets[1].vcs, 4);
+        assert_eq!(cfg.notification_bits, 2);
+        assert_eq!(cfg.l2.rshr_entries, 4);
+        assert!(!cfg.l2.pipelined);
+        assert!(!cfg.nic.pipelined);
+        assert_eq!(cfg.protocol, Protocol::TokenB);
+    }
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(Protocol::Scorpio.name(), "SCORPIO");
+        assert_eq!(Protocol::Inso { expiry_window: 40 }.name(), "INSO(exp=40)");
+        assert_eq!(Protocol::TokenB.name(), "TokenB");
+        assert_eq!(Protocol::LpdDir.name(), "LPD-D");
+        assert_eq!(Protocol::HtDir.name(), "HT-D");
+        assert!(Protocol::LpdDir.uses_directory());
+        assert!(!Protocol::Scorpio.uses_directory());
+    }
+}

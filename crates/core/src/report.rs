@@ -1,0 +1,127 @@
+//! End-of-run reporting: the numbers the paper's figures are built from.
+
+use scorpio_sim::stats::Accumulator;
+
+/// Aggregated results of one full-system run.
+#[derive(Debug, Clone, Default)]
+pub struct SystemReport {
+    /// Protocol name.
+    pub protocol: String,
+    /// Cores in the system.
+    pub cores: usize,
+    /// Cycles until every core finished its work ("runtime").
+    pub runtime_cycles: u64,
+    /// Memory operations completed across all cores.
+    pub ops_completed: u64,
+    /// L1 hits (no L2 access).
+    pub l1_hits: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (coherence transactions).
+    pub l2_misses: u64,
+    /// Average L2 service latency over all core requests (the paper's
+    /// "average L2 service latency": hits, misses, queueing).
+    pub l2_service_latency: Accumulator,
+    /// Miss latency when another cache supplied the data.
+    pub cache_served: Accumulator,
+    /// Miss latency when memory supplied the data.
+    pub memory_served: Accumulator,
+    /// Request ordering delay (issue → own ordered observation).
+    pub ordering_delay: Accumulator,
+    /// Cache-to-cache data forwards.
+    pub data_forwards: u64,
+    /// Memory responses.
+    pub memory_responses: u64,
+    /// Snoops filtered by region trackers.
+    pub snoops_filtered: u64,
+    /// Snoops that looked up L2 tags.
+    pub snoops_looked_up: u64,
+    /// Writebacks (and how many were squashed by races).
+    pub writebacks: u64,
+    /// Squashed writebacks.
+    pub writebacks_squashed: u64,
+    /// Flits that bypassed (single-cycle router traversals).
+    pub bypassed_flits: u64,
+    /// Flits that buffered.
+    pub buffered_flits: u64,
+    /// Packets injected into the main network.
+    pub packets_injected: u64,
+    /// Average packet latency in the main network.
+    pub packet_latency: Accumulator,
+    /// Notification windows completed / carrying announcements (SCORPIO).
+    pub notify_windows: u64,
+    /// Non-empty notification windows.
+    pub notify_nonempty: u64,
+    /// Stop-bit windows observed.
+    pub stop_windows: u64,
+    /// INSO expiry broadcasts sent (baseline cost).
+    pub expiry_messages: u64,
+    /// Directory-home accesses (LPD-D / HT-D).
+    pub dir_accesses: u64,
+    /// Directory-cache misses at the homes.
+    pub dir_misses: u64,
+}
+
+impl SystemReport {
+    /// Fraction of misses served by other caches (the paper reports ~90%).
+    pub fn cache_served_fraction(&self) -> f64 {
+        let total = self.cache_served.count() + self.memory_served.count();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_served.count() as f64 / total as f64
+        }
+    }
+
+    /// Bypass rate of the main network.
+    pub fn bypass_rate(&self) -> f64 {
+        let total = self.bypassed_flits + self.buffered_flits;
+        if total == 0 {
+            0.0
+        } else {
+            self.bypassed_flits as f64 / total as f64
+        }
+    }
+
+    /// One-line summary for experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:>14}: runtime={:>8} ops={:>7} L2 svc={:>7.1} cyc  cache-served={:>5.1}% \
+             (c2c {:>6.1} / mem {:>6.1} cyc)  ordering={:>5.1} cyc  bypass={:>5.1}%",
+            self.protocol,
+            self.runtime_cycles,
+            self.ops_completed,
+            self.l2_service_latency.mean(),
+            100.0 * self.cache_served_fraction(),
+            self.cache_served.mean(),
+            self.memory_served.mean(),
+            self.ordering_delay.mean(),
+            100.0 * self.bypass_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_handle_empty() {
+        let r = SystemReport::default();
+        assert_eq!(r.cache_served_fraction(), 0.0);
+        assert_eq!(r.bypass_rate(), 0.0);
+        assert!(r.summary().contains("runtime"));
+    }
+
+    #[test]
+    fn fractions_compute() {
+        let mut r = SystemReport::default();
+        r.cache_served.record(10);
+        r.cache_served.record(20);
+        r.memory_served.record(100);
+        r.bypassed_flits = 3;
+        r.buffered_flits = 1;
+        assert!((r.cache_served_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r.bypass_rate() - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,761 @@
+//! The assembled full system: cores + L1s + L2s + NICs + both networks +
+//! memory controllers, under one of three ordering schemes.
+//!
+//! * [`Protocol::Scorpio`] — the paper's system: ordered GO-REQ deliveries
+//!   via the notification network and ESID-gated NICs.
+//! * [`Protocol::TokenB`] — same snoopy protocol and same mesh, ordering by
+//!   a zero-cost global sequencer (the paper's race-free TokenB model).
+//! * [`Protocol::Inso`] — per-source slots with expiry broadcasts.
+//!
+//! All three share the identical caches, memory controllers and router
+//! fabric, exactly as the paper's methodology demands ("keeping all
+//! conditions equal besides the ordered network").
+
+use crate::config::{Protocol, SystemConfig};
+use crate::report::SystemReport;
+use crate::tile::{CoreDriver, CoreKind};
+use scorpio_coherence::{
+    home_tile, CohMsg, DirectoryCache, InsoReorderBuffer, InsoSlotAllocator, LpdEntry, MsgKind,
+    SlotContent,
+};
+use std::collections::VecDeque;
+use scorpio_mem::{L2Out, MemoryController, OrderedSnoop, SnoopyL2};
+use scorpio_nic::{Nic, NicConfig, NicMode};
+use scorpio_noc::{Endpoint, LocalSlot, Network, VnetId};
+use scorpio_notify::{NotifyConfig, NotifyNetwork};
+use scorpio_sim::Cycle;
+use scorpio_workloads::Trace;
+
+/// A full SCORPIO (or baseline) system.
+pub struct System {
+    cfg: SystemConfig,
+    net: Network<CohMsg>,
+    notify: Option<NotifyNetwork>,
+    /// NICs per endpoint (tiles first, then MC ports).
+    nics: Vec<Nic<CohMsg>>,
+    drivers: Vec<CoreDriver>,
+    l2s: Vec<SnoopyL2>,
+    mcs: Vec<MemoryController>,
+    /// Unordered-mode reorder buffers per endpoint.
+    reorders: Vec<InsoReorderBuffer<CohMsg>>,
+    /// INSO slot allocators per tile.
+    inso_alloc: Vec<InsoSlotAllocator>,
+    /// TokenB global sequencer.
+    oracle_seq: u64,
+    /// Ordered request awaiting injection, per tile (slot already taken).
+    pending_ordered: Vec<Option<CohMsg>>,
+    /// Expiry broadcast awaiting injection, per tile.
+    pending_expiry: Vec<Option<CohMsg>>,
+    /// Data response popped from the NIC but not yet accepted by the L2.
+    resp_hold: Vec<Option<CohMsg>>,
+    /// Directory-home state per tile (LPD-D / HT-D).
+    dir_homes: Vec<DirHome>,
+    expiry_sent: u64,
+    watchdog: Cycle,
+    watchdog_ops: u64,
+}
+
+impl System {
+    /// Builds a system where every core runs the corresponding trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` differs from the core count.
+    pub fn with_traces(cfg: SystemConfig, traces: Vec<Trace>) -> System {
+        assert_eq!(traces.len(), cfg.cores(), "one trace per core");
+        System::build(cfg, traces.into_iter().map(CoreKind::Trace).collect())
+    }
+
+    /// Builds a system where every core runs a reactive program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len()` differs from the core count.
+    pub fn with_programs(
+        cfg: SystemConfig,
+        programs: Vec<Box<dyn scorpio_workloads::CoreProgram + Send>>,
+    ) -> System {
+        assert_eq!(programs.len(), cfg.cores(), "one program per core");
+        System::build(cfg, programs.into_iter().map(CoreKind::Program).collect())
+    }
+
+    fn build(mut cfg: SystemConfig, kinds: Vec<CoreKind>) -> System {
+        let cores = cfg.cores();
+        let scorpio = cfg.protocol == Protocol::Scorpio;
+        // Baselines broadcast on an unordered request class.
+        cfg.noc.vnets[0].ordered = scorpio;
+        // Big sweeps don't need per-uid delivery tracking.
+        cfg.noc.track_deliveries = false;
+
+        let net: Network<CohMsg> = Network::new(cfg.mesh.clone(), cfg.noc.clone());
+        let notify = scorpio.then(|| {
+            NotifyNetwork::new(
+                &cfg.mesh,
+                NotifyConfig {
+                    cores,
+                    bits_per_core: cfg.notification_bits,
+                    window: cfg.mesh.notification_window() + cfg.notification_window_slack,
+                },
+            )
+        });
+        let mode = if scorpio {
+            NicMode::Ordered
+        } else {
+            NicMode::Unordered
+        };
+        // Home-directory slices for the baselines: the total budget is
+        // split across tiles; LPD's wide entries cache far fewer lines
+        // than HT's 2-bit entries in the same storage (Section 5.1).
+        let entry_bits = match cfg.protocol {
+            Protocol::LpdDir => LpdEntry::entry_bits(cores, cfg.lpd_pointers),
+            _ => 2,
+        };
+        let slice_bytes = (cfg.dir_total_bytes / cores).max(64);
+        let dir_homes: Vec<DirHome> = (0..cores)
+            .map(|_| DirHome::new(slice_bytes, entry_bits, cfg.mc.dir_latency, cfg.mc.dir_miss_penalty))
+            .collect();
+        let nic_cfg = NicConfig {
+            ..cfg.nic.clone()
+        };
+        let endpoints: Vec<Endpoint> = cfg.mesh.endpoints().collect();
+        let nics: Vec<Nic<CohMsg>> = endpoints
+            .iter()
+            .map(|ep| {
+                let sid = (ep.slot == LocalSlot::Tile).then(|| scorpio_noc::Sid(ep.router.0));
+                Nic::new(*ep, sid, mode, cores, nic_cfg.clone())
+            })
+            .collect();
+        let drivers: Vec<CoreDriver> = kinds
+            .into_iter()
+            .map(|k| {
+                let mut d = CoreDriver::new(k, cfg.l1_bytes, cfg.l1_ways, cfg.l2.line_bytes);
+                d.set_max_outstanding(cfg.core_outstanding);
+                d
+            })
+            .collect();
+        let l2s: Vec<SnoopyL2> = (0..cores as u16)
+            .map(|t| SnoopyL2::new(t, cfg.l2.clone()))
+            .collect();
+        let mc_total = cfg.mesh.mc_routers().len();
+        let mcs: Vec<MemoryController> = cfg
+            .mesh
+            .mc_routers()
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                MemoryController::new(Endpoint::mc(r), i, mc_total, cfg.l2.line_bytes, cfg.mc.clone())
+            })
+            .collect();
+        let n_eps = endpoints.len();
+        System {
+            net,
+            notify,
+            nics,
+            drivers,
+            l2s,
+            mcs,
+            reorders: (0..n_eps).map(|_| InsoReorderBuffer::new()).collect(),
+            inso_alloc: (0..cores).map(|t| InsoSlotAllocator::new(t, cores)).collect(),
+            oracle_seq: 0,
+            pending_ordered: vec![None; cores],
+            pending_expiry: vec![None; cores],
+            resp_hold: vec![None; n_eps],
+            dir_homes,
+            expiry_sent: 0,
+            watchdog: Cycle::ZERO,
+            watchdog_ops: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.net.cycle()
+    }
+
+    /// Whether every core has finished and the machine is quiescent.
+    pub fn is_complete(&self) -> bool {
+        self.drivers.iter().all(CoreDriver::is_done)
+            && self.l2s.iter().all(SnoopyL2::is_idle)
+            && self.mcs.iter().all(MemoryController::is_idle)
+            && self.pending_ordered.iter().all(Option::is_none)
+            && self.resp_hold.iter().all(Option::is_none)
+            && self.dir_homes.iter().all(DirHome::is_idle)
+    }
+
+    /// Runs until completion (or `cfg.max_cycles`), returning the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system makes no progress for 50 000 cycles — the
+    /// deadlock watchdog used by the verification suite.
+    pub fn run_to_completion(&mut self) -> SystemReport {
+        let max = self.cfg.max_cycles;
+        while !self.is_complete() && self.cycle().as_u64() < max {
+            self.step();
+            let ops: u64 = self.drivers.iter().map(|d| d.ops_done).sum();
+            if ops > self.watchdog_ops {
+                self.watchdog_ops = ops;
+                self.watchdog = self.cycle();
+            }
+            assert!(
+                self.cycle() - self.watchdog < 50_000,
+                "system wedged: no op completed for 50k cycles at {} ({} ops done)",
+                self.cycle(),
+                ops
+            );
+        }
+        self.report()
+    }
+
+    /// One full system cycle.
+    pub fn step(&mut self) {
+        let now = self.net.cycle();
+        self.tick_tiles(now);
+        self.tick_mcs(now);
+        self.net.tick();
+        self.net.commit();
+        if let Some(n) = self.notify.as_mut() {
+            n.tick();
+        }
+    }
+
+    fn tick_tiles(&mut self, now: Cycle) {
+        let cores = self.cfg.cores();
+        for t in 0..cores {
+            // L2 → core completions, then inclusion invalidations.
+            while let Some(resp) = self.l2s[t].pop_core_resp() {
+                self.drivers[t].complete(now, resp);
+            }
+            while let Some(addr) = self.l2s[t].pop_l1_invalidation() {
+                self.drivers[t].l1_mut().invalidate(addr);
+            }
+            // Ordered deliveries into the snoop queue.
+            match self.cfg.protocol {
+                Protocol::Scorpio => {
+                    while self.l2s[t].snoop_ready() {
+                        let Some(d) = self.nics[t].pop_ordered() else {
+                            break;
+                        };
+                        self.l2s[t].push_snoop(OrderedSnoop {
+                            own: d.own,
+                            msg: d.payload,
+                        });
+                    }
+                    self.drain_data_packets(t, now);
+                }
+                _ => {
+                    self.drain_unordered_packets(t, now);
+                    while self.l2s[t].snoop_ready() {
+                        match self.reorders[t].pop_ready() {
+                            Some(Some(msg)) => {
+                                let own = msg.requester as usize == t;
+                                self.l2s[t].push_snoop(OrderedSnoop { own, msg });
+                            }
+                            Some(None) => {} // expired slot
+                            None => break,
+                        }
+                    }
+                }
+            }
+            // Held data response, then L2 outbox → NIC.
+            self.push_held_resp(t);
+            self.forward_l2_out(t, now);
+            // INSO: idle tiles must expire slots.
+            if let Protocol::Inso { expiry_window } = self.cfg.protocol {
+                self.inso_expiry(t, now, expiry_window);
+            }
+            // Directory baselines: the home slice orders and rebroadcasts.
+            if self.cfg.protocol.uses_directory() {
+                self.tick_dir_home(t, now);
+            }
+            // Core issues; L2 and NIC advance.
+            self.drivers[t].tick(now, &mut self.l2s[t]);
+            self.l2s[t].tick(now);
+            let notify = self.notify.as_mut();
+            self.nics[t].tick(now, &mut self.net, notify);
+        }
+    }
+
+    fn tick_mcs(&mut self, now: Cycle) {
+        let cores = self.cfg.cores();
+        for m in 0..self.mcs.len() {
+            let ep_idx = cores + m;
+            match self.cfg.protocol {
+                Protocol::Scorpio => {
+                    while let Some(d) = self.nics[ep_idx].pop_ordered() {
+                        self.mcs[m].snoop(
+                            OrderedSnoop {
+                                own: false,
+                                msg: d.payload,
+                            },
+                            now,
+                        );
+                    }
+                    while let Some(pkt) = self.nics[ep_idx].pop_packet() {
+                        assert_eq!(pkt.payload.kind, MsgKind::WbData);
+                        self.mcs[m].wb_data(pkt.payload, now);
+                    }
+                }
+                _ => {
+                    while let Some(pkt) = self.nics[ep_idx].pop_packet() {
+                        let msg = pkt.payload;
+                        match msg.kind {
+                            MsgKind::WbData => self.mcs[m].wb_data(msg, now),
+                            MsgKind::InsoExpire => {
+                                self.reorders[ep_idx]
+                                    .insert(msg.value, SlotContent::Expired);
+                            }
+                            k if k.is_ordered_request() => {
+                                self.reorders[ep_idx]
+                                    .insert(msg.value, SlotContent::Request(msg));
+                            }
+                            other => panic!("MC received {other:?}"),
+                        }
+                    }
+                    while let Some(ready) = self.reorders[ep_idx].pop_ready() {
+                        if let Some(msg) = ready {
+                            self.mcs[m].snoop(OrderedSnoop { own: false, msg }, now);
+                        }
+                    }
+                }
+            }
+            self.mcs[m].tick(now);
+            while let Some(out) = self.mcs[m].peek_out() {
+                let dest = out.dest;
+                let msg = out.msg;
+                let flits = self.cfg.noc.data_flits();
+                match self.nics[ep_idx].try_send_unicast(
+                    VnetId::UO_RESP,
+                    dest,
+                    flits,
+                    msg,
+                    &mut self.net,
+                ) {
+                    Ok(()) => {
+                        self.mcs[m].pop_out();
+                    }
+                    Err(_) => break,
+                }
+            }
+            let notify = self.notify.as_mut();
+            self.nics[ep_idx].tick(now, &mut self.net, notify);
+        }
+    }
+
+    /// SCORPIO mode: unordered packets are data (or writeback data routed
+    /// here by mistake — asserted against).
+    fn drain_data_packets(&mut self, t: usize, _now: Cycle) {
+        while self.resp_hold[t].is_none() {
+            let Some(pkt) = self.nics[t].pop_packet() else {
+                break;
+            };
+            let msg = pkt.payload;
+            assert_eq!(msg.kind, MsgKind::Data, "tile received {:?}", msg.kind);
+            if self.l2s[t].resp_ready() {
+                self.l2s[t].push_resp(msg);
+            } else {
+                self.resp_hold[t] = Some(msg);
+            }
+        }
+    }
+
+    /// Baseline modes: packets carry requests (to reorder), expiries, data.
+    fn drain_unordered_packets(&mut self, t: usize, _now: Cycle) {
+        while self.resp_hold[t].is_none() {
+            let Some(pkt) = self.nics[t].pop_packet() else {
+                break;
+            };
+            let msg = pkt.payload;
+            match msg.kind {
+                MsgKind::Data => {
+                    if self.l2s[t].resp_ready() {
+                        self.l2s[t].push_resp(msg);
+                    } else {
+                        self.resp_hold[t] = Some(msg);
+                    }
+                }
+                MsgKind::InsoExpire => {
+                    self.reorders[t].insert(msg.value, SlotContent::Expired);
+                }
+                MsgKind::DirGetS | MsgKind::DirGetX | MsgKind::DirPut => {
+                    // We are the home for this line: order after the
+                    // directory-cache access.
+                    self.dir_homes[t].accept(msg, _now);
+                }
+                k if k.is_ordered_request() => {
+                    self.reorders[t].insert(msg.value, SlotContent::Request(msg));
+                }
+                other => panic!("tile received {other:?}"),
+            }
+        }
+    }
+
+    fn push_held_resp(&mut self, t: usize) {
+        if let Some(msg) = self.resp_hold[t].take() {
+            if self.l2s[t].resp_ready() {
+                self.l2s[t].push_resp(msg);
+            } else {
+                self.resp_hold[t] = Some(msg);
+            }
+        }
+    }
+
+    /// Moves L2 output messages into the NIC, respecting backpressure.
+    fn forward_l2_out(&mut self, t: usize, now: Cycle) {
+        // A previously slot-stamped ordered request retries first.
+        if let Some(msg) = self.pending_ordered[t].take() {
+            match self.nics[t].try_send_broadcast(VnetId(0), msg, &mut self.net) {
+                Ok(()) => {}
+                Err(_) => {
+                    self.pending_ordered[t] = Some(msg);
+                    return;
+                }
+            }
+        }
+        loop {
+            let Some(out) = self.l2s[t].peek_out().copied() else {
+                break;
+            };
+            match out {
+                L2Out::OrderedRequest(msg) => match self.cfg.protocol {
+                    Protocol::LpdDir | Protocol::HtDir => {
+                        let home = home_tile(msg.addr, self.cfg.cores()) as usize;
+                        let dir_kind = match msg.kind {
+                            MsgKind::GetS => MsgKind::DirGetS,
+                            MsgKind::GetX => MsgKind::DirGetX,
+                            MsgKind::WbReq => MsgKind::DirPut,
+                            other => panic!("unexpected ordered kind {other:?}"),
+                        };
+                        let mut dir_msg = msg;
+                        dir_msg.kind = dir_kind;
+                        if home == t {
+                            // Local home: no network hop for the request.
+                            self.l2s[t].pop_out();
+                            self.dir_homes[t].accept(dir_msg, now);
+                        } else {
+                            let dest = Endpoint::tile(scorpio_noc::RouterId(home as u16));
+                            if self.nics[t]
+                                .try_send_unicast(VnetId(0), dest, 1, dir_msg, &mut self.net)
+                                .is_err()
+                            {
+                                break;
+                            }
+                            self.l2s[t].pop_out();
+                        }
+                    }
+                    Protocol::Scorpio => {
+                        if self.nics[t]
+                            .try_send_request(msg, now, &mut self.net)
+                            .is_err()
+                        {
+                            break;
+                        }
+                        self.l2s[t].pop_out();
+                    }
+                    Protocol::TokenB => {
+                        let slot = self.oracle_seq;
+                        self.oracle_seq += 1;
+                        let stamped = msg.with_value(slot);
+                        self.l2s[t].pop_out();
+                        self.reorders[t].insert(slot, SlotContent::Request(stamped));
+                        if self.nics[t]
+                            .try_send_broadcast(VnetId(0), stamped, &mut self.net)
+                            .is_err()
+                        {
+                            self.pending_ordered[t] = Some(stamped);
+                            break;
+                        }
+                    }
+                    Protocol::Inso { .. } => {
+                        let slot = self.inso_alloc[t].take_slot(now);
+                        let stamped = msg.with_value(slot);
+                        self.l2s[t].pop_out();
+                        self.reorders[t].insert(slot, SlotContent::Request(stamped));
+                        if self.nics[t]
+                            .try_send_broadcast(VnetId(0), stamped, &mut self.net)
+                            .is_err()
+                        {
+                            self.pending_ordered[t] = Some(stamped);
+                            break;
+                        }
+                    }
+                },
+                L2Out::Unicast {
+                    dest,
+                    msg,
+                    data_sized,
+                } => {
+                    let flits = if data_sized {
+                        self.cfg.noc.data_flits()
+                    } else {
+                        1
+                    };
+                    if self.nics[t]
+                        .try_send_unicast(VnetId::UO_RESP, dest, flits, msg, &mut self.net)
+                        .is_err()
+                    {
+                        break;
+                    }
+                    self.l2s[t].pop_out();
+                }
+            }
+        }
+    }
+
+    fn inso_expiry(&mut self, t: usize, now: Cycle, window: u64) {
+        // Retry an unsent expiry first.
+        if let Some(msg) = self.pending_expiry[t].take() {
+            if self.nics[t]
+                .try_send_broadcast(VnetId(0), msg, &mut self.net)
+                .is_err()
+            {
+                self.pending_expiry[t] = Some(msg);
+            }
+            return;
+        }
+        // Do not expire while a request is waiting to inject (its slot is
+        // already allocated and must stay in sequence).
+        if self.pending_ordered[t].is_some() {
+            return;
+        }
+        // Pace expiry against consumption: racing more than a couple of
+        // rounds ahead of what this node has released floods the network
+        // with expiries faster than they can deliver (livelock).
+        let lead_bound = 2 * self.cfg.cores() as u64;
+        if self.inso_alloc[t].peek_next_slot() > self.reorders[t].next_slot() + lead_bound {
+            return;
+        }
+        if let Some(slot) = self.inso_alloc[t].maybe_expire(now, window) {
+            let me = Endpoint::tile(scorpio_noc::RouterId(t as u16));
+            let msg = scorpio_coherence::CohMsg::new(
+                MsgKind::InsoExpire,
+                scorpio_coherence::LineAddr(0),
+                t as u16,
+                0,
+                me,
+            )
+            .with_value(slot);
+            self.reorders[t].insert(slot, SlotContent::Expired);
+            self.expiry_sent += 1;
+            if self.nics[t]
+                .try_send_broadcast(VnetId(0), msg, &mut self.net)
+                .is_err()
+            {
+                self.pending_expiry[t] = Some(msg);
+            }
+        }
+    }
+
+    /// Home-directory pipeline: ordered requests leave as broadcasts once
+    /// the directory access completes.
+    fn tick_dir_home(&mut self, t: usize, now: Cycle) {
+        // Retry a broadcast that could not inject.
+        if let Some(msg) = self.dir_homes[t].pending_bcast.take() {
+            if self.nics[t]
+                .try_send_broadcast(VnetId(0), msg, &mut self.net)
+                .is_err()
+            {
+                self.dir_homes[t].pending_bcast = Some(msg);
+                return;
+            }
+        }
+        while let Some(mut msg) = self.dir_homes[t].pop_ready(now) {
+            // Back to the snoopy kind, stamped with the global slot.
+            msg.kind = match msg.kind {
+                MsgKind::DirGetS => MsgKind::GetS,
+                MsgKind::DirGetX => MsgKind::GetX,
+                MsgKind::DirPut => MsgKind::WbReq,
+                other => panic!("home ordered {other:?}"),
+            };
+            let slot = self.oracle_seq;
+            self.oracle_seq += 1;
+            let stamped = msg.with_value(slot);
+            // The broadcast skips the home tile itself: insert locally.
+            self.reorders[t].insert(slot, SlotContent::Request(stamped));
+            if self.nics[t]
+                .try_send_broadcast(VnetId(0), stamped, &mut self.net)
+                .is_err()
+            {
+                self.dir_homes[t].pending_bcast = Some(stamped);
+                break;
+            }
+        }
+    }
+
+    /// Builds the aggregate report for the run so far.
+    pub fn report(&self) -> SystemReport {
+        let mut r = SystemReport {
+            protocol: self.cfg.protocol.name(),
+            cores: self.cfg.cores(),
+            runtime_cycles: self
+                .drivers
+                .iter()
+                .map(|d| d.finished_at.unwrap_or(self.net.cycle()).as_u64())
+                .max()
+                .unwrap_or(0),
+            ..SystemReport::default()
+        };
+        for d in &self.drivers {
+            r.ops_completed += d.ops_done;
+            r.l1_hits += d.l1_hits;
+        }
+        for l2 in &self.l2s {
+            r.l2_hits += l2.stats.hits.get();
+            r.l2_misses += l2.stats.misses.get();
+            r.l2_service_latency.merge(&l2.stats.service_latency);
+            r.cache_served.merge(&l2.stats.cache_served_latency);
+            r.memory_served.merge(&l2.stats.memory_served_latency);
+            r.ordering_delay.merge(&l2.stats.ordering_delay);
+            r.data_forwards += l2.stats.data_forwards.get();
+            r.snoops_filtered += l2.stats.snoops_filtered.get();
+            r.snoops_looked_up += l2.stats.snoops.get();
+            r.writebacks += l2.stats.writebacks.get();
+            r.writebacks_squashed += l2.stats.wb_squashed.get();
+        }
+        for mc in &self.mcs {
+            r.memory_responses += mc.stats.responses.get();
+        }
+        let ns = self.net.stats();
+        r.bypassed_flits = ns.bypassed_flits;
+        r.buffered_flits = ns.buffered_flits;
+        r.packets_injected = ns.injected_packets.get();
+        r.packet_latency = ns.packet_latency;
+        if let Some(n) = &self.notify {
+            r.notify_windows = n.windows_completed.get();
+            r.notify_nonempty = n.nonempty_windows.get();
+        }
+        r.stop_windows = self.nics.iter().map(|n| n.stats.stop_windows.get()).sum();
+        r.expiry_messages = self.expiry_sent;
+        for h in &self.dir_homes {
+            r.dir_accesses += h.dir.hits() + h.dir.misses();
+            r.dir_misses += h.dir.misses();
+        }
+        r
+    }
+
+    /// Direct access to a tile's L2 (verification).
+    pub fn l2(&self, tile: usize) -> &SnoopyL2 {
+        &self.l2s[tile]
+    }
+
+    /// Direct access to a memory controller (verification).
+    pub fn mc(&self, idx: usize) -> &MemoryController {
+        &self.mcs[idx]
+    }
+
+    /// Prints internal state for deadlock debugging.
+    #[doc(hidden)]
+    pub fn debug_dump(&self) {
+        println!("cycle {}  net last progress {}", self.cycle(), self.net.last_progress());
+        for (t, l2) in self.l2s.iter().enumerate() {
+            println!(
+                "tile {t}: driver done={} ops={} l2 idle={} esid={:?} nic backlog={} ordered_backlog={}",
+                self.drivers[t].is_done(),
+                self.drivers[t].ops_done,
+                l2.is_idle(),
+                self.nics[t].current_esid(),
+                self.net.inject_backlog(self.nics[t].endpoint()),
+                self.nics[t].ordering_backlog(),
+            );
+            println!("        nic counters {:?}", self.nics[t].debug_counters());
+            print!("{}", self.l2s[t].debug_state());
+        }
+        if let Some(n) = &self.notify {
+            println!(
+                "notify: windows={} nonempty={} latest={:?}",
+                n.windows_completed.get(),
+                n.nonempty_windows.get(),
+                n.latest().map(|(w, m)| (w, m.total(), m.stop()))
+            );
+        }
+        if self.cfg.protocol != Protocol::Scorpio {
+            for (i, rb) in self.reorders.iter().enumerate() {
+                println!(
+                    "rb {i}: next_slot={} buffered={} pending_ordered={:?} pending_expiry={:?} slots_used={:?}",
+                    rb.next_slot(),
+                    rb.buffered(),
+                    self.pending_ordered.get(i).map(|p| p.map(|m| m.value)),
+                    self.pending_expiry.get(i).map(|p| p.map(|m| m.value)),
+                    self.inso_alloc.get(i).map(|a| a.slots_used()),
+                );
+            }
+        }
+        for (m, mc) in self.mcs.iter().enumerate() {
+            let idx = self.cfg.cores() + m;
+            println!(
+                "mc {m}: idle={} esid={:?} backlog={}",
+                mc.is_idle(),
+                self.nics[idx].current_esid(),
+                self.nics[idx].ordering_backlog()
+            );
+        }
+        print!("{}", self.net.debug_dump());
+    }
+
+    /// The last value each core observed would require driver access; the
+    /// verification tests read memory through fresh loads instead.
+    pub fn cores_done(&self) -> usize {
+        self.drivers.iter().filter(|d| d.is_done()).count()
+    }
+}
+
+
+/// One tile's slice of the distributed directory for the LPD-D / HT-D
+/// baselines: a latency pipeline in front of the global sequencer. The
+/// entry width (set by the protocol) determines how many lines the slice
+/// caches, which is the paper's LPD-vs-HT distinction.
+struct DirHome {
+    dir: DirectoryCache,
+    latency: u64,
+    miss_penalty: u64,
+    stage: VecDeque<(Cycle, CohMsg)>,
+    pending_bcast: Option<CohMsg>,
+}
+
+impl DirHome {
+    fn new(slice_bytes: usize, entry_bits: usize, latency: u64, miss_penalty: u64) -> DirHome {
+        DirHome {
+            dir: DirectoryCache::with_budget(slice_bytes, entry_bits, 4),
+            latency,
+            miss_penalty,
+            stage: VecDeque::new(),
+            pending_bcast: None,
+        }
+    }
+
+    /// Accepts a request: the directory access starts now; the request is
+    /// ready for ordering after the (hit- or miss-) latency.
+    fn accept(&mut self, msg: CohMsg, now: Cycle) {
+        let hit = self.dir.access(msg.addr);
+        let lat = self.latency + if hit { 0 } else { self.miss_penalty };
+        // Serialization at the home: a request cannot overtake the one in
+        // front of it (the paper's "Req Ordering" component).
+        let ready = self
+            .stage
+            .back()
+            .map(|(r, _)| (*r).max(now) + self.latency)
+            .unwrap_or(now + lat)
+            .max(now + lat);
+        self.stage.push_back((ready, msg));
+    }
+
+    fn pop_ready(&mut self, now: Cycle) -> Option<CohMsg> {
+        if self.pending_bcast.is_some() {
+            return None;
+        }
+        if self.stage.front().is_some_and(|(r, _)| *r <= now) {
+            return self.stage.pop_front().map(|(_, m)| m);
+        }
+        None
+    }
+
+    fn is_idle(&self) -> bool {
+        self.stage.is_empty() && self.pending_bcast.is_none()
+    }
+}

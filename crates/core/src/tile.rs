@@ -1,0 +1,227 @@
+//! The per-tile core driver: an in-order core with a write-through L1,
+//! executing a trace or a reactive program against the L2 (Section 4.1).
+//!
+//! The AHB constraint is modelled faithfully: a single outstanding data
+//! transaction — the core blocks on every L2 access (loads that miss the
+//! L1, all stores, all atomics).
+
+use scorpio_coherence::LineAddr;
+use scorpio_mem::{CoreOp, CoreReq, CoreResp, L1Cache, SnoopyL2};
+use scorpio_sim::Cycle;
+use scorpio_workloads::{CoreProgram, Trace, TraceOp};
+
+/// What drives this core.
+pub enum CoreKind {
+    /// A fixed memory trace (the paper's trace-driven RTL methodology).
+    Trace(Trace),
+    /// A reactive program (locks/barriers, Section 4.3 regressions).
+    Program(Box<dyn CoreProgram + Send>),
+}
+
+impl std::fmt::Debug for CoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreKind::Trace(t) => write!(f, "Trace({} ops)", t.len()),
+            CoreKind::Program(_) => f.write_str("Program"),
+        }
+    }
+}
+
+/// The in-order core + L1 driver for one tile.
+#[derive(Debug)]
+pub struct CoreDriver {
+    kind: CoreKind,
+    l1: L1Cache,
+    line_bytes: u64,
+    /// Trace position.
+    pc: usize,
+    gap_left: u32,
+    gap_charged: bool,
+    /// In-flight (token, op, addr) tuples; capacity = `max_outstanding`.
+    outstanding: Vec<(u64, TraceOp)>,
+    max_outstanding: usize,
+    last_value: Option<u64>,
+    token_counter: u64,
+    done: bool,
+    /// Cycle the driver finished all its work.
+    pub finished_at: Option<Cycle>,
+    /// Completed operations.
+    pub ops_done: u64,
+    /// L1 hits that completed without touching the L2.
+    pub l1_hits: u64,
+}
+
+impl CoreDriver {
+    /// A driver over `kind` with a fresh L1 and one outstanding access
+    /// (the AHB constraint). Use [`CoreDriver::set_max_outstanding`] for
+    /// the paper's aggressive-core explorations (Figure 8d).
+    pub fn new(kind: CoreKind, l1_bytes: u64, l1_ways: usize, line_bytes: u64) -> CoreDriver {
+        CoreDriver {
+            kind,
+            l1: L1Cache::new(l1_bytes, l1_ways, line_bytes),
+            line_bytes,
+            pc: 0,
+            gap_left: 0,
+            gap_charged: false,
+            outstanding: Vec::new(),
+            max_outstanding: 1,
+            last_value: None,
+            token_counter: 0,
+            done: false,
+            finished_at: None,
+            ops_done: 0,
+            l1_hits: 0,
+        }
+    }
+
+    /// Raises the outstanding-access budget (trace cores only: reactive
+    /// programs are value-dependent and stay at 1).
+    pub fn set_max_outstanding(&mut self, n: usize) {
+        if matches!(self.kind, CoreKind::Trace(_)) {
+            self.max_outstanding = n.max(1);
+        }
+    }
+
+    /// Whether all work is complete (and nothing is in flight).
+    pub fn is_done(&self) -> bool {
+        self.done && self.outstanding.is_empty()
+    }
+
+    /// The L1, for inclusion-driven invalidations.
+    pub fn l1_mut(&mut self) -> &mut L1Cache {
+        &mut self.l1
+    }
+
+    /// One cycle: consume a completion, or issue the next operation.
+    /// Completions arrive via [`CoreDriver::complete`]; this only issues.
+    pub fn tick(&mut self, now: Cycle, l2: &mut SnoopyL2) {
+        if self.done || self.outstanding.len() >= self.max_outstanding {
+            return;
+        }
+        if self.gap_left > 0 {
+            self.gap_left -= 1;
+            return;
+        }
+        let Some((op, addr, value)) = self.next_op(now) else {
+            return;
+        };
+        // L1 first.
+        let line = LineAddr::containing(addr, self.line_bytes);
+        match op {
+            TraceOp::Load => {
+                if let Some(v) = self.l1.load(line) {
+                    self.l1_hits += 1;
+                    self.op_completed(now, v);
+                    return;
+                }
+            }
+            TraceOp::Store => {
+                // Write-through: update the local copy and send to the L2.
+                self.l1.store(line, value);
+            }
+            TraceOp::AtomicAdd => {
+                // The L2 performs the RMW; the L1 copy becomes stale.
+                self.l1.invalidate(line);
+            }
+        }
+        let core_op = match op {
+            TraceOp::Load => CoreOp::Load,
+            TraceOp::Store => CoreOp::Store,
+            TraceOp::AtomicAdd => CoreOp::AtomicAdd,
+        };
+        self.token_counter += 1;
+        let token = self.token_counter;
+        let accepted = l2.try_core_req(CoreReq {
+            op: core_op,
+            addr,
+            value,
+            token,
+            enqueued: now,
+        });
+        if accepted {
+            self.outstanding.push((token, op));
+        } else {
+            // L2 busy: retry the same op next cycle.
+            self.rewind();
+        }
+    }
+
+    /// Delivers an L2 completion to this core.
+    pub fn complete(&mut self, now: Cycle, resp: CoreResp) {
+        let pos = self
+            .outstanding
+            .iter()
+            .position(|(t, _)| *t == resp.token)
+            .expect("completion without a matching outstanding op");
+        let (_, op) = self.outstanding.remove(pos);
+        if op == TraceOp::Load && resp.installed {
+            // Fill the L1 with the loaded line (only when the L2 kept it:
+            // inclusion).
+            self.l1.fill(resp.addr, resp.value);
+        }
+        self.op_completed(now, resp.value);
+    }
+
+    fn op_completed(&mut self, now: Cycle, value: u64) {
+        self.ops_done += 1;
+        self.last_value = Some(value);
+        if self.done && self.outstanding.is_empty() {
+            self.finished_at.get_or_insert(now);
+        }
+    }
+
+    /// Produces the next operation, advancing the program/trace. For trace
+    /// records with a compute gap, the gap is charged first (`gap_left`)
+    /// and the op issues once it drains.
+    fn next_op(&mut self, now: Cycle) -> Option<(TraceOp, u64, u64)> {
+        match &mut self.kind {
+            CoreKind::Trace(trace) => {
+                if self.pc >= trace.len() {
+                    self.mark_done(now);
+                    return None;
+                }
+                let rec = trace.records()[self.pc];
+                if rec.gap > 0 && !self.gap_charged {
+                    self.gap_charged = true;
+                    self.gap_left = rec.gap;
+                    return None;
+                }
+                self.gap_charged = false;
+                self.pc += 1;
+                Some((rec.op, rec.addr, rec.value))
+            }
+            CoreKind::Program(prog) => match prog.next(self.last_value) {
+                Some(op) => Some((op.op, op.addr, op.value)),
+                None => {
+                    self.mark_done(now);
+                    None
+                }
+            },
+        }
+    }
+
+    fn rewind(&mut self) {
+        match &mut self.kind {
+            CoreKind::Trace(_) => {
+                // Re-issue the same record next cycle (gap already paid).
+                self.pc -= 1;
+                self.gap_charged = true;
+                self.token_counter -= 1;
+            }
+            CoreKind::Program(_) => {
+                // With one outstanding op per core and queue depth > 1 the
+                // L2 never rejects; reaching here is a sizing bug.
+                panic!("L2 rejected a program op; size the L2 queue >= 1");
+            }
+        }
+    }
+
+    fn mark_done(&mut self, now: Cycle) {
+        if !self.done {
+            self.done = true;
+            if self.outstanding.is_empty() {
+                self.finished_at.get_or_insert(now);
+            }
+        }
+    }
+}

@@ -1,0 +1,931 @@
+//! The private, inclusive, snoopy MOSI L2 cache controller (Section 4.2).
+//!
+//! The controller consumes three input streams — core requests from the
+//! AHB side, *globally ordered* snoops from the NIC, and unordered data
+//! responses — and produces ordered coherence requests, unicast responses
+//! and core replies. Key mechanisms reproduced from the paper:
+//!
+//! * **O_D state**: dirty data stays on chip across read sharing; memory is
+//!   written only on eviction.
+//! * **RSHR** (request status holding registers): bounded outstanding
+//!   misses; each tagged with the "request entry ID" that responses and
+//!   forwards match on.
+//! * **FID lists**: snoops that hit a pending write are recorded, not
+//!   blocked; the completed write forwards updated data to every recorded
+//!   requester. The list closes at the first GETX (ownership moves on).
+//! * **Writeback buffer**: evicted dirty lines keep answering snoops until
+//!   their WbReq is globally ordered; a GETX ordered before the WbReq
+//!   squashes it (the memory controller ignores the stale writeback).
+//! * **Region tracker**: snoops to regions with no resident lines skip the
+//!   tag array.
+//! * **Pipelining switch**: models Figure 10's pipelined vs non-pipelined
+//!   uncore (initiation interval 1 vs full occupancy per access).
+
+use crate::array::{CacheArray, Line};
+use crate::region::RegionTracker;
+use scorpio_coherence::{
+    fill_state, snoop_transition, CohMsg, FidList, FidPush, LineAddr, LineState, MsgKind,
+};
+use scorpio_noc::Endpoint;
+use scorpio_sim::stats::{Accumulator, Counter};
+use scorpio_sim::{Cycle, Fifo};
+use std::collections::VecDeque;
+
+/// L2 configuration (defaults: the chip's 128 KB 4-way L2, 10-cycle access,
+/// 2 RSHRs matching the core's two outstanding AHB transactions).
+#[derive(Debug, Clone)]
+pub struct L2Config {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Access latency in cycles.
+    pub latency: u64,
+    /// Initiation interval 1 when true; full occupancy per access when
+    /// false (Figure 10).
+    pub pipelined: bool,
+    /// Outstanding-miss registers.
+    pub rshr_entries: usize,
+    /// FID-list capacity per pending write.
+    pub fid_capacity: usize,
+    /// Writeback buffer entries.
+    pub wb_entries: usize,
+    /// Region-tracker entries (`None` disables snoop filtering).
+    pub region_entries: Option<usize>,
+    /// Input queue depths (core, snoop, response).
+    pub queue_depth: usize,
+    /// The memory-controller endpoints, for writeback routing
+    /// (line-interleaved).
+    pub mc_endpoints: Vec<Endpoint>,
+}
+
+impl L2Config {
+    /// The chip configuration, given the memory-controller endpoints.
+    pub fn chip(mc_endpoints: Vec<Endpoint>) -> Self {
+        L2Config {
+            capacity_bytes: 128 * 1024,
+            ways: 4,
+            line_bytes: 32,
+            latency: 10,
+            pipelined: true,
+            rshr_entries: 2,
+            fid_capacity: 4,
+            wb_entries: 2,
+            region_entries: Some(128),
+            queue_depth: 4,
+            mc_endpoints,
+        }
+    }
+
+    /// The MC endpoint responsible for `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MC endpoints were configured.
+    pub fn mc_for(&self, addr: LineAddr) -> Endpoint {
+        assert!(!self.mc_endpoints.is_empty(), "no memory controllers");
+        let idx = (addr.0 / self.line_bytes) as usize % self.mc_endpoints.len();
+        self.mc_endpoints[idx]
+    }
+}
+
+/// A core-side operation (post-L1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreOp {
+    /// Read a line.
+    Load,
+    /// Write a line (write-through from the L1).
+    Store,
+    /// Atomic fetch-and-add (lock/barrier support, Section 4.3 tests).
+    AtomicAdd,
+}
+
+/// A request from the core/L1 into the L2.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreReq {
+    /// Operation.
+    pub op: CoreOp,
+    /// Byte address (the L2 masks it to a line).
+    pub addr: u64,
+    /// Store/add operand.
+    pub value: u64,
+    /// Caller-chosen id echoed in the reply.
+    pub token: u64,
+    /// Enqueue timestamp (service-latency accounting).
+    pub enqueued: Cycle,
+}
+
+/// The L2's reply to the core.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreResp {
+    /// Echoed token.
+    pub token: u64,
+    /// Loaded value (loads/atomics) or the stored value.
+    pub value: u64,
+    /// The line this op touched (for L1 fills).
+    pub addr: LineAddr,
+    /// Whether the op hit in the L2.
+    pub hit: bool,
+    /// Whether the line is resident in the L2 after this op — `false` for
+    /// fills discarded by a later-ordered GETX. The L1 must only fill when
+    /// this is true (inclusion).
+    pub installed: bool,
+}
+
+/// A globally ordered snoop delivered by the NIC.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderedSnoop {
+    /// Whether this is the L2's own request coming back in order.
+    pub own: bool,
+    /// The coherence request.
+    pub msg: CohMsg,
+}
+
+/// Messages leaving the L2 toward the NIC.
+#[derive(Debug, Clone, Copy)]
+pub enum L2Out {
+    /// A coherence request needing global ordering (GetS/GetX/WbReq).
+    OrderedRequest(CohMsg),
+    /// A unicast message; `data_sized` selects the multi-flit data format.
+    Unicast {
+        /// Destination endpoint.
+        dest: Endpoint,
+        /// The message.
+        msg: CohMsg,
+        /// Cache-line-sized (multi-flit) packet.
+        data_sized: bool,
+    },
+}
+
+/// Who supplied the data for a completed miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Another cache (on-chip transfer).
+    Cache,
+    /// A memory controller.
+    Memory,
+}
+
+/// Completion record for one miss (latency-breakdown reporting).
+#[derive(Debug, Clone, Copy)]
+pub struct MissRecord {
+    /// Cycles from enqueue to core reply.
+    pub total: u64,
+    /// Cycles from request issue to own ordered observation.
+    pub ordering: u64,
+    /// Cycles from request issue to data arrival.
+    pub data_wait: u64,
+    /// Who responded.
+    pub served_by: ServedBy,
+}
+
+/// L2 statistics.
+#[derive(Debug, Clone, Default)]
+pub struct L2Stats {
+    /// Core requests that hit with sufficient permission.
+    pub hits: Counter,
+    /// Core requests that missed (or needed an upgrade).
+    pub misses: Counter,
+    /// Remote snoops processed against the tag array.
+    pub snoops: Counter,
+    /// Snoops skipped by the region tracker.
+    pub snoops_filtered: Counter,
+    /// Data responses sent to other caches (cache-to-cache transfers).
+    pub data_forwards: Counter,
+    /// Snoops recorded in FID lists.
+    pub fid_recorded: Counter,
+    /// Snoops stalled on a full FID list.
+    pub fid_stalls: Counter,
+    /// Dirty evictions (writebacks issued).
+    pub writebacks: Counter,
+    /// Writebacks squashed by an earlier-ordered GETX.
+    pub wb_squashed: Counter,
+    /// Fills discarded because a later-ordered GETX already invalidated
+    /// them.
+    pub invalidated_fills: Counter,
+    /// Service latency of every core request (enqueue → reply).
+    pub service_latency: Accumulator,
+    /// Latency of misses served by other caches.
+    pub cache_served_latency: Accumulator,
+    /// Latency of misses served by memory.
+    pub memory_served_latency: Accumulator,
+    /// Ordering delay (issue → own ordered observation).
+    pub ordering_delay: Accumulator,
+}
+
+#[derive(Debug, Clone)]
+struct RshrEntry {
+    addr: LineAddr,
+    kind: MsgKind,
+    op: CoreOp,
+    token: u64,
+    operand: u64,
+    ordered: bool,
+    data: Option<u64>,
+    fids: FidList,
+    invalidate_on_fill: bool,
+    fill_blocked: bool,
+    served_by: ServedBy,
+    enqueued: Cycle,
+    t_issue: Cycle,
+    t_ordered: Option<Cycle>,
+    t_data: Option<Cycle>,
+}
+
+#[derive(Debug, Clone)]
+struct WbEntry {
+    addr: LineAddr,
+    value: u64,
+    squashed: bool,
+}
+
+/// Per-class pipeline stages, mirroring the separate ACE channels: a snoop
+/// stalled on a full FID list must never block the data responses that
+/// complete the pending write (that would deadlock the forwarding chain).
+#[derive(Debug, Default)]
+struct Stages {
+    resps: VecDeque<(Cycle, CohMsg)>,
+    snoops: VecDeque<(Cycle, OrderedSnoop)>,
+    cores: VecDeque<(Cycle, CoreReq)>,
+}
+
+impl Stages {
+    fn len(&self) -> usize {
+        self.resps.len() + self.snoops.len() + self.cores.len()
+    }
+}
+
+/// The snoopy L2 cache controller for one tile.
+#[derive(Debug)]
+pub struct SnoopyL2 {
+    tile: u16,
+    cfg: L2Config,
+    array: CacheArray,
+    region: Option<RegionTracker>,
+    rshr: Vec<Option<RshrEntry>>,
+    wb_buf: Vec<WbEntry>,
+    core_q: Fifo<CoreReq>,
+    snoop_q: Fifo<OrderedSnoop>,
+    resp_q: Fifo<CohMsg>,
+    stage: Stages,
+    outbox: VecDeque<L2Out>,
+    core_resps: VecDeque<CoreResp>,
+    l1_invalidations: VecDeque<LineAddr>,
+    miss_records: VecDeque<MissRecord>,
+    busy_until: Cycle,
+    /// Statistics.
+    pub stats: L2Stats,
+}
+
+impl SnoopyL2 {
+    /// A controller for tile `tile` with configuration `cfg`.
+    pub fn new(tile: u16, cfg: L2Config) -> Self {
+        SnoopyL2 {
+            tile,
+            array: CacheArray::with_capacity(cfg.capacity_bytes, cfg.ways, cfg.line_bytes),
+            region: cfg.region_entries.map(RegionTracker::new),
+            rshr: vec![None; cfg.rshr_entries],
+            wb_buf: Vec::with_capacity(cfg.wb_entries),
+            core_q: Fifo::bounded(cfg.queue_depth),
+            snoop_q: Fifo::bounded(cfg.queue_depth),
+            resp_q: Fifo::bounded(cfg.queue_depth),
+            stage: Stages::default(),
+            outbox: VecDeque::new(),
+            core_resps: VecDeque::new(),
+            l1_invalidations: VecDeque::new(),
+            miss_records: VecDeque::new(),
+            busy_until: Cycle::ZERO,
+            stats: L2Stats::default(),
+            cfg,
+        }
+    }
+
+    /// This tile's id.
+    pub fn tile(&self) -> u16 {
+        self.tile
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &L2Config {
+        &self.cfg
+    }
+
+    /// Offers a core request. Returns `false` (and leaves the caller to
+    /// retry) when the input queue is full.
+    pub fn try_core_req(&mut self, req: CoreReq) -> bool {
+        self.core_q.push(req).is_ok()
+    }
+
+    /// Whether the snoop input queue can take another ordered request.
+    pub fn snoop_ready(&self) -> bool {
+        !self.snoop_q.is_full()
+    }
+
+    /// Delivers one globally ordered snoop (caller must check
+    /// [`SnoopyL2::snoop_ready`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snoop queue is full.
+    pub fn push_snoop(&mut self, snoop: OrderedSnoop) {
+        self.snoop_q
+            .push(snoop)
+            .unwrap_or_else(|_| panic!("snoop queue overflow: check snoop_ready first"));
+    }
+
+    /// Whether the response input queue has room.
+    pub fn resp_ready(&self) -> bool {
+        !self.resp_q.is_full()
+    }
+
+    /// Delivers one unordered response (data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response queue is full.
+    pub fn push_resp(&mut self, msg: CohMsg) {
+        self.resp_q
+            .push(msg)
+            .unwrap_or_else(|_| panic!("resp queue overflow: check resp_ready first"));
+    }
+
+    /// Next outgoing network message, if any (peek).
+    pub fn peek_out(&self) -> Option<&L2Out> {
+        self.outbox.front()
+    }
+
+    /// Consumes the outgoing message just peeked.
+    pub fn pop_out(&mut self) -> Option<L2Out> {
+        self.outbox.pop_front()
+    }
+
+    /// Next core reply, if any.
+    pub fn pop_core_resp(&mut self) -> Option<CoreResp> {
+        self.core_resps.pop_front()
+    }
+
+    /// Next L1 invalidation (inclusion), if any.
+    pub fn pop_l1_invalidation(&mut self) -> Option<LineAddr> {
+        self.l1_invalidations.pop_front()
+    }
+
+    /// Next completed-miss latency record, if any.
+    pub fn pop_miss_record(&mut self) -> Option<MissRecord> {
+        self.miss_records.pop_front()
+    }
+
+    /// Whether the controller has no in-flight work (drained).
+    pub fn is_idle(&self) -> bool {
+        self.core_q.is_empty()
+            && self.snoop_q.is_empty()
+            && self.resp_q.is_empty()
+            && self.stage.len() == 0
+            && self.outbox.is_empty()
+            && self.rshr.iter().all(Option::is_none)
+            && self.wb_buf.is_empty()
+    }
+
+    /// One cycle: apply due staged items, retry blocked fills, accept one
+    /// new input.
+    pub fn tick(&mut self, now: Cycle) {
+        self.apply_due(now);
+        self.retry_blocked_fills(now);
+        self.accept_one(now);
+    }
+
+    fn apply_due(&mut self, now: Cycle) {
+        // Responses first: they complete pending writes and drain FIDs.
+        while self.stage.resps.front().is_some_and(|(r, _)| *r <= now) {
+            let (_, msg) = self.stage.resps.pop_front().expect("checked");
+            self.apply_resp(msg, now);
+        }
+        // Snoops in global order; a FID-full stall blocks only this class.
+        while self.stage.snoops.front().is_some_and(|(r, _)| *r <= now) {
+            let (_, snoop) = self.stage.snoops.pop_front().expect("checked");
+            if !self.apply_snoop(snoop, now) {
+                self.stats.fid_stalls.incr();
+                self.stage.snoops.push_front((now.next(), snoop));
+                break;
+            }
+        }
+        while self.stage.cores.front().is_some_and(|(r, _)| *r <= now) {
+            let (_, req) = self.stage.cores.pop_front().expect("checked");
+            self.apply_core(req, now);
+        }
+    }
+
+    fn accept_one(&mut self, now: Cycle) {
+        if !self.cfg.pipelined && now < self.busy_until {
+            return;
+        }
+        let ready = now + self.cfg.latency;
+        if !self.resp_q.is_empty() {
+            let msg = self.resp_q.pop().expect("checked");
+            self.stage.resps.push_back((ready, msg));
+        } else if !self.snoop_q.is_empty() {
+            let snoop = self.snoop_q.pop().expect("checked");
+            self.stage.snoops.push_back((ready, snoop));
+        } else if self.core_accept_ok() {
+            let req = self.core_q.pop().expect("checked");
+            self.stage.cores.push_back((ready, req));
+        } else {
+            return;
+        }
+        self.busy_until = now + self.cfg.latency;
+    }
+
+    /// Whether the head core request may enter the pipeline: needs a free
+    /// RSHR (unless it could hit) and no conflicting pending miss or
+    /// writeback on the same line.
+    fn core_accept_ok(&mut self) -> bool {
+        let Some(req) = self.core_q.front() else {
+            return false;
+        };
+        let line = LineAddr::containing(req.addr, self.cfg.line_bytes);
+        if self
+            .rshr
+            .iter()
+            .flatten()
+            .any(|e| e.addr == line)
+        {
+            return false;
+        }
+        if self.wb_buf.iter().any(|w| w.addr == line) {
+            return false;
+        }
+        // Same-line requests still in the stage pipeline count too —
+        // otherwise two RSHRs for one line can be allocated back to back.
+        if self
+            .stage
+            .cores
+            .iter()
+            .any(|(_, r)| LineAddr::containing(r.addr, self.cfg.line_bytes) == line)
+        {
+            return false;
+        }
+        // A potential miss needs a free RSHR slot; hits do not. Being
+        // conservative (requiring a slot even for hits) would deadlock a
+        // two-outstanding core, so check the array without LRU update.
+        let hit = self.array.peek(line).map(|l| {
+            matches!(
+                (req.op, l.state.can_write()),
+                (CoreOp::Load, _) | (CoreOp::Store, true) | (CoreOp::AtomicAdd, true)
+            ) && l.state.can_read()
+        });
+        if hit == Some(true) {
+            return true;
+        }
+        self.rshr.iter().any(Option::is_none)
+    }
+
+    fn apply_resp(&mut self, msg: CohMsg, now: Cycle) {
+        assert_eq!(msg.kind, MsgKind::Data, "L2 only receives data responses");
+        let tag = msg.req_tag as usize;
+        let entry = self.rshr[tag]
+            .as_mut()
+            .unwrap_or_else(|| panic!("data for free RSHR tag {tag}"));
+        assert_eq!(entry.addr, msg.addr, "data for wrong line");
+        assert!(
+            entry.data.is_none(),
+            "duplicate data response for {} (two responders)",
+            msg.addr
+        );
+        entry.data = Some(msg.value);
+        entry.t_data = Some(now);
+        entry.served_by = if msg.sender.slot == scorpio_noc::LocalSlot::Mc {
+            ServedBy::Memory
+        } else {
+            ServedBy::Cache
+        };
+        self.try_complete(tag, now);
+    }
+
+    /// Applies one ordered snoop; returns `false` to stall (FID list full).
+    fn apply_snoop(&mut self, s: OrderedSnoop, now: Cycle) -> bool {
+        if s.own {
+            self.apply_own(s.msg, now);
+            return true;
+        }
+        let addr = s.msg.addr;
+        let kind = s.msg.kind;
+        if kind == MsgKind::WbReq {
+            // Other caches' writebacks never affect us.
+            return true;
+        }
+        // Pending-miss interactions take precedence over the array.
+        if let Some(tag) = self.find_rshr(addr) {
+            let fid_cap = self.cfg.fid_capacity;
+            let entry = self.rshr[tag].as_mut().expect("find_rshr returned live tag");
+            if entry.ordered && entry.kind == MsgKind::GetX {
+                // We own the line as of our position: record and forward
+                // after our write completes.
+                return match entry.fids.push(s.msg.requester, s.msg.req_tag, kind) {
+                    FidPush::Recorded => {
+                        self.stats.fid_recorded.incr();
+                        let _ = fid_cap;
+                        true
+                    }
+                    FidPush::Closed => true,
+                    FidPush::Full => false,
+                };
+            }
+            if entry.ordered && entry.kind == MsgKind::GetS && kind == MsgKind::GetX {
+                // A write ordered after our read: the fill is stale on
+                // arrival.
+                entry.invalidate_on_fill = true;
+            }
+            // Not ordered yet: the snoop precedes us; fall through to the
+            // array (e.g. invalidate our S copy under a pending upgrade).
+        }
+        // Writeback buffer still owns evicted dirty lines until ordered.
+        if let Some(pos) = self.wb_buf.iter().position(|w| w.addr == addr && !w.squashed) {
+            let value = self.wb_buf[pos].value;
+            match kind {
+                MsgKind::GetS => {
+                    self.send_data(s.msg, value);
+                }
+                MsgKind::GetX => {
+                    self.send_data(s.msg, value);
+                    self.wb_buf[pos].squashed = true;
+                    self.stats.wb_squashed.incr();
+                }
+                _ => {}
+            }
+            return true;
+        }
+        // Region filter.
+        let pending_here = self.find_rshr(addr).is_some();
+        if let Some(region) = self.region.as_mut() {
+            if !region.may_be_present(addr) && !pending_here {
+                self.stats.snoops_filtered.incr();
+                return true;
+            }
+        }
+        self.stats.snoops.incr();
+        let Some(line) = self.array.peek(addr).copied() else {
+            return true;
+        };
+        let action = snoop_transition(line.state, kind);
+        if action.respond_with_data {
+            self.send_data(s.msg, line.value);
+        }
+        if action.next == LineState::I {
+            self.drop_line(addr);
+        } else if action.next != line.state {
+            self.array
+                .lookup_mut(addr)
+                .expect("peeked line vanished")
+                .state = action.next;
+        }
+        true
+    }
+
+    /// Our own ordered request came back around.
+    fn apply_own(&mut self, msg: CohMsg, now: Cycle) {
+        match msg.kind {
+            MsgKind::GetS | MsgKind::GetX => {
+                let tag = msg.req_tag as usize;
+                let line = self.array.peek(msg.addr).copied();
+                let entry = self.rshr[tag]
+                    .as_mut()
+                    .unwrap_or_else(|| panic!("own ordered request for free tag {tag}"));
+                assert!(!entry.ordered, "request ordered twice");
+                entry.ordered = true;
+                entry.t_ordered = Some(now);
+                // Owner upgrade: a GETX from the cache that already owns
+                // the (dirty) line — a store to an O_D line — receives no
+                // external response: the memory controller sees a
+                // cache-owned line and every other cache is a mere sharer.
+                // The owner self-supplies its own data.
+                if entry.kind == MsgKind::GetX && entry.data.is_none() {
+                    if let Some(line) = line {
+                        if line.state.is_owner() {
+                            entry.data = Some(line.value);
+                            entry.t_data = Some(now);
+                            entry.served_by = ServedBy::Cache;
+                        }
+                    }
+                }
+                let t_issue = entry.t_issue;
+                self.stats.ordering_delay.record(now - t_issue);
+                self.try_complete(tag, now);
+            }
+            MsgKind::WbReq => {
+                let pos = self
+                    .wb_buf
+                    .iter()
+                    .position(|w| w.addr == msg.addr)
+                    .expect("own WbReq without writeback entry");
+                let wb = self.wb_buf.remove(pos);
+                if !wb.squashed {
+                    let dest = self.cfg.mc_for(wb.addr);
+                    let data = CohMsg::new(MsgKind::WbData, wb.addr, self.tile, 0, self.my_ep())
+                        .with_value(wb.value);
+                    self.outbox.push_back(L2Out::Unicast {
+                        dest,
+                        msg: data,
+                        data_sized: true,
+                    });
+                }
+            }
+            other => panic!("unexpected own ordered message {other:?}"),
+        }
+    }
+
+    fn apply_core(&mut self, req: CoreReq, now: Cycle) {
+        let addr = LineAddr::containing(req.addr, self.cfg.line_bytes);
+        if let Some(line) = self.array.lookup_mut(addr) {
+            match req.op {
+                CoreOp::Load if line.state.can_read() => {
+                    let value = line.value;
+                    self.finish_core(req, addr, value, true, now);
+                    return;
+                }
+                CoreOp::Store if line.state.can_write() => {
+                    line.value = req.value;
+                    self.finish_core(req, addr, req.value, true, now);
+                    return;
+                }
+                CoreOp::AtomicAdd if line.state.can_write() => {
+                    let old = line.value;
+                    line.value = old.wrapping_add(req.value);
+                    self.finish_core(req, addr, old, true, now);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // Miss or upgrade: allocate an RSHR and issue the ordered request.
+        // Re-check conflicts at apply time (state may have moved while the
+        // request sat in the stage): retry next cycle instead of creating
+        // a duplicate-line RSHR.
+        if self.rshr.iter().flatten().any(|e| e.addr == addr)
+            || self.wb_buf.iter().any(|w| w.addr == addr)
+            || !self.rshr.iter().any(Option::is_none)
+        {
+            self.stage.cores.push_front((now.next(), req));
+            return;
+        }
+        self.stats.misses.incr();
+        let tag = self
+            .rshr
+            .iter()
+            .position(Option::is_none)
+            .expect("checked above");
+        let kind = match req.op {
+            CoreOp::Load => MsgKind::GetS,
+            CoreOp::Store | CoreOp::AtomicAdd => MsgKind::GetX,
+        };
+        let msg = CohMsg::new(kind, addr, self.tile, tag as u8, self.my_ep());
+        self.rshr[tag] = Some(RshrEntry {
+            addr,
+            kind,
+            op: req.op,
+            token: req.token,
+            operand: req.value,
+            ordered: false,
+            data: None,
+            fids: FidList::new(self.cfg.fid_capacity),
+            invalidate_on_fill: false,
+            fill_blocked: false,
+            served_by: ServedBy::Memory,
+            enqueued: req.enqueued,
+            t_issue: now,
+            t_ordered: None,
+            t_data: None,
+        });
+        self.outbox.push_back(L2Out::OrderedRequest(msg));
+    }
+
+    fn finish_core(&mut self, req: CoreReq, addr: LineAddr, value: u64, hit: bool, now: Cycle) {
+        if hit {
+            self.stats.hits.incr();
+        }
+        self.stats.service_latency.record(now - req.enqueued);
+        self.core_resps.push_back(CoreResp {
+            token: req.token,
+            value,
+            addr,
+            hit,
+            installed: true,
+        });
+    }
+
+    fn retry_blocked_fills(&mut self, now: Cycle) {
+        for tag in 0..self.rshr.len() {
+            if self.rshr[tag].as_ref().is_some_and(|e| e.fill_blocked) {
+                self.try_complete(tag, now);
+            }
+        }
+    }
+
+    /// Completes a miss when both the ordered observation and the data have
+    /// arrived.
+    fn try_complete(&mut self, tag: usize, now: Cycle) {
+        let ready = {
+            let entry = self.rshr[tag].as_ref().expect("completing a free tag");
+            entry.ordered && entry.data.is_some()
+        };
+        if !ready {
+            return;
+        }
+        let entry = self.rshr[tag].as_ref().expect("checked").clone();
+        let data_value = entry.data.expect("checked");
+
+        // Compute the line's post-fill value and the core's reply value.
+        let (core_value, line_value) = match entry.op {
+            CoreOp::Load => (data_value, data_value),
+            CoreOp::Store => (entry.operand, entry.operand),
+            CoreOp::AtomicAdd => (data_value, data_value.wrapping_add(entry.operand)),
+        };
+
+        if entry.kind == MsgKind::GetS && entry.invalidate_on_fill {
+            // The load still returns its (correctly ordered) value, but the
+            // line is already stale: do not install it.
+            self.stats.invalidated_fills.incr();
+            self.complete_entry(tag, core_value, false, now);
+            return;
+        }
+
+        // Install (or update) the line; may need a writeback slot.
+        let needs_insert = self.array.peek(entry.addr).is_none();
+        if needs_insert && !self.can_accept_victim(entry.addr) {
+            self.rshr[tag].as_mut().expect("checked").fill_blocked = true;
+            return;
+        }
+        let state = fill_state(entry.kind);
+        if let Some(line) = self.array.lookup_mut(entry.addr) {
+            line.state = state;
+            line.value = line_value;
+        } else {
+            let victim = self.array.insert(Line {
+                addr: entry.addr,
+                state,
+                value: line_value,
+            });
+            if let Some(region) = self.region.as_mut() {
+                region.line_filled(entry.addr);
+            }
+            if let Some(victim) = victim {
+                self.evict(victim);
+            }
+        }
+
+        // Forward to everyone recorded while the write was pending.
+        if entry.kind == MsgKind::GetX && !entry.fids.is_empty() {
+            let final_value = self
+                .array
+                .peek(entry.addr)
+                .expect("just installed")
+                .value;
+            for fid in entry.fids.entries() {
+                let fwd = CohMsg::new(
+                    MsgKind::Data,
+                    entry.addr,
+                    fid.sid,
+                    fid.req_tag,
+                    self.my_ep(),
+                )
+                .with_value(final_value);
+                self.outbox.push_back(L2Out::Unicast {
+                    dest: Endpoint::tile(scorpio_noc::RouterId(fid.sid)),
+                    msg: fwd,
+                    data_sized: true,
+                });
+                self.stats.data_forwards.incr();
+            }
+            if entry.fids.ends_in_getx() {
+                self.drop_line(entry.addr);
+            } else {
+                // We answered reads: dirty data stays on chip, shared.
+                self.array
+                    .lookup_mut(entry.addr)
+                    .expect("just installed")
+                    .state = LineState::Od;
+            }
+        }
+
+        let still_resident = self.array.peek(entry.addr).is_some();
+        self.complete_entry(tag, core_value, still_resident, now);
+    }
+
+    fn complete_entry(&mut self, tag: usize, core_value: u64, installed: bool, now: Cycle) {
+        let entry = self.rshr[tag].take().expect("completing a free tag");
+        let total = now - entry.enqueued;
+        self.stats.service_latency.record(total);
+        let record = MissRecord {
+            total,
+            ordering: entry.t_ordered.map(|t| t - entry.t_issue).unwrap_or(0),
+            data_wait: entry.t_data.map(|t| t - entry.t_issue).unwrap_or(0),
+            served_by: entry.served_by,
+        };
+        match entry.served_by {
+            ServedBy::Cache => self.stats.cache_served_latency.record(total),
+            ServedBy::Memory => self.stats.memory_served_latency.record(total),
+        }
+        self.miss_records.push_back(record);
+        self.core_resps.push_back(CoreResp {
+            token: entry.token,
+            value: core_value,
+            addr: entry.addr,
+            hit: false,
+            installed,
+        });
+    }
+
+    /// Whether an insertion into `addr`'s set could be absorbed (the LRU
+    /// victim, if dirty, needs a writeback-buffer slot).
+    fn can_accept_victim(&mut self, _addr: LineAddr) -> bool {
+        self.wb_buf.len() < self.cfg.wb_entries
+    }
+
+    fn evict(&mut self, victim: Line) {
+        if let Some(region) = self.region.as_mut() {
+            region.line_evicted(victim.addr);
+        }
+        self.l1_invalidations.push_back(victim.addr);
+        if victim.state.is_owner() {
+            self.stats.writebacks.incr();
+            assert!(
+                self.wb_buf.len() < self.cfg.wb_entries,
+                "eviction without a writeback slot"
+            );
+            self.wb_buf.push(WbEntry {
+                addr: victim.addr,
+                value: victim.value,
+                squashed: false,
+            });
+            let msg = CohMsg::new(MsgKind::WbReq, victim.addr, self.tile, 0, self.my_ep());
+            self.outbox.push_back(L2Out::OrderedRequest(msg));
+        }
+    }
+
+    /// Invalidates a resident line: array, region tracker and L1 inclusion.
+    fn drop_line(&mut self, addr: LineAddr) {
+        if self.array.remove(addr).is_some() {
+            if let Some(region) = self.region.as_mut() {
+                region.line_evicted(addr);
+            }
+            self.l1_invalidations.push_back(addr);
+        }
+    }
+
+    fn send_data(&mut self, req: CohMsg, value: u64) {
+        let reply = CohMsg::new(MsgKind::Data, req.addr, req.requester, req.req_tag, self.my_ep())
+            .with_value(value);
+        self.outbox.push_back(L2Out::Unicast {
+            dest: Endpoint::tile(scorpio_noc::RouterId(req.requester)),
+            msg: reply,
+            data_sized: true,
+        });
+        self.stats.data_forwards.incr();
+    }
+
+    fn find_rshr(&self, addr: LineAddr) -> Option<usize> {
+        self.rshr
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.addr == addr))
+    }
+
+    fn my_ep(&self) -> Endpoint {
+        Endpoint::tile(scorpio_noc::RouterId(self.tile))
+    }
+
+    /// Renders internal state for deadlock debugging.
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        let mut out = String::new();
+        for (tag, e) in self.rshr.iter().enumerate() {
+            if let Some(e) = e {
+                out.push_str(&format!(
+                    "  rshr[{tag}] addr={} kind={:?} ordered={} data={:?} blocked={} fids={} inval_on_fill={}\n",
+                    e.addr, e.kind, e.ordered, e.data, e.fill_blocked, e.fids.entries().len(), e.invalidate_on_fill
+                ));
+            }
+        }
+        for w in &self.wb_buf {
+            out.push_str(&format!("  wb addr={} squashed={}\n", w.addr, w.squashed));
+        }
+        out.push_str(&format!(
+            "  q core={} snoop={} resp={} stage={} outbox={} core_resps={}\n",
+            self.core_q.len(), self.snoop_q.len(), self.resp_q.len(),
+            self.stage.len(), self.outbox.len(), self.core_resps.len()
+        ));
+        if let Some((ready, snoop)) = self.stage.snoops.front() {
+            out.push_str(&format!("  stalled/next snoop ready={ready} {snoop:?}\n"));
+        }
+        out
+    }
+
+    /// The current state of `addr` in the tag array (tests/diagnostics).
+    pub fn line_state(&self, addr: LineAddr) -> LineState {
+        self.array.peek(addr).map(|l| l.state).unwrap_or(LineState::I)
+    }
+
+    /// The current value of `addr` if resident.
+    pub fn line_value(&self, addr: LineAddr) -> Option<u64> {
+        self.array.peek(addr).map(|l| l.value)
+    }
+}

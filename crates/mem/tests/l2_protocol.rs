@@ -1,0 +1,285 @@
+//! Protocol-level tests of the snoopy L2 + memory controller, with a
+//! zero-latency "order broker" standing in for the NoC + notification
+//! network: ordered requests are serialized round-robin and delivered to
+//! every L2 (with the `own` flag) and the MC; unicast responses are routed
+//! directly. This isolates coherence-protocol bugs from network bugs.
+
+use scorpio_coherence::{LineAddr, LineState, MsgKind};
+use scorpio_mem::{
+    CoreOp, CoreReq, L2Config, L2Out, McConfig, MemoryController, OrderedSnoop, SnoopyL2,
+};
+use scorpio_noc::{Endpoint, LocalSlot, RouterId};
+use scorpio_sim::{Cycle, SimRng};
+use std::collections::VecDeque;
+
+struct World {
+    l2s: Vec<SnoopyL2>,
+    mc: MemoryController,
+    now: Cycle,
+    /// Snoops in flight: (deliver_at, snoop) delivered to everyone.
+    order_wire: VecDeque<(Cycle, scorpio_coherence::CohMsg)>,
+    /// Unicast messages in flight.
+    uni_wire: VecDeque<(Cycle, Endpoint, scorpio_coherence::CohMsg)>,
+    resps: Vec<Vec<scorpio_mem::CoreResp>>,
+}
+
+const ORDER_DELAY: u64 = 8;
+const UNI_DELAY: u64 = 6;
+
+impl World {
+    fn new(n: usize) -> World {
+        let mc_ep = Endpoint::mc(RouterId(0));
+        let cfg = L2Config::chip(vec![mc_ep]);
+        World {
+            l2s: (0..n).map(|t| SnoopyL2::new(t as u16, cfg.clone())).collect(),
+            mc: MemoryController::new(mc_ep, 0, 1, 32, McConfig::default()),
+            now: Cycle::ZERO,
+            order_wire: VecDeque::new(),
+            uni_wire: VecDeque::new(),
+            resps: vec![Vec::new(); n],
+        }
+    }
+
+    fn step(&mut self) {
+        let now = self.now;
+        // Deliver due ordered snoops to every L2 (in order) and the MC.
+        while self
+            .order_wire
+            .front()
+            .is_some_and(|(at, _)| *at <= now)
+        {
+            // All L2 snoop queues must have room, else retry next cycle
+            // (the NIC would hold the request in its buffers).
+            let all_ready = self.l2s.iter().all(|l| l.snoop_ready());
+            if !all_ready {
+                break;
+            }
+            let (_, msg) = self.order_wire.pop_front().expect("checked");
+            for l2 in &mut self.l2s {
+                let own = l2.tile() == msg.requester && msg.kind != MsgKind::WbReq
+                    || l2.tile() == msg.requester;
+                l2.push_snoop(OrderedSnoop { own, msg });
+            }
+            self.mc.snoop(
+                OrderedSnoop {
+                    own: false,
+                    msg,
+                },
+                now,
+            );
+        }
+        // Deliver due unicasts.
+        while self.uni_wire.front().is_some_and(|(at, _, _)| *at <= now) {
+            let ready = {
+                let (_, dest, msg) = self.uni_wire.front().expect("checked");
+                match dest.slot {
+                    LocalSlot::Tile => {
+                        msg.kind != MsgKind::Data
+                            || self.l2s[dest.router.index()].resp_ready()
+                    }
+                    LocalSlot::Mc => true,
+                }
+            };
+            if !ready {
+                break;
+            }
+            let (_, dest, msg) = self.uni_wire.pop_front().expect("checked");
+            match dest.slot {
+                LocalSlot::Tile => self.l2s[dest.router.index()].push_resp(msg),
+                LocalSlot::Mc => self.mc.wb_data(msg, now),
+            }
+        }
+        // Tick controllers and collect outputs.
+        for i in 0..self.l2s.len() {
+            self.l2s[i].tick(now);
+            while let Some(out) = self.l2s[i].pop_out() {
+                match out {
+                    L2Out::OrderedRequest(msg) => {
+                        self.order_wire.push_back((now + ORDER_DELAY, msg));
+                    }
+                    L2Out::Unicast { dest, msg, .. } => {
+                        self.uni_wire.push_back((now + UNI_DELAY, dest, msg));
+                    }
+                }
+            }
+            while let Some(r) = self.l2s[i].pop_core_resp() {
+                self.resps[i].push(r);
+            }
+            while self.l2s[i].pop_l1_invalidation().is_some() {}
+        }
+        self.mc.tick(now);
+        while let Some(out) = self.mc.pop_out() {
+            self.uni_wire.push_back((now + UNI_DELAY, out.dest, out.msg));
+        }
+        self.now = self.now.next();
+    }
+
+    fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    fn req(&mut self, tile: usize, op: CoreOp, addr: u64, value: u64, token: u64) {
+        let ok = self.l2s[tile].try_core_req(CoreReq {
+            op,
+            addr,
+            value,
+            token,
+            enqueued: self.now,
+        });
+        assert!(ok, "core queue full");
+    }
+
+    fn wait_resp(&mut self, tile: usize, token: u64, max: u64) -> scorpio_mem::CoreResp {
+        for _ in 0..max {
+            if let Some(pos) = self.resps[tile].iter().position(|r| r.token == token) {
+                return self.resps[tile].remove(pos);
+            }
+            self.step();
+        }
+        panic!("tile {tile} token {token} never completed");
+    }
+
+    fn drain(&mut self, max: u64) {
+        for _ in 0..max {
+            self.step();
+            if self.l2s.iter().all(|l| l.is_idle())
+                && self.mc.is_idle()
+                && self.order_wire.is_empty()
+                && self.uni_wire.is_empty()
+            {
+                return;
+            }
+        }
+        panic!("world failed to drain");
+    }
+}
+
+#[test]
+fn cold_load_served_by_memory() {
+    let mut w = World::new(4);
+    w.req(0, CoreOp::Load, 0x100, 0, 1);
+    let r = w.wait_resp(0, 1, 2000);
+    assert_eq!(r.value, 0, "memory default value");
+    assert!(!r.hit);
+    assert_eq!(w.l2s[0].line_state(LineAddr(0x100)), LineState::S);
+    assert_eq!(w.mc.stats.responses.get(), 1);
+}
+
+#[test]
+fn store_then_remote_load_transfers_on_chip() {
+    let mut w = World::new(4);
+    w.req(1, CoreOp::Store, 0x200, 42, 1);
+    w.wait_resp(1, 1, 2000);
+    assert_eq!(w.l2s[1].line_state(LineAddr(0x200)), LineState::M);
+
+    w.req(2, CoreOp::Load, 0x200, 0, 2);
+    let r = w.wait_resp(2, 2, 2000);
+    assert_eq!(r.value, 42, "dirty data forwarded on chip");
+    // Paper's O_D behaviour: the writer stays owner of the dirty line.
+    assert_eq!(w.l2s[1].line_state(LineAddr(0x200)), LineState::Od);
+    assert_eq!(w.l2s[2].line_state(LineAddr(0x200)), LineState::S);
+    // Memory was not involved in the transfer.
+    assert_eq!(w.mc.stats.responses.get(), 1, "only the initial GETX fill");
+    assert!(w.l2s[1].stats.data_forwards.get() >= 1);
+}
+
+#[test]
+fn write_migration_invalidates_previous_owner() {
+    let mut w = World::new(4);
+    w.req(0, CoreOp::Store, 0x300, 1, 1);
+    w.wait_resp(0, 1, 2000);
+    w.req(3, CoreOp::Store, 0x300, 2, 2);
+    w.wait_resp(3, 2, 2000);
+    assert_eq!(w.l2s[0].line_state(LineAddr(0x300)), LineState::I);
+    assert_eq!(w.l2s[3].line_state(LineAddr(0x300)), LineState::M);
+    assert_eq!(w.l2s[3].line_value(LineAddr(0x300)), Some(2));
+
+    // A third reader gets the latest value from tile 3.
+    w.req(1, CoreOp::Load, 0x300, 0, 3);
+    let r = w.wait_resp(1, 3, 2000);
+    assert_eq!(r.value, 2);
+}
+
+#[test]
+fn atomic_add_is_read_modify_write() {
+    let mut w = World::new(2);
+    w.req(0, CoreOp::Store, 0x80, 10, 1);
+    w.wait_resp(0, 1, 2000);
+    w.req(1, CoreOp::AtomicAdd, 0x80, 5, 2);
+    let r = w.wait_resp(1, 2, 2000);
+    assert_eq!(r.value, 10, "atomic returns the old value");
+    assert_eq!(w.l2s[1].line_value(LineAddr(0x80)), Some(15));
+}
+
+#[test]
+fn capacity_eviction_writes_back_and_refetches() {
+    let mut w = World::new(2);
+    // The chip L2 is 4-way, 1024 sets: five lines mapping to one set force
+    // a dirty eviction. Set index stride: 1024 sets * 32 B = 32 KB.
+    let stride = 1024 * 32;
+    for k in 0..5u64 {
+        w.req(0, CoreOp::Store, k * stride, 100 + k, k);
+        w.wait_resp(0, k, 4000);
+    }
+    assert_eq!(w.l2s[0].stats.writebacks.get(), 1);
+    w.drain(4000);
+    // The evicted line (LRU: the first one) must be re-servable by memory
+    // with the written value.
+    w.req(1, CoreOp::Load, 0, 0, 99);
+    let r = w.wait_resp(1, 99, 4000);
+    assert_eq!(r.value, 100, "writeback value lost");
+}
+
+#[test]
+fn random_sharing_final_values_match_reference() {
+    // A randomized cross-check: several tiles issue random loads/stores to
+    // a small shared set of lines; the broker's serialization defines the
+    // reference order. At the end, a fresh read of every line must return
+    // the value of the last completed store to it.
+    let mut w = World::new(4);
+    let mut rng = SimRng::seed_from(2024);
+    let lines: Vec<u64> = (0..8).map(|k| 0x4000 + k * 32).collect();
+    let mut token = 0u64;
+    let mut last_store: std::collections::HashMap<u64, u64> = Default::default();
+    for _round in 0..40 {
+        let tile = rng.gen_range_usize(4);
+        let addr = lines[rng.gen_range_usize(lines.len())];
+        token += 1;
+        if rng.chance(0.5) {
+            let value = token * 1000 + tile as u64;
+            w.req(tile, CoreOp::Store, addr, value, token);
+            w.wait_resp(tile, token, 4000);
+            last_store.insert(addr, value);
+        } else {
+            w.req(tile, CoreOp::Load, addr, 0, token);
+            w.wait_resp(tile, token, 4000);
+        }
+    }
+    w.drain(4000);
+    for (&addr, &expect) in &last_store {
+        token += 1;
+        // Read from a tile chosen per line; coherence says any tile agrees.
+        let tile = (addr as usize / 32) % 4;
+        w.req(tile, CoreOp::Load, addr, 0, token);
+        let r = w.wait_resp(tile, token, 4000);
+        assert_eq!(r.value, expect, "line {addr:#x} lost its last store");
+    }
+}
+
+#[test]
+fn region_tracker_filters_unrelated_snoops() {
+    let mut w = World::new(3);
+    // Tile 0 works in one region, tile 1 in another: tile 1's snoops of
+    // tile 0's traffic should be filtered.
+    w.req(0, CoreOp::Store, 0x10_0000, 1, 1);
+    w.wait_resp(0, 1, 2000);
+    w.req(1, CoreOp::Store, 0x20_0000, 2, 2);
+    w.wait_resp(1, 2, 2000);
+    w.drain(2000);
+    assert!(
+        w.l2s[2].stats.snoops_filtered.get() >= 2,
+        "idle tile should filter both snoops"
+    );
+}

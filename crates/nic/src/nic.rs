@@ -1,0 +1,526 @@
+//! The network interface controller (Figure 4).
+//!
+//! The NIC sits between a cache controller (or memory controller) and the
+//! two networks. On the send path it packetises coherence messages, counts
+//! pending notifications (blocking new ordered requests past the limit,
+//! Table 1: max 4) and announces them at time-window boundaries. On the
+//! receive path it consumes unordered responses freely, but releases
+//! ordered requests to the controller only in the global order determined
+//! by the notification tracker — including the NIC's *own* requests, which
+//! self-deliver through a loopback queue rather than traversing the mesh.
+
+use crate::tracker::NotificationTracker;
+use scorpio_noc::{Endpoint, Network, Packet, Payload, Sid, VnetId};
+use scorpio_notify::NotifyNetwork;
+use scorpio_sim::stats::{Accumulator, Counter};
+use scorpio_sim::{Cycle, Fifo};
+use std::collections::HashMap;
+
+/// NIC configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NicConfig {
+    /// Maximum notifications awaiting announcement before the NIC blocks
+    /// new ordered requests (Table 1: 4).
+    pub max_pending_notifications: u8,
+    /// Notification tracker queue depth (windows).
+    pub tracker_depth: usize,
+    /// Pipelined receive path (Figure 10's "PL" configuration). When
+    /// false, each consumed flit occupies the NIC for [`NicConfig::latency`]
+    /// cycles.
+    pub pipelined: bool,
+    /// Processing occupancy per consumed flit when not pipelined.
+    pub latency: u64,
+    /// Depth of the ordered-delivery queue toward the cache controller.
+    pub ordered_queue_depth: usize,
+    /// Depth of the unordered packet-delivery queue.
+    pub packet_queue_depth: usize,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig {
+            max_pending_notifications: 4,
+            tracker_depth: 8,
+            pipelined: true,
+            latency: 2,
+            ordered_queue_depth: 4,
+            packet_queue_depth: 8,
+        }
+    }
+}
+
+/// Whether this NIC enforces SCORPIO global ordering or passes every packet
+/// through unordered (the baseline protocols).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NicMode {
+    /// SCORPIO: GO-REQ deliveries gated by the ESID stream.
+    Ordered,
+    /// Baselines: every packet delivered as it arrives.
+    Unordered,
+}
+
+/// An ordered coherence request released to the cache controller.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderedDelivery<T> {
+    /// The global-order source of the request.
+    pub sid: Sid,
+    /// The coherence message.
+    pub payload: T,
+    /// True when this is the NIC's own request (loopback self-delivery).
+    pub own: bool,
+    /// Cycle the request entered its source NIC.
+    pub inject_cycle: Cycle,
+    /// Cycle this NIC could first have seen it (arrival at the ejection
+    /// buffers; equals delivery cycle for loopback).
+    pub first_seen: Cycle,
+}
+
+/// Error returned when the NIC cannot accept an ordered request this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The pending-notification counter is at its limit.
+    NotificationLimit,
+    /// The injection queue into the main network is full.
+    NetworkFull,
+    /// This NIC cannot send ordered requests (no SID / unordered mode).
+    NotACore,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SendError::NotificationLimit => "pending notification limit reached",
+            SendError::NetworkFull => "network injection queue full",
+            SendError::NotACore => "this NIC cannot send ordered requests",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// NIC statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NicStats {
+    /// Ordered requests injected.
+    pub requests_sent: Counter,
+    /// Unordered packets injected.
+    pub responses_sent: Counter,
+    /// Ordered requests delivered to the controller.
+    pub ordered_delivered: Counter,
+    /// Unordered packets delivered to the controller.
+    pub packets_delivered: Counter,
+    /// Cycles an ordered request waited at this NIC for its turn.
+    pub ordering_wait: Accumulator,
+    /// End-to-end latency of delivered ordered requests (inject → deliver).
+    pub ordered_latency: Accumulator,
+    /// Windows ignored because someone asserted stop.
+    pub stop_windows: Counter,
+    /// Announcements that had to be re-sent after a stop window.
+    pub notif_resends: Counter,
+}
+
+/// The network interface controller for one endpoint.
+pub struct Nic<T> {
+    ep: Endpoint,
+    sid: Option<Sid>,
+    mode: NicMode,
+    cfg: NicConfig,
+    tracker: NotificationTracker,
+    /// Requests injected but not yet announced on the notification network.
+    unsent: u8,
+    /// Requests announced in the window currently in flight.
+    announced: u8,
+    last_window: Option<u64>,
+    own_queue: Fifo<(T, Cycle, u64)>,
+    ordered_out: Fifo<OrderedDelivery<T>>,
+    packet_out: Fifo<Packet<T>>,
+    /// Reassembly progress per (vnet, vc): flits received of current packet.
+    partial: HashMap<(u8, u8), u8>,
+    /// Per-source count of ordered requests this NIC has delivered; the
+    /// expected instance is always (ESID, delivered[ESID]).
+    delivered_seq: Vec<u16>,
+    /// Per-source count of own requests sent (assigns sid_seq).
+    sent_seq: u16,
+    published_esid: Option<(Sid, u16)>,
+    published_any: bool,
+    busy_until: Cycle,
+    first_seen: HashMap<u64, Cycle>,
+    /// Public statistics.
+    pub stats: NicStats,
+}
+
+impl<T: Payload> Nic<T> {
+    /// Creates a NIC for endpoint `ep`.
+    ///
+    /// `sid` is `Some` for tile NICs that issue ordered requests and `None`
+    /// for memory-controller NICs (which observe the order but never
+    /// inject into it). `cores` sizes the notification tracker.
+    pub fn new(ep: Endpoint, sid: Option<Sid>, mode: NicMode, cores: usize, cfg: NicConfig) -> Self {
+        Nic {
+            ep,
+            sid,
+            mode,
+            tracker: NotificationTracker::new(cores, cfg.tracker_depth),
+            unsent: 0,
+            announced: 0,
+            last_window: None,
+            own_queue: Fifo::bounded(64),
+            delivered_seq: vec![0; cores],
+            sent_seq: 0,
+            ordered_out: Fifo::bounded(cfg.ordered_queue_depth),
+            packet_out: Fifo::bounded(cfg.packet_queue_depth),
+            partial: HashMap::new(),
+            published_esid: None,
+            published_any: false,
+            busy_until: Cycle::ZERO,
+            first_seen: HashMap::new(),
+            cfg,
+            stats: NicStats::default(),
+        }
+    }
+
+    /// The endpoint this NIC serves.
+    pub fn endpoint(&self) -> Endpoint {
+        self.ep
+    }
+
+    /// This NIC's source id, if it is a request-issuing tile.
+    pub fn sid(&self) -> Option<Sid> {
+        self.sid
+    }
+
+    /// The SID currently expected in the global order.
+    pub fn current_esid(&self) -> Option<Sid> {
+        self.tracker.current_esid()
+    }
+
+    /// Ordered requests (current + queued windows) still to be delivered.
+    pub fn ordering_backlog(&self) -> usize {
+        self.tracker.backlog()
+    }
+
+    /// Internal counters for diagnostics: (unsent, announced, last window).
+    #[doc(hidden)]
+    pub fn debug_counters(&self) -> (u8, u8, Option<u64>) {
+        (self.unsent, self.announced, self.last_window)
+    }
+
+    /// Whether an ordered request would currently be accepted.
+    pub fn can_send_request(&self) -> bool {
+        self.sid.is_some()
+            && self.mode == NicMode::Ordered
+            && self.unsent + self.announced < self.cfg.max_pending_notifications
+            && !self.own_queue.is_full()
+    }
+
+    /// Injects an ordered coherence request (broadcast + later notification).
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::NotACore`] if this NIC has no SID or is unordered;
+    /// [`SendError::NotificationLimit`] when the pending counter is at its
+    /// limit; [`SendError::NetworkFull`] when the injection queue is full.
+    pub fn try_send_request(
+        &mut self,
+        payload: T,
+        now: Cycle,
+        net: &mut Network<T>,
+    ) -> Result<(), SendError> {
+        let sid = match (self.mode, self.sid) {
+            (NicMode::Ordered, Some(sid)) => sid,
+            _ => return Err(SendError::NotACore),
+        };
+        if self.unsent + self.announced >= self.cfg.max_pending_notifications
+            || self.own_queue.is_full()
+        {
+            return Err(SendError::NotificationLimit);
+        }
+        let seq = self.sent_seq;
+        let uid = net
+            .try_inject(self.ep, Packet::request(self.ep, sid, seq, payload))
+            .map_err(|_| SendError::NetworkFull)?;
+        self.sent_seq = self.sent_seq.wrapping_add(1);
+        self.own_queue
+            .push((payload, now, uid))
+            .expect("own queue capacity checked above");
+        self.unsent += 1;
+        self.stats.requests_sent.incr();
+        Ok(())
+    }
+
+    /// Injects a unicast packet (response, directory request/forward, ...).
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::NetworkFull`] when the per-vnet injection queue is full.
+    pub fn try_send_unicast(
+        &mut self,
+        vnet: VnetId,
+        dest: Endpoint,
+        len_flits: u8,
+        payload: T,
+        net: &mut Network<T>,
+    ) -> Result<(), SendError> {
+        net.try_inject(self.ep, Packet::unicast(vnet, self.ep, dest, len_flits, payload))
+            .map_err(|_| SendError::NetworkFull)?;
+        self.stats.responses_sent.incr();
+        Ok(())
+    }
+
+    /// Injects an unordered broadcast (TokenB / INSO baselines).
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::NetworkFull`] when the injection queue is full.
+    pub fn try_send_broadcast(
+        &mut self,
+        vnet: VnetId,
+        payload: T,
+        net: &mut Network<T>,
+    ) -> Result<(), SendError> {
+        net.try_inject(self.ep, Packet::broadcast_unordered(vnet, self.ep, payload))
+            .map_err(|_| SendError::NetworkFull)?;
+        self.stats.responses_sent.incr();
+        Ok(())
+    }
+
+    /// Takes the next globally ordered request, if one is ready.
+    pub fn pop_ordered(&mut self) -> Option<OrderedDelivery<T>> {
+        self.ordered_out.pop()
+    }
+
+    /// Peeks the next ordered request without consuming it.
+    pub fn peek_ordered(&self) -> Option<&OrderedDelivery<T>> {
+        self.ordered_out.front()
+    }
+
+    /// Takes the next fully reassembled unordered packet, if any.
+    pub fn pop_packet(&mut self) -> Option<Packet<T>> {
+        self.packet_out.pop()
+    }
+
+    /// One cycle. Call before the networks tick, every cycle, passing the
+    /// notification network only for ordered-mode NICs.
+    pub fn tick(&mut self, now: Cycle, net: &mut Network<T>, notify: Option<&mut NotifyNetwork>) {
+        if self.mode == NicMode::Ordered {
+            if let Some(notify) = notify {
+                self.process_completed_window(notify);
+                self.announce(now, notify);
+            }
+        }
+        self.receive(now, net);
+        self.publish_esid(net);
+    }
+
+    /// Handles the merged message of a window that just completed.
+    fn process_completed_window(&mut self, notify: &NotifyNetwork) {
+        let Some((w, msg)) = notify.latest() else {
+            return;
+        };
+        if self.last_window == Some(w) {
+            return;
+        }
+        self.last_window = Some(w);
+        if msg.stop() {
+            // Everyone ignores this window; our announcement (if any) must
+            // be re-sent.
+            self.stats.stop_windows.incr();
+            if self.announced > 0 {
+                self.stats.notif_resends.incr();
+                self.unsent += self.announced;
+            }
+            self.announced = 0;
+            return;
+        }
+        self.announced = 0;
+        if !msg.is_empty() {
+            self.tracker.push_window(msg.clone());
+        }
+    }
+
+    /// At window starts, announce pending requests (and the stop bit when
+    /// the tracker is near-full).
+    fn announce(&mut self, now: Cycle, notify: &mut NotifyNetwork) {
+        if !notify.is_window_start(now) {
+            return;
+        }
+        let Some(sid) = self.sid else {
+            // MC NICs observe but never announce.
+            return;
+        };
+        let stop = self.tracker.should_stop();
+        let max = (1u16 << notify.config().bits_per_core) as u8 - 1;
+        let count = self.unsent.min(max);
+        if count > 0 || stop {
+            notify.stage_injection(sid.index(), count, stop);
+            self.unsent -= count;
+            self.announced = count;
+        }
+    }
+
+    /// Receive path: one ordered consume plus one unordered flit per cycle.
+    fn receive(&mut self, now: Cycle, net: &mut Network<T>) {
+        if !self.cfg.pipelined && now < self.busy_until {
+            return;
+        }
+        let mut consumed = false;
+        match self.mode {
+            NicMode::Ordered => {
+                // One ordered consume + one unordered flit per cycle
+                // (separate ACE channels toward the L2).
+                consumed |= self.receive_ordered(now, net);
+                consumed |= self.receive_any_class(net, false);
+            }
+            NicMode::Unordered => {
+                // Same aggregate bandwidth: two flits from any class.
+                consumed |= self.receive_any_class(net, true);
+                consumed |= self.receive_any_class(net, true);
+            }
+        }
+        if consumed && !self.cfg.pipelined {
+            self.busy_until = now + self.cfg.latency;
+        }
+    }
+
+    /// Consumes the expected ordered request if present (network or
+    /// loopback). Returns whether something was consumed.
+    fn receive_ordered(&mut self, now: Cycle, net: &mut Network<T>) -> bool {
+        let Some(esid) = self.tracker.current_esid() else {
+            return false;
+        };
+        if self.ordered_out.is_full() {
+            return false;
+        }
+        if Some(esid) == self.sid {
+            // Own request: self-delivery through the loopback path — but
+            // only once the broadcast copy has left the injection queue.
+            // Consuming earlier would advance our ESID past our own SID
+            // while the flit is not yet in the network, breaking the
+            // reserved-VC deadlock-freedom invariant.
+            let &(_, _, uid) = self
+                .own_queue
+                .front()
+                .expect("own request announced but missing from loopback queue");
+            if net.inject_pending(self.ep, uid) {
+                return false;
+            }
+            let (payload, inject_cycle, _) = self.own_queue.pop().expect("checked above");
+            self.delivered_seq[esid.index()] = self.delivered_seq[esid.index()].wrapping_add(1);
+            self.deliver_ordered(OrderedDelivery {
+                sid: esid,
+                payload,
+                own: true,
+                inject_cycle,
+                first_seen: now,
+            });
+            self.tracker.advance();
+            return true;
+        }
+        // Find the expected request among the ordered-class ejection VCs.
+        let mut hit = None;
+        for (slot, flit) in net.eject_heads(self.ep) {
+            if !net.config().vnets[slot.vnet.index()].ordered {
+                continue;
+            }
+            let uid = flit.packet.uid;
+            self.first_seen.entry(uid).or_insert(now);
+            if flit.packet.sid == Some(esid) && hit.is_none() {
+                hit = Some(slot);
+            }
+        }
+        let Some(slot) = hit else {
+            return false;
+        };
+        let flit = net.eject_take(self.ep, slot).expect("head flit vanished");
+        debug_assert_eq!(
+            flit.packet.sid_seq,
+            self.delivered_seq[esid.index()],
+            "point-to-point ordering violated: wrong request instance"
+        );
+        self.delivered_seq[esid.index()] = self.delivered_seq[esid.index()].wrapping_add(1);
+        let first_seen = self.first_seen.remove(&flit.packet.uid).unwrap_or(now);
+        self.stats.ordering_wait.record(now - first_seen);
+        self.deliver_ordered(OrderedDelivery {
+            sid: esid,
+            payload: flit.packet.payload,
+            own: false,
+            inject_cycle: flit.packet.inject_cycle,
+            first_seen,
+        });
+        self.tracker.advance();
+        true
+    }
+
+    fn deliver_ordered(&mut self, d: OrderedDelivery<T>) {
+        let lat = d.first_seen.max(d.inject_cycle) - d.inject_cycle;
+        self.stats.ordered_latency.record(lat);
+        self.stats.ordered_delivered.incr();
+        self.ordered_out
+            .push(d)
+            .expect("ordered_out fullness checked by caller");
+    }
+
+    /// Consumes one flit into the packet queue. Ordered vnets are included
+    /// only when `include_ordered` is set (baseline mode, where no global
+    /// ordering applies).
+    fn receive_any_class(&mut self, net: &mut Network<T>, include_ordered: bool) -> bool {
+        if self.packet_out.is_full() {
+            return false;
+        }
+        let mut pick = None;
+        for (slot, _flit) in net.eject_heads(self.ep) {
+            let is_ordered = net.config().vnets[slot.vnet.index()].ordered;
+            if is_ordered && !include_ordered {
+                continue;
+            }
+            pick = Some(slot);
+            break;
+        }
+        let Some(slot) = pick else {
+            return false;
+        };
+        let flit = net.eject_take(self.ep, slot).expect("head flit vanished");
+        let key = (slot.vnet.0, slot.vc);
+        let got = self.partial.entry(key).or_insert(0);
+        debug_assert_eq!(*got, flit.idx, "flit reassembly out of order");
+        *got += 1;
+        if flit.is_tail() {
+            self.partial.remove(&key);
+            self.stats.packets_delivered.incr();
+            self.packet_out
+                .push(flit.packet)
+                .expect("packet_out fullness checked above");
+        }
+        true
+    }
+
+    /// Publishes the expected request instance (SID + per-source sequence
+    /// number) to the main network for rVC policing.
+    fn publish_esid(&mut self, net: &mut Network<T>) {
+        let esid = match self.mode {
+            NicMode::Ordered => self
+                .tracker
+                .current_esid()
+                .map(|sid| (sid, self.delivered_seq[sid.index()])),
+            NicMode::Unordered => None,
+        };
+        if !self.published_any || esid != self.published_esid {
+            net.set_esid(self.ep, esid);
+            self.published_esid = esid;
+            self.published_any = true;
+        }
+    }
+}
+
+impl<T: Payload> std::fmt::Debug for Nic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nic")
+            .field("ep", &self.ep)
+            .field("sid", &self.sid)
+            .field("mode", &self.mode)
+            .field("esid", &self.tracker.current_esid())
+            .field("unsent", &self.unsent)
+            .finish()
+    }
+}

@@ -1,0 +1,159 @@
+//! Rotating-priority (round-robin) arbitration.
+
+/// A rotating-priority arbiter over `n` requesters.
+///
+/// Grants the lowest-index requester at or after the priority pointer
+/// (wrapping), then advances the pointer past the winner so every requester
+/// is eventually served. This is the arbiter used for SA-I (among VCs),
+/// SA-O (among input ports) and lookahead conflicts in the SCORPIO router,
+/// and — seeded identically at every node — for the notification tracker's
+/// globally consistent SID ordering.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_noc::RotatingArbiter;
+///
+/// let mut arb = RotatingArbiter::new(4);
+/// assert_eq!(arb.grant(&[true, true, false, false]), Some(0));
+/// // Pointer moved past 0, so 1 wins next even though 0 still requests.
+/// assert_eq!(arb.grant(&[true, true, false, false]), Some(1));
+/// assert_eq!(arb.grant(&[false; 4]), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RotatingArbiter {
+    n: usize,
+    ptr: usize,
+}
+
+impl RotatingArbiter {
+    /// Creates an arbiter over `n` requesters with priority at index 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "arbiter needs at least one requester");
+        RotatingArbiter { n, ptr: 0 }
+    }
+
+    /// Number of requesters.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the arbiter has zero requesters (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Current priority pointer (highest-priority index).
+    pub fn pointer(&self) -> usize {
+        self.ptr
+    }
+
+    /// Grants among `requests` and advances the pointer past the winner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != self.len()`.
+    pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
+        let winner = self.peek(requests)?;
+        self.ptr = (winner + 1) % self.n;
+        Some(winner)
+    }
+
+    /// Returns the winner without updating the pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != self.len()`.
+    pub fn peek(&self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.n, "request vector length mismatch");
+        (0..self.n)
+            .map(|k| (self.ptr + k) % self.n)
+            .find(|&idx| requests[idx])
+    }
+
+    /// Enumerates all requesting indices in priority order (used by the
+    /// notification tracker to expand a merged notification into the global
+    /// SID order).
+    pub fn order<'a>(&self, requests: &'a [bool]) -> impl Iterator<Item = usize> + 'a {
+        assert_eq!(requests.len(), self.n, "request vector length mismatch");
+        let (ptr, n) = (self.ptr, self.n);
+        (0..n).map(move |k| (ptr + k) % n).filter(|&i| requests[i])
+    }
+
+    /// Rotates priority by one position (notification tracker fairness
+    /// update, applied once per processed time window).
+    pub fn rotate(&mut self) {
+        self.ptr = (self.ptr + 1) % self.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_fairness() {
+        let mut arb = RotatingArbiter::new(3);
+        let all = [true, true, true];
+        let wins: Vec<_> = (0..6).map(|_| arb.grant(&all).unwrap()).collect();
+        assert_eq!(wins, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn skips_non_requesters() {
+        let mut arb = RotatingArbiter::new(4);
+        assert_eq!(arb.grant(&[false, false, true, false]), Some(2));
+        assert_eq!(arb.pointer(), 3);
+        assert_eq!(arb.grant(&[true, false, false, false]), Some(0));
+    }
+
+    #[test]
+    fn no_request_no_grant_no_pointer_move() {
+        let mut arb = RotatingArbiter::new(2);
+        arb.grant(&[false, true]);
+        let ptr = arb.pointer();
+        assert_eq!(arb.grant(&[false, false]), None);
+        assert_eq!(arb.pointer(), ptr);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let arb = RotatingArbiter::new(2);
+        assert_eq!(arb.peek(&[true, true]), Some(0));
+        assert_eq!(arb.peek(&[true, true]), Some(0));
+    }
+
+    #[test]
+    fn order_enumerates_from_pointer() {
+        let mut arb = RotatingArbiter::new(4);
+        arb.rotate(); // ptr = 1
+        let reqs = [true, false, true, true];
+        let order: Vec<_> = arb.order(&reqs).collect();
+        assert_eq!(order, vec![2, 3, 0]);
+    }
+
+    #[test]
+    fn rotate_wraps() {
+        let mut arb = RotatingArbiter::new(2);
+        arb.rotate();
+        arb.rotate();
+        assert_eq!(arb.pointer(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_request_length_panics() {
+        let mut arb = RotatingArbiter::new(2);
+        let _ = arb.grant(&[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one requester")]
+    fn zero_requesters_panics() {
+        let _ = RotatingArbiter::new(0);
+    }
+}

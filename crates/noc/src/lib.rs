@@ -1,0 +1,57 @@
+//! The SCORPIO main network: a mesh NoC with virtual-channel routers,
+//! lookahead bypassing, single-cycle multicast and reserved-VC deadlock
+//! avoidance (Section 3.2 of the paper).
+//!
+//! The main network is *unordered*: it broadcasts coherence requests and
+//! delivers responses with no global ordering guarantee. Global ordering is
+//! established separately by the notification network (`scorpio-notify`)
+//! and enforced at the network interface controllers (`scorpio-nic`);
+//! this crate provides the hooks they need — per-endpoint ESID publication
+//! ([`Network::set_esid`]) for reserved-VC policing, and VC-addressed
+//! ejection ([`Network::eject_heads`] / [`Network::eject_take`]) so the NIC
+//! can pull requests out of its buffers in the globally decided order.
+//!
+//! # Examples
+//!
+//! Broadcasting a request across a 4×4 mesh:
+//!
+//! ```
+//! use scorpio_noc::{Endpoint, Mesh, Network, NocConfig, Packet, RouterId, Sid};
+//!
+//! let mesh = Mesh::square_with_corner_mcs(4);
+//! let mut net: Network<u32> = Network::new(mesh, NocConfig::scorpio());
+//! let src = Endpoint::tile(RouterId(0));
+//! let uid = net.try_inject(src, Packet::request(src, Sid(0), 0, 0xBEEF))?;
+//! while !net.is_drained() {
+//!     // Consume everything that arrives, at every endpoint.
+//!     let eps: Vec<_> = net.mesh().endpoints().collect();
+//!     for ep in eps {
+//!         let slots: Vec<_> = net.eject_heads(ep).map(|(s, _)| s).collect();
+//!         for slot in slots {
+//!             net.eject_take(ep, slot);
+//!         }
+//!     }
+//!     net.step();
+//! }
+//! // 15 other tiles + 4 MC ports heard the broadcast.
+//! assert_eq!(net.deliveries(uid), 19);
+//! # Ok::<(), scorpio_sim::PushError<scorpio_noc::Packet<u32>>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arbiter;
+mod config;
+mod flit;
+mod network;
+mod router;
+pub mod routing;
+mod topology;
+
+pub use arbiter::RotatingArbiter;
+pub use config::{NocConfig, VnetCfg};
+pub use flit::{data_packet_flits, Dest, Flit, Packet, Payload, Sid, VnetId};
+pub use network::{EjectSlot, Network, NocStats};
+pub use router::RouterStats;
+pub use topology::{Coord, Endpoint, LocalSlot, Mesh, Port, PortMask, RouterId};

@@ -1,0 +1,295 @@
+//! XY dimension-ordered routing and XY broadcast trees.
+//!
+//! The main network uses XY routing (Table 1), which is deadlock-free for
+//! the unordered response traffic. Broadcasts follow an XY tree: the request
+//! travels east and west along the injection row, and every router in that
+//! row forks copies north and south; column branches continue straight.
+//! Every router delivers one copy to each of its local endpoints, so each
+//! endpoint receives the broadcast exactly once.
+
+use crate::flit::Dest;
+use crate::topology::{Endpoint, Mesh, Port, PortMask, RouterId};
+
+/// Computes the output port for a unicast packet at router `here`.
+///
+/// XY routing: correct the X offset first, then Y, then eject through the
+/// destination's local port.
+pub fn unicast_output(mesh: &Mesh, here: RouterId, dest: Endpoint) -> Port {
+    let hc = mesh.coord(here);
+    let dc = mesh.coord(dest.router);
+    if dc.x > hc.x {
+        Port::East
+    } else if dc.x < hc.x {
+        Port::West
+    } else if dc.y > hc.y {
+        Port::South
+    } else if dc.y < hc.y {
+        Port::North
+    } else {
+        dest.slot.port()
+    }
+}
+
+/// Computes the set of output ports for a broadcast flit at router `here`,
+/// given the port it arrived through (`None` at the source router).
+///
+/// The source's own tile copy is *not* produced: the requesting NIC
+/// self-delivers through its loopback path, so the network only serves the
+/// other endpoints. The source router still delivers to its MC port, if any.
+pub fn broadcast_outputs(mesh: &Mesh, here: RouterId, arrived_on: Option<Port>) -> PortMask {
+    let c = mesh.coord(here);
+    let mut mask = PortMask::EMPTY;
+    let at_source = arrived_on.is_none();
+
+    match arrived_on {
+        None => {
+            // Source: spread along the row in both X directions and start
+            // both column branches.
+            if c.x + 1 < mesh.cols() {
+                mask.insert(Port::East);
+            }
+            if c.x > 0 {
+                mask.insert(Port::West);
+            }
+            if c.y > 0 {
+                mask.insert(Port::North);
+            }
+            if c.y + 1 < mesh.rows() {
+                mask.insert(Port::South);
+            }
+        }
+        Some(Port::West) => {
+            // Travelling east along the row: keep going east, fork columns.
+            if c.x + 1 < mesh.cols() {
+                mask.insert(Port::East);
+            }
+            if c.y > 0 {
+                mask.insert(Port::North);
+            }
+            if c.y + 1 < mesh.rows() {
+                mask.insert(Port::South);
+            }
+        }
+        Some(Port::East) => {
+            if c.x > 0 {
+                mask.insert(Port::West);
+            }
+            if c.y > 0 {
+                mask.insert(Port::North);
+            }
+            if c.y + 1 < mesh.rows() {
+                mask.insert(Port::South);
+            }
+        }
+        Some(Port::North) => {
+            // Travelling south down a column: continue south only.
+            if c.y + 1 < mesh.rows() {
+                mask.insert(Port::South);
+            }
+        }
+        Some(Port::South) => {
+            if c.y > 0 {
+                mask.insert(Port::North);
+            }
+        }
+        Some(local @ (Port::Tile | Port::Mc)) => {
+            panic!("broadcast flit cannot arrive on local port {local}")
+        }
+    }
+
+    // Local deliveries. The source tile self-delivers via NIC loopback.
+    if !at_source {
+        mask.insert(Port::Tile);
+    }
+    if mesh.has_mc(here) {
+        mask.insert(Port::Mc);
+    }
+    mask
+}
+
+/// Computes the output set for a flit at `here` given its destination and
+/// arrival port. Unicast resolves to a single port; broadcast to a tree mask.
+pub fn route_outputs(
+    mesh: &Mesh,
+    here: RouterId,
+    dest: Dest,
+    arrived_on: Option<Port>,
+) -> PortMask {
+    match dest {
+        Dest::Unicast(ep) => PortMask::single(unicast_output(mesh, here, ep)),
+        Dest::Broadcast => broadcast_outputs(mesh, here, arrived_on),
+    }
+}
+
+/// For a flit leaving `here` through mesh port `out`, the input port it
+/// arrives on at the neighbouring router.
+pub fn arrival_port(out: Port) -> Port {
+    out.opposite()
+}
+
+/// Walks the XY unicast path from `src` to `dest`, returning the router
+/// sequence including both ends. Useful for tests and latency bounds.
+pub fn unicast_path(mesh: &Mesh, src: RouterId, dest: Endpoint) -> Vec<RouterId> {
+    let mut path = vec![src];
+    let mut here = src;
+    loop {
+        let out = unicast_output(mesh, here, dest);
+        if out.is_local() {
+            return path;
+        }
+        here = mesh
+            .neighbor(here, out)
+            .expect("XY routing never points off-mesh");
+        path.push(here);
+    }
+}
+
+/// Simulates the broadcast tree from `src`, returning for every router the
+/// set of local ports that receive a copy. Used by tests to prove exactly-
+/// once delivery; the router pipeline performs the same forking cycle by
+/// cycle.
+pub fn broadcast_deliveries(mesh: &Mesh, src: RouterId) -> Vec<PortMask> {
+    let mut deliveries = vec![PortMask::EMPTY; mesh.router_count()];
+    // (router, arrival port) work list seeded at the source.
+    let mut work: Vec<(RouterId, Option<Port>)> = vec![(src, None)];
+    while let Some((here, arrived)) = work.pop() {
+        let outs = broadcast_outputs(mesh, here, arrived);
+        for port in outs.iter() {
+            if port.is_local() {
+                let mut m = deliveries[here.index()];
+                assert!(!m.contains(port), "duplicate delivery at {here}");
+                m.insert(port);
+                deliveries[here.index()] = m;
+            } else {
+                let next = mesh
+                    .neighbor(here, port)
+                    .expect("broadcast mask never points off-mesh");
+                work.push((next, Some(arrival_port(port))));
+            }
+        }
+    }
+    deliveries
+}
+
+/// The endpoints a broadcast from `src_tile` must reach: every endpoint
+/// except the source tile itself.
+pub fn broadcast_targets(mesh: &Mesh, src_tile: Endpoint) -> Vec<Endpoint> {
+    mesh.endpoints().filter(|ep| *ep != src_tile).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unicast_routes_x_before_y() {
+        let mesh = Mesh::new(6, 6, &[]);
+        // From (0,0) to (3,2): go east first.
+        let src = RouterId(0);
+        let dest = Endpoint::tile(RouterId(2 * 6 + 3));
+        assert_eq!(unicast_output(&mesh, src, dest), Port::East);
+        // Same column: go south.
+        let below = Endpoint::tile(RouterId(12));
+        assert_eq!(unicast_output(&mesh, src, below), Port::South);
+        // At destination: eject.
+        assert_eq!(unicast_output(&mesh, src, Endpoint::tile(src)), Port::Tile);
+    }
+
+    #[test]
+    fn unicast_path_has_manhattan_length() {
+        let mesh = Mesh::new(6, 6, &[]);
+        for (a, b) in [(0u16, 35u16), (7, 7), (5, 30), (14, 21)] {
+            let path = unicast_path(&mesh, RouterId(a), Endpoint::tile(RouterId(b)));
+            assert_eq!(
+                path.len() as u16 - 1,
+                mesh.hops(RouterId(a), RouterId(b)),
+                "path {a}->{b}"
+            );
+            assert_eq!(*path.last().unwrap(), RouterId(b));
+        }
+    }
+
+    #[test]
+    fn unicast_to_mc_slot_ejects_on_mc_port() {
+        let mesh = Mesh::scorpio_chip();
+        let dest = Endpoint::mc(RouterId(0));
+        assert_eq!(unicast_output(&mesh, RouterId(0), dest), Port::Mc);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_tile_exactly_once() {
+        let mesh = Mesh::scorpio_chip();
+        for src in mesh.routers() {
+            let deliveries = broadcast_deliveries(&mesh, src);
+            for r in mesh.routers() {
+                let got_tile = deliveries[r.index()].contains(Port::Tile);
+                if r == src {
+                    assert!(!got_tile, "source tile self-delivers via loopback");
+                } else {
+                    assert!(got_tile, "tile {r} missed broadcast from {src}");
+                }
+                let got_mc = deliveries[r.index()].contains(Port::Mc);
+                assert_eq!(got_mc, mesh.has_mc(r), "mc delivery at {r} from {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_works_on_rectangles_and_small_meshes() {
+        for (cols, rows) in [(1u16, 1u16), (1, 4), (4, 1), (3, 5), (8, 8)] {
+            let mesh = Mesh::new(cols, rows, &[]);
+            for src in mesh.routers() {
+                let deliveries = broadcast_deliveries(&mesh, src);
+                let tiles = deliveries
+                    .iter()
+                    .filter(|m| m.contains(Port::Tile))
+                    .count();
+                assert_eq!(tiles, mesh.router_count() - 1, "{cols}x{rows} from {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_branches_do_not_refork() {
+        let mesh = Mesh::new(6, 6, &[]);
+        // A flit arriving from the north (travelling south) only continues
+        // south + ejects; it must never turn east/west (that would duplicate).
+        let mid = RouterId(14);
+        let outs = broadcast_outputs(&mesh, mid, Some(Port::North));
+        assert!(outs.contains(Port::South));
+        assert!(outs.contains(Port::Tile));
+        assert!(!outs.contains(Port::East));
+        assert!(!outs.contains(Port::West));
+        assert!(!outs.contains(Port::North));
+    }
+
+    #[test]
+    fn route_outputs_dispatches() {
+        let mesh = Mesh::scorpio_chip();
+        let uni = route_outputs(
+            &mesh,
+            RouterId(0),
+            Dest::Unicast(Endpoint::tile(RouterId(1))),
+            None,
+        );
+        assert_eq!(uni.iter().collect::<Vec<_>>(), vec![Port::East]);
+        let bc = route_outputs(&mesh, RouterId(14), Dest::Broadcast, None);
+        assert!(bc.len() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot arrive on local port")]
+    fn broadcast_from_local_arrival_panics() {
+        let mesh = Mesh::new(2, 2, &[]);
+        let _ = broadcast_outputs(&mesh, RouterId(0), Some(Port::Tile));
+    }
+
+    #[test]
+    fn broadcast_targets_exclude_source() {
+        let mesh = Mesh::scorpio_chip();
+        let src = Endpoint::tile(RouterId(7));
+        let targets = broadcast_targets(&mesh, src);
+        assert_eq!(targets.len(), 39);
+        assert!(!targets.contains(&src));
+    }
+}

@@ -1,0 +1,538 @@
+//! Mesh topology: routers, coordinates, ports and endpoints.
+
+use std::fmt;
+
+/// Identifies a router in the mesh by linear index (row-major).
+///
+/// In the 36-core SCORPIO chip this is also the tile number (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RouterId(pub u16);
+
+impl RouterId {
+    /// The linear index as `usize` for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A mesh coordinate: `x` grows eastward, `y` grows southward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column, `0..cols`, west to east.
+    pub x: u16,
+    /// Row, `0..rows`, north to south.
+    pub y: u16,
+}
+
+/// One of the (up to) six ports of a SCORPIO router.
+///
+/// The four cardinal ports connect to neighbouring routers; `Tile` connects
+/// to the tile's network interface controller, and `Mc` is the extra local
+/// port present on the four edge routers that host a memory-controller
+/// attachment (Section 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// Toward the router at `y - 1`.
+    North,
+    /// Toward the router at `y + 1`.
+    South,
+    /// Toward the router at `x + 1`.
+    East,
+    /// Toward the router at `x - 1`.
+    West,
+    /// The tile-NIC local port.
+    Tile,
+    /// The memory-controller local port (only on MC-hosting routers).
+    Mc,
+}
+
+impl Port {
+    /// Number of distinct ports.
+    pub const COUNT: usize = 6;
+
+    /// All ports, in index order.
+    pub const ALL: [Port; Port::COUNT] = [
+        Port::North,
+        Port::South,
+        Port::East,
+        Port::West,
+        Port::Tile,
+        Port::Mc,
+    ];
+
+    /// Dense index in `0..Port::COUNT`.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Port::North => 0,
+            Port::South => 1,
+            Port::East => 2,
+            Port::West => 3,
+            Port::Tile => 4,
+            Port::Mc => 5,
+        }
+    }
+
+    /// The port a neighbouring router receives this router's output on.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the local ports `Tile` and `Mc`, which have no opposite.
+    #[inline]
+    pub fn opposite(self) -> Port {
+        match self {
+            Port::North => Port::South,
+            Port::South => Port::North,
+            Port::East => Port::West,
+            Port::West => Port::East,
+            Port::Tile | Port::Mc => panic!("local ports have no opposite"),
+        }
+    }
+
+    /// Whether this is one of the two local (non-mesh) ports.
+    #[inline]
+    pub fn is_local(self) -> bool {
+        matches!(self, Port::Tile | Port::Mc)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Port::North => "N",
+            Port::South => "S",
+            Port::East => "E",
+            Port::West => "W",
+            Port::Tile => "tile",
+            Port::Mc => "mc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A set of [`Port`]s, stored as a bitmask.
+///
+/// Used for multicast output sets: a broadcast flit forks through several
+/// output ports in a single cycle (Section 3.2, "single-cycle broadcast
+/// optimization").
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_noc::{Port, PortMask};
+///
+/// let mut m = PortMask::EMPTY;
+/// m.insert(Port::East);
+/// m.insert(Port::Tile);
+/// assert!(m.contains(Port::East));
+/// assert_eq!(m.len(), 2);
+/// m.remove(Port::East);
+/// assert_eq!(m.iter().collect::<Vec<_>>(), vec![Port::Tile]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PortMask(u8);
+
+impl PortMask {
+    /// The empty set.
+    pub const EMPTY: PortMask = PortMask(0);
+
+    /// A set containing a single port.
+    #[inline]
+    pub fn single(port: Port) -> PortMask {
+        PortMask(1 << port.index())
+    }
+
+    /// Adds `port` to the set.
+    #[inline]
+    pub fn insert(&mut self, port: Port) {
+        self.0 |= 1 << port.index();
+    }
+
+    /// Removes `port` from the set.
+    #[inline]
+    pub fn remove(&mut self, port: Port) {
+        self.0 &= !(1 << port.index());
+    }
+
+    /// Whether `port` is in the set.
+    #[inline]
+    pub fn contains(self, port: Port) -> bool {
+        self.0 & (1 << port.index()) != 0
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of ports in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates over the ports in the set in index order.
+    pub fn iter(self) -> impl Iterator<Item = Port> {
+        Port::ALL.into_iter().filter(move |p| self.contains(*p))
+    }
+}
+
+/// Which local attachment of a router an endpoint refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LocalSlot {
+    /// The tile NIC (core + caches).
+    Tile,
+    /// The memory-controller NIC.
+    Mc,
+}
+
+impl LocalSlot {
+    /// The router output port that reaches this slot.
+    #[inline]
+    pub fn port(self) -> Port {
+        match self {
+            LocalSlot::Tile => Port::Tile,
+            LocalSlot::Mc => Port::Mc,
+        }
+    }
+}
+
+/// A network endpoint: a (router, local slot) pair.
+///
+/// Tiles and memory-controller ports are both endpoints; coherence-request
+/// broadcasts are delivered to every endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Endpoint {
+    /// The router this endpoint attaches to.
+    pub router: RouterId,
+    /// Which local port of the router.
+    pub slot: LocalSlot,
+}
+
+impl Endpoint {
+    /// The tile endpoint of router `r`.
+    pub fn tile(r: RouterId) -> Endpoint {
+        Endpoint {
+            router: r,
+            slot: LocalSlot::Tile,
+        }
+    }
+
+    /// The memory-controller endpoint of router `r`.
+    pub fn mc(r: RouterId) -> Endpoint {
+        Endpoint {
+            router: r,
+            slot: LocalSlot::Mc,
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.slot {
+            LocalSlot::Tile => write!(f, "tile@{}", self.router),
+            LocalSlot::Mc => write!(f, "mc@{}", self.router),
+        }
+    }
+}
+
+/// A 2-D mesh: dimensions plus the set of routers hosting MC ports.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_noc::{Mesh, RouterId};
+///
+/// let mesh = Mesh::new(6, 6, &[RouterId(0), RouterId(5), RouterId(30), RouterId(35)]);
+/// assert_eq!(mesh.router_count(), 36);
+/// let c = mesh.coord(RouterId(7));
+/// assert_eq!((c.x, c.y), (1, 1));
+/// assert!(mesh.has_mc(RouterId(5)));
+/// assert_eq!(mesh.endpoints().count(), 40); // 36 tiles + 4 MC ports
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mesh {
+    cols: u16,
+    rows: u16,
+    mc_routers: Vec<RouterId>,
+}
+
+impl Mesh {
+    /// Creates a `cols × rows` mesh with MC ports on `mc_routers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero, if an MC router is out of range,
+    /// or if the same router is listed twice.
+    pub fn new(cols: u16, rows: u16, mc_routers: &[RouterId]) -> Mesh {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be non-zero");
+        let count = cols as usize * rows as usize;
+        let mut sorted = mc_routers.to_vec();
+        sorted.sort();
+        for pair in sorted.windows(2) {
+            assert!(pair[0] != pair[1], "duplicate MC router {}", pair[0]);
+        }
+        for r in &sorted {
+            assert!(r.index() < count, "MC router {} out of range", r);
+        }
+        Mesh {
+            cols,
+            rows,
+            mc_routers: sorted,
+        }
+    }
+
+    /// The SCORPIO 36-core chip arrangement: 6×6 mesh, two dual-port memory
+    /// controllers attached to the four corner routers.
+    pub fn scorpio_chip() -> Mesh {
+        Mesh::new(
+            6,
+            6,
+            &[RouterId(0), RouterId(5), RouterId(30), RouterId(35)],
+        )
+    }
+
+    /// A square `k × k` mesh with MC ports on the four corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn square_with_corner_mcs(k: u16) -> Mesh {
+        assert!(k > 0, "mesh dimension must be non-zero");
+        if k == 1 {
+            return Mesh::new(1, 1, &[RouterId(0)]);
+        }
+        let corners = [
+            RouterId(0),
+            RouterId(k - 1),
+            RouterId(k * (k - 1)),
+            RouterId(k * k - 1),
+        ];
+        Mesh::new(k, k, &corners)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Total number of routers (== tiles).
+    pub fn router_count(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// The routers hosting memory-controller ports, in ascending order.
+    pub fn mc_routers(&self) -> &[RouterId] {
+        &self.mc_routers
+    }
+
+    /// Whether `r` hosts a memory-controller port.
+    pub fn has_mc(&self, r: RouterId) -> bool {
+        self.mc_routers.binary_search(&r).is_ok()
+    }
+
+    /// The coordinate of router `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn coord(&self, r: RouterId) -> Coord {
+        assert!(r.index() < self.router_count(), "router {} out of range", r);
+        Coord {
+            x: r.0 % self.cols,
+            y: r.0 / self.cols,
+        }
+    }
+
+    /// The router at coordinate `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn router_at(&self, c: Coord) -> RouterId {
+        assert!(c.x < self.cols && c.y < self.rows, "coord out of range");
+        RouterId(c.y * self.cols + c.x)
+    }
+
+    /// The neighbour of `r` through `port`, if that port faces into the mesh.
+    pub fn neighbor(&self, r: RouterId, port: Port) -> Option<RouterId> {
+        let c = self.coord(r);
+        let n = match port {
+            Port::North if c.y > 0 => Coord { x: c.x, y: c.y - 1 },
+            Port::South if c.y + 1 < self.rows => Coord { x: c.x, y: c.y + 1 },
+            Port::East if c.x + 1 < self.cols => Coord { x: c.x + 1, y: c.y },
+            Port::West if c.x > 0 => Coord { x: c.x - 1, y: c.y },
+            _ => return None,
+        };
+        Some(self.router_at(n))
+    }
+
+    /// Manhattan hop distance between two routers.
+    pub fn hops(&self, a: RouterId, b: RouterId) -> u16 {
+        let (ca, cb) = (self.coord(a), self.coord(b));
+        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
+    }
+
+    /// Iterates over every router id.
+    pub fn routers(&self) -> impl Iterator<Item = RouterId> {
+        (0..self.router_count() as u16).map(RouterId)
+    }
+
+    /// Iterates over every endpoint: all tiles, then all MC ports.
+    pub fn endpoints(&self) -> impl Iterator<Item = Endpoint> + '_ {
+        self.routers()
+            .map(Endpoint::tile)
+            .chain(self.mc_routers.iter().copied().map(Endpoint::mc))
+    }
+
+    /// The default notification-network time window for this mesh:
+    /// worst-case X traversal + worst-case Y traversal + one merge cycle.
+    ///
+    /// For the 6×6 chip this is 13 cycles, matching Table 1.
+    pub fn notification_window(&self) -> u64 {
+        (self.cols as u64 - 1) + (self.rows as u64 - 1) + 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_roundtrip() {
+        let mesh = Mesh::new(6, 6, &[]);
+        for r in mesh.routers() {
+            assert_eq!(mesh.router_at(mesh.coord(r)), r);
+        }
+    }
+
+    #[test]
+    fn neighbors_of_center_and_corner() {
+        let mesh = Mesh::new(6, 6, &[]);
+        let center = mesh.router_at(Coord { x: 2, y: 2 });
+        assert_eq!(
+            mesh.neighbor(center, Port::North),
+            Some(mesh.router_at(Coord { x: 2, y: 1 }))
+        );
+        assert_eq!(
+            mesh.neighbor(center, Port::South),
+            Some(mesh.router_at(Coord { x: 2, y: 3 }))
+        );
+        assert_eq!(
+            mesh.neighbor(center, Port::East),
+            Some(mesh.router_at(Coord { x: 3, y: 2 }))
+        );
+        assert_eq!(
+            mesh.neighbor(center, Port::West),
+            Some(mesh.router_at(Coord { x: 1, y: 2 }))
+        );
+
+        let nw_corner = RouterId(0);
+        assert_eq!(mesh.neighbor(nw_corner, Port::North), None);
+        assert_eq!(mesh.neighbor(nw_corner, Port::West), None);
+        assert!(mesh.neighbor(nw_corner, Port::East).is_some());
+        assert!(mesh.neighbor(nw_corner, Port::South).is_some());
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let mesh = Mesh::new(4, 3, &[]);
+        for r in mesh.routers() {
+            for port in [Port::North, Port::South, Port::East, Port::West] {
+                if let Some(n) = mesh.neighbor(r, port) {
+                    assert_eq!(mesh.neighbor(n, port.opposite()), Some(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hops_is_manhattan() {
+        let mesh = Mesh::new(6, 6, &[]);
+        assert_eq!(mesh.hops(RouterId(0), RouterId(35)), 10);
+        assert_eq!(mesh.hops(RouterId(7), RouterId(7)), 0);
+        assert_eq!(mesh.hops(RouterId(0), RouterId(5)), 5);
+    }
+
+    #[test]
+    fn scorpio_chip_shape() {
+        let mesh = Mesh::scorpio_chip();
+        assert_eq!(mesh.router_count(), 36);
+        assert_eq!(mesh.mc_routers().len(), 4);
+        assert_eq!(mesh.notification_window(), 13);
+        assert!(mesh.has_mc(RouterId(0)));
+        assert!(!mesh.has_mc(RouterId(1)));
+    }
+
+    #[test]
+    fn window_scales_with_mesh() {
+        assert_eq!(Mesh::new(8, 8, &[]).notification_window(), 17);
+        assert_eq!(Mesh::new(10, 10, &[]).notification_window(), 21);
+        assert_eq!(Mesh::new(4, 4, &[]).notification_window(), 9);
+    }
+
+    #[test]
+    fn endpoints_cover_tiles_and_mcs() {
+        let mesh = Mesh::scorpio_chip();
+        let eps: Vec<_> = mesh.endpoints().collect();
+        assert_eq!(eps.len(), 40);
+        assert_eq!(eps.iter().filter(|e| e.slot == LocalSlot::Mc).count(), 4);
+    }
+
+    #[test]
+    fn port_mask_operations() {
+        let mut m = PortMask::EMPTY;
+        assert!(m.is_empty());
+        m.insert(Port::North);
+        m.insert(Port::Mc);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(Port::North));
+        assert!(!m.contains(Port::South));
+        m.remove(Port::North);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![Port::Mc]);
+    }
+
+    #[test]
+    fn port_opposites() {
+        assert_eq!(Port::North.opposite(), Port::South);
+        assert_eq!(Port::East.opposite(), Port::West);
+        assert!(Port::Tile.is_local());
+        assert!(!Port::North.is_local());
+    }
+
+    #[test]
+    #[should_panic(expected = "no opposite")]
+    fn local_port_opposite_panics() {
+        let _ = Port::Tile.opposite();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate MC router")]
+    fn duplicate_mc_panics() {
+        let _ = Mesh::new(2, 2, &[RouterId(1), RouterId(1)]);
+    }
+
+    #[test]
+    fn square_with_corner_mcs_small() {
+        let m1 = Mesh::square_with_corner_mcs(1);
+        assert_eq!(m1.mc_routers().len(), 1);
+        let m4 = Mesh::square_with_corner_mcs(4);
+        assert_eq!(
+            m4.mc_routers(),
+            &[RouterId(0), RouterId(3), RouterId(12), RouterId(15)]
+        );
+    }
+}

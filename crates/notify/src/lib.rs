@@ -1,0 +1,38 @@
+//! The SCORPIO notification network (Section 3.3): an ultra-lightweight
+//! bufferless mesh of OR gates and latches that gives every node the same
+//! view of "which cores want requests ordered this window", within a fixed
+//! latency bound.
+//!
+//! Combined with a consistent ordering rule at every NIC (the rotating
+//! priority arbiter in `scorpio-nic`), this yields a *distributed* global
+//! order without a centralized ordering point — the paper's key idea of
+//! decoupling message **ordering** (this network) from message **delivery**
+//! (the main network in `scorpio-noc`).
+//!
+//! # Examples
+//!
+//! ```
+//! use scorpio_noc::Mesh;
+//! use scorpio_notify::{NotifyConfig, NotifyNetwork};
+//!
+//! let mesh = Mesh::scorpio_chip();
+//! let mut nn = NotifyNetwork::new(&mesh, NotifyConfig::for_mesh(&mesh));
+//! // Cores 3 and 30 announce one request each.
+//! nn.stage_injection(3, 1, false);
+//! nn.stage_injection(30, 1, false);
+//! for _ in 0..13 {
+//!     nn.tick(); // one full time window
+//! }
+//! let (_, merged) = nn.latest().unwrap();
+//! assert_eq!(merged.count(3), 1);
+//! assert_eq!(merged.count(30), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod message;
+mod network;
+
+pub use message::NotifyMsg;
+pub use network::{NotifyConfig, NotifyNetwork};

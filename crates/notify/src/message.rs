@@ -1,0 +1,265 @@
+//! Notification messages: per-core request counts plus the stop bit.
+
+use std::fmt;
+
+/// A notification message (Section 3.3).
+///
+/// Encodes, for every core, how many coherence requests that core wants
+/// ordered this time window, using `bits_per_core` bits per core (so counts
+/// saturate at `2^bits - 1`), plus a *stop* bit used for tracker-queue flow
+/// control. Messages merge with a bitwise OR: since only core `i` ever sets
+/// field `i`, OR-merging never corrupts a count.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_notify::NotifyMsg;
+///
+/// let mut a = NotifyMsg::new(4, 2);
+/// a.set_count(0, 3);
+/// let mut b = NotifyMsg::new(4, 2);
+/// b.set_count(2, 1);
+/// b.set_stop(true);
+/// a.merge_from(&b);
+/// assert_eq!(a.count(0), 3);
+/// assert_eq!(a.count(2), 1);
+/// assert!(a.stop());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotifyMsg {
+    counts: Vec<u8>,
+    bits_per_core: u8,
+    stop: bool,
+}
+
+impl NotifyMsg {
+    /// An all-zero message for `cores` cores at `bits_per_core` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_core` is 0 or greater than 7.
+    pub fn new(cores: usize, bits_per_core: u8) -> Self {
+        assert!(
+            (1..=7).contains(&bits_per_core),
+            "bits per core must be in 1..=7"
+        );
+        NotifyMsg {
+            counts: vec![0; cores],
+            bits_per_core,
+            stop: false,
+        }
+    }
+
+    /// Number of cores (bit-field lanes).
+    pub fn cores(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The saturation limit: largest count one core can announce.
+    pub fn max_count(&self) -> u8 {
+        (1u16 << self.bits_per_core) as u8 - 1
+    }
+
+    /// Sets core `core`'s announced request count, saturating at
+    /// [`NotifyMsg::max_count`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set_count(&mut self, core: usize, count: u8) {
+        self.counts[core] = count.min(self.max_count());
+    }
+
+    /// Core `core`'s announced request count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn count(&self, core: usize) -> u8 {
+        self.counts[core]
+    }
+
+    /// The stop bit (a NIC's tracker queue is full; everyone must ignore
+    /// this window and resend).
+    pub fn stop(&self) -> bool {
+        self.stop
+    }
+
+    /// Sets the stop bit.
+    pub fn set_stop(&mut self, stop: bool) {
+        self.stop = stop;
+    }
+
+    /// Bitwise-OR merge, the notification router's only operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two messages have different shapes.
+    pub fn merge_from(&mut self, other: &NotifyMsg) {
+        assert_eq!(self.counts.len(), other.counts.len(), "core count mismatch");
+        assert_eq!(
+            self.bits_per_core, other.bits_per_core,
+            "bits-per-core mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a |= *b;
+        }
+        self.stop |= other.stop;
+    }
+
+    /// Whether no core announced anything and the stop bit is clear.
+    pub fn is_empty(&self) -> bool {
+        !self.stop && self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Resets to all-zero.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.stop = false;
+    }
+
+    /// Iterates over `(core, count)` pairs with non-zero counts.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Total announced requests across all cores.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().map(|&c| c as u32).sum()
+    }
+
+    /// The wire width of this message in bits (Table 1: 36 bits for the
+    /// chip's 1-bit-per-core network, plus the stop bit).
+    pub fn width_bits(&self) -> usize {
+        self.counts.len() * self.bits_per_core as usize + 1
+    }
+}
+
+impl fmt::Display for NotifyMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "notify[")?;
+        let mut first = true;
+        for (core, count) in self.nonzero() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{core}:{count}")?;
+            first = false;
+        }
+        if self.stop {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "STOP")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_saturate_at_field_width() {
+        let mut m = NotifyMsg::new(4, 1);
+        assert_eq!(m.max_count(), 1);
+        m.set_count(0, 5);
+        assert_eq!(m.count(0), 1);
+
+        let mut m2 = NotifyMsg::new(4, 2);
+        assert_eq!(m2.max_count(), 3);
+        m2.set_count(1, 200);
+        assert_eq!(m2.count(1), 3);
+
+        let m3 = NotifyMsg::new(4, 3);
+        assert_eq!(m3.max_count(), 7);
+    }
+
+    #[test]
+    fn merge_is_or() {
+        let mut a = NotifyMsg::new(8, 2);
+        a.set_count(0, 2);
+        let mut b = NotifyMsg::new(8, 2);
+        b.set_count(7, 3);
+        a.merge_from(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(7), 3);
+        assert_eq!(a.total(), 5);
+        assert!(!a.stop());
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_commutative() {
+        let mut a = NotifyMsg::new(4, 2);
+        a.set_count(1, 3);
+        let mut b = NotifyMsg::new(4, 2);
+        b.set_count(2, 1);
+        b.set_stop(true);
+
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, ba);
+
+        let mut aa = ab.clone();
+        aa.merge_from(&ab);
+        assert_eq!(aa, ab);
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut m = NotifyMsg::new(3, 1);
+        assert!(m.is_empty());
+        m.set_count(2, 1);
+        assert!(!m.is_empty());
+        m.clear();
+        assert!(m.is_empty());
+        m.set_stop(true);
+        assert!(!m.is_empty(), "stop bit makes the message non-empty");
+    }
+
+    #[test]
+    fn nonzero_iteration() {
+        let mut m = NotifyMsg::new(5, 2);
+        m.set_count(1, 2);
+        m.set_count(4, 1);
+        let pairs: Vec<_> = m.nonzero().collect();
+        assert_eq!(pairs, vec![(1, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn chip_width_is_37_bits() {
+        // 36 cores × 1 bit + stop.
+        let m = NotifyMsg::new(36, 1);
+        assert_eq!(m.width_bits(), 37);
+    }
+
+    #[test]
+    fn display_shows_contents() {
+        let mut m = NotifyMsg::new(4, 2);
+        m.set_count(3, 2);
+        m.set_stop(true);
+        assert_eq!(m.to_string(), "notify[3:2 STOP]");
+        assert_eq!(NotifyMsg::new(2, 1).to_string(), "notify[]");
+    }
+
+    #[test]
+    #[should_panic(expected = "bits per core")]
+    fn zero_bits_panics() {
+        let _ = NotifyMsg::new(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn merge_shape_mismatch_panics() {
+        let mut a = NotifyMsg::new(4, 1);
+        let b = NotifyMsg::new(5, 1);
+        a.merge_from(&b);
+    }
+}

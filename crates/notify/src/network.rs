@@ -1,0 +1,372 @@
+//! The bufferless bitwise-OR notification mesh (Figure 3).
+//!
+//! Each "router" is nothing but OR gates and latches: every cycle it merges
+//! the messages latched by its neighbours with its own and latches the
+//! result. Because merging never blocks, the network is contention-free and
+//! its latency is bounded by the mesh diameter. Nodes inject only at time-
+//! window boundaries; by construction every node holds the identical merged
+//! message at the end of the window, which is the property global ordering
+//! rests on (asserted in debug builds).
+
+use crate::message::NotifyMsg;
+use scorpio_noc::{Mesh, Port, RouterId};
+use scorpio_sim::stats::Counter;
+use scorpio_sim::Cycle;
+
+/// Configuration of the notification network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotifyConfig {
+    /// Number of cores (== tiles == bit-field lanes).
+    pub cores: usize,
+    /// Bits per core: how many requests one core can announce per window
+    /// (Section 3.3, "multiple requests per notification message").
+    pub bits_per_core: u8,
+    /// Time-window length in cycles; must exceed the mesh diameter.
+    pub window: u64,
+}
+
+impl NotifyConfig {
+    /// The chip configuration for `mesh`: 1 bit per core, window from
+    /// [`Mesh::notification_window`] (13 cycles on the 6×6 chip).
+    pub fn for_mesh(mesh: &Mesh) -> Self {
+        NotifyConfig {
+            cores: mesh.router_count(),
+            bits_per_core: 1,
+            window: mesh.notification_window(),
+        }
+    }
+}
+
+/// The notification network state.
+///
+/// Drive it with one [`NotifyNetwork::tick`] per system cycle. NICs stage
+/// injections with [`NotifyNetwork::stage_injection`] (latched at the next
+/// window start) and read finished windows via [`NotifyNetwork::latest`].
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_noc::Mesh;
+/// use scorpio_notify::{NotifyConfig, NotifyNetwork};
+///
+/// let mesh = Mesh::scorpio_chip();
+/// let mut nn = NotifyNetwork::new(&mesh, NotifyConfig::for_mesh(&mesh));
+/// nn.stage_injection(7, 1, false);
+/// for _ in 0..13 {
+///     nn.tick();
+/// }
+/// let (window, msg) = nn.latest().expect("window 0 completed");
+/// assert_eq!(window, 0);
+/// assert_eq!(msg.count(7), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NotifyNetwork {
+    cfg: NotifyConfig,
+    cols: u16,
+    rows: u16,
+    cycle: Cycle,
+    /// Latched value per router.
+    acc: Vec<NotifyMsg>,
+    scratch: Vec<NotifyMsg>,
+    /// Contributions waiting for the next window start, per core.
+    pending: Vec<(u8, bool)>,
+    /// The merged message of the last completed window.
+    latest: Option<(u64, NotifyMsg)>,
+    /// Completed windows so far.
+    pub windows_completed: Counter,
+    /// Completed windows that carried at least one announcement.
+    pub nonempty_windows: Counter,
+}
+
+impl NotifyNetwork {
+    /// Builds the notification network for `mesh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is too short for worst-case propagation across
+    /// `mesh`, or if `cores` does not match the mesh.
+    pub fn new(mesh: &Mesh, cfg: NotifyConfig) -> Self {
+        let diameter = (mesh.cols() as u64 - 1) + (mesh.rows() as u64 - 1);
+        assert!(
+            cfg.window > diameter,
+            "window {} cannot cover mesh diameter {}",
+            cfg.window,
+            diameter
+        );
+        assert_eq!(cfg.cores, mesh.router_count(), "one bit-lane per tile");
+        let blank = NotifyMsg::new(cfg.cores, cfg.bits_per_core);
+        NotifyNetwork {
+            cols: mesh.cols(),
+            rows: mesh.rows(),
+            cycle: Cycle::ZERO,
+            acc: vec![blank.clone(); mesh.router_count()],
+            scratch: vec![blank; mesh.router_count()],
+            pending: vec![(0, false); cfg.cores],
+            latest: None,
+            windows_completed: Counter::new(),
+            nonempty_windows: Counter::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NotifyConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Whether `cycle` is a window-start boundary.
+    pub fn is_window_start(&self, cycle: Cycle) -> bool {
+        cycle.is_multiple_of(self.cfg.window)
+    }
+
+    /// Stages core `core`'s announcement for the next window start:
+    /// `count` requests (saturating) and optionally the stop bit.
+    /// Staging twice before a window start merges (max/OR semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn stage_injection(&mut self, core: usize, count: u8, stop: bool) {
+        let max = (1u16 << self.cfg.bits_per_core) as u8 - 1;
+        let entry = &mut self.pending[core];
+        entry.0 = entry.0.max(count.min(max));
+        entry.1 |= stop;
+    }
+
+    /// The merged message of the most recently completed window, with its
+    /// index. `None` until the first window completes.
+    pub fn latest(&self) -> Option<(u64, &NotifyMsg)> {
+        self.latest.as_ref().map(|(w, m)| (*w, m))
+    }
+
+    /// The value currently latched at `router` (for inspection/tests).
+    pub fn latched_at(&self, router: RouterId) -> &NotifyMsg {
+        &self.acc[router.index()]
+    }
+
+    /// Advances one cycle: window-start injection, one OR-propagation step,
+    /// and window-end completion.
+    pub fn tick(&mut self) {
+        let w = self.cfg.window;
+        let in_window = self.cycle.as_u64() % w;
+
+        if in_window == 0 {
+            // Window start: latch pending contributions as fresh values.
+            for (i, msg) in self.acc.iter_mut().enumerate() {
+                msg.clear();
+                if i < self.cfg.cores {
+                    let (count, stop) = std::mem::take(&mut self.pending[i]);
+                    if count > 0 {
+                        msg.set_count(i, count);
+                    }
+                    if stop {
+                        msg.set_stop(true);
+                    }
+                }
+            }
+        } else {
+            // One propagation step: each router ORs its neighbours' latched
+            // values into its own (two-phase via scratch).
+            let cols = self.cols as usize;
+            let rows = self.rows as usize;
+            for y in 0..rows {
+                for x in 0..cols {
+                    let idx = y * cols + x;
+                    let mut merged = self.acc[idx].clone();
+                    if x > 0 {
+                        merged.merge_from(&self.acc[idx - 1]);
+                    }
+                    if x + 1 < cols {
+                        merged.merge_from(&self.acc[idx + 1]);
+                    }
+                    if y > 0 {
+                        merged.merge_from(&self.acc[idx - cols]);
+                    }
+                    if y + 1 < rows {
+                        merged.merge_from(&self.acc[idx + cols]);
+                    }
+                    self.scratch[idx] = merged;
+                }
+            }
+            std::mem::swap(&mut self.acc, &mut self.scratch);
+        }
+
+        if in_window == w - 1 {
+            // Window end: every node now holds the global OR.
+            debug_assert!(
+                self.acc.iter().all(|m| *m == self.acc[0]),
+                "notification network failed to converge within the window"
+            );
+            let window_index = self.cycle.as_u64() / w;
+            self.windows_completed.incr();
+            if !self.acc[0].is_empty() {
+                self.nonempty_windows.incr();
+            }
+            self.latest = Some((window_index, self.acc[0].clone()));
+        }
+        self.cycle = self.cycle.next();
+    }
+
+    /// The port fan-in of a notification router (for the physical model):
+    /// 4 neighbour inputs + local, merged by five OR gates per Figure 3.
+    pub fn router_or_gate_count() -> usize {
+        Port::COUNT - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(k: u16) -> NotifyNetwork {
+        let mesh = Mesh::new(k, k, &[]);
+        NotifyNetwork::new(&mesh, NotifyConfig::for_mesh(&mesh))
+    }
+
+    #[test]
+    fn chip_window_is_13() {
+        let mesh = Mesh::scorpio_chip();
+        let cfg = NotifyConfig::for_mesh(&mesh);
+        assert_eq!(cfg.window, 13);
+        assert_eq!(cfg.cores, 36);
+        assert_eq!(cfg.bits_per_core, 1);
+    }
+
+    #[test]
+    fn single_injection_reaches_all_nodes() {
+        let mut nn = net(6);
+        nn.stage_injection(0, 1, false);
+        for _ in 0..13 {
+            nn.tick();
+        }
+        let (w, msg) = nn.latest().unwrap();
+        assert_eq!(w, 0);
+        assert_eq!(msg.count(0), 1);
+        assert_eq!(msg.total(), 1);
+        // Every router's latch agrees.
+        for r in 0..36u16 {
+            assert_eq!(nn.latched_at(RouterId(r)).count(0), 1);
+        }
+    }
+
+    #[test]
+    fn corner_to_corner_injections_converge() {
+        let mut nn = net(6);
+        nn.stage_injection(0, 1, false);
+        nn.stage_injection(35, 1, false);
+        for _ in 0..13 {
+            nn.tick();
+        }
+        let (_, msg) = nn.latest().unwrap();
+        assert_eq!(msg.count(0), 1);
+        assert_eq!(msg.count(35), 1);
+        assert_eq!(msg.total(), 2);
+    }
+
+    #[test]
+    fn mid_window_injection_waits_for_next_window() {
+        let mut nn = net(4); // window 9
+        for _ in 0..3 {
+            nn.tick();
+        }
+        nn.stage_injection(5, 1, false);
+        for _ in 3..9 {
+            nn.tick();
+        }
+        let (w0, msg0) = nn.latest().unwrap();
+        assert_eq!(w0, 0);
+        assert!(msg0.is_empty(), "mid-window injection leaked into window 0");
+        for _ in 0..9 {
+            nn.tick();
+        }
+        let (w1, msg1) = nn.latest().unwrap();
+        assert_eq!(w1, 1);
+        assert_eq!(msg1.count(5), 1);
+    }
+
+    #[test]
+    fn stop_bit_propagates() {
+        let mut nn = net(4);
+        nn.stage_injection(3, 0, true);
+        nn.stage_injection(7, 1, false);
+        for _ in 0..9 {
+            nn.tick();
+        }
+        let (_, msg) = nn.latest().unwrap();
+        assert!(msg.stop());
+        assert_eq!(msg.count(7), 1);
+    }
+
+    #[test]
+    fn multi_bit_counts_survive_merging() {
+        let mesh = Mesh::new(4, 4, &[]);
+        let mut nn = NotifyNetwork::new(
+            &mesh,
+            NotifyConfig {
+                cores: 16,
+                bits_per_core: 2,
+                window: mesh.notification_window(),
+            },
+        );
+        nn.stage_injection(2, 3, false);
+        nn.stage_injection(9, 2, false);
+        nn.stage_injection(9, 1, false); // merges to max(2,1)=2
+        for _ in 0..9 {
+            nn.tick();
+        }
+        let (_, msg) = nn.latest().unwrap();
+        assert_eq!(msg.count(2), 3);
+        assert_eq!(msg.count(9), 2);
+    }
+
+    #[test]
+    fn empty_windows_complete_too() {
+        let mut nn = net(4);
+        for _ in 0..27 {
+            nn.tick();
+        }
+        assert_eq!(nn.windows_completed.get(), 3);
+        assert_eq!(nn.nonempty_windows.get(), 0);
+        let (w, msg) = nn.latest().unwrap();
+        assert_eq!(w, 2);
+        assert!(msg.is_empty());
+    }
+
+    #[test]
+    fn rectangular_mesh_converges() {
+        let mesh = Mesh::new(8, 2, &[]);
+        let mut nn = NotifyNetwork::new(&mesh, NotifyConfig::for_mesh(&mesh));
+        nn.stage_injection(0, 1, false);
+        nn.stage_injection(15, 1, false);
+        let w = mesh.notification_window();
+        for _ in 0..w {
+            nn.tick();
+        }
+        let (_, msg) = nn.latest().unwrap();
+        assert_eq!(msg.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover mesh diameter")]
+    fn too_short_window_panics() {
+        let mesh = Mesh::new(6, 6, &[]);
+        let _ = NotifyNetwork::new(
+            &mesh,
+            NotifyConfig {
+                cores: 36,
+                bits_per_core: 1,
+                window: 5,
+            },
+        );
+    }
+
+    #[test]
+    fn or_gate_count_matches_figure3() {
+        assert_eq!(NotifyNetwork::router_or_gate_count(), 5);
+    }
+}

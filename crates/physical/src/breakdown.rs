@@ -1,0 +1,158 @@
+//! Tile area/power breakdowns (Figure 9) and scaling rules (Section 5.2).
+
+/// A tile component in the breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Core logic (with L1 control).
+    Core,
+    /// L1 data cache arrays.
+    L1Data,
+    /// L1 instruction cache arrays.
+    L1Inst,
+    /// L2 cache controller.
+    L2Controller,
+    /// L2 data/tag arrays.
+    L2Array,
+    /// Request-status holding registers.
+    Rshr,
+    /// AHB + ACE interface logic.
+    AhbAce,
+    /// Region tracker (snoop filter).
+    RegionTracker,
+    /// On-chip L2 tester.
+    L2Tester,
+    /// NIC + main-network router (+ notification router).
+    NicRouter,
+    /// Everything else.
+    Other,
+}
+
+/// One slice of a breakdown: component and its share in percent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Share {
+    /// The component.
+    pub component: Component,
+    /// Percentage of the tile total.
+    pub percent: f64,
+}
+
+/// The tile *power* breakdown of Figure 9a (percent of tile power; the
+/// paper: core+L1 ≈ 62%, L2 ≈ 18%, NIC+router ≈ 19%).
+pub fn tile_power_breakdown() -> Vec<Share> {
+    vec![
+        Share { component: Component::Core, percent: 54.0 },
+        Share { component: Component::L1Data, percent: 4.0 },
+        Share { component: Component::L1Inst, percent: 4.0 },
+        Share { component: Component::L2Controller, percent: 2.0 },
+        Share { component: Component::L2Array, percent: 7.0 },
+        Share { component: Component::Rshr, percent: 4.0 },
+        Share { component: Component::AhbAce, percent: 2.0 },
+        Share { component: Component::RegionTracker, percent: 0.5 },
+        Share { component: Component::L2Tester, percent: 2.0 },
+        Share { component: Component::NicRouter, percent: 19.0 },
+        Share { component: Component::Other, percent: 1.5 },
+    ]
+}
+
+/// The tile *area* breakdown of Figure 9b (caches ≈ 46%, NIC+router 10%).
+pub fn tile_area_breakdown() -> Vec<Share> {
+    vec![
+        Share { component: Component::Core, percent: 32.0 },
+        Share { component: Component::L1Data, percent: 6.0 },
+        Share { component: Component::L1Inst, percent: 6.0 },
+        Share { component: Component::L2Controller, percent: 2.0 },
+        Share { component: Component::L2Array, percent: 34.0 },
+        Share { component: Component::Rshr, percent: 4.0 },
+        Share { component: Component::AhbAce, percent: 4.0 },
+        Share { component: Component::RegionTracker, percent: 0.5 },
+        Share { component: Component::L2Tester, percent: 2.0 },
+        Share { component: Component::NicRouter, percent: 10.0 },
+        Share { component: Component::Other, percent: -0.5 },
+    ]
+}
+
+/// Whole-chip power estimate in watts, scaled linearly with tile count
+/// from the 36-tile, 28.8 W chip (768 mW per tile).
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_physical::chip_power_watts;
+/// assert!((chip_power_watts(36) - 28.8).abs() < 1e-6);
+/// ```
+pub fn chip_power_watts(tiles: usize) -> f64 {
+    0.8 * tiles as f64
+}
+
+/// Router+NIC area relative to the 4-VC GO-REQ baseline, from the
+/// post-synthesis evaluation in Section 5.2 ("4 VCs is 15% more area
+/// efficient ... than 6 VCs") with linear interpolation per VC.
+pub fn router_area_scale(goreq_vcs: u8) -> f64 {
+    1.0 + (goreq_vcs as f64 - 4.0) * (0.15 / 2.0)
+}
+
+/// Router+NIC power relative to the 4-VC baseline ("consumes 12% less
+/// power than 6 VCs").
+pub fn router_power_scale(goreq_vcs: u8) -> f64 {
+    1.0 + (goreq_vcs as f64 - 4.0) * (0.12 / 2.0)
+}
+
+/// Notification-network data width: m bits per core plus the stop bit;
+/// O(m·N) scaling discussed in Section 5.2.
+pub fn notification_width_bits(cores: usize, bits_per_core: u8) -> usize {
+    cores * bits_per_core as usize + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_breakdown_sums_to_100() {
+        let total: f64 = tile_power_breakdown().iter().map(|s| s.percent).sum();
+        assert!((total - 100.0).abs() < 1e-9, "sum {total}");
+    }
+
+    #[test]
+    fn area_breakdown_sums_to_100() {
+        let total: f64 = tile_area_breakdown().iter().map(|s| s.percent).sum();
+        assert!((total - 100.0).abs() < 1e-9, "sum {total}");
+    }
+
+    #[test]
+    fn paper_aggregates_hold() {
+        let p = tile_power_breakdown();
+        let pct = |c: Component| p.iter().find(|s| s.component == c).unwrap().percent;
+        // Core + L1s ≈ 62% of tile power.
+        assert!((pct(Component::Core) + pct(Component::L1Data) + pct(Component::L1Inst) - 62.0).abs() < 1.0);
+        // NIC + router ≈ 19%.
+        assert!((pct(Component::NicRouter) - 19.0).abs() < 0.5);
+
+        let a = tile_area_breakdown();
+        let apct = |c: Component| a.iter().find(|s| s.component == c).unwrap().percent;
+        // Caches ≈ 46% of tile area (L1s + L2 array).
+        assert!((apct(Component::L1Data) + apct(Component::L1Inst) + apct(Component::L2Array) - 46.0).abs() < 1.0);
+        assert!((apct(Component::NicRouter) - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn chip_power_matches_table1() {
+        assert!((chip_power_watts(36) - 28.8).abs() < 1e-9);
+        assert!(chip_power_watts(64) > chip_power_watts(36));
+    }
+
+    #[test]
+    fn vc_scaling_matches_section_5_2() {
+        assert!((router_area_scale(4) - 1.0).abs() < 1e-9);
+        assert!((router_area_scale(6) - 1.15).abs() < 1e-9);
+        assert!((router_power_scale(6) - 1.12).abs() < 1e-9);
+        assert!(router_area_scale(2) < 1.0);
+    }
+
+    #[test]
+    fn notification_widths() {
+        assert_eq!(notification_width_bits(36, 1), 37);
+        assert_eq!(notification_width_bits(36, 2), 73);
+        assert_eq!(notification_width_bits(100, 3), 301);
+    }
+}

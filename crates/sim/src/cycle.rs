@@ -1,0 +1,166 @@
+//! Strongly-typed cycle counter.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in clock cycles.
+///
+/// `Cycle` is a newtype over `u64` so that cycle values cannot be confused
+/// with other integers (flit counts, node ids, ...). Subtraction saturates
+/// at zero — latencies are never negative.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_sim::Cycle;
+///
+/// let start = Cycle::new(10);
+/// let end = start + 5;
+/// assert_eq!(end - start, 5);
+/// assert_eq!(start - end, 0); // saturating
+/// assert_eq!(end.as_u64(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Cycle zero — the beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle from a raw count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// The raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The cycle immediately after this one.
+    #[inline]
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Cycle(self.0 + 1)
+    }
+
+    /// Whether this cycle is a multiple of `period`.
+    ///
+    /// Used for time-window boundaries in the notification network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[inline]
+    pub const fn is_multiple_of(self, period: u64) -> bool {
+        assert!(period > 0, "period must be non-zero");
+        self.0 % period == 0
+    }
+
+    /// Saturating distance from `earlier` to `self`, in cycles.
+    #[inline]
+    pub const fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    /// Saturating subtraction: a latency can never be negative.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+        assert_eq!(Cycle::ZERO.as_u64(), 0);
+    }
+
+    #[test]
+    fn next_advances_by_one() {
+        assert_eq!(Cycle::new(41).next(), Cycle::new(42));
+    }
+
+    #[test]
+    fn add_and_add_assign() {
+        let mut c = Cycle::new(5);
+        c += 3;
+        assert_eq!(c, Cycle::new(8));
+        assert_eq!(c + 2, Cycle::new(10));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        assert_eq!(Cycle::new(3) - Cycle::new(10), 0);
+        assert_eq!(Cycle::new(10) - Cycle::new(3), 7);
+    }
+
+    #[test]
+    fn since_mirrors_sub() {
+        assert_eq!(Cycle::new(10).since(Cycle::new(4)), 6);
+        assert_eq!(Cycle::new(4).since(Cycle::new(10)), 0);
+    }
+
+    #[test]
+    fn multiples_detect_window_boundaries() {
+        assert!(Cycle::new(0).is_multiple_of(13));
+        assert!(Cycle::new(26).is_multiple_of(13));
+        assert!(!Cycle::new(27).is_multiple_of(13));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be non-zero")]
+    fn zero_period_panics() {
+        let _ = Cycle::new(1).is_multiple_of(0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle::new(9).to_string(), "cycle 9");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Cycle::new(1) < Cycle::new(2));
+        assert!(Cycle::new(2) <= Cycle::new(2));
+    }
+}

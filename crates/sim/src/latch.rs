@@ -1,0 +1,130 @@
+//! Two-phase registers for synchronous-hardware modelling.
+
+/// A single-entry register with separate *stage* and *commit* phases.
+///
+/// During a cycle every component writes its outputs with [`Latch::stage`];
+/// after all components have ticked, a global commit step calls
+/// [`Latch::commit`] on every latch, making staged values visible. This is
+/// exactly a D flip-flop: consumers always observe the value produced in the
+/// *previous* cycle, regardless of the order components are ticked in.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_sim::Latch;
+///
+/// let mut l: Latch<u8> = Latch::empty();
+/// l.stage(1);
+/// assert_eq!(l.current(), None);
+/// l.commit();
+/// assert_eq!(l.current(), Some(&1));
+/// // Nothing staged this cycle: commit clears the register.
+/// l.commit();
+/// assert_eq!(l.current(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Latch<T> {
+    current: Option<T>,
+    staged: Option<T>,
+}
+
+impl<T> Latch<T> {
+    /// Creates an empty latch: nothing visible, nothing staged.
+    pub fn empty() -> Self {
+        Latch {
+            current: None,
+            staged: None,
+        }
+    }
+
+    /// Stages `value` to become visible after the next [`commit`].
+    ///
+    /// Staging twice in one cycle indicates a modelling bug (two drivers on
+    /// one wire), so this panics in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value is already staged this cycle.
+    ///
+    /// [`commit`]: Latch::commit
+    pub fn stage(&mut self, value: T) {
+        assert!(
+            self.staged.is_none(),
+            "latch staged twice in one cycle (two drivers on one wire)"
+        );
+        self.staged = Some(value);
+    }
+
+    /// Whether a value has been staged this cycle.
+    pub fn is_staged(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// The value visible this cycle, if any.
+    pub fn current(&self) -> Option<&T> {
+        self.current.as_ref()
+    }
+
+    /// Removes and returns the visible value, leaving the latch empty for
+    /// this cycle (the staged value is unaffected).
+    pub fn take(&mut self) -> Option<T> {
+        self.current.take()
+    }
+
+    /// Clock edge: the staged value (or emptiness) becomes visible.
+    pub fn commit(&mut self) {
+        self.current = self.staged.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_value_becomes_visible_on_commit() {
+        let mut l = Latch::empty();
+        l.stage(5);
+        assert!(l.is_staged());
+        assert_eq!(l.current(), None);
+        l.commit();
+        assert_eq!(l.current(), Some(&5));
+        assert!(!l.is_staged());
+    }
+
+    #[test]
+    fn commit_without_stage_clears() {
+        let mut l = Latch::empty();
+        l.stage(1);
+        l.commit();
+        l.commit();
+        assert_eq!(l.current(), None);
+    }
+
+    #[test]
+    fn take_consumes_current_only() {
+        let mut l = Latch::empty();
+        l.stage(1);
+        l.commit();
+        l.stage(2);
+        assert_eq!(l.take(), Some(1));
+        assert_eq!(l.take(), None);
+        l.commit();
+        assert_eq!(l.current(), Some(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "two drivers")]
+    fn double_stage_panics() {
+        let mut l = Latch::empty();
+        l.stage(1);
+        l.stage(2);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let l: Latch<u8> = Latch::default();
+        assert_eq!(l.current(), None);
+        assert!(!l.is_staged());
+    }
+}

@@ -1,0 +1,334 @@
+//! Counters, latency accumulators and histograms.
+//!
+//! Every module in the simulator reports through these types so that the
+//! experiment harness can print uniform tables. All statistics are plain
+//! data: cloning a stats struct snapshots it.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_sim::stats::Counter;
+///
+/// let mut flits = Counter::new();
+/// flits.add(3);
+/// flits.incr();
+/// assert_eq!(flits.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Accumulates samples and reports count / mean / min / max.
+///
+/// Used for every latency figure in the evaluation (network latency, L2
+/// service latency, ordering delay, ...).
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_sim::stats::Accumulator;
+///
+/// let mut lat = Accumulator::new();
+/// lat.record(10);
+/// lat.record(20);
+/// assert_eq!(lat.count(), 2);
+/// assert_eq!(lat.mean(), 15.0);
+/// assert_eq!(lat.min(), Some(10));
+/// assert_eq!(lat.max(), Some(20));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accumulator {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.count += 1;
+        self.sum += sample;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            write!(f, "n=0")
+        } else {
+            write!(
+                f,
+                "n={} mean={:.2} min={} max={}",
+                self.count,
+                self.mean(),
+                self.min,
+                self.max
+            )
+        }
+    }
+}
+
+/// A histogram with fixed-width buckets and an overflow bucket.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(10, 5); // 5 buckets of width 10
+/// h.record(3);
+/// h.record(12);
+/// h.record(999); // overflow
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(1), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of width `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` or `buckets` is zero.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be non-zero");
+        assert!(buckets > 0, "bucket count must be non-zero");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = (sample / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count in bucket `idx` (`idx * width ..= idx * width + width - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Number of samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including overflow.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// The smallest value `v` such that at least `fraction` of samples are
+    /// `<= v` (bucket-granular; returns upper bucket edge). `None` if empty.
+    pub fn percentile(&self, fraction: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = (fraction.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (idx, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some((idx as u64 + 1) * self.bucket_width - 1);
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+        assert_eq!(c.to_string(), "11");
+    }
+
+    #[test]
+    fn accumulator_tracks_extremes() {
+        let mut a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), None);
+        a.record(5);
+        a.record(1);
+        a.record(9);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(9));
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 15);
+        assert!((a.mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = Accumulator::new();
+        a.record(1);
+        a.record(3);
+        let mut b = Accumulator::new();
+        b.record(10);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(10));
+        assert_eq!(a.min(), Some(1));
+
+        let mut empty = Accumulator::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 3);
+        let before = a;
+        a.merge(&Accumulator::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn accumulator_display() {
+        let mut a = Accumulator::new();
+        assert_eq!(a.to_string(), "n=0");
+        a.record(4);
+        assert!(a.to_string().contains("mean=4.00"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(5, 2); // [0,5), [5,10), overflow
+        h.record(0);
+        h.record(4);
+        h.record(5);
+        h.record(10);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_percentile() {
+        let mut h = Histogram::new(10, 10);
+        for v in [1, 2, 3, 50, 95] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), Some(9)); // 3 of 5 in first bucket
+        assert_eq!(h.percentile(1.0), Some(99));
+        assert_eq!(Histogram::new(1, 1).percentile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be non-zero")]
+    fn zero_width_panics() {
+        let _ = Histogram::new(0, 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! A miniature Figure 8: sweep channel width and GO-REQ VCs on a 4×4
+//! SCORPIO system and print normalized runtimes.
+//!
+//! ```text
+//! cargo run --release --example design_sweep
+//! ```
+
+use scorpio::{System, SystemConfig};
+use scorpio_workloads::{generate, WorkloadParams};
+
+fn run(cfg: SystemConfig, params: &WorkloadParams) -> u64 {
+    let traces = generate(params, cfg.cores(), cfg.seed);
+    let mut sys = System::with_traces(cfg, traces);
+    sys.run_to_completion().runtime_cycles
+}
+
+fn main() {
+    let params = WorkloadParams::by_name("radix").unwrap().with_ops(120);
+
+    println!("channel-width sweep (radix, 4x4):");
+    let base = run(SystemConfig::square(4).with_channel_bytes(16), &params);
+    for cw in [8u32, 16, 32] {
+        let rt = run(SystemConfig::square(4).with_channel_bytes(cw), &params);
+        println!("  CW={cw:>2}B  runtime={rt:>8}  normalized={:.3}", rt as f64 / base as f64);
+    }
+
+    println!("GO-REQ VC sweep (radix, 4x4):");
+    for vcs in [2u8, 4, 6] {
+        let rt = run(SystemConfig::square(4).with_goreq_vcs(vcs), &params);
+        println!("  VCs={vcs}   runtime={rt:>8}  normalized={:.3}", rt as f64 / base as f64);
+    }
+}

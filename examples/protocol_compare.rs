@@ -1,0 +1,41 @@
+//! Protocol shoot-out: the same workload under SCORPIO, the directory
+//! baselines and the unordered-network baselines, on one small mesh.
+//!
+//! ```text
+//! cargo run --release --example protocol_compare [benchmark] [mesh-k]
+//! ```
+
+use scorpio::{Protocol, System, SystemConfig};
+use scorpio_workloads::{generate, WorkloadParams};
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "canneal".into());
+    let k: u16 = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let params = WorkloadParams::by_name(&bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench}"))
+        .with_ops(120);
+    println!("workload: {bench}, mesh {k}x{k}, {} ops/core\n", 120);
+    let protocols = [
+        Protocol::Scorpio,
+        Protocol::HtDir,
+        Protocol::LpdDir,
+        Protocol::TokenB,
+        Protocol::Inso { expiry_window: 40 },
+    ];
+    let mut base = None;
+    for p in protocols {
+        let cfg = SystemConfig::square(k).with_protocol(p);
+        let traces = generate(&params, cfg.cores(), cfg.seed);
+        let mut sys = System::with_traces(cfg, traces);
+        let r = sys.run_to_completion();
+        let base_rt = *base.get_or_insert(r.runtime_cycles as f64);
+        println!(
+            "{}   (normalized runtime {:.3})",
+            r.summary(),
+            r.runtime_cycles as f64 / base_rt
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: build the 36-core SCORPIO chip configuration, run a
+//! SPLASH-2-like workload, and print the headline statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use scorpio::{System, SystemConfig};
+use scorpio_workloads::{generate, WorkloadParams};
+
+fn main() {
+    // The Table 1 chip: 6×6 mesh, 4 MC ports, GO-REQ/UO-RESP virtual
+    // networks, 13-cycle notification windows.
+    let cfg = SystemConfig::chip();
+    println!(
+        "SCORPIO chip: {} cores, {} MC ports, {}-cycle notification window",
+        cfg.cores(),
+        cfg.mesh.mc_routers().len(),
+        cfg.mesh.notification_window()
+    );
+
+    let params = WorkloadParams::by_name("barnes").unwrap().with_ops(100);
+    let traces = generate(&params, cfg.cores(), cfg.seed);
+    let mut sys = System::with_traces(cfg, traces);
+    let report = sys.run_to_completion();
+
+    println!("{}", report.summary());
+    println!(
+        "misses: {} ({} served on-chip by other caches, {} by memory)",
+        report.l2_misses,
+        report.cache_served.count(),
+        report.memory_served.count()
+    );
+    println!(
+        "network: {} packets, mean latency {:.1} cycles, {:.1}% of flits bypassed",
+        report.packets_injected,
+        report.packet_latency.mean(),
+        100.0 * report.bypass_rate()
+    );
+    println!(
+        "notification network: {} windows completed, {} carried announcements",
+        report.notify_windows, report.notify_nonempty
+    );
+}
