@@ -1,64 +1,9 @@
 //! Ablation study of SCORPIO's design choices (DESIGN.md §6): lookahead
 //! bypassing, the region-tracker snoop filter, FID-list capacity, and
-//! notification-window slack — each toggled on the chip configuration.
-
-use scorpio::SystemConfig;
-use scorpio_bench::run_workload;
-use scorpio_workloads::WorkloadParams;
+//! notification-window slack (`small` runs 4×4). Thin wrapper over the
+//! `ablation*` harness scenarios.
 
 fn main() {
-    let quick = std::env::args().nth(1).as_deref() == Some("small");
-    let k = if quick { 4 } else { 6 };
-    let params = WorkloadParams::by_name("fluidanimate").unwrap();
-
-    let mut rows: Vec<(String, u64, f64, f64)> = Vec::new();
-    let mut run = |name: &str, cfg: SystemConfig| {
-        let r = run_workload(cfg, &params);
-        rows.push((
-            name.to_string(),
-            r.runtime_cycles,
-            r.l2_service_latency.mean(),
-            r.ordering_delay.mean(),
-        ));
-    };
-
-    run("baseline (chip)", SystemConfig::square(k));
-    {
-        let mut cfg = SystemConfig::square(k);
-        cfg.noc.bypass = false;
-        run("no lookahead bypass", cfg);
-    }
-    {
-        let mut cfg = SystemConfig::square(k);
-        cfg.l2.region_entries = None;
-        run("no region tracker", cfg);
-    }
-    {
-        let mut cfg = SystemConfig::square(k);
-        cfg.l2.fid_capacity = 1;
-        run("FID capacity 1", cfg);
-    }
-    {
-        let mut cfg = SystemConfig::square(k);
-        cfg.notification_window_slack = 13;
-        run("2x notification window", cfg);
-    }
-    {
-        let mut cfg = SystemConfig::square(k);
-        cfg.notification_window_slack = 39;
-        run("4x notification window", cfg);
-    }
-
-    println!("=== Ablation — {k}x{k}, fluidanimate ===");
-    println!(
-        "{:<26}{:>10}{:>12}{:>14}{:>12}",
-        "configuration", "runtime", "L2 svc", "ordering", "normalized"
-    );
-    let base = rows[0].1 as f64;
-    for (name, rt, svc, ord) in &rows {
-        println!(
-            "{name:<26}{rt:>10}{svc:>12.1}{ord:>14.1}{:>12.3}",
-            *rt as f64 / base
-        );
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    scorpio_harness::cli::bin_main_with_variants("ablation", &[("small", "ablation-small")], args);
 }

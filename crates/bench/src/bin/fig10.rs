@@ -1,41 +1,8 @@
 //! Figure 10: pipelined vs non-pipelined uncore (L2 + NIC) average service
-//! latency across 6×6, 8×8 and 10×10 meshes.
-
-use scorpio::SystemConfig;
-use scorpio_bench::run_workload;
-use scorpio_workloads::WorkloadParams;
+//! latency across 6×6, 8×8 and 10×10 meshes (`small` runs 3×3/4×4).
+//! Thin wrapper over the `fig10*` harness scenarios.
 
 fn main() {
-    let quick = std::env::args().nth(1).as_deref() == Some("small");
-    let meshes: &[u16] = if quick { &[3, 4] } else { &[6, 8, 10] };
-    let names = ["barnes", "blackscholes", "canneal", "fft", "fluidanimate", "lu"];
-    println!("=== Figure 10 — avg L2 service latency (cycles) ===");
-    println!(
-        "{:<16}{:>8}{:>12}{:>12}{:>10}",
-        "benchmark", "mesh", "non-PL", "PL", "gain"
-    );
-    for &k in meshes {
-        let mut sums = [0.0f64; 2];
-        for name in names {
-            let params = WorkloadParams::by_name(name).unwrap();
-            let mut lat = [0.0f64; 2];
-            for (i, pl) in [false, true].into_iter().enumerate() {
-                let cfg = SystemConfig::square(k).with_pipelined_uncore(pl);
-                let r = run_workload(cfg, &params);
-                lat[i] = r.l2_service_latency.mean();
-                sums[i] += lat[i];
-            }
-            println!(
-                "{:<16}{:>5}x{:<2}{:>12.1}{:>12.1}{:>9.1}%",
-                name, k, k, lat[0], lat[1],
-                100.0 * (lat[0] - lat[1]) / lat[0]
-            );
-        }
-        let n = names.len() as f64;
-        println!(
-            "{:<16}{:>5}x{:<2}{:>12.1}{:>12.1}{:>9.1}%  <- average",
-            "AVG", k, k, sums[0] / n, sums[1] / n,
-            100.0 * (sums[0] - sums[1]) / sums[0]
-        );
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    scorpio_harness::cli::bin_main_with_variants("fig10", &[("small", "fig10-small")], args);
 }

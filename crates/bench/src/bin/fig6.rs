@@ -1,61 +1,12 @@
 //! Figure 6: normalized runtime and latency summaries for LPD-D, HT-D and
-//! SCORPIO-D across SPLASH-2 + PARSEC workloads (36 cores by default;
-//! pass `small` for a 4×4 smoke run, `64` for the 8×8 sweep).
-
-use scorpio::{Protocol, SystemConfig};
-use scorpio_bench::{print_normalized, run_workload};
-use scorpio_workloads::WorkloadParams;
+//! SCORPIO-D (36 cores by default; pass `small` for a 4×4 smoke run, `64`
+//! for the 8×8 sweep). Thin wrapper over the `fig6*` harness scenarios.
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_default();
-    let k: u16 = match arg.as_str() {
-        "small" => 4,
-        "64" => 8,
-        _ => 6,
-    };
-    let protocols = [Protocol::LpdDir, Protocol::HtDir, Protocol::Scorpio];
-    let benchmarks = WorkloadParams::figure6_set();
-    let names: Vec<&str> = benchmarks.iter().map(|b| b.name).collect();
-    let mut runtimes = Vec::new();
-    let mut summaries = Vec::new();
-    for params in &benchmarks {
-        let mut row = Vec::new();
-        for &p in &protocols {
-            let mut cfg = SystemConfig::square(k).with_protocol(p);
-            // The paper's 256 KB directory serves real benchmarks with
-            // gigabyte working sets; our synthetic footprints are ~1000x
-            // smaller, so the budget is scaled to preserve the capacity
-            // pressure that differentiates LPD's wide entries from HT's
-            // 2-bit entries (see EXPERIMENTS.md).
-            cfg.dir_total_bytes = 8 * 1024;
-            let r = run_workload(cfg, params);
-            eprintln!("[fig6] {} {} -> {} cycles", params.name, p.name(), r.runtime_cycles);
-            row.push(r.runtime_cycles);
-            summaries.push((params.name, r));
-        }
-        runtimes.push(row);
-    }
-    print_normalized(
-        &format!("Figure 6a — normalized runtime, {} cores", k as usize * k as usize),
-        &names,
-        &["LPD-D", "HT-D", "SCORPIO-D"],
-        &runtimes,
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    scorpio_harness::cli::bin_main_with_variants(
+        "fig6",
+        &[("small", "fig6-small"), ("64", "fig6-64")],
+        args,
     );
-    println!("\n=== Figure 6b/6c — latency breakdown (cycles) ===");
-    println!(
-        "{:<16}{:<12}{:>10}{:>12}{:>12}{:>12}{:>12}",
-        "benchmark", "protocol", "L2 svc", "c2c-served", "mem-served", "ordering", "%cache"
-    );
-    for (name, r) in &summaries {
-        println!(
-            "{:<16}{:<12}{:>10.1}{:>12.1}{:>12.1}{:>12.1}{:>11.1}%",
-            name,
-            r.protocol,
-            r.l2_service_latency.mean(),
-            r.cache_served.mean(),
-            r.memory_served.mean(),
-            r.ordering_delay.mean(),
-            100.0 * r.cache_served_fraction()
-        );
-    }
 }

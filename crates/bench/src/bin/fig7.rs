@@ -1,38 +1,7 @@
 //! Figure 7: SCORPIO vs TokenB vs INSO (expiry windows 20/40/80) on the
-//! 16-core PARSEC subset.
-
-use scorpio::{Protocol, SystemConfig};
-use scorpio_bench::{print_normalized, run_workload};
-use scorpio_workloads::WorkloadParams;
+//! 16-core PARSEC subset. Thin wrapper over the `fig7` harness scenario.
 
 fn main() {
-    let protocols = [
-        Protocol::Scorpio,
-        Protocol::TokenB,
-        Protocol::Inso { expiry_window: 20 },
-        Protocol::Inso { expiry_window: 40 },
-        Protocol::Inso { expiry_window: 80 },
-    ];
-    let benchmarks = WorkloadParams::figure7_set();
-    let names: Vec<&str> = benchmarks.iter().map(|b| b.name).collect();
-    let mut runtimes = Vec::new();
-    for params in &benchmarks {
-        let mut row = Vec::new();
-        for &p in &protocols {
-            let cfg = SystemConfig::square(4).with_protocol(p);
-            let r = run_workload(cfg, params);
-            eprintln!(
-                "[fig7] {} {} -> {} cycles ({} expiries)",
-                params.name, p.name(), r.runtime_cycles, r.expiry_messages
-            );
-            row.push(r.runtime_cycles);
-        }
-        runtimes.push(row);
-    }
-    print_normalized(
-        "Figure 7 — normalized runtime, 16 cores",
-        &names,
-        &["SCORPIO", "TokenB", "INSO-20", "INSO-40", "INSO-80"],
-        &runtimes,
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    scorpio_harness::cli::bin_main(&["fig7"], args);
 }

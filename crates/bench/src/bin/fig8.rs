@@ -1,68 +1,18 @@
 //! Figure 8: NoC design exploration — channel width (a), GO-REQ VCs (b),
 //! UO-RESP VCs (c) and notification bits per core (d). Pass a/b/c/d to run
-//! one panel; default runs all.
-
-use scorpio::SystemConfig;
-use scorpio_bench::{print_normalized, run_workload};
-use scorpio_workloads::WorkloadParams;
-
-fn sweep(title: &str, labels: &[&str], make: &dyn Fn(usize) -> SystemConfig) {
-    let benchmarks = WorkloadParams::splash2();
-    let names: Vec<&str> = benchmarks.iter().map(|b| b.name).collect();
-    let mut runtimes = Vec::new();
-    for params in &benchmarks {
-        let mut row = Vec::new();
-        for i in 0..labels.len() {
-            let r = run_workload(make(i), params);
-            eprintln!("[fig8] {} {} -> {}", params.name, labels[i], r.runtime_cycles);
-            row.push(r.runtime_cycles);
-        }
-        runtimes.push(row);
-    }
-    print_normalized(title, &names, labels, &runtimes);
-}
+//! one panel; default runs all. Thin wrapper over the `fig8*` scenarios.
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_default();
-    let k = 6;
-    if which.is_empty() || which == "a" {
-        let widths = [8u32, 16, 32];
-        sweep(
-            "Figure 8a — channel width",
-            &["CW=8B", "CW=16B", "CW=32B"],
-            &|i| SystemConfig::square(k).with_channel_bytes(widths[i]),
-        );
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let panels: Vec<&str> = match args.first().map(String::as_str) {
+        Some("a") => vec!["fig8a"],
+        Some("b") => vec!["fig8b"],
+        Some("c") => vec!["fig8c"],
+        Some("d") => vec!["fig8d"],
+        _ => vec!["fig8a", "fig8b", "fig8c", "fig8d"],
+    };
+    if panels.len() == 1 {
+        args.remove(0);
     }
-    if which.is_empty() || which == "b" {
-        let vcs = [2u8, 4, 6];
-        sweep(
-            "Figure 8b — GO-REQ VCs",
-            &["VCs=2", "VCs=4", "VCs=6"],
-            &|i| SystemConfig::square(k).with_goreq_vcs(vcs[i]),
-        );
-    }
-    if which.is_empty() || which == "c" {
-        let combos: [(u32, u8); 4] = [(8, 2), (8, 4), (16, 2), (16, 4)];
-        sweep(
-            "Figure 8c — UO-RESP VCs × channel width",
-            &["8B/2VC", "8B/4VC", "16B/2VC", "16B/4VC"],
-            &|i| {
-                SystemConfig::square(k)
-                    .with_channel_bytes(combos[i].0)
-                    .with_uoresp_vcs(combos[i].1)
-            },
-        );
-    }
-    if which.is_empty() || which == "d" {
-        let bits = [1u8, 2, 3];
-        sweep(
-            "Figure 8d — notification bits per core (4 outstanding)",
-            &["BW=1b", "BW=2b", "BW=3b"],
-            &|i| {
-                SystemConfig::square(k)
-                    .with_outstanding(4)
-                    .with_notification_bits(bits[i])
-            },
-        );
-    }
+    scorpio_harness::cli::bin_main(&panels, args);
 }

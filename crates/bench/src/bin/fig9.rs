@@ -1,21 +1,7 @@
 //! Figure 9: tile power and area breakdowns from the analytical model.
-
-use scorpio_physical::{
-    chip_power_watts, notification_width_bits, tile_area_breakdown, tile_power_breakdown,
-};
+//! Thin wrapper over the `fig9` harness scenario.
 
 fn main() {
-    println!("=== Figure 9a — tile power breakdown ===");
-    for s in tile_power_breakdown() {
-        println!("{:<16}{:>6.1}%", format!("{:?}", s.component), s.percent);
-    }
-    println!("\n=== Figure 9b — tile area breakdown ===");
-    for s in tile_area_breakdown() {
-        println!("{:<16}{:>6.1}%", format!("{:?}", s.component), s.percent);
-    }
-    println!("\nChip power (36 tiles): {:.1} W", chip_power_watts(36));
-    println!(
-        "Notification network width: 36×1b = {} bits (<1% tile area/power)",
-        notification_width_bits(36, 1)
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    scorpio_harness::cli::bin_main(&["fig9"], args);
 }

@@ -1,42 +1,8 @@
 //! Section 5.3: uncore throughput scaling at high core counts — GO-REQ VC
-//! scaling (4 → 16 → 50) on 36/64/100-core meshes at constant per-core
-//! injection rate, plus the theoretical broadcast throughput bound 1/k².
-
-use scorpio::SystemConfig;
-use scorpio_bench::run_workload;
-use scorpio_workloads::WorkloadParams;
+//! scaling (4 → 16 → 50) on 36/64/100-core meshes (`small` runs 3×3/4×4).
+//! Thin wrapper over the `scaling*` harness scenarios.
 
 fn main() {
-    let quick = std::env::args().nth(1).as_deref() == Some("small");
-    let meshes: &[u16] = if quick { &[3, 4] } else { &[6, 8, 10] };
-    let params = WorkloadParams::by_name("fluidanimate").unwrap();
-    println!("=== Section 5.3 — GO-REQ VC scaling at high core counts ===");
-    println!(
-        "{:>6}{:>8}{:>10}{:>12}{:>14}{:>16}",
-        "mesh", "cores", "GO-VCs", "runtime", "L2 svc (cyc)", "1/k^2 bound"
-    );
-    for &k in meshes {
-        let vc_steps: &[u8] = match k {
-            6 => &[4],
-            8 => &[4, 16],
-            _ => &[4, 16, 50],
-        };
-        for &vcs in vc_steps {
-            let cfg = SystemConfig::square(k).with_goreq_vcs(vcs);
-            let r = run_workload(cfg, &params);
-            println!(
-                "{:>4}x{:<3}{:>6}{:>10}{:>12}{:>14.1}{:>16.4}",
-                k,
-                k,
-                k as usize * k as usize,
-                vcs,
-                r.runtime_cycles,
-                r.l2_service_latency.mean(),
-                1.0 / (k as f64 * k as f64)
-            );
-        }
-    }
-    println!("\nPer the paper: more GO-REQ VCs push throughput toward the");
-    println!("topology bound, but a k x k mesh broadcast cannot exceed 1/k^2");
-    println!("flits/node/cycle — multiple main networks are the cheaper fix.");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    scorpio_harness::cli::bin_main_with_variants("scaling", &[("small", "scaling-small")], args);
 }

@@ -1,8 +1,7 @@
-//! Table 1: the chip feature summary.
+//! Table 1: the chip feature summary. Thin wrapper over the `table1`
+//! harness scenario.
 
 fn main() {
-    println!("=== Table 1 — SCORPIO chip features ===");
-    for (feature, value) in scorpio_physical::chip_feature_table() {
-        println!("{feature:<24}{value}");
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    scorpio_harness::cli::bin_main(&["table1"], args);
 }

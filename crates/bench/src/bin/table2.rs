@@ -1,15 +1,7 @@
-//! Table 2: multicore processor comparison.
+//! Table 2: multicore processor comparison. Thin wrapper over the
+//! `table2` harness scenario.
 
 fn main() {
-    println!("=== Table 2 — multicore processor comparison ===");
-    println!(
-        "{:<16}{:<8}{:<26}{:<32}{}",
-        "processor", "cores", "consistency", "coherence", "interconnect"
-    );
-    for c in scorpio_physical::processor_comparison_table() {
-        println!(
-            "{:<16}{:<8}{:<26}{:<32}{}",
-            c.name, c.cores, c.consistency, c.coherence, c.interconnect
-        );
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    scorpio_harness::cli::bin_main(&["table2"], args);
 }

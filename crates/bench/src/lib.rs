@@ -1,71 +1,26 @@
 //! Shared harness for regenerating the paper's tables and figures.
 //!
-//! Each figure binary (`fig6`, `fig7`, `fig8`, `fig9`, `fig10`, `table1`,
-//! `table2`) builds systems via [`run_workload`] and prints the same
-//! rows/series the paper reports. Absolute cycle counts differ from the
-//! authors' testbed (our substrate is a simulator; see DESIGN.md), but the
-//! shapes — who wins, by what factor, where crossovers fall — are the
-//! reproduction targets recorded in EXPERIMENTS.md.
+//! Experiment orchestration now lives in `scorpio-harness`: each figure
+//! binary (`fig6`, `fig7`, `fig8`, `fig9`, `fig10`, `table1`, `table2`,
+//! `ablation`, `scaling`) is a thin wrapper that resolves its scenario in
+//! [`scorpio_harness::registry`] and hands it to the CLI driver, so `fig7`
+//! and `harness run fig7` are the same sweep. This crate re-exports the
+//! historical helpers for code that imported them from here. Absolute
+//! cycle counts differ from the authors' testbed (our substrate is a
+//! simulator; see DESIGN.md), but the shapes — who wins, by what factor,
+//! where crossovers fall — are the reproduction targets recorded in
+//! EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use scorpio::{System, SystemConfig, SystemReport};
-use scorpio_workloads::{generate, WorkloadParams};
-
-/// Operations per core used by the figure binaries. Override with the
-/// `SCORPIO_OPS` environment variable to trade fidelity for speed.
-pub fn ops_per_core() -> usize {
-    std::env::var("SCORPIO_OPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(150)
-}
-
-/// Runs `params` (scaled to [`ops_per_core`]) on `cfg` and returns the
-/// report.
-pub fn run_workload(cfg: SystemConfig, params: &WorkloadParams) -> SystemReport {
-    let scaled = params.clone().with_ops(ops_per_core());
-    let traces = generate(&scaled, cfg.cores(), cfg.seed);
-    let mut sys = System::with_traces(cfg, traces);
-    sys.run_to_completion()
-}
-
-/// Formats a normalized-runtime table: one row per benchmark, one column
-/// per configuration, all normalized to the first column.
-pub fn print_normalized(
-    title: &str,
-    benchmarks: &[&str],
-    configs: &[&str],
-    runtimes: &[Vec<u64>],
-) {
-    println!("\n=== {title} ===");
-    print!("{:<16}", "benchmark");
-    for c in configs {
-        print!("{c:>16}");
-    }
-    println!();
-    let mut sums = vec![0.0; configs.len()];
-    for (b, row) in benchmarks.iter().zip(runtimes) {
-        print!("{b:<16}");
-        let base = row[0] as f64;
-        for (i, &rt) in row.iter().enumerate() {
-            let norm = rt as f64 / base;
-            sums[i] += norm;
-            print!("{norm:>16.3}");
-        }
-        println!();
-    }
-    print!("{:<16}", "AVG");
-    for s in &sums {
-        print!("{:>16.3}", s / benchmarks.len() as f64);
-    }
-    println!();
-}
+pub use scorpio_harness::{ops_per_core, print_normalized, render_normalized, run_workload};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scorpio::SystemConfig;
+    use scorpio_workloads::WorkloadParams;
 
     // One sequential test: the env var is process-global, so default
     // behaviour and override are checked in order.

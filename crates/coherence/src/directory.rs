@@ -140,7 +140,10 @@ impl OwnershipStore {
 
     /// Memory's logical value for `line`.
     pub fn value(&self, line: LineAddr) -> u64 {
-        self.values.get(&line).copied().unwrap_or(self.default_value)
+        self.values
+            .get(&line)
+            .copied()
+            .unwrap_or(self.default_value)
     }
 
     /// Stores a (written-back) value for `line`.

@@ -88,11 +88,7 @@ impl FidList {
         if self.entries.len() == self.capacity {
             return FidPush::Full;
         }
-        self.entries.push(FidEntry {
-            sid,
-            req_tag,
-            kind,
-        });
+        self.entries.push(FidEntry { sid, req_tag, kind });
         if kind == MsgKind::GetX {
             self.closed = true;
         }

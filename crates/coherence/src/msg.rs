@@ -14,7 +14,10 @@ impl LineAddr {
     ///
     /// Panics if `line_bytes` is not a power of two.
     pub fn containing(byte: u64, line_bytes: u64) -> LineAddr {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         LineAddr(byte & !(line_bytes - 1))
     }
 
@@ -108,7 +111,13 @@ pub struct CohMsg {
 
 impl CohMsg {
     /// A new message; `aux` defaults to 0.
-    pub fn new(kind: MsgKind, addr: LineAddr, requester: u16, req_tag: u8, sender: Endpoint) -> Self {
+    pub fn new(
+        kind: MsgKind,
+        addr: LineAddr,
+        requester: u16,
+        req_tag: u8,
+        sender: Endpoint,
+    ) -> Self {
         CohMsg {
             kind,
             addr,

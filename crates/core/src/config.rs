@@ -182,6 +182,39 @@ impl SystemConfig {
         self.core_outstanding = rshrs;
         self
     }
+
+    /// Short human-readable label: mesh geometry, protocol and seed.
+    pub fn label(&self) -> String {
+        format!(
+            "{}x{}/{}/seed{}",
+            self.mesh.cols(),
+            self.mesh.rows(),
+            self.protocol.name(),
+            self.seed
+        )
+    }
+
+    /// A stable 64-bit fingerprint of the *entire* configuration.
+    ///
+    /// FNV-1a over the `Debug` rendering, so any knob change — protocol,
+    /// mesh, VC counts, cache geometry, seed — produces a different hash.
+    /// Used by the experiment harness to tag result rows so runs can be
+    /// traced back to the exact configuration that produced them. Stable
+    /// across processes and thread counts (unlike `DefaultHasher`, it does
+    /// not depend on per-process state).
+    pub fn stable_hash(&self) -> u64 {
+        fnv1a(format!("{self:?}").as_bytes())
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -219,6 +252,32 @@ mod tests {
         assert!(!cfg.l2.pipelined);
         assert!(!cfg.nic.pipelined);
         assert_eq!(cfg.protocol, Protocol::TokenB);
+    }
+
+    #[test]
+    fn label_and_hash_are_stable_and_discriminating() {
+        let a = SystemConfig::square(4);
+        assert_eq!(a.label(), "4x4/SCORPIO/seed1");
+        assert_eq!(a.stable_hash(), SystemConfig::square(4).stable_hash());
+        let b = SystemConfig::square(4).with_protocol(Protocol::TokenB);
+        assert_ne!(a.stable_hash(), b.stable_hash());
+        let mut c = SystemConfig::square(4);
+        c.seed = 2;
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        let d = SystemConfig::square(4).with_goreq_vcs(6);
+        assert_ne!(a.stable_hash(), d.stable_hash());
+    }
+
+    // The hash fingerprints the Debug rendering, so *any* change to
+    // SystemConfig's shape (or a nested config's) shifts every hash. That
+    // is intended — the hash ties result rows to the exact configuration
+    // semantics — but it must never happen silently: stored JSONL/CSV
+    // results stop matching. If this assertion fails, you changed the
+    // config's shape; update the constant and note the result-file break
+    // in CHANGES.md.
+    #[test]
+    fn stable_hash_is_pinned() {
+        assert_eq!(SystemConfig::square(4).stable_hash(), 0xbbb791b93ac0807b);
     }
 
     #[test]

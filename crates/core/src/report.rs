@@ -83,6 +83,114 @@ impl SystemReport {
         }
     }
 
+    /// Serializes the report as a single JSON object.
+    ///
+    /// Hand-rolled (the build environment is offline, so no serde), with a
+    /// fixed key order and shortest-roundtrip float formatting: the output
+    /// is **byte-identical** for equal reports, which is what the harness's
+    /// determinism guarantee — same (scenario, seed) ⇒ same bytes,
+    /// regardless of worker count — rests on.
+    pub fn to_json(&self) -> String {
+        let acc = |a: &Accumulator| {
+            format!(
+                r#"{{"count":{},"sum":{},"mean":{:?},"min":{},"max":{}}}"#,
+                a.count(),
+                a.sum(),
+                a.mean(),
+                a.min().map_or("null".into(), |v| v.to_string()),
+                a.max().map_or("null".into(), |v| v.to_string()),
+            )
+        };
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        s.push_str(&format!(r#""protocol":{:?},"#, self.protocol));
+        s.push_str(&format!(r#""cores":{},"#, self.cores));
+        s.push_str(&format!(r#""runtime_cycles":{},"#, self.runtime_cycles));
+        s.push_str(&format!(r#""ops_completed":{},"#, self.ops_completed));
+        s.push_str(&format!(r#""l1_hits":{},"#, self.l1_hits));
+        s.push_str(&format!(r#""l2_hits":{},"#, self.l2_hits));
+        s.push_str(&format!(r#""l2_misses":{},"#, self.l2_misses));
+        s.push_str(&format!(
+            r#""l2_service_latency":{},"#,
+            acc(&self.l2_service_latency)
+        ));
+        s.push_str(&format!(r#""cache_served":{},"#, acc(&self.cache_served)));
+        s.push_str(&format!(r#""memory_served":{},"#, acc(&self.memory_served)));
+        s.push_str(&format!(
+            r#""ordering_delay":{},"#,
+            acc(&self.ordering_delay)
+        ));
+        s.push_str(&format!(r#""data_forwards":{},"#, self.data_forwards));
+        s.push_str(&format!(r#""memory_responses":{},"#, self.memory_responses));
+        s.push_str(&format!(r#""snoops_filtered":{},"#, self.snoops_filtered));
+        s.push_str(&format!(r#""snoops_looked_up":{},"#, self.snoops_looked_up));
+        s.push_str(&format!(r#""writebacks":{},"#, self.writebacks));
+        s.push_str(&format!(
+            r#""writebacks_squashed":{},"#,
+            self.writebacks_squashed
+        ));
+        s.push_str(&format!(r#""bypassed_flits":{},"#, self.bypassed_flits));
+        s.push_str(&format!(r#""buffered_flits":{},"#, self.buffered_flits));
+        s.push_str(&format!(r#""packets_injected":{},"#, self.packets_injected));
+        s.push_str(&format!(
+            r#""packet_latency":{},"#,
+            acc(&self.packet_latency)
+        ));
+        s.push_str(&format!(r#""notify_windows":{},"#, self.notify_windows));
+        s.push_str(&format!(r#""notify_nonempty":{},"#, self.notify_nonempty));
+        s.push_str(&format!(r#""stop_windows":{},"#, self.stop_windows));
+        s.push_str(&format!(r#""expiry_messages":{},"#, self.expiry_messages));
+        s.push_str(&format!(r#""dir_accesses":{},"#, self.dir_accesses));
+        s.push_str(&format!(r#""dir_misses":{}"#, self.dir_misses));
+        s.push('}');
+        s
+    }
+
+    /// Column names matching [`SystemReport::csv_row`], comma-joined.
+    pub fn csv_header() -> &'static str {
+        "protocol,cores,runtime_cycles,ops_completed,l1_hits,l2_hits,l2_misses,\
+         l2_service_mean,cache_served_mean,memory_served_mean,ordering_mean,\
+         packet_latency_mean,data_forwards,memory_responses,snoops_filtered,\
+         snoops_looked_up,writebacks,writebacks_squashed,bypassed_flits,\
+         buffered_flits,packets_injected,notify_windows,notify_nonempty,\
+         stop_windows,expiry_messages,dir_accesses,dir_misses"
+    }
+
+    /// The report's scalar columns as one CSV row (see
+    /// [`SystemReport::csv_header`]).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.protocol,
+            self.cores,
+            self.runtime_cycles,
+            self.ops_completed,
+            self.l1_hits,
+            self.l2_hits,
+            self.l2_misses,
+            self.l2_service_latency.mean(),
+            self.cache_served.mean(),
+            self.memory_served.mean(),
+            self.ordering_delay.mean(),
+            self.packet_latency.mean(),
+            self.data_forwards,
+            self.memory_responses,
+            self.snoops_filtered,
+            self.snoops_looked_up,
+            self.writebacks,
+            self.writebacks_squashed,
+            self.bypassed_flits,
+            self.buffered_flits,
+            self.packets_injected,
+            self.notify_windows,
+            self.notify_nonempty,
+            self.stop_windows,
+            self.expiry_messages,
+            self.dir_accesses,
+            self.dir_misses,
+        )
+    }
+
     /// One-line summary for experiment tables.
     pub fn summary(&self) -> String {
         format!(
@@ -111,6 +219,38 @@ mod tests {
         assert_eq!(r.cache_served_fraction(), 0.0);
         assert_eq!(r.bypass_rate(), 0.0);
         assert!(r.summary().contains("runtime"));
+    }
+
+    #[test]
+    fn json_is_wellformed_and_deterministic() {
+        let mut r = SystemReport {
+            protocol: "SCORPIO".into(),
+            cores: 16,
+            runtime_cycles: 1234,
+            ..SystemReport::default()
+        };
+        r.l2_service_latency.record(10);
+        r.l2_service_latency.record(21);
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(r#""protocol":"SCORPIO""#));
+        assert!(j.contains(r#""runtime_cycles":1234"#));
+        assert!(j.contains(
+            r#""l2_service_latency":{"count":2,"sum":31,"mean":15.5,"min":10,"max":21}"#
+        ));
+        // Empty accumulators serialize min/max as null, not a panic.
+        assert!(
+            j.contains(r#""packet_latency":{"count":0,"sum":0,"mean":0.0,"min":null,"max":null}"#)
+        );
+        assert_eq!(j, r.clone().to_json(), "serialization must be stable");
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let header_cols = SystemReport::csv_header().split(',').count();
+        let row_cols = SystemReport::default().csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert_eq!(header_cols, 27);
     }
 
     #[test]

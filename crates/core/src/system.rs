@@ -18,13 +18,13 @@ use scorpio_coherence::{
     home_tile, CohMsg, DirectoryCache, InsoReorderBuffer, InsoSlotAllocator, LpdEntry, MsgKind,
     SlotContent,
 };
-use std::collections::VecDeque;
 use scorpio_mem::{L2Out, MemoryController, OrderedSnoop, SnoopyL2};
-use scorpio_nic::{Nic, NicConfig, NicMode};
+use scorpio_nic::{Nic, NicMode};
 use scorpio_noc::{Endpoint, LocalSlot, Network, VnetId};
 use scorpio_notify::{NotifyConfig, NotifyNetwork};
 use scorpio_sim::Cycle;
 use scorpio_workloads::Trace;
+use std::collections::VecDeque;
 
 /// A full SCORPIO (or baseline) system.
 pub struct System {
@@ -112,16 +112,21 @@ impl System {
         };
         let slice_bytes = (cfg.dir_total_bytes / cores).max(64);
         let dir_homes: Vec<DirHome> = (0..cores)
-            .map(|_| DirHome::new(slice_bytes, entry_bits, cfg.mc.dir_latency, cfg.mc.dir_miss_penalty))
+            .map(|_| {
+                DirHome::new(
+                    slice_bytes,
+                    entry_bits,
+                    cfg.mc.dir_latency,
+                    cfg.mc.dir_miss_penalty,
+                )
+            })
             .collect();
-        let nic_cfg = NicConfig {
-            ..cfg.nic.clone()
-        };
+        let nic_cfg = cfg.nic.clone();
         let endpoints: Vec<Endpoint> = cfg.mesh.endpoints().collect();
         let nics: Vec<Nic<CohMsg>> = endpoints
             .iter()
             .map(|ep| {
-                let sid = (ep.slot == LocalSlot::Tile).then(|| scorpio_noc::Sid(ep.router.0));
+                let sid = (ep.slot == LocalSlot::Tile).then_some(scorpio_noc::Sid(ep.router.0));
                 Nic::new(*ep, sid, mode, cores, nic_cfg.clone())
             })
             .collect();
@@ -143,7 +148,13 @@ impl System {
             .iter()
             .enumerate()
             .map(|(i, &r)| {
-                MemoryController::new(Endpoint::mc(r), i, mc_total, cfg.l2.line_bytes, cfg.mc.clone())
+                MemoryController::new(
+                    Endpoint::mc(r),
+                    i,
+                    mc_total,
+                    cfg.l2.line_bytes,
+                    cfg.mc.clone(),
+                )
             })
             .collect();
         let n_eps = endpoints.len();
@@ -155,7 +166,9 @@ impl System {
             l2s,
             mcs,
             reorders: (0..n_eps).map(|_| InsoReorderBuffer::new()).collect(),
-            inso_alloc: (0..cores).map(|t| InsoSlotAllocator::new(t, cores)).collect(),
+            inso_alloc: (0..cores)
+                .map(|t| InsoSlotAllocator::new(t, cores))
+                .collect(),
             oracle_seq: 0,
             pending_ordered: vec![None; cores],
             pending_expiry: vec![None; cores],
@@ -308,12 +321,10 @@ impl System {
                         match msg.kind {
                             MsgKind::WbData => self.mcs[m].wb_data(msg, now),
                             MsgKind::InsoExpire => {
-                                self.reorders[ep_idx]
-                                    .insert(msg.value, SlotContent::Expired);
+                                self.reorders[ep_idx].insert(msg.value, SlotContent::Expired);
                             }
                             k if k.is_ordered_request() => {
-                                self.reorders[ep_idx]
-                                    .insert(msg.value, SlotContent::Request(msg));
+                                self.reorders[ep_idx].insert(msg.value, SlotContent::Request(msg));
                             }
                             other => panic!("MC received {other:?}"),
                         }
@@ -418,10 +429,7 @@ impl System {
                 }
             }
         }
-        loop {
-            let Some(out) = self.l2s[t].peek_out().copied() else {
-                break;
-            };
+        while let Some(out) = self.l2s[t].peek_out().copied() {
             match out {
                 L2Out::OrderedRequest(msg) => match self.cfg.protocol {
                     Protocol::LpdDir | Protocol::HtDir => {
@@ -652,7 +660,11 @@ impl System {
     /// Prints internal state for deadlock debugging.
     #[doc(hidden)]
     pub fn debug_dump(&self) {
-        println!("cycle {}  net last progress {}", self.cycle(), self.net.last_progress());
+        println!(
+            "cycle {}  net last progress {}",
+            self.cycle(),
+            self.net.last_progress()
+        );
         for (t, l2) in self.l2s.iter().enumerate() {
             println!(
                 "tile {t}: driver done={} ops={} l2 idle={} esid={:?} nic backlog={} ordered_backlog={}",
@@ -704,7 +716,6 @@ impl System {
         self.drivers.iter().filter(|d| d.is_done()).count()
     }
 }
-
 
 /// One tile's slice of the distributed directory for the LPD-D / HT-D
 /// baselines: a latency pipeline in front of the global sequencer. The

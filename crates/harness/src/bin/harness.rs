@@ -1,0 +1,6 @@
+//! The `harness` CLI: list and run registered experiment scenarios.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(scorpio_harness::cli::run_cli(args));
+}

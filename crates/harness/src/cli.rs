@@ -1,0 +1,322 @@
+//! The `harness` command-line driver, also backing the nine thin figure
+//! binaries in `scorpio-bench`.
+//!
+//! ```text
+//! harness list
+//! harness workloads
+//! harness run <scenario>... [--threads N] [--ops N] [--seeds 1,2,3]
+//!                           [--json PATH] [--csv PATH] [--timing]
+//!                           [--verbose] [--no-table]
+//! ```
+//!
+//! `--json`/`--csv` accept `-` for stdout. Output is deterministic for a
+//! given (scenario, seeds, ops) regardless of `--threads`, unless
+//! `--timing` opts into per-run wall-clock columns.
+
+use std::io::Write;
+use std::time::Instant;
+
+use crate::exec::{run_grid, ExecOptions, RunResult};
+use crate::registry;
+use crate::sink::{self, SinkOptions};
+
+/// Parsed `harness run` options.
+#[derive(Debug, Default)]
+struct RunOptions {
+    scenarios: Vec<String>,
+    threads: Option<usize>,
+    ops: Option<usize>,
+    seeds: Option<Vec<u64>>,
+    json: Option<String>,
+    csv: Option<String>,
+    timing: bool,
+    verbose: bool,
+    no_table: bool,
+}
+
+const USAGE: &str = "usage:
+  harness list                      show registered scenarios
+  harness workloads                 show registered workload presets
+  harness run <scenario>... [opts]  run one or more scenarios
+run options:
+  --threads N     worker threads (default: all CPUs)
+  --ops N         operations per core (default: $SCORPIO_OPS or 150)
+  --seeds A,B,..  replace the scenario's seed axis
+  --json PATH     write JSON-lines results (- for stdout)
+  --csv PATH      write CSV results (- for stdout)
+  --timing        include per-run wall time in sinks (non-deterministic)
+  --verbose       per-run progress lines on stderr
+  --no-table      skip the human-readable tables";
+
+/// Writes to stdout, tolerating a closed pipe (`harness list | head`
+/// must not panic). Other errors are ignored too: there is nowhere
+/// better to report a failing stdout.
+fn out(s: &str) {
+    let _ = std::io::stdout().write_all(s.as_bytes());
+}
+
+/// Runs the CLI with `args` (without the program name); returns the exit
+/// code.
+pub fn run_cli<I, S>(args: I) -> i32
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args: Vec<String> = args.into_iter().map(Into::into).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            out(&format!("{:<16}{:>6}  description\n", "scenario", "runs"));
+            for s in registry::scenarios() {
+                out(&format!("{:<16}{:>6}  {}\n", s.name, s.grid.len(), s.about));
+            }
+            0
+        }
+        Some("workloads") => {
+            out(&format!(
+                "{:<16}{:>8}{:>8}{:>10}{:>10}\n\n",
+                "workload", "writes", "shared", "sh-lines", "migratory"
+            ));
+            for w in scorpio_workloads::WorkloadParams::all() {
+                out(&format!(
+                    "{:<16}{:>8.2}{:>8.2}{:>10}{:>10.2}\n",
+                    w.name,
+                    w.write_fraction,
+                    w.shared_fraction,
+                    w.shared_lines,
+                    w.migratory_fraction
+                ));
+            }
+            out("\nsets: all, splash2, parsec, figure6, figure7\n");
+            0
+        }
+        Some("run") => match parse_run(&args[1..]) {
+            Ok(opts) => run(&opts),
+            Err(e) => {
+                eprintln!("harness: {e}\n\n{USAGE}");
+                2
+            }
+        },
+        Some("--help" | "-h" | "help") | None => {
+            out(&format!("{USAGE}\n"));
+            if args.is_empty() {
+                2
+            } else {
+                0
+            }
+        }
+        Some(other) => {
+            eprintln!("harness: unknown command `{other}`\n\n{USAGE}");
+            2
+        }
+    }
+}
+
+fn parse_run(args: &[String]) -> Result<RunOptions, String> {
+    let mut opts = RunOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let positive = |flag: &str, raw: String| -> Result<usize, String> {
+            match raw.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(format!("{flag} must be a positive integer, got `{raw}`")),
+            }
+        };
+        match a.as_str() {
+            "--threads" => {
+                let raw = value("--threads")?;
+                opts.threads = Some(positive("--threads", raw)?);
+            }
+            "--ops" => {
+                let raw = value("--ops")?;
+                opts.ops = Some(positive("--ops", raw)?);
+            }
+            "--seeds" => {
+                let raw = value("--seeds")?;
+                let seeds: Result<Vec<u64>, _> =
+                    raw.split(',').map(|s| s.trim().parse::<u64>()).collect();
+                let seeds = seeds.map_err(|_| format!("bad --seeds list `{raw}`"))?;
+                if seeds.is_empty() {
+                    return Err("--seeds list is empty".into());
+                }
+                opts.seeds = Some(seeds);
+            }
+            "--json" => opts.json = Some(value("--json")?),
+            "--csv" => opts.csv = Some(value("--csv")?),
+            "--timing" => opts.timing = true,
+            "--verbose" => opts.verbose = true,
+            "--no-table" => opts.no_table = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            name => opts.scenarios.push(name.to_string()),
+        }
+    }
+    if opts.scenarios.is_empty() {
+        return Err("no scenario given".into());
+    }
+    for name in &opts.scenarios {
+        if registry::by_name(name).is_none() {
+            return Err(format!("unknown scenario `{name}` (see `harness list`)"));
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &RunOptions) -> i32 {
+    let exec = ExecOptions {
+        threads: opts.threads.unwrap_or(0),
+        ops_per_core: opts.ops.unwrap_or_else(crate::ops_per_core),
+        verbose: opts.verbose,
+    };
+    let sink_opts = SinkOptions {
+        include_timing: opts.timing,
+    };
+    let mut all: Vec<(String, Vec<RunResult>)> = Vec::new();
+    for name in &opts.scenarios {
+        let mut scenario = registry::by_name(name).expect("validated in parse_run");
+        if let Some(seeds) = &opts.seeds {
+            scenario.grid.seeds = seeds.clone();
+        }
+        let started = Instant::now();
+        let results = run_grid(&scenario.grid, &exec);
+        let wall = started.elapsed();
+        if !results.is_empty() {
+            let sim_nanos: u128 = results.iter().map(|r| r.wall_nanos).sum();
+            eprintln!(
+                "[harness] {name}: {} runs on {} worker(s) in {:.2}s (sim time {:.2}s, speedup {:.2}x)",
+                results.len(),
+                exec.effective_threads().clamp(1, results.len()),
+                wall.as_secs_f64(),
+                sim_nanos as f64 / 1e9,
+                sim_nanos as f64 / 1e9 / wall.as_secs_f64().max(1e-9),
+            );
+        }
+        if !opts.no_table {
+            out(&(scenario.render)(&scenario, &results));
+        }
+        all.push((name.clone(), results));
+    }
+    if let Some(path) = &opts.json {
+        let doc: String = all
+            .iter()
+            .map(|(name, results)| sink::jsonl(name, results, sink_opts))
+            .collect();
+        if let Err(e) = sink::write(path, &doc) {
+            eprintln!("harness: writing {path}: {e}");
+            return 1;
+        }
+    }
+    if let Some(path) = &opts.csv {
+        let mut doc = String::new();
+        for (i, (name, results)) in all.iter().enumerate() {
+            let part = sink::csv(name, results, sink_opts);
+            if i == 0 {
+                doc.push_str(&part);
+            } else {
+                // One header for the whole file.
+                doc.extend(part.split_once('\n').map(|x| x.1).map(String::from));
+            }
+        }
+        if let Err(e) = sink::write(path, &doc) {
+            eprintln!("harness: writing {path}: {e}");
+            return 1;
+        }
+    }
+    0
+}
+
+/// Entry point for the thin figure binaries: runs `scenarios` with any
+/// extra CLI args passed through, then exits the process.
+pub fn bin_main(scenarios: &[&str], extra: Vec<String>) -> ! {
+    let mut args: Vec<String> = vec!["run".into()];
+    args.extend(scenarios.iter().map(|s| s.to_string()));
+    args.extend(extra);
+    std::process::exit(run_cli(args));
+}
+
+/// [`bin_main`] for wrapper binaries whose first positional argument
+/// historically selected a reduced run (e.g. `fig6 small`, `scaling
+/// small`): `variants` maps that argument to the scenario to run instead
+/// of `base`; any other arguments pass through unchanged.
+pub fn bin_main_with_variants(base: &str, variants: &[(&str, &str)], mut args: Vec<String>) -> ! {
+    let selected = args
+        .first()
+        .and_then(|a| variants.iter().find(|(arg, _)| arg == a))
+        .map(|&(_, scenario)| scenario);
+    let name = match selected {
+        Some(scenario) => {
+            args.remove(0);
+            scenario
+        }
+        None => base,
+    };
+    bin_main(&[name], args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_run_accepts_full_flag_set() {
+        let args: Vec<String> = [
+            "fig7",
+            "--threads",
+            "8",
+            "--ops",
+            "20",
+            "--seeds",
+            "1,2,3",
+            "--json",
+            "o.jsonl",
+            "--csv",
+            "-",
+            "--timing",
+            "--verbose",
+            "--no-table",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_run(&args).unwrap();
+        assert_eq!(o.scenarios, vec!["fig7"]);
+        assert_eq!(o.threads, Some(8));
+        assert_eq!(o.ops, Some(20));
+        assert_eq!(o.seeds, Some(vec![1, 2, 3]));
+        assert_eq!(o.json.as_deref(), Some("o.jsonl"));
+        assert_eq!(o.csv.as_deref(), Some("-"));
+        assert!(o.timing && o.verbose && o.no_table);
+    }
+
+    #[test]
+    fn parse_run_rejects_bad_input() {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(parse_run(&s(&[])).is_err());
+        assert!(parse_run(&s(&["fig99"])).is_err());
+        assert!(parse_run(&s(&["fig7", "--threads"])).is_err());
+        assert!(parse_run(&s(&["fig7", "--seeds", "a,b"])).is_err());
+        assert!(parse_run(&s(&["fig7", "--ops", "0"])).is_err());
+        assert!(parse_run(&s(&["fig7", "--threads", "0"])).is_err());
+        assert!(parse_run(&s(&["fig7", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn unknown_command_fails_cleanly() {
+        assert_eq!(run_cli(["frobnicate"]), 2);
+        assert_eq!(run_cli(Vec::<String>::new()), 2);
+        assert_eq!(run_cli(["--help"]), 0);
+        assert_eq!(run_cli(["list"]), 0);
+        assert_eq!(run_cli(["workloads"]), 0);
+    }
+
+    #[test]
+    fn static_scenarios_run_end_to_end() {
+        assert_eq!(
+            run_cli(["run", "table1", "table2", "fig9", "--no-table"]),
+            0
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! # scorpio-harness
+//!
+//! Experiment orchestration for the SCORPIO reproduction: the paper's
+//! evaluation — and every scaling study beyond it — is a grid of
+//! independent simulations (protocol × mesh size × workload × seed ×
+//! configuration knobs). This crate owns that grid end to end:
+//!
+//! * [`scenario`] — the declarative model: [`Knob`]s, [`Variant`]s,
+//!   [`SweepGrid`]s and named [`Scenario`]s,
+//! * [`registry`] — every figure/table of the paper as a registered
+//!   scenario (`fig6` … `table2`, plus reduced `-small` variants),
+//! * [`exec`] — a multi-threaded, work-stealing job executor whose
+//!   results are byte-identical for any worker count,
+//! * [`sink`] — deterministic JSON-lines and CSV result sinks,
+//! * [`table`] — the normalized-runtime pretty-printer,
+//! * [`cli`] — the `harness` command (`harness list`, `harness run fig7
+//!   --threads 8 --json out.jsonl`), which the nine `scorpio-bench`
+//!   figure binaries wrap.
+//!
+//! # Examples
+//!
+//! Run the Figure 7 protocol comparison on a tiny budget across all CPUs:
+//!
+//! ```
+//! use scorpio_harness::exec::{run_grid, ExecOptions};
+//! use scorpio_harness::registry;
+//!
+//! let scenario = registry::by_name("fig7").unwrap();
+//! let opts = ExecOptions { threads: 0, ops_per_core: 5, verbose: false };
+//! let results = run_grid(&scenario.grid, &opts);
+//! assert_eq!(results.len(), 20); // 4 workloads x 5 protocols
+//! println!("{}", (scenario.render)(&scenario, &results));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod exec;
+pub mod registry;
+pub mod scenario;
+pub mod sink;
+pub mod table;
+
+pub use exec::{run_grid, run_spec, ExecOptions, RunResult};
+pub use scenario::{Knob, RunSpec, Scenario, SweepGrid, Variant};
+pub use table::{print_normalized, render_normalized};
+
+use scorpio::{SystemConfig, SystemReport};
+use scorpio_workloads::{generate, WorkloadParams};
+
+/// Default operations per core for sweeps. Override with the `SCORPIO_OPS`
+/// environment variable (or `harness run --ops N`) to trade fidelity for
+/// speed.
+pub fn ops_per_core() -> usize {
+    std::env::var("SCORPIO_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150)
+}
+
+/// Runs `params` (scaled to [`ops_per_core`]) on `cfg` and returns the
+/// report — the single-run primitive the grid executor parallelizes.
+pub fn run_workload(cfg: SystemConfig, params: &WorkloadParams) -> SystemReport {
+    let scaled = params.clone().with_ops(ops_per_core());
+    let traces = generate(&scaled, cfg.cores(), cfg.seed);
+    let mut sys = scorpio::System::with_traces(cfg, traces);
+    sys.run_to_completion()
+}

@@ -1,0 +1,409 @@
+//! The declarative experiment model: knobs, sweep grids and scenarios.
+//!
+//! A [`SweepGrid`] is the cartesian product of five axes — workloads, mesh
+//! sides, protocols, configuration [`Variant`]s and seeds — optionally
+//! restricted by a filter (for non-rectangular sweeps such as the Section
+//! 5.3 VC-scaling study). [`SweepGrid::enumerate`] flattens the grid into
+//! an ordered, duplicate-free list of [`RunSpec`]s that the executor can
+//! run in any order and on any number of threads without changing results.
+
+use scorpio::{Protocol, SystemConfig};
+use scorpio_workloads::WorkloadParams;
+
+/// One settable configuration knob, applied on top of the square-mesh
+/// baseline produced by [`SystemConfig::square`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Knob {
+    /// Channel width in bytes (Figure 8a).
+    ChannelBytes(u32),
+    /// GO-REQ virtual channels (Figure 8b, Section 5.3).
+    GoreqVcs(u8),
+    /// UO-RESP virtual channels (Figure 8c).
+    UoRespVcs(u8),
+    /// Notification bits per core (Figure 8d).
+    NotificationBits(u8),
+    /// Outstanding misses per core (RSHRs move together).
+    Outstanding(usize),
+    /// Pipelined vs non-pipelined uncore (Figure 10).
+    PipelinedUncore(bool),
+    /// Lookahead bypassing on/off (ablation).
+    Bypass(bool),
+    /// Region-tracker snoop filter on/off (ablation).
+    RegionTracker(bool),
+    /// FID-list capacity (ablation).
+    FidCapacity(usize),
+    /// Extra cycles over the minimum notification window (ablation).
+    NotificationWindowSlack(u64),
+    /// Total directory-cache storage in bytes (Figure 6 scaling note).
+    DirTotalBytes(usize),
+}
+
+impl Knob {
+    /// Applies the knob to a configuration.
+    pub fn apply(self, mut cfg: SystemConfig) -> SystemConfig {
+        match self {
+            Knob::ChannelBytes(b) => cfg.with_channel_bytes(b),
+            Knob::GoreqVcs(v) => cfg.with_goreq_vcs(v),
+            Knob::UoRespVcs(v) => cfg.with_uoresp_vcs(v),
+            Knob::NotificationBits(b) => cfg.with_notification_bits(b),
+            Knob::Outstanding(n) => cfg.with_outstanding(n),
+            Knob::PipelinedUncore(p) => cfg.with_pipelined_uncore(p),
+            Knob::Bypass(on) => {
+                cfg.noc.bypass = on;
+                cfg
+            }
+            Knob::RegionTracker(on) => {
+                if !on {
+                    cfg.l2.region_entries = None;
+                }
+                cfg
+            }
+            Knob::FidCapacity(n) => {
+                cfg.l2.fid_capacity = n;
+                cfg
+            }
+            Knob::NotificationWindowSlack(s) => {
+                cfg.notification_window_slack = s;
+                cfg
+            }
+            Knob::DirTotalBytes(b) => {
+                cfg.dir_total_bytes = b;
+                cfg
+            }
+        }
+    }
+
+    /// Short label used in variant names and result rows.
+    pub fn label(self) -> String {
+        match self {
+            Knob::ChannelBytes(b) => format!("CW={b}B"),
+            Knob::GoreqVcs(v) => format!("GO-VCs={v}"),
+            Knob::UoRespVcs(v) => format!("UO-VCs={v}"),
+            Knob::NotificationBits(b) => format!("BW={b}b"),
+            Knob::Outstanding(n) => format!("out={n}"),
+            Knob::PipelinedUncore(true) => "PL".into(),
+            Knob::PipelinedUncore(false) => "non-PL".into(),
+            Knob::Bypass(true) => "bypass".into(),
+            Knob::Bypass(false) => "no-bypass".into(),
+            Knob::RegionTracker(true) => "region-tracker".into(),
+            Knob::RegionTracker(false) => "no-region-tracker".into(),
+            Knob::FidCapacity(n) => format!("fid-cap={n}"),
+            Knob::NotificationWindowSlack(s) => format!("slack={s}"),
+            Knob::DirTotalBytes(b) => format!("dir={b}B"),
+        }
+    }
+}
+
+/// A labelled bundle of knobs: one column of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variant {
+    /// Column label in tables and result rows.
+    pub label: String,
+    /// Knobs applied (in order) on top of the baseline configuration.
+    pub knobs: Vec<Knob>,
+}
+
+impl Variant {
+    /// The unmodified baseline configuration.
+    pub fn baseline() -> Variant {
+        Variant {
+            label: "baseline".into(),
+            knobs: Vec::new(),
+        }
+    }
+
+    /// A variant with an explicit label.
+    pub fn new(label: impl Into<String>, knobs: Vec<Knob>) -> Variant {
+        Variant {
+            label: label.into(),
+            knobs,
+        }
+    }
+
+    /// A single-knob variant labelled after the knob.
+    pub fn knob(k: Knob) -> Variant {
+        Variant {
+            label: k.label(),
+            knobs: vec![k],
+        }
+    }
+
+    /// Applies every knob to `cfg`.
+    pub fn apply(&self, mut cfg: SystemConfig) -> SystemConfig {
+        for k in &self.knobs {
+            cfg = k.apply(cfg);
+        }
+        cfg
+    }
+}
+
+/// A filter restricting a grid to a non-rectangular subset.
+pub type GridFilter = fn(&RunSpec) -> bool;
+
+/// The cartesian product defining one experiment sweep.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Workload axis.
+    pub workloads: Vec<WorkloadParams>,
+    /// Mesh-side axis (`k` ⇒ a `k × k` system with corner MCs).
+    pub mesh_sides: Vec<u16>,
+    /// Protocol axis.
+    pub protocols: Vec<Protocol>,
+    /// Configuration-variant axis.
+    pub variants: Vec<Variant>,
+    /// Seed axis (replicates).
+    pub seeds: Vec<u64>,
+    /// Knobs applied to *every* run before its variant.
+    pub base: Vec<Knob>,
+    /// Optional restriction for non-rectangular sweeps.
+    pub filter: Option<GridFilter>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> SweepGrid {
+        SweepGrid {
+            workloads: Vec::new(),
+            mesh_sides: vec![6],
+            protocols: vec![Protocol::Scorpio],
+            variants: vec![Variant::baseline()],
+            seeds: vec![1],
+            base: Vec::new(),
+            filter: None,
+        }
+    }
+}
+
+impl SweepGrid {
+    /// Grid over a set of workloads with all other axes at defaults.
+    pub fn over(workloads: Vec<WorkloadParams>) -> SweepGrid {
+        SweepGrid {
+            workloads,
+            ..SweepGrid::default()
+        }
+    }
+
+    /// Sets the mesh-side axis.
+    #[must_use]
+    pub fn meshes(mut self, sides: &[u16]) -> SweepGrid {
+        self.mesh_sides = sides.to_vec();
+        self
+    }
+
+    /// Sets the protocol axis.
+    #[must_use]
+    pub fn protocols(mut self, protocols: &[Protocol]) -> SweepGrid {
+        self.protocols = protocols.to_vec();
+        self
+    }
+
+    /// Sets the variant axis.
+    #[must_use]
+    pub fn variants(mut self, variants: Vec<Variant>) -> SweepGrid {
+        self.variants = variants;
+        self
+    }
+
+    /// Sets the seed axis.
+    #[must_use]
+    pub fn seeds(mut self, seeds: &[u64]) -> SweepGrid {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Adds grid-wide base knobs.
+    #[must_use]
+    pub fn with_base(mut self, base: Vec<Knob>) -> SweepGrid {
+        self.base = base;
+        self
+    }
+
+    /// Restricts the grid with `filter`.
+    #[must_use]
+    pub fn filtered(mut self, filter: GridFilter) -> SweepGrid {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Flattens the grid into its ordered run list.
+    ///
+    /// The order is the nested-loop order workload → mesh → protocol →
+    /// variant → seed, which is stable across calls; indices are assigned
+    /// after filtering, so `enumerate()[i].index == i` always holds. The
+    /// executor may *complete* runs in any order, but results are returned
+    /// in this order, which is what makes sweep output reproducible.
+    pub fn enumerate(&self) -> Vec<RunSpec> {
+        let mut specs = Vec::new();
+        for w in &self.workloads {
+            for &mesh_side in &self.mesh_sides {
+                for &protocol in &self.protocols {
+                    for v in &self.variants {
+                        for &seed in &self.seeds {
+                            let effective = Variant {
+                                label: v.label.clone(),
+                                knobs: self.base.iter().chain(&v.knobs).copied().collect(),
+                            };
+                            let spec = RunSpec {
+                                index: specs.len(),
+                                workload: w.clone(),
+                                mesh_side,
+                                protocol,
+                                variant: effective,
+                                seed,
+                            };
+                            if self.filter.is_none_or(|f| f(&spec)) {
+                                specs.push(spec);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// Number of runs the grid expands to.
+    pub fn len(&self) -> usize {
+        self.enumerate().len()
+    }
+
+    /// Whether the grid expands to zero runs (static scenarios).
+    pub fn is_empty(&self) -> bool {
+        self.enumerate().is_empty()
+    }
+}
+
+/// One fully-specified run: a point of the sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Position in the grid's enumeration order.
+    pub index: usize,
+    /// Workload parameters (ops-per-core is overridden by the executor).
+    pub workload: WorkloadParams,
+    /// Mesh side (`k` ⇒ `k × k`).
+    pub mesh_side: u16,
+    /// Ordering protocol.
+    pub protocol: Protocol,
+    /// Configuration variant (grid base knobs already folded in).
+    pub variant: Variant,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// Materializes the [`SystemConfig`] for this run.
+    pub fn config(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::square(self.mesh_side).with_protocol(self.protocol);
+        cfg.seed = self.seed;
+        self.variant.apply(cfg)
+    }
+
+    /// A human-readable identity key, unique within a grid.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}x{}/{}/{}/seed{}",
+            self.workload.name,
+            self.mesh_side,
+            self.mesh_side,
+            self.protocol.name(),
+            self.variant.label,
+            self.seed
+        )
+    }
+}
+
+/// A named, registered experiment: a grid plus its presentation.
+pub struct Scenario {
+    /// Registry name (`harness run <name>`).
+    pub name: &'static str,
+    /// Table title.
+    pub title: String,
+    /// One-line description for `harness list`.
+    pub about: &'static str,
+    /// The sweep to run (empty for static table scenarios).
+    pub grid: SweepGrid,
+    /// Renders the scenario's human-readable tables from its results.
+    pub render: fn(&Scenario, &[crate::exec::RunResult]) -> String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::over(vec![
+            WorkloadParams::by_name("lu").unwrap(),
+            WorkloadParams::by_name("fft").unwrap(),
+        ])
+        .meshes(&[2, 3])
+        .protocols(&[Protocol::Scorpio, Protocol::TokenB])
+        .variants(vec![Variant::baseline(), Variant::knob(Knob::GoreqVcs(6))])
+        .seeds(&[1, 2])
+    }
+
+    #[test]
+    fn enumeration_is_stable_and_duplicate_free() {
+        let g = small_grid();
+        let a = g.enumerate();
+        let b = g.enumerate();
+        assert_eq!(a, b, "enumeration must be stable");
+        assert_eq!(a.len(), 2 * 2 * 2 * 2 * 2);
+        let keys: HashSet<String> = a.iter().map(RunSpec::key).collect();
+        assert_eq!(keys.len(), a.len(), "keys must be unique");
+        for (i, s) in a.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+    }
+
+    #[test]
+    fn filter_restricts_and_reindexes() {
+        let g = small_grid().filtered(|s| s.mesh_side == 2);
+        let specs = g.enumerate();
+        assert_eq!(specs.len(), 16);
+        assert!(specs.iter().all(|s| s.mesh_side == 2));
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.index, i, "indices must be dense after filtering");
+        }
+    }
+
+    #[test]
+    fn base_knobs_fold_into_every_variant() {
+        let g = SweepGrid::over(vec![WorkloadParams::by_name("lu").unwrap()])
+            .meshes(&[2])
+            .with_base(vec![Knob::DirTotalBytes(8 * 1024)])
+            .variants(vec![Variant::baseline(), Variant::knob(Knob::GoreqVcs(6))]);
+        for spec in g.enumerate() {
+            assert_eq!(spec.config().dir_total_bytes, 8 * 1024);
+        }
+    }
+
+    #[test]
+    fn knobs_apply_and_label() {
+        let cfg = Knob::ChannelBytes(32).apply(SystemConfig::square(3));
+        assert_eq!(cfg.noc.channel_bytes, 32);
+        let cfg = Knob::Bypass(false).apply(SystemConfig::square(3));
+        assert!(!cfg.noc.bypass);
+        let cfg = Knob::RegionTracker(false).apply(SystemConfig::square(3));
+        assert!(cfg.l2.region_entries.is_none());
+        let cfg = Knob::NotificationWindowSlack(13).apply(SystemConfig::square(3));
+        assert_eq!(cfg.notification_window_slack, 13);
+        assert_eq!(Knob::GoreqVcs(6).label(), "GO-VCs=6");
+        assert_eq!(Knob::PipelinedUncore(false).label(), "non-PL");
+        let v = Variant::new("combo", vec![Knob::ChannelBytes(8), Knob::UoRespVcs(4)]);
+        let cfg = v.apply(SystemConfig::square(3));
+        assert_eq!(cfg.noc.channel_bytes, 8);
+        assert_eq!(cfg.noc.vnets[1].vcs, 4);
+    }
+
+    #[test]
+    fn specs_differ_by_seed_in_config_hash() {
+        let g = SweepGrid::over(vec![WorkloadParams::by_name("lu").unwrap()])
+            .meshes(&[2])
+            .seeds(&[1, 2]);
+        let specs = g.enumerate();
+        assert_ne!(
+            specs[0].config().stable_hash(),
+            specs[1].config().stable_hash()
+        );
+    }
+}

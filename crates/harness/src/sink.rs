@@ -1,0 +1,173 @@
+//! Structured result sinks: JSON lines and CSV.
+//!
+//! Both formats are fully deterministic by default — fixed key/column
+//! order, stable float formatting, no timestamps — so `harness run <s>
+//! --threads N` emits byte-identical files for every `N`. Per-run wall
+//! time is available behind [`SinkOptions::include_timing`] for profiling,
+//! which deliberately breaks byte-stability (and nothing else).
+
+use std::fs;
+use std::io::{self, Write};
+
+use crate::exec::RunResult;
+
+/// Sink configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SinkOptions {
+    /// Include per-run wall-clock nanoseconds. Off by default because it
+    /// makes output depend on the host rather than only on (scenario,
+    /// seed).
+    pub include_timing: bool,
+}
+
+/// One result as a JSON-lines record.
+pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
+    let timing = if opts.include_timing {
+        format!(r#""wall_nanos":{},"#, r.wall_nanos)
+    } else {
+        String::new()
+    };
+    format!(
+        r#"{{"scenario":{:?},"index":{},"workload":{:?},"mesh":{},"protocol":{:?},"variant":{:?},"seed":{},"config":{:?},"config_hash":"{:#018x}",{}"report":{}}}"#,
+        scenario,
+        r.spec.index,
+        r.spec.workload.name,
+        r.spec.mesh_side,
+        r.spec.protocol.name(),
+        r.spec.variant.label,
+        r.spec.seed,
+        r.config_label,
+        r.config_hash,
+        timing,
+        r.report.to_json(),
+    )
+}
+
+/// All results as a JSON-lines document (one record per line).
+pub fn jsonl(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&json_line(scenario, r, opts));
+        out.push('\n');
+    }
+    out
+}
+
+/// All results as a CSV document with a header row.
+pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
+    let mut out = String::new();
+    out.push_str("scenario,index,workload,mesh,variant,seed,config_hash,");
+    out.push_str(scorpio::SystemReport::csv_header());
+    if opts.include_timing {
+        out.push_str(",wall_nanos");
+    }
+    out.push('\n');
+    for r in results {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:#018x},{}",
+            scenario,
+            r.spec.index,
+            r.spec.workload.name,
+            r.spec.mesh_side,
+            r.spec.variant.label,
+            r.spec.seed,
+            r.config_hash,
+            r.report.csv_row(),
+        ));
+        if opts.include_timing {
+            out.push_str(&format!(",{}", r.wall_nanos));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `contents` to `path`, or to stdout when `path` is `-`.
+///
+/// A closed stdout pipe (`--json - | head`) counts as success: the
+/// reader got what it asked for.
+pub fn write(path: &str, contents: &str) -> io::Result<()> {
+    if path == "-" {
+        match io::stdout().write_all(contents.as_bytes()) {
+            Err(e) if e.kind() == io::ErrorKind::BrokenPipe => Ok(()),
+            other => other,
+        }
+    } else {
+        fs::write(path, contents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_grid, ExecOptions};
+    use crate::scenario::SweepGrid;
+    use scorpio_workloads::WorkloadParams;
+
+    fn results() -> Vec<RunResult> {
+        let grid = SweepGrid::over(vec![WorkloadParams::by_name("lu").unwrap()])
+            .meshes(&[2])
+            .seeds(&[1, 2]);
+        run_grid(
+            &grid,
+            &ExecOptions {
+                threads: 1,
+                ops_per_core: 5,
+                verbose: false,
+            },
+        )
+    }
+
+    #[test]
+    fn jsonl_shape_and_determinism() {
+        let rs = results();
+        let a = jsonl("demo", &rs, SinkOptions::default());
+        let b = jsonl("demo", &rs, SinkOptions::default());
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 2);
+        let first = a.lines().next().unwrap();
+        assert!(first.starts_with(r#"{"scenario":"demo","index":0,"workload":"lu","#));
+        assert!(first.contains(r#""config_hash":"0x"#));
+        assert!(first.contains(r#""report":{"protocol":"#));
+        assert!(!first.contains("wall_nanos"));
+        // Braces balance on every line (cheap well-formedness check
+        // without a JSON parser in the dependency-free build).
+        for line in a.lines() {
+            let open = line.matches('{').count();
+            let close = line.matches('}').count();
+            assert_eq!(open, close, "unbalanced braces in {line}");
+        }
+    }
+
+    #[test]
+    fn timing_is_opt_in() {
+        let rs = results();
+        let with = jsonl(
+            "demo",
+            &rs,
+            SinkOptions {
+                include_timing: true,
+            },
+        );
+        assert!(with.contains("wall_nanos"));
+        let csv_with = csv(
+            "demo",
+            &rs,
+            SinkOptions {
+                include_timing: true,
+            },
+        );
+        assert!(csv_with.lines().next().unwrap().ends_with(",wall_nanos"));
+    }
+
+    #[test]
+    fn csv_rows_match_header() {
+        let rs = results();
+        let doc = csv("demo", &rs, SinkOptions::default());
+        let mut lines = doc.lines();
+        let header = lines.next().unwrap().split(',').count();
+        for line in lines {
+            assert_eq!(line.split(',').count(), header);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The harness's central guarantee: a sweep's serialized results depend
+//! only on (scenario, seeds, ops-per-core) — never on worker count,
+//! scheduling, or completion order.
+
+use scorpio_harness::exec::{run_grid, ExecOptions};
+use scorpio_harness::registry;
+use scorpio_harness::sink::{self, SinkOptions};
+use std::collections::HashSet;
+
+fn opts(threads: usize) -> ExecOptions {
+    ExecOptions {
+        threads,
+        ops_per_core: 10,
+        verbose: false,
+    }
+}
+
+/// `harness run fig7 --threads N` must emit byte-identical JSON and CSV
+/// for every `N` — the acceptance bar for the parallel executor.
+#[test]
+fn fig7_results_are_byte_identical_across_thread_counts() {
+    let scenario = registry::by_name("fig7").expect("fig7 is registered");
+    let baseline_results = run_grid(&scenario.grid, &opts(1));
+    let baseline_json = sink::jsonl("fig7", &baseline_results, SinkOptions::default());
+    let baseline_csv = sink::csv("fig7", &baseline_results, SinkOptions::default());
+    assert_eq!(baseline_results.len(), 20);
+
+    for threads in [2, 4, 8] {
+        let results = run_grid(&scenario.grid, &opts(threads));
+        assert_eq!(
+            baseline_json,
+            sink::jsonl("fig7", &results, SinkOptions::default()),
+            "JSON output changed at {threads} threads"
+        );
+        assert_eq!(
+            baseline_csv,
+            sink::csv("fig7", &results, SinkOptions::default()),
+            "CSV output changed at {threads} threads"
+        );
+    }
+}
+
+/// The same holds for a grid with a seed axis and for the table render.
+#[test]
+fn seeded_sweep_and_tables_are_thread_count_invariant() {
+    let mut scenario = registry::by_name("ablation-small").expect("registered");
+    scenario.grid.seeds = vec![1, 7];
+    let serial = run_grid(&scenario.grid, &opts(1));
+    let parallel = run_grid(&scenario.grid, &opts(6));
+    assert_eq!(
+        sink::jsonl("ablation-small", &serial, SinkOptions::default()),
+        sink::jsonl("ablation-small", &parallel, SinkOptions::default()),
+    );
+    assert_eq!(
+        (scenario.render)(&scenario, &serial),
+        (scenario.render)(&scenario, &parallel),
+    );
+}
+
+/// Sweep-grid enumeration is stable and duplicate-free for every
+/// registered scenario, including the filtered (non-rectangular) ones.
+#[test]
+fn every_registered_grid_enumerates_stably_without_duplicates() {
+    for scenario in registry::scenarios() {
+        let a = scenario.grid.enumerate();
+        let b = scenario.grid.enumerate();
+        assert_eq!(a, b, "{}: enumeration unstable", scenario.name);
+        let keys: HashSet<String> = a.iter().map(|s| s.key()).collect();
+        assert_eq!(keys.len(), a.len(), "{}: duplicate specs", scenario.name);
+        for (i, spec) in a.iter().enumerate() {
+            assert_eq!(spec.index, i, "{}: sparse indices", scenario.name);
+        }
+    }
+}
+
+/// Different seeds must actually produce different results (the seed axis
+/// is not decorative).
+#[test]
+fn seeds_change_results() {
+    let mut scenario = registry::by_name("fig7").expect("registered");
+    scenario.grid.workloads.truncate(1);
+    scenario.grid.protocols.truncate(1);
+    scenario.grid.seeds = vec![1, 2];
+    let results = run_grid(&scenario.grid, &opts(2));
+    assert_eq!(results.len(), 2);
+    assert_ne!(results[0].config_hash, results[1].config_hash);
+    assert_ne!(
+        results[0].report.to_json(),
+        results[1].report.to_json(),
+        "different seeds should perturb the simulation"
+    );
+}
+
+/// A ≥4-worker fig7 sweep should beat the serial baseline wall-clock.
+/// Ignored by default: the assertion is only meaningful on a multi-core
+/// host (run with `cargo test -- --ignored` there).
+#[test]
+#[ignore = "timing assertion; requires a multi-core host"]
+fn parallel_sweep_is_faster_than_serial() {
+    let scenario = registry::by_name("fig7").expect("registered");
+    // Long enough runs that per-run wall time dwarfs thread overhead.
+    let long = |threads| ExecOptions {
+        threads,
+        ops_per_core: 60,
+        verbose: false,
+    };
+    let t0 = std::time::Instant::now();
+    let serial = run_grid(&scenario.grid, &long(1));
+    let serial_wall = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let parallel = run_grid(&scenario.grid, &long(4));
+    let parallel_wall = t1.elapsed();
+    assert_eq!(serial.len(), parallel.len());
+    assert!(
+        parallel_wall < serial_wall,
+        "4 workers ({parallel_wall:?}) should beat serial ({serial_wall:?})"
+    );
+}

@@ -51,9 +51,15 @@ impl CacheArray {
     ///
     /// Panics unless `sets` is a power of two and both counts are non-zero.
     pub fn new(sets: usize, ways: usize, line_bytes: u64) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be non-zero");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         CacheArray {
             sets: vec![Vec::with_capacity(ways); sets],
             ways,
@@ -121,7 +127,10 @@ impl CacheArray {
     /// Peeks without touching LRU (for snoops that miss).
     pub fn peek(&self, addr: LineAddr) -> Option<&Line> {
         let set = self.set_index(addr);
-        self.sets[set].iter().find(|w| w.line.addr == addr).map(|w| &w.line)
+        self.sets[set]
+            .iter()
+            .find(|w| w.line.addr == addr)
+            .map(|w| &w.line)
     }
 
     /// Inserts `line`, returning the evicted victim if the set was full.
@@ -227,7 +236,9 @@ mod tests {
         // Lines 0 and 2 map to set 0; line 1 maps to set 1.
         c.insert(line(0, LineState::S, 0));
         c.insert(line(1, LineState::S, 1));
-        let v = c.insert(line(2, LineState::S, 2)).expect("conflict eviction");
+        let v = c
+            .insert(line(2, LineState::S, 2))
+            .expect("conflict eviction");
         assert_eq!(v.addr, LineAddr(0));
         assert!(c.peek(LineAddr(32)).is_some());
     }

@@ -444,12 +444,7 @@ impl SnoopyL2 {
             return false;
         };
         let line = LineAddr::containing(req.addr, self.cfg.line_bytes);
-        if self
-            .rshr
-            .iter()
-            .flatten()
-            .any(|e| e.addr == line)
-        {
+        if self.rshr.iter().flatten().any(|e| e.addr == line) {
             return false;
         }
         if self.wb_buf.iter().any(|w| w.addr == line) {
@@ -517,7 +512,9 @@ impl SnoopyL2 {
         // Pending-miss interactions take precedence over the array.
         if let Some(tag) = self.find_rshr(addr) {
             let fid_cap = self.cfg.fid_capacity;
-            let entry = self.rshr[tag].as_mut().expect("find_rshr returned live tag");
+            let entry = self.rshr[tag]
+                .as_mut()
+                .expect("find_rshr returned live tag");
             if entry.ordered && entry.kind == MsgKind::GetX {
                 // We own the line as of our position: record and forward
                 // after our write completes.
@@ -540,7 +537,11 @@ impl SnoopyL2 {
             // array (e.g. invalidate our S copy under a pending upgrade).
         }
         // Writeback buffer still owns evicted dirty lines until ordered.
-        if let Some(pos) = self.wb_buf.iter().position(|w| w.addr == addr && !w.squashed) {
+        if let Some(pos) = self
+            .wb_buf
+            .iter()
+            .position(|w| w.addr == addr && !w.squashed)
+        {
             let value = self.wb_buf[pos].value;
             match kind {
                 MsgKind::GetS => {
@@ -775,11 +776,7 @@ impl SnoopyL2 {
 
         // Forward to everyone recorded while the write was pending.
         if entry.kind == MsgKind::GetX && !entry.fids.is_empty() {
-            let final_value = self
-                .array
-                .peek(entry.addr)
-                .expect("just installed")
-                .value;
+            let final_value = self.array.peek(entry.addr).expect("just installed").value;
             for fid in entry.fids.entries() {
                 let fwd = CohMsg::new(
                     MsgKind::Data,
@@ -873,8 +870,14 @@ impl SnoopyL2 {
     }
 
     fn send_data(&mut self, req: CohMsg, value: u64) {
-        let reply = CohMsg::new(MsgKind::Data, req.addr, req.requester, req.req_tag, self.my_ep())
-            .with_value(value);
+        let reply = CohMsg::new(
+            MsgKind::Data,
+            req.addr,
+            req.requester,
+            req.req_tag,
+            self.my_ep(),
+        )
+        .with_value(value);
         self.outbox.push_back(L2Out::Unicast {
             dest: Endpoint::tile(scorpio_noc::RouterId(req.requester)),
             msg: reply,
@@ -910,8 +913,12 @@ impl SnoopyL2 {
         }
         out.push_str(&format!(
             "  q core={} snoop={} resp={} stage={} outbox={} core_resps={}\n",
-            self.core_q.len(), self.snoop_q.len(), self.resp_q.len(),
-            self.stage.len(), self.outbox.len(), self.core_resps.len()
+            self.core_q.len(),
+            self.snoop_q.len(),
+            self.resp_q.len(),
+            self.stage.len(),
+            self.outbox.len(),
+            self.core_resps.len()
         ));
         if let Some((ready, snoop)) = self.stage.snoops.front() {
             out.push_str(&format!("  stalled/next snoop ready={ready} {snoop:?}\n"));
@@ -921,7 +928,10 @@ impl SnoopyL2 {
 
     /// The current state of `addr` in the tag array (tests/diagnostics).
     pub fn line_state(&self, addr: LineAddr) -> LineState {
-        self.array.peek(addr).map(|l| l.state).unwrap_or(LineState::I)
+        self.array
+            .peek(addr)
+            .map(|l| l.state)
+            .unwrap_or(LineState::I)
     }
 
     /// The current value of `addr` if resident.

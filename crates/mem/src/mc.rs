@@ -118,7 +118,13 @@ impl MemoryController {
     /// # Panics
     ///
     /// Panics if `mc_total` is zero or the index is out of range.
-    pub fn new(ep: Endpoint, mc_index: usize, mc_total: usize, line_bytes: u64, cfg: McConfig) -> Self {
+    pub fn new(
+        ep: Endpoint,
+        mc_index: usize,
+        mc_total: usize,
+        line_bytes: u64,
+        cfg: McConfig,
+    ) -> Self {
         assert!(mc_total > 0, "at least one MC port required");
         assert!(mc_index < mc_total, "MC index out of range");
         let dir_cache =
@@ -164,7 +170,11 @@ impl MemoryController {
                     self.stats.dir_misses.incr();
                 }
                 let lat = self.cfg.dir_latency
-                    + if dir_hit { 0 } else { self.cfg.dir_miss_penalty };
+                    + if dir_hit {
+                        0
+                    } else {
+                        self.cfg.dir_miss_penalty
+                    };
                 let owner = self.store.owner(msg.addr);
                 let resp = PendingResp {
                     ready: now + lat + self.cfg.dram_latency,
@@ -203,8 +213,12 @@ impl MemoryController {
                         self.early_wb.insert(msg.addr, (from, value));
                     }
                     self.awaiting_data.insert(msg.addr, msg.requester);
-                    self.store
-                        .set_owner(msg.addr, Owner::MemoryPendingWb { from: msg.requester });
+                    self.store.set_owner(
+                        msg.addr,
+                        Owner::MemoryPendingWb {
+                            from: msg.requester,
+                        },
+                    );
                 } else {
                     // An earlier-ordered GETX took the line; the evictor's
                     // writeback was squashed on its side too.
@@ -226,7 +240,11 @@ impl MemoryController {
             self.store.write_value(msg.addr, msg.value);
             // Only hand the line back to memory if no later GETX already
             // re-owned it.
-            if self.store.owner(msg.addr) == (Owner::MemoryPendingWb { from: msg.requester }) {
+            if self.store.owner(msg.addr)
+                == (Owner::MemoryPendingWb {
+                    from: msg.requester,
+                })
+            {
                 self.store.set_owner(msg.addr, Owner::Memory);
             }
             self.release_waiters(msg.addr, now);
@@ -382,12 +400,24 @@ mod tests {
         // Cache 2 evicts: WbReq then WbData.
         let wb = OrderedSnoop {
             own: false,
-            msg: CohMsg::new(MsgKind::WbReq, LineAddr(0x40), 2, 0, Endpoint::tile(RouterId(2))),
+            msg: CohMsg::new(
+                MsgKind::WbReq,
+                LineAddr(0x40),
+                2,
+                0,
+                Endpoint::tile(RouterId(2)),
+            ),
         };
         m.snoop(wb, Cycle::new(400));
         assert_eq!(m.owner(LineAddr(0x40)), Owner::MemoryPendingWb { from: 2 });
-        let data = CohMsg::new(MsgKind::WbData, LineAddr(0x40), 2, 0, Endpoint::tile(RouterId(2)))
-            .with_value(77);
+        let data = CohMsg::new(
+            MsgKind::WbData,
+            LineAddr(0x40),
+            2,
+            0,
+            Endpoint::tile(RouterId(2)),
+        )
+        .with_value(77);
         m.wb_data(data, Cycle::new(410));
         assert_eq!(m.owner(LineAddr(0x40)), Owner::Memory);
         assert_eq!(m.memory_value(LineAddr(0x40)), 77);
@@ -400,7 +430,13 @@ mod tests {
         let _ = run_until_out(&mut m, Cycle::ZERO, 300);
         let wb = OrderedSnoop {
             own: false,
-            msg: CohMsg::new(MsgKind::WbReq, LineAddr(0x40), 2, 0, Endpoint::tile(RouterId(2))),
+            msg: CohMsg::new(
+                MsgKind::WbReq,
+                LineAddr(0x40),
+                2,
+                0,
+                Endpoint::tile(RouterId(2)),
+            ),
         };
         m.snoop(wb, Cycle::new(400));
         // A read arrives before the data: it must wait.
@@ -410,8 +446,14 @@ mod tests {
         }
         assert!(m.pop_out().is_none(), "responded before writeback data");
         assert_eq!(m.stats.wb_waits.get(), 1);
-        let data = CohMsg::new(MsgKind::WbData, LineAddr(0x40), 2, 0, Endpoint::tile(RouterId(2)))
-            .with_value(55);
+        let data = CohMsg::new(
+            MsgKind::WbData,
+            LineAddr(0x40),
+            2,
+            0,
+            Endpoint::tile(RouterId(2)),
+        )
+        .with_value(55);
         m.wb_data(data, Cycle::new(800));
         let (out, _) = run_until_out(&mut m, Cycle::new(801), 300);
         assert_eq!(out.msg.value, 55);
@@ -429,7 +471,13 @@ mod tests {
         assert_eq!(m.owner(LineAddr(0x40)), Owner::Cache(4));
         let wb = OrderedSnoop {
             own: false,
-            msg: CohMsg::new(MsgKind::WbReq, LineAddr(0x40), 2, 0, Endpoint::tile(RouterId(2))),
+            msg: CohMsg::new(
+                MsgKind::WbReq,
+                LineAddr(0x40),
+                2,
+                0,
+                Endpoint::tile(RouterId(2)),
+            ),
         };
         m.snoop(wb, Cycle::new(410));
         assert_eq!(m.owner(LineAddr(0x40)), Owner::Cache(4));
@@ -460,14 +508,26 @@ mod tests {
         let _ = run_until_out(&mut m, Cycle::ZERO, 300);
         let wb = OrderedSnoop {
             own: false,
-            msg: CohMsg::new(MsgKind::WbReq, LineAddr(0x40), 2, 0, Endpoint::tile(RouterId(2))),
+            msg: CohMsg::new(
+                MsgKind::WbReq,
+                LineAddr(0x40),
+                2,
+                0,
+                Endpoint::tile(RouterId(2)),
+            ),
         };
         m.snoop(wb, Cycle::new(400));
         // New writer ordered while the writeback data is in flight.
         m.snoop(getx(0x40, 9, 1), Cycle::new(405));
         assert_eq!(m.owner(LineAddr(0x40)), Owner::Cache(9));
-        let data = CohMsg::new(MsgKind::WbData, LineAddr(0x40), 2, 0, Endpoint::tile(RouterId(2)))
-            .with_value(123);
+        let data = CohMsg::new(
+            MsgKind::WbData,
+            LineAddr(0x40),
+            2,
+            0,
+            Endpoint::tile(RouterId(2)),
+        )
+        .with_value(123);
         m.wb_data(data, Cycle::new(500));
         let (out, _) = run_until_out(&mut m, Cycle::new(501), 300);
         assert_eq!(out.dest, Endpoint::tile(RouterId(9)));

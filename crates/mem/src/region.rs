@@ -149,7 +149,10 @@ mod tests {
         rt.line_filled(LineAddr(0x2000));
         rt.line_filled(LineAddr(0x3000)); // spills
         assert_eq!(rt.stats.overflows.get(), 1);
-        assert!(rt.may_be_present(LineAddr(0x3000)), "spilled region must still snoop");
+        assert!(
+            rt.may_be_present(LineAddr(0x3000)),
+            "spilled region must still snoop"
+        );
         // Freeing an entry promotes the spilled region.
         rt.line_evicted(LineAddr(0x1000));
         assert_eq!(rt.tracked_regions(), 2);

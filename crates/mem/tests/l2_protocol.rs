@@ -31,7 +31,9 @@ impl World {
         let mc_ep = Endpoint::mc(RouterId(0));
         let cfg = L2Config::chip(vec![mc_ep]);
         World {
-            l2s: (0..n).map(|t| SnoopyL2::new(t as u16, cfg.clone())).collect(),
+            l2s: (0..n)
+                .map(|t| SnoopyL2::new(t as u16, cfg.clone()))
+                .collect(),
             mc: MemoryController::new(mc_ep, 0, 1, 32, McConfig::default()),
             now: Cycle::ZERO,
             order_wire: VecDeque::new(),
@@ -43,11 +45,7 @@ impl World {
     fn step(&mut self) {
         let now = self.now;
         // Deliver due ordered snoops to every L2 (in order) and the MC.
-        while self
-            .order_wire
-            .front()
-            .is_some_and(|(at, _)| *at <= now)
-        {
+        while self.order_wire.front().is_some_and(|(at, _)| *at <= now) {
             // All L2 snoop queues must have room, else retry next cycle
             // (the NIC would hold the request in its buffers).
             let all_ready = self.l2s.iter().all(|l| l.snoop_ready());
@@ -60,13 +58,7 @@ impl World {
                     || l2.tile() == msg.requester;
                 l2.push_snoop(OrderedSnoop { own, msg });
             }
-            self.mc.snoop(
-                OrderedSnoop {
-                    own: false,
-                    msg,
-                },
-                now,
-            );
+            self.mc.snoop(OrderedSnoop { own: false, msg }, now);
         }
         // Deliver due unicasts.
         while self.uni_wire.front().is_some_and(|(at, _, _)| *at <= now) {
@@ -74,8 +66,7 @@ impl World {
                 let (_, dest, msg) = self.uni_wire.front().expect("checked");
                 match dest.slot {
                     LocalSlot::Tile => {
-                        msg.kind != MsgKind::Data
-                            || self.l2s[dest.router.index()].resp_ready()
+                        msg.kind != MsgKind::Data || self.l2s[dest.router.index()].resp_ready()
                     }
                     LocalSlot::Mc => true,
                 }
@@ -109,11 +100,13 @@ impl World {
         }
         self.mc.tick(now);
         while let Some(out) = self.mc.pop_out() {
-            self.uni_wire.push_back((now + UNI_DELAY, out.dest, out.msg));
+            self.uni_wire
+                .push_back((now + UNI_DELAY, out.dest, out.msg));
         }
         self.now = self.now.next();
     }
 
+    #[allow(dead_code)] // kept: handy when extending these protocol tests
     fn run(&mut self, cycles: u64) {
         for _ in 0..cycles {
             self.step();

@@ -156,7 +156,13 @@ impl<T: Payload> Nic<T> {
     /// `sid` is `Some` for tile NICs that issue ordered requests and `None`
     /// for memory-controller NICs (which observe the order but never
     /// inject into it). `cores` sizes the notification tracker.
-    pub fn new(ep: Endpoint, sid: Option<Sid>, mode: NicMode, cores: usize, cfg: NicConfig) -> Self {
+    pub fn new(
+        ep: Endpoint,
+        sid: Option<Sid>,
+        mode: NicMode,
+        cores: usize,
+        cfg: NicConfig,
+    ) -> Self {
         Nic {
             ep,
             sid,
@@ -262,8 +268,11 @@ impl<T: Payload> Nic<T> {
         payload: T,
         net: &mut Network<T>,
     ) -> Result<(), SendError> {
-        net.try_inject(self.ep, Packet::unicast(vnet, self.ep, dest, len_flits, payload))
-            .map_err(|_| SendError::NetworkFull)?;
+        net.try_inject(
+            self.ep,
+            Packet::unicast(vnet, self.ep, dest, len_flits, payload),
+        )
+        .map_err(|_| SendError::NetworkFull)?;
         self.stats.responses_sent.incr();
         Ok(())
     }

@@ -118,12 +118,7 @@ impl NotificationTracker {
 
     /// Total expected requests known to the tracker (current + queued).
     pub fn backlog(&self) -> usize {
-        self.current.len()
-            + self
-                .queue
-                .iter()
-                .map(|m| m.total() as usize)
-                .sum::<usize>()
+        self.current.len() + self.queue.iter().map(|m| m.total() as usize).sum::<usize>()
     }
 
     fn expand_next(&mut self) {

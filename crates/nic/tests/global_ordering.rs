@@ -111,7 +111,7 @@ fn staggered_random_injections_stay_ordered() {
     let mut w = World::new(mesh, NicConfig::default());
     let mut rng = SimRng::seed_from(77);
     let per_tile = 6u16;
-    let mut seq = vec![0u16; 16];
+    let mut seq = [0u16; 16];
     let mut remaining: usize = 16 * per_tile as usize;
     for _ in 0..6000 {
         if remaining > 0 {
@@ -153,7 +153,7 @@ fn stop_bit_pressure_does_not_break_ordering() {
     };
     let mut w = World::new(mesh, cfg);
     let per_tile = 8u16;
-    let mut seq = vec![0u16; 9];
+    let mut seq = [0u16; 9];
     for _ in 0..8000 {
         for i in 0..9u16 {
             if seq[i as usize] < per_tile {

@@ -202,7 +202,10 @@ impl<T: Payload> Network<T> {
     /// Panics if `cfg` fails [`NocConfig::validate`].
     pub fn new(mesh: Mesh, cfg: NocConfig) -> Self {
         cfg.validate().expect("invalid NoC configuration");
-        let routers: Vec<Router<T>> = mesh.routers().map(|r| Router::new(&mesh, &cfg, r)).collect();
+        let routers: Vec<Router<T>> = mesh
+            .routers()
+            .map(|r| Router::new(&mesh, &cfg, r))
+            .collect();
         let endpoints: Vec<Endpoint> = mesh.endpoints().collect();
         let inject = endpoints
             .iter()
@@ -342,7 +345,11 @@ impl<T: Payload> Network<T> {
     /// # Errors
     ///
     /// Returns the packet if the per-vnet injection queue is full.
-    pub fn try_inject(&mut self, ep: Endpoint, mut packet: Packet<T>) -> Result<u64, PushError<Packet<T>>> {
+    pub fn try_inject(
+        &mut self,
+        ep: Endpoint,
+        mut packet: Packet<T>,
+    ) -> Result<u64, PushError<Packet<T>>> {
         let idx = self.endpoint_index(ep);
         packet.inject_cycle = self.cycle;
         packet.uid = self.next_uid;
@@ -357,8 +364,7 @@ impl<T: Payload> Network<T> {
     /// Number of packets waiting (or mid-send) at `ep`'s injection port.
     pub fn inject_backlog(&self, ep: Endpoint) -> usize {
         let p = &self.inject[self.endpoint_index(ep)];
-        p.queues.iter().map(Fifo::len).sum::<usize>()
-            + p.sending.iter().flatten().count()
+        p.queues.iter().map(Fifo::len).sum::<usize>() + p.sending.iter().flatten().count()
     }
 
     /// Whether packet `uid` is still waiting in `ep`'s injection port (not
@@ -368,9 +374,7 @@ impl<T: Payload> Network<T> {
     /// deadlock-freedom argument rests on.
     pub fn inject_pending(&self, ep: Endpoint, uid: u64) -> bool {
         let p = &self.inject[self.endpoint_index(ep)];
-        p.queues
-            .iter()
-            .any(|q| q.iter().any(|pkt| pkt.uid == uid))
+        p.queues.iter().any(|q| q.iter().any(|pkt| pkt.uid == uid))
             || p.sending.iter().flatten().any(|s| s.packet.uid == uid)
     }
 
@@ -456,7 +460,9 @@ impl<T: Payload> Network<T> {
             self.last_progress = self.cycle;
         }
         for (ep_idx, vnet, vc, dealloc) in self.inject_credit_wire.take_due() {
-            self.inject[ep_idx].ds.on_credit(&self.cfg, vnet, vc, dealloc);
+            self.inject[ep_idx]
+                .ds
+                .on_credit(&self.cfg, vnet, vc, dealloc);
         }
 
         // Routers.
@@ -481,7 +487,15 @@ impl<T: Payload> Network<T> {
                 continue;
             }
             self.outbox.clear();
-            router.tick(&self.mesh, &self.cfg, &view, flits, las, credits, &mut self.outbox);
+            router.tick(
+                &self.mesh,
+                &self.cfg,
+                &view,
+                flits,
+                las,
+                credits,
+                &mut self.outbox,
+            );
             let rid = RouterId(ridx as u16);
             let outbox = std::mem::take(&mut self.outbox);
             for ev in &outbox {
@@ -553,10 +567,9 @@ impl<T: Payload> Network<T> {
     /// wires). Ejection buffers must also be empty.
     pub fn is_drained(&self) -> bool {
         self.routers.iter().all(Router::is_idle)
-            && self
-                .inject
-                .iter()
-                .all(|p| p.queues.iter().all(Fifo::is_empty) && p.sending.iter().all(Option::is_none))
+            && self.inject.iter().all(|p| {
+                p.queues.iter().all(Fifo::is_empty) && p.sending.iter().all(Option::is_none)
+            })
             && self
                 .eject
                 .iter()
@@ -587,11 +600,7 @@ impl<T: Payload> Network<T> {
         inject_credit_wire: &mut Wire<(usize, u8, u8, bool)>,
     ) {
         match ev {
-            RouterOut::Flit {
-                out_port,
-                vc,
-                flit,
-            } => match out_port {
+            RouterOut::Flit { out_port, vc, flit } => match out_port {
                 Port::Tile => {
                     eject_wire.push((rid.index(), flit.packet.vnet.0, *vc, *flit));
                 }
@@ -600,12 +609,7 @@ impl<T: Payload> Network<T> {
                         .mc_routers()
                         .binary_search(&rid)
                         .expect("MC flit at non-MC router");
-                    eject_wire.push((
-                        mesh.router_count() + pos,
-                        flit.packet.vnet.0,
-                        *vc,
-                        *flit,
-                    ));
+                    eject_wire.push((mesh.router_count() + pos, flit.packet.vnet.0, *vc, *flit));
                 }
                 p => {
                     let n = mesh.neighbor(rid, *p).expect("ST off the mesh edge");
@@ -658,8 +662,8 @@ impl<T: Payload> Network<T> {
         let cfg = &self.cfg;
         let port = &mut self.inject[idx];
         let vnets = cfg.vnets.len();
-        let has_work = port.sending.iter().any(Option::is_some)
-            || port.queues.iter().any(|q| !q.is_empty());
+        let has_work =
+            port.sending.iter().any(Option::is_some) || port.queues.iter().any(|q| !q.is_empty());
         if !has_work {
             return;
         }
@@ -673,7 +677,8 @@ impl<T: Payload> Network<T> {
                         packet: s.packet,
                         idx: s.next_idx,
                     };
-                    self.flit_wire.push((port.router, port.local_in, s.vc, flit));
+                    self.flit_wire
+                        .push((port.router, port.local_in, s.vc, flit));
                     s.next_idx += 1;
                     if s.next_idx < s.packet.len_flits {
                         port.sending[v] = Some(s);
@@ -766,7 +771,9 @@ mod tests {
         let mut net: Network<u64> = Network::new(mesh, NocConfig::scorpio());
         let src = Endpoint::tile(RouterId(0));
         let dst = Endpoint::tile(RouterId(15));
-        let uid = net.try_inject(src, Packet::response(src, dst, 3, 42)).unwrap();
+        let uid = net
+            .try_inject(src, Packet::response(src, dst, 3, 42))
+            .unwrap();
         let got = drain_all(&mut net, 200);
         assert!(net.is_drained(), "network failed to drain");
         // 3 flits, all at the destination, in order.
@@ -783,7 +790,9 @@ mod tests {
         let mesh = Mesh::square_with_corner_mcs(4);
         let mut net: Network<u64> = Network::new(mesh, NocConfig::scorpio());
         let src = Endpoint::tile(RouterId(5));
-        let uid = net.try_inject(src, Packet::request(src, Sid(5), 0, 99)).unwrap();
+        let uid = net
+            .try_inject(src, Packet::request(src, Sid(5), 0, 99))
+            .unwrap();
         let got = drain_all(&mut net, 400);
         assert!(net.is_drained(), "network failed to drain");
         // 16 tiles - 1 source + 4 MC endpoints = 19 copies.
@@ -823,7 +832,8 @@ mod tests {
         let mut net: Network<u64> = Network::new(mesh, NocConfig::scorpio());
         let src = Endpoint::tile(RouterId(0));
         let dst = Endpoint::tile(RouterId(3)); // 3 hops east
-        net.try_inject(src, Packet::response(src, dst, 1, 1)).unwrap();
+        net.try_inject(src, Packet::response(src, dst, 1, 1))
+            .unwrap();
         let got = drain_all(&mut net, 100);
         assert_eq!(got.len(), 1);
         let lat = net.stats().packet_latency.mean();
@@ -837,7 +847,6 @@ mod tests {
 
     #[test]
     fn bypass_disabled_increases_latency() {
-        let mesh = Mesh::new(4, 4, &[]);
         let mut fast_cfg = NocConfig::scorpio();
         fast_cfg.track_deliveries = false;
         let mut slow_cfg = fast_cfg.clone();
@@ -847,7 +856,8 @@ mod tests {
             let mut net: Network<u64> = Network::new(Mesh::new(4, 4, &[]), cfg);
             let src = Endpoint::tile(RouterId(0));
             let dst = Endpoint::tile(RouterId(15));
-            net.try_inject(src, Packet::response(src, dst, 1, 1)).unwrap();
+            net.try_inject(src, Packet::response(src, dst, 1, 1))
+                .unwrap();
             drain_all(&mut net, 300);
             net.stats().packet_latency.mean()
         };
@@ -902,7 +912,10 @@ mod tests {
         }
         assert!(net.is_drained(), "network wedged under random traffic");
         assert!(injected > 100, "test generated too little traffic");
-        assert!(consumed > injected, "broadcast copies should multiply flits");
+        assert!(
+            consumed > injected,
+            "broadcast copies should multiply flits"
+        );
     }
 
     #[test]
@@ -914,9 +927,13 @@ mod tests {
         let src = Endpoint::tile(RouterId(0));
         let dst = Endpoint::tile(RouterId(3));
         // Queue depth 2: third push without ticking must fail.
-        net.try_inject(src, Packet::response(src, dst, 1, 0)).unwrap();
-        net.try_inject(src, Packet::response(src, dst, 1, 1)).unwrap();
-        assert!(net.try_inject(src, Packet::response(src, dst, 1, 2)).is_err());
+        net.try_inject(src, Packet::response(src, dst, 1, 0))
+            .unwrap();
+        net.try_inject(src, Packet::response(src, dst, 1, 1))
+            .unwrap();
+        assert!(net
+            .try_inject(src, Packet::response(src, dst, 1, 2))
+            .is_err());
         assert_eq!(net.inject_backlog(src), 2);
     }
 

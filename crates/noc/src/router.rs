@@ -133,7 +133,10 @@ impl DownstreamState {
     /// Whether a request with `sid` is already in flight to / buffered at
     /// the downstream input port (point-to-point ordering constraint).
     pub(crate) fn sid_in_flight(&self, vnet: u8, sid: Sid) -> bool {
-        self.sid_in_vc[vnet as usize].iter().flatten().any(|s| *s == sid)
+        self.sid_in_vc[vnet as usize]
+            .iter()
+            .flatten()
+            .any(|s| *s == sid)
     }
 
     /// Whether VS could allocate a VC right now (without doing so).
@@ -162,7 +165,8 @@ impl DownstreamState {
     ) -> Option<u8> {
         let n = vnet as usize;
         let vcfg = &cfg.vnets[n];
-        let mut pick = (0..vcfg.vcs as usize).find(|&c| self.free_vc[n][c] && self.credits[n][c] > 0);
+        let mut pick =
+            (0..vcfg.vcs as usize).find(|&c| self.free_vc[n][c] && self.credits[n][c] > 0);
         if pick.is_none() && vcfg.ordered && rvc_ok {
             let r = vcfg.rvc_index() as usize;
             if self.free_vc[n][r] && self.credits[n][r] > 0 {
@@ -307,8 +311,12 @@ impl<T: Payload> Router<T> {
             sa_i_reg: [None; Port::COUNT],
             bypass_res: Default::default(),
             st_plan: Vec::new(),
-            sa_i_arb: (0..Port::COUNT).map(|_| RotatingArbiter::new(total_vcs)).collect(),
-            sa_o_arb: (0..Port::COUNT).map(|_| RotatingArbiter::new(Port::COUNT)).collect(),
+            sa_i_arb: (0..Port::COUNT)
+                .map(|_| RotatingArbiter::new(total_vcs))
+                .collect(),
+            sa_o_arb: (0..Port::COUNT)
+                .map(|_| RotatingArbiter::new(Port::COUNT))
+                .collect(),
             la_arb: RotatingArbiter::new(Port::COUNT),
             stats: RouterStats::default(),
             busy: 0,
@@ -417,11 +425,7 @@ impl<T: Payload> Router<T> {
         if cfg.bypass && flit.is_single() && !out_port.is_local() {
             out.push(RouterOut::La { out_port, flit });
         }
-        out.push(RouterOut::Flit {
-            out_port,
-            vc,
-            flit,
-        });
+        out.push(RouterOut::Flit { out_port, vc, flit });
     }
 
     /// Stage 1 (BW) or the bypass path for flits arriving this cycle.
@@ -467,7 +471,10 @@ impl<T: Payload> Router<T> {
         let vnet = a.flit.packet.vnet.0 as usize;
         let state = &mut self.inputs[a.port.index()][vnet][a.vc as usize];
         if a.flit.is_head() {
-            assert!(!state.active, "VC allocated while occupied (flow-control bug)");
+            assert!(
+                !state.active,
+                "VC allocated while occupied (flow-control bug)"
+            );
             state.active = true;
             self.busy += 1;
             let arrived_on = (!a.port.is_local()).then_some(a.port);
@@ -515,8 +522,15 @@ impl<T: Payload> Router<T> {
                 .iter()
                 .find(|l| l.port.index() == pidx)
                 .expect("LA request bitmap out of sync");
-            if !self.try_bypass(mesh, cfg, esid, la, &mut out_taken, &in_owner, &mut in_owner_bypass)
-            {
+            if !self.try_bypass(
+                mesh,
+                cfg,
+                esid,
+                la,
+                &mut out_taken,
+                &in_owner,
+                &mut in_owner_bypass,
+            ) {
                 self.stats.la_failures.incr();
             }
         }
@@ -647,7 +661,9 @@ impl<T: Payload> Router<T> {
             single = flit.is_single();
         }
         if single {
-            let rvc_ok = sid.map(|s| esid.rvc_eligible(id, out_port, s, seq)).unwrap_or(false);
+            let rvc_ok = sid
+                .map(|s| esid.rvc_eligible(id, out_port, s, seq))
+                .unwrap_or(false);
             let dvc = self.downstream[out_port.index()]
                 .as_mut()
                 .expect("grant toward absent port")
@@ -732,14 +748,18 @@ impl<T: Payload> Router<T> {
                     return false;
                 }
             }
-            let rvc_ok = sid.map(|s| esid.rvc_eligible(self.id, p, s, seq)).unwrap_or(false);
+            let rvc_ok = sid
+                .map(|s| esid.rvc_eligible(self.id, p, s, seq))
+                .unwrap_or(false);
             if !ds.can_alloc(cfg, vnet, rvc_ok) {
                 return false;
             }
         }
         let mut outs = Vec::with_capacity(route.len());
         for p in route.iter() {
-            let rvc_ok = sid.map(|s| esid.rvc_eligible(self.id, p, s, seq)).unwrap_or(false);
+            let rvc_ok = sid
+                .map(|s| esid.rvc_eligible(self.id, p, s, seq))
+                .unwrap_or(false);
             let dvc = self.downstream[p.index()]
                 .as_mut()
                 .expect("checked above")
@@ -857,7 +877,14 @@ impl<T: Payload> Router<T> {
     /// Whether VC (`vnet`, `vc`) at `in_port` requests the switch: it holds
     /// a flit with somewhere to go *and* the downstream resources for at
     /// least one of its pending outputs are currently obtainable.
-    fn vc_requests(&self, cfg: &NocConfig, esid: &dyn EsidOracle, vnet: u8, vc: u8, in_port: Port) -> bool {
+    fn vc_requests(
+        &self,
+        cfg: &NocConfig,
+        esid: &dyn EsidOracle,
+        vnet: u8,
+        vc: u8,
+        in_port: Port,
+    ) -> bool {
         let state = &self.inputs[in_port.index()][vnet as usize][vc as usize];
         if !state.active || state.flits.is_empty() {
             return false;

@@ -240,10 +240,7 @@ mod tests {
             let mesh = Mesh::new(cols, rows, &[]);
             for src in mesh.routers() {
                 let deliveries = broadcast_deliveries(&mesh, src);
-                let tiles = deliveries
-                    .iter()
-                    .filter(|m| m.contains(Port::Tile))
-                    .count();
+                let tiles = deliveries.iter().filter(|m| m.contains(Port::Tile)).count();
                 assert_eq!(tiles, mesh.router_count() - 1, "{cols}x{rows} from {src}");
             }
         }

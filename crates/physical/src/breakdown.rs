@@ -40,34 +40,100 @@ pub struct Share {
 /// paper: core+L1 ≈ 62%, L2 ≈ 18%, NIC+router ≈ 19%).
 pub fn tile_power_breakdown() -> Vec<Share> {
     vec![
-        Share { component: Component::Core, percent: 54.0 },
-        Share { component: Component::L1Data, percent: 4.0 },
-        Share { component: Component::L1Inst, percent: 4.0 },
-        Share { component: Component::L2Controller, percent: 2.0 },
-        Share { component: Component::L2Array, percent: 7.0 },
-        Share { component: Component::Rshr, percent: 4.0 },
-        Share { component: Component::AhbAce, percent: 2.0 },
-        Share { component: Component::RegionTracker, percent: 0.5 },
-        Share { component: Component::L2Tester, percent: 2.0 },
-        Share { component: Component::NicRouter, percent: 19.0 },
-        Share { component: Component::Other, percent: 1.5 },
+        Share {
+            component: Component::Core,
+            percent: 54.0,
+        },
+        Share {
+            component: Component::L1Data,
+            percent: 4.0,
+        },
+        Share {
+            component: Component::L1Inst,
+            percent: 4.0,
+        },
+        Share {
+            component: Component::L2Controller,
+            percent: 2.0,
+        },
+        Share {
+            component: Component::L2Array,
+            percent: 7.0,
+        },
+        Share {
+            component: Component::Rshr,
+            percent: 4.0,
+        },
+        Share {
+            component: Component::AhbAce,
+            percent: 2.0,
+        },
+        Share {
+            component: Component::RegionTracker,
+            percent: 0.5,
+        },
+        Share {
+            component: Component::L2Tester,
+            percent: 2.0,
+        },
+        Share {
+            component: Component::NicRouter,
+            percent: 19.0,
+        },
+        Share {
+            component: Component::Other,
+            percent: 1.5,
+        },
     ]
 }
 
 /// The tile *area* breakdown of Figure 9b (caches ≈ 46%, NIC+router 10%).
 pub fn tile_area_breakdown() -> Vec<Share> {
     vec![
-        Share { component: Component::Core, percent: 32.0 },
-        Share { component: Component::L1Data, percent: 6.0 },
-        Share { component: Component::L1Inst, percent: 6.0 },
-        Share { component: Component::L2Controller, percent: 2.0 },
-        Share { component: Component::L2Array, percent: 34.0 },
-        Share { component: Component::Rshr, percent: 4.0 },
-        Share { component: Component::AhbAce, percent: 4.0 },
-        Share { component: Component::RegionTracker, percent: 0.5 },
-        Share { component: Component::L2Tester, percent: 2.0 },
-        Share { component: Component::NicRouter, percent: 10.0 },
-        Share { component: Component::Other, percent: -0.5 },
+        Share {
+            component: Component::Core,
+            percent: 32.0,
+        },
+        Share {
+            component: Component::L1Data,
+            percent: 6.0,
+        },
+        Share {
+            component: Component::L1Inst,
+            percent: 6.0,
+        },
+        Share {
+            component: Component::L2Controller,
+            percent: 2.0,
+        },
+        Share {
+            component: Component::L2Array,
+            percent: 34.0,
+        },
+        Share {
+            component: Component::Rshr,
+            percent: 4.0,
+        },
+        Share {
+            component: Component::AhbAce,
+            percent: 4.0,
+        },
+        Share {
+            component: Component::RegionTracker,
+            percent: 0.5,
+        },
+        Share {
+            component: Component::L2Tester,
+            percent: 2.0,
+        },
+        Share {
+            component: Component::NicRouter,
+            percent: 10.0,
+        },
+        Share {
+            component: Component::Other,
+            percent: -0.5,
+        },
     ]
 }
 
@@ -124,14 +190,21 @@ mod tests {
         let p = tile_power_breakdown();
         let pct = |c: Component| p.iter().find(|s| s.component == c).unwrap().percent;
         // Core + L1s ≈ 62% of tile power.
-        assert!((pct(Component::Core) + pct(Component::L1Data) + pct(Component::L1Inst) - 62.0).abs() < 1.0);
+        assert!(
+            (pct(Component::Core) + pct(Component::L1Data) + pct(Component::L1Inst) - 62.0).abs()
+                < 1.0
+        );
         // NIC + router ≈ 19%.
         assert!((pct(Component::NicRouter) - 19.0).abs() < 0.5);
 
         let a = tile_area_breakdown();
         let apct = |c: Component| a.iter().find(|s| s.component == c).unwrap().percent;
         // Caches ≈ 46% of tile area (L1s + L2 array).
-        assert!((apct(Component::L1Data) + apct(Component::L1Inst) + apct(Component::L2Array) - 46.0).abs() < 1.0);
+        assert!(
+            (apct(Component::L1Data) + apct(Component::L1Inst) + apct(Component::L2Array) - 46.0)
+                .abs()
+                < 1.0
+        );
         assert!((apct(Component::NicRouter) - 10.0).abs() < 0.5);
     }
 

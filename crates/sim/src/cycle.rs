@@ -56,7 +56,7 @@ impl Cycle {
     #[inline]
     pub const fn is_multiple_of(self, period: u64) -> bool {
         assert!(period > 0, "period must be non-zero");
-        self.0 % period == 0
+        self.0.is_multiple_of(period)
     }
 
     /// Saturating distance from `earlier` to `self`, in cycles.

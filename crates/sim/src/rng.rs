@@ -1,14 +1,13 @@
 //! Deterministic random number generation for reproducible simulations.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// A deterministic, seedable random-number generator.
 ///
 /// Every stochastic choice in the simulator (synthetic workload addresses,
 /// traffic patterns, jitter) flows through a `SimRng` so that a run is fully
-/// reproducible from its seed. Wraps [`rand::rngs::SmallRng`] behind a small
-/// API so the `rand` version is not part of this crate's public contract.
+/// reproducible from its seed. Internally this is xoshiro256++ seeded via
+/// SplitMix64 — a small, dependency-free generator with well-studied
+/// statistical quality — behind a small API so the algorithm is not part of
+/// this crate's public contract.
 ///
 /// # Examples
 ///
@@ -23,14 +22,29 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
@@ -46,9 +60,19 @@ impl SimRng {
         SimRng::seed_from(mixed)
     }
 
-    /// The next raw 64-bit value.
+    /// The next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// A uniform value in `0..bound`.
@@ -58,7 +82,19 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn gen_range_u64(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "gen_range bound must be non-zero");
-        self.inner.gen_range(0..bound)
+        // Debiased multiply-shift (Lemire): uniform without modulo bias.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// A uniform `usize` in `0..bound`.
@@ -68,13 +104,15 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn gen_range_usize(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "gen_range bound must be non-zero");
-        self.inner.gen_range(0..bound)
+        self.gen_range_u64(bound as u64) as usize
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen::<f64>() < p
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
     }
 }
 
@@ -120,6 +158,18 @@ mod tests {
         for _ in 0..1000 {
             assert!(rng.gen_range_u64(17) < 17);
             assert!(rng.gen_range_usize(5) < 5);
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from(11);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[rng.gen_range_usize(8)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((800..1200).contains(&b), "bucket {i} = {b}");
         }
     }
 

@@ -251,7 +251,7 @@ mod tests {
             .map(|_| TicketLockProgram::new(0x100, 0x140, 0x180, 4))
             .collect();
         let mut last: Vec<Option<u64>> = vec![None; 3];
-        let mut live = vec![true; 3];
+        let mut live = [true; 3];
         let mut steps = 0;
         while live.iter().any(|&l| l) {
             for i in 0..3 {
@@ -289,7 +289,7 @@ mod tests {
         let mut progs: Vec<BarrierProgram> =
             (0..4).map(|_| BarrierProgram::new(0x200, 4, 3)).collect();
         let mut last: Vec<Option<u64>> = vec![None; 4];
-        let mut live = vec![true; 4];
+        let mut live = [true; 4];
         let mut steps = 0;
         while live.iter().any(|&l| l) {
             for i in 0..4 {

@@ -98,13 +98,9 @@ impl WorkloadParams {
     /// Every benchmark in Figure 6 (SPLASH-2 then PARSEC subset).
     pub fn figure6_set() -> Vec<WorkloadParams> {
         let mut v = Self::splash2();
-        v.extend(
-            Self::parsec()
-                .into_iter()
-                .filter(|p| {
-                    ["blackscholes", "canneal", "fluidanimate", "swaptions"].contains(&p.name)
-                }),
-        );
+        v.extend(Self::parsec().into_iter().filter(|p| {
+            ["blackscholes", "canneal", "fluidanimate", "swaptions"].contains(&p.name)
+        }));
         v
     }
 
@@ -116,12 +112,37 @@ impl WorkloadParams {
             .collect()
     }
 
+    /// Every named preset: SPLASH-2 then PARSEC, in registry order.
+    pub fn all() -> Vec<WorkloadParams> {
+        let mut v = Self::splash2();
+        v.extend(Self::parsec());
+        v
+    }
+
+    /// The names of every registered preset, in registry order.
+    pub fn names() -> Vec<&'static str> {
+        Self::all().iter().map(|p| p.name).collect()
+    }
+
     /// Looks a preset up by name.
     pub fn by_name(name: &str) -> Option<WorkloadParams> {
-        Self::splash2()
-            .into_iter()
-            .chain(Self::parsec())
-            .find(|p| p.name == name)
+        Self::all().into_iter().find(|p| p.name == name)
+    }
+
+    /// Looks a named *set* of presets up: the suites the paper sweeps.
+    ///
+    /// Recognized sets: `all`, `splash2`, `parsec`, `figure6`, `figure7`.
+    /// A single benchmark name is also accepted and yields a one-element
+    /// set, so every sweep-grid axis can be spelled as one string.
+    pub fn set_by_name(name: &str) -> Option<Vec<WorkloadParams>> {
+        match name {
+            "all" => Some(Self::all()),
+            "splash2" => Some(Self::splash2()),
+            "parsec" => Some(Self::parsec()),
+            "figure6" => Some(Self::figure6_set()),
+            "figure7" => Some(Self::figure7_set()),
+            single => Self::by_name(single).map(|p| vec![p]),
+        }
     }
 
     /// Same workload scaled to `ops` operations per core.
@@ -167,8 +188,7 @@ pub fn generate(params: &WorkloadParams, cores: usize, seed: u64) -> Vec<Trace> 
 
 fn generate_core(params: &WorkloadParams, core: usize, rng: &mut SimRng) -> Trace {
     let mut trace = Trace::new();
-    let mut last_private: u64 =
-        PRIVATE_BASE + core as u64 * PRIVATE_STRIDE;
+    let mut last_private: u64 = PRIVATE_BASE + core as u64 * PRIVATE_STRIDE;
     let mut pending_migratory: Option<u64> = None;
     for k in 0..params.ops_per_core {
         let gap = geometric(rng, params.mean_gap);
@@ -245,13 +265,40 @@ mod tests {
         let names: Vec<&str> = WorkloadParams::splash2().iter().map(|p| p.name).collect();
         assert_eq!(
             names,
-            vec!["barnes", "fft", "fmm", "lu", "nlu", "radix", "water-nsq", "water-spatial"]
+            vec![
+                "barnes",
+                "fft",
+                "fmm",
+                "lu",
+                "nlu",
+                "radix",
+                "water-nsq",
+                "water-spatial"
+            ]
         );
         assert_eq!(WorkloadParams::parsec().len(), 6);
         assert_eq!(WorkloadParams::figure6_set().len(), 12);
         assert_eq!(WorkloadParams::figure7_set().len(), 4);
         assert!(WorkloadParams::by_name("canneal").is_some());
         assert!(WorkloadParams::by_name("doom").is_none());
+    }
+
+    #[test]
+    fn registry_sets_resolve() {
+        assert_eq!(WorkloadParams::all().len(), 14);
+        assert_eq!(WorkloadParams::names().len(), 14);
+        assert_eq!(WorkloadParams::set_by_name("splash2").unwrap().len(), 8);
+        assert_eq!(WorkloadParams::set_by_name("parsec").unwrap().len(), 6);
+        assert_eq!(WorkloadParams::set_by_name("figure6").unwrap().len(), 12);
+        assert_eq!(WorkloadParams::set_by_name("figure7").unwrap().len(), 4);
+        let single = WorkloadParams::set_by_name("lu").unwrap();
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].name, "lu");
+        assert!(WorkloadParams::set_by_name("doom").is_none());
+        // Registry order is stable: names() pairs with all().
+        let names = WorkloadParams::names();
+        assert_eq!(names[0], "barnes");
+        assert_eq!(names[13], "vips");
     }
 
     #[test]
@@ -299,7 +346,9 @@ mod tests {
 
     #[test]
     fn private_regions_are_disjoint() {
-        let p = WorkloadParams::by_name("blackscholes").unwrap().with_ops(500);
+        let p = WorkloadParams::by_name("blackscholes")
+            .unwrap()
+            .with_ops(500);
         let traces = generate(&p, 3, 11);
         for (i, t) in traces.iter().enumerate() {
             for r in t.records() {

@@ -21,12 +21,18 @@ fn main() {
     let base = run(SystemConfig::square(4).with_channel_bytes(16), &params);
     for cw in [8u32, 16, 32] {
         let rt = run(SystemConfig::square(4).with_channel_bytes(cw), &params);
-        println!("  CW={cw:>2}B  runtime={rt:>8}  normalized={:.3}", rt as f64 / base as f64);
+        println!(
+            "  CW={cw:>2}B  runtime={rt:>8}  normalized={:.3}",
+            rt as f64 / base as f64
+        );
     }
 
     println!("GO-REQ VC sweep (radix, 4x4):");
     for vcs in [2u8, 4, 6] {
         let rt = run(SystemConfig::square(4).with_goreq_vcs(vcs), &params);
-        println!("  VCs={vcs}   runtime={rt:>8}  normalized={:.3}", rt as f64 / base as f64);
+        println!(
+            "  VCs={vcs}   runtime={rt:>8}  normalized={:.3}",
+            rt as f64 / base as f64
+        );
     }
 }

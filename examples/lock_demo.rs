@@ -11,8 +11,14 @@ use scorpio_coherence::LineAddr;
 use scorpio_workloads::{CoreProgram, TicketLockProgram};
 
 fn main() {
-    let k: u16 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(3);
-    let iters: u64 = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(4);
+    let k: u16 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let iters: u64 = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     let cfg = SystemConfig::square(k);
     let cores = cfg.cores() as u64;
     let (ticket, serving, counter) = (0x1_0000u64, 0x1_0040, 0x1_0080);
@@ -29,7 +35,9 @@ fn main() {
     let value = (0..cores as usize)
         .filter(|&t| sys.l2(t).line_state(addr).is_owner())
         .find_map(|t| sys.l2(t).line_value(addr))
-        .or_else(|| (0..4).find_map(|m| Some(sys.mc(m).memory_value(addr))))
+        // No cache owns it: memory does. Every MC snoops the full ordered
+        // stream, so each store tracks every line — MC 0 is authoritative.
+        .or_else(|| Some(sys.mc(0).memory_value(addr)))
         .expect("counter line vanished");
     println!(
         "{} cores x {} iterations under a ticket lock -> counter = {} (expected {})",

@@ -18,7 +18,7 @@ fn main() {
     let mut nics: Vec<Nic<&'static str>> = mesh
         .endpoints()
         .map(|ep| {
-            let sid = (ep.slot == LocalSlot::Tile).then(|| Sid(ep.router.0));
+            let sid = (ep.slot == LocalSlot::Tile).then_some(Sid(ep.router.0));
             Nic::new(ep, sid, NicMode::Ordered, cores, NicConfig::default())
         })
         .collect();
@@ -30,8 +30,12 @@ fn main() {
     println!("T1: core 11 injects M1 (GETX Addr1)");
     println!("T2: core  1 injects M2 (GETS Addr2)");
     let now = net.cycle();
-    nics[m1_src].try_send_request("M1(GETX Addr1)", now, &mut net).unwrap();
-    nics[m2_src].try_send_request("M2(GETS Addr2)", now, &mut net).unwrap();
+    nics[m1_src]
+        .try_send_request("M1(GETX Addr1)", now, &mut net)
+        .unwrap();
+    nics[m2_src]
+        .try_send_request("M2(GETS Addr2)", now, &mut net)
+        .unwrap();
     println!(
         "T3: both notifications broadcast at the next {}-cycle window boundary",
         notify.config().window
@@ -46,7 +50,11 @@ fn main() {
                 if logs[i].is_empty() {
                     println!(
                         "T5: {} receives {} first (SID == ESID {:?})",
-                        if i < cores { format!("core {i}") } else { format!("mc {}", i - cores) },
+                        if i < cores {
+                            format!("core {i}")
+                        } else {
+                            format!("mc {}", i - cores)
+                        },
                         d.payload,
                         d.sid
                     );

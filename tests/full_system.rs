@@ -32,10 +32,7 @@ fn scorpio_system_completes_synthetic_workload() {
 
 #[test]
 fn tokenb_and_inso_complete_the_same_workload() {
-    for protocol in [
-        Protocol::TokenB,
-        Protocol::Inso { expiry_window: 40 },
-    ] {
+    for protocol in [Protocol::TokenB, Protocol::Inso { expiry_window: 40 }] {
         let cfg = SystemConfig::square(3).with_protocol(protocol);
         let traces = small_workload(&cfg, 40);
         let mut sys = System::with_traces(cfg, traces);
@@ -59,7 +56,11 @@ fn directory_baselines_complete_and_pay_indirection() {
         if protocol.uses_directory() {
             assert!(r.dir_accesses > 0, "directory never consulted");
         }
-        runtimes.push((protocol.name(), r.runtime_cycles, r.l2_service_latency.mean()));
+        runtimes.push((
+            protocol.name(),
+            r.runtime_cycles,
+            r.l2_service_latency.mean(),
+        ));
     }
     // The paper's headline: SCORPIO beats both directory baselines.
     let scorpio = runtimes[0].1 as f64;
@@ -118,9 +119,7 @@ fn barrier_rounds_complete_on_scorpio() {
     let cfg = SystemConfig::square(3);
     let cores = cfg.cores() as u64;
     let programs: Vec<Box<dyn CoreProgram + Send>> = (0..cores)
-        .map(|_| {
-            Box::new(BarrierProgram::new(0x2_0000, cores, 2)) as Box<dyn CoreProgram + Send>
-        })
+        .map(|_| Box::new(BarrierProgram::new(0x2_0000, cores, 2)) as Box<dyn CoreProgram + Send>)
         .collect();
     let mut sys = System::with_programs(cfg, programs);
     sys.run_to_completion();

@@ -2,7 +2,7 @@
 //! throughput sanity of the main network under synthetic traffic patterns
 //! (the NoC-only methodology of the paper's Section 5.2 exploration).
 
-use scorpio_noc::{data_packet_flits, Endpoint, Mesh, Network, NocConfig, Packet, RouterId, Sid};
+use scorpio_noc::{data_packet_flits, Endpoint, Mesh, Network, NocConfig, Packet, RouterId};
 use scorpio_sim::SimRng;
 
 fn drain_step(net: &mut Network<u64>) {

@@ -38,7 +38,8 @@ fn single_flit_latency(hops: u16, bypass: bool) -> u64 {
     let mut net: Network<u64> = Network::new(mesh, cfg);
     let src = Endpoint::tile(RouterId(0));
     let dst = Endpoint::tile(RouterId(hops));
-    net.try_inject(src, Packet::response(src, dst, 1, 7)).unwrap();
+    net.try_inject(src, Packet::response(src, dst, 1, 7))
+        .unwrap();
     delivery_cycle(net, dst)
 }
 
@@ -90,14 +91,16 @@ fn multi_flit_tail_trails_head_by_flit_count() {
         let mut net: Network<u64> = Network::new(mesh.clone(), cfg.clone());
         let src = Endpoint::tile(RouterId(0));
         let dst = Endpoint::tile(RouterId(3));
-        net.try_inject(src, Packet::response(src, dst, 1, 7)).unwrap();
+        net.try_inject(src, Packet::response(src, dst, 1, 7))
+            .unwrap();
         delivery_cycle(net, dst)
     };
     let triple = {
         let mut net: Network<u64> = Network::new(mesh, cfg);
         let src = Endpoint::tile(RouterId(0));
         let dst = Endpoint::tile(RouterId(3));
-        net.try_inject(src, Packet::response(src, dst, 3, 7)).unwrap();
+        net.try_inject(src, Packet::response(src, dst, 3, 7))
+            .unwrap();
         delivery_cycle(net, dst)
     };
     // Multi-flit packets take the buffered path (no lookahead), so compare
@@ -110,7 +113,8 @@ fn multi_flit_tail_trails_head_by_flit_count() {
         let mut net: Network<u64> = Network::new(mesh, cfg);
         let src = Endpoint::tile(RouterId(0));
         let dst = Endpoint::tile(RouterId(3));
-        net.try_inject(src, Packet::response(src, dst, 1, 7)).unwrap();
+        net.try_inject(src, Packet::response(src, dst, 1, 7))
+            .unwrap();
         delivery_cycle(net, dst)
     };
     assert!(single < triple, "single {single} vs triple {triple}");
@@ -131,7 +135,8 @@ fn broadcast_farthest_copy_matches_unicast_distance() {
     let mut net: Network<u64> = Network::new(mesh, cfg);
     let src = Endpoint::tile(RouterId(0));
     let far = Endpoint::tile(RouterId(15));
-    net.try_inject(src, Packet::request(src, Sid(0), 0, 7)).unwrap();
+    net.try_inject(src, Packet::request(src, Sid(0), 0, 7))
+        .unwrap();
     let bcast = delivery_cycle(net, far);
     let uni = single_flit_latency(6, true) /* 6 hops on a line */;
     // Same Manhattan distance (6 hops): the broadcast copy pays at most a
