@@ -138,6 +138,28 @@ impl SystemConfig {
         self
     }
 
+    /// Replaces the mesh's MC placement with the proportional scheme
+    /// ([`Mesh::square_with_proportional_mcs`]): one MC per 16 tiles,
+    /// spread along the perimeter. The L2's MC-interleaving endpoints are
+    /// rewired to match. Required for the large-mesh scaling scenarios,
+    /// where four corner MCs cannot feed hundreds of cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh is not square.
+    #[must_use]
+    pub fn with_proportional_mcs(mut self) -> SystemConfig {
+        assert_eq!(
+            self.mesh.cols(),
+            self.mesh.rows(),
+            "proportional MC placement needs a square mesh"
+        );
+        let mesh = Mesh::square_with_proportional_mcs(self.mesh.cols());
+        self.l2.mc_endpoints = mesh.mc_routers().iter().map(|&r| Endpoint::mc(r)).collect();
+        self.mesh = mesh;
+        self
+    }
+
     /// Sets the pipelining of the uncore (L2 + NIC), Figure 10.
     #[must_use]
     pub fn with_pipelined_uncore(mut self, pipelined: bool) -> SystemConfig {

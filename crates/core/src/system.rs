@@ -22,9 +22,9 @@ use scorpio_mem::{L2Out, MemoryController, OrderedSnoop, SnoopyL2};
 use scorpio_nic::{Nic, NicMode};
 use scorpio_noc::{Endpoint, LocalSlot, Network, VnetId};
 use scorpio_notify::{NotifyConfig, NotifyNetwork};
-use scorpio_sim::Cycle;
+use scorpio_sim::{ActiveSet, Cycle};
 use scorpio_workloads::Trace;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// A full SCORPIO (or baseline) system.
 pub struct System {
@@ -53,6 +53,34 @@ pub struct System {
     expiry_sent: u64,
     watchdog: Cycle,
     watchdog_ops: u64,
+    // ---- Active-set engine state (see DESIGN.md, "wake/sleep protocol").
+    /// Tiles/MCs with pending work; drained (in ascending order) each
+    /// cycle so `tick_tiles`/`tick_mcs` only touch woken components.
+    tile_active: ActiveSet,
+    mc_active: ActiveSet,
+    tile_scratch: Vec<u32>,
+    mc_scratch: Vec<u32>,
+    ep_scratch: Vec<u32>,
+    /// Cached per-component completion state backing the incremental
+    /// [`System::is_complete`]: a component's flag is refreshed whenever it
+    /// is ticked, and a sleeping component cannot change it.
+    tile_quiet: Vec<bool>,
+    mc_quiet: Vec<bool>,
+    tiles_pending: usize,
+    mcs_pending: usize,
+    /// Running ops total (drivers report transitions; the watchdog reads
+    /// this instead of re-summing every driver every cycle).
+    ops_cache: Vec<u64>,
+    ops_total: u64,
+    /// Last notification window the wake logic has seen.
+    last_notify_window: Option<u64>,
+    /// Timed wake-ups: tiles sleeping through a compute gap, keyed by the
+    /// absolute cycle their driver's gap deadline expires.
+    timed_wakes: BTreeMap<u64, Vec<u32>>,
+    /// When set, tick every tile and MC each cycle and compute
+    /// [`System::is_complete`] by full scan — the pre-refactor engine,
+    /// kept as the equivalence/benchmark reference.
+    always_scan: bool,
 }
 
 impl System {
@@ -158,6 +186,11 @@ impl System {
             })
             .collect();
         let n_eps = endpoints.len();
+        let n_mcs = mcs.len();
+        let mut tile_active = ActiveSet::new(cores);
+        tile_active.wake_all();
+        let mut mc_active = ActiveSet::new(n_mcs);
+        mc_active.wake_all();
         System {
             net,
             notify,
@@ -177,6 +210,20 @@ impl System {
             expiry_sent: 0,
             watchdog: Cycle::ZERO,
             watchdog_ops: 0,
+            tile_active,
+            mc_active,
+            tile_scratch: Vec::new(),
+            mc_scratch: Vec::new(),
+            ep_scratch: Vec::new(),
+            tile_quiet: vec![false; cores],
+            mc_quiet: vec![false; n_mcs],
+            tiles_pending: cores,
+            mcs_pending: n_mcs,
+            ops_cache: vec![0; cores],
+            ops_total: 0,
+            last_notify_window: None,
+            timed_wakes: BTreeMap::new(),
+            always_scan: false,
             cfg,
         }
     }
@@ -191,14 +238,34 @@ impl System {
         self.net.cycle()
     }
 
+    /// Selects the always-scan engine: probe every tile, MC, router and
+    /// injection port each cycle, and compute [`System::is_complete`] by
+    /// full scan, exactly as the pre-refactor engine did. The active-set
+    /// engine (the default) is required to produce byte-identical
+    /// [`SystemReport`]s — asserted by the engine-equivalence suite — so
+    /// this switch exists to keep that claim testable and the speedup
+    /// measurable. Call before the first cycle.
+    pub fn set_always_scan(&mut self, scan: bool) {
+        self.always_scan = scan;
+        self.net.set_always_scan(scan);
+    }
+
     /// Whether every core has finished and the machine is quiescent.
+    ///
+    /// The active-set engine answers from incrementally maintained
+    /// counters (components report completion transitions as they tick);
+    /// the always-scan engine performs the full scan the counters mirror.
     pub fn is_complete(&self) -> bool {
-        self.drivers.iter().all(CoreDriver::is_done)
-            && self.l2s.iter().all(SnoopyL2::is_idle)
-            && self.mcs.iter().all(MemoryController::is_idle)
-            && self.pending_ordered.iter().all(Option::is_none)
-            && self.resp_hold.iter().all(Option::is_none)
-            && self.dir_homes.iter().all(DirHome::is_idle)
+        if self.always_scan {
+            self.drivers.iter().all(CoreDriver::is_done)
+                && self.l2s.iter().all(SnoopyL2::is_idle)
+                && self.mcs.iter().all(MemoryController::is_idle)
+                && self.pending_ordered.iter().all(Option::is_none)
+                && self.resp_hold.iter().all(Option::is_none)
+                && self.dir_homes.iter().all(DirHome::is_idle)
+        } else {
+            self.tiles_pending == 0 && self.mcs_pending == 0
+        }
     }
 
     /// Runs until completion (or `cfg.max_cycles`), returning the report.
@@ -211,16 +278,17 @@ impl System {
         let max = self.cfg.max_cycles;
         while !self.is_complete() && self.cycle().as_u64() < max {
             self.step();
-            let ops: u64 = self.drivers.iter().map(|d| d.ops_done).sum();
-            if ops > self.watchdog_ops {
-                self.watchdog_ops = ops;
+            // The ops total is maintained incrementally as drivers tick
+            // (a sleeping driver is done and cannot complete ops).
+            if self.ops_total > self.watchdog_ops {
+                self.watchdog_ops = self.ops_total;
                 self.watchdog = self.cycle();
             }
             assert!(
                 self.cycle() - self.watchdog < 50_000,
                 "system wedged: no op completed for 50k cycles at {} ({} ops done)",
                 self.cycle(),
-                ops
+                self.ops_total
             );
         }
         self.report()
@@ -236,126 +304,253 @@ impl System {
         if let Some(n) = self.notify.as_mut() {
             n.tick();
         }
+        self.apply_wakes();
+    }
+
+    /// Post-cycle wake propagation (active-set engine): endpoints whose
+    /// ejection buffers received flits wake their tile/MC, and a completed
+    /// notification window carrying announcements (or a stop bit) wakes
+    /// everyone — every NIC must observe it.
+    fn apply_wakes(&mut self) {
+        if self.always_scan {
+            return;
+        }
+        // Fire due timed wakes (gap deadlines) for the next cycle.
+        let next = self.net.cycle().as_u64();
+        while let Some(entry) = self.timed_wakes.first_entry() {
+            if *entry.key() > next {
+                break;
+            }
+            for t in entry.remove() {
+                self.tile_active.wake(t as usize);
+            }
+        }
+        let mut eps = std::mem::take(&mut self.ep_scratch);
+        self.net.take_woken_endpoints(&mut eps);
+        let cores = self.cfg.cores();
+        for &ep in &eps {
+            let ep = ep as usize;
+            if ep < cores {
+                self.tile_active.wake(ep);
+            } else {
+                self.mc_active.wake(ep - cores);
+            }
+        }
+        self.ep_scratch = eps;
+        if let Some(n) = &self.notify {
+            if let Some((w, msg)) = n.latest() {
+                if self.last_notify_window != Some(w) {
+                    self.last_notify_window = Some(w);
+                    // is_empty() is false for stop-bit windows too, so this
+                    // single check covers both wake triggers.
+                    if !msg.is_empty() {
+                        self.tile_active.wake_all();
+                        self.mc_active.wake_all();
+                    }
+                }
+            }
+        }
     }
 
     fn tick_tiles(&mut self, now: Cycle) {
-        let cores = self.cfg.cores();
-        for t in 0..cores {
-            // L2 → core completions, then inclusion invalidations.
-            while let Some(resp) = self.l2s[t].pop_core_resp() {
-                self.drivers[t].complete(now, resp);
-            }
-            while let Some(addr) = self.l2s[t].pop_l1_invalidation() {
-                self.drivers[t].l1_mut().invalidate(addr);
-            }
-            // Ordered deliveries into the snoop queue.
-            match self.cfg.protocol {
-                Protocol::Scorpio => {
-                    while self.l2s[t].snoop_ready() {
-                        let Some(d) = self.nics[t].pop_ordered() else {
-                            break;
-                        };
-                        self.l2s[t].push_snoop(OrderedSnoop {
-                            own: d.own,
-                            msg: d.payload,
-                        });
-                    }
-                    self.drain_data_packets(t, now);
+        let mut list = std::mem::take(&mut self.tile_scratch);
+        self.tile_active
+            .drain_sorted_or_all(self.always_scan, &mut list);
+        for &t in &list {
+            self.tick_tile(t as usize, now);
+        }
+        self.tile_scratch = list;
+    }
+
+    fn tick_tile(&mut self, t: usize, now: Cycle) {
+        // L2 → core completions, then inclusion invalidations.
+        while let Some(resp) = self.l2s[t].pop_core_resp() {
+            self.drivers[t].complete(now, resp);
+        }
+        while let Some(addr) = self.l2s[t].pop_l1_invalidation() {
+            self.drivers[t].l1_mut().invalidate(addr);
+        }
+        // Ordered deliveries into the snoop queue.
+        match self.cfg.protocol {
+            Protocol::Scorpio => {
+                while self.l2s[t].snoop_ready() {
+                    let Some(d) = self.nics[t].pop_ordered() else {
+                        break;
+                    };
+                    self.l2s[t].push_snoop(OrderedSnoop {
+                        own: d.own,
+                        msg: d.payload,
+                    });
                 }
-                _ => {
-                    self.drain_unordered_packets(t, now);
-                    while self.l2s[t].snoop_ready() {
-                        match self.reorders[t].pop_ready() {
-                            Some(Some(msg)) => {
-                                let own = msg.requester as usize == t;
-                                self.l2s[t].push_snoop(OrderedSnoop { own, msg });
-                            }
-                            Some(None) => {} // expired slot
-                            None => break,
+                self.drain_data_packets(t, now);
+            }
+            _ => {
+                self.drain_unordered_packets(t, now);
+                while self.l2s[t].snoop_ready() {
+                    match self.reorders[t].pop_ready() {
+                        Some(Some(msg)) => {
+                            let own = msg.requester as usize == t;
+                            self.l2s[t].push_snoop(OrderedSnoop { own, msg });
                         }
+                        Some(None) => {} // expired slot
+                        None => break,
                     }
                 }
             }
-            // Held data response, then L2 outbox → NIC.
-            self.push_held_resp(t);
-            self.forward_l2_out(t, now);
-            // INSO: idle tiles must expire slots.
-            if let Protocol::Inso { expiry_window } = self.cfg.protocol {
-                self.inso_expiry(t, now, expiry_window);
+        }
+        // Held data response, then L2 outbox → NIC.
+        self.push_held_resp(t);
+        self.forward_l2_out(t, now);
+        // INSO: idle tiles must expire slots.
+        if let Protocol::Inso { expiry_window } = self.cfg.protocol {
+            self.inso_expiry(t, now, expiry_window);
+        }
+        // Directory baselines: the home slice orders and rebroadcasts.
+        if self.cfg.protocol.uses_directory() {
+            self.tick_dir_home(t, now);
+        }
+        // Core issues; L2 and NIC advance.
+        self.drivers[t].tick(now, &mut self.l2s[t]);
+        self.l2s[t].tick(now);
+        let notify = self.notify.as_mut();
+        self.nics[t].tick(now, &mut self.net, notify);
+        // Report this tile's completion transition and ops progress, then
+        // decide whether it may sleep. `drained` is the tile-local state
+        // shared by both predicates: the completion counter adds "core
+        // done", the sleep check adds the wake-protocol conditions.
+        let drained = self.l2s[t].is_idle()
+            && self.pending_ordered[t].is_none()
+            && self.resp_hold[t].is_none()
+            && self.dir_homes[t].is_idle();
+        let quiet = drained && self.drivers[t].is_done();
+        if quiet != self.tile_quiet[t] {
+            self.tile_quiet[t] = quiet;
+            if quiet {
+                self.tiles_pending -= 1;
+            } else {
+                self.tiles_pending += 1;
             }
-            // Directory baselines: the home slice orders and rebroadcasts.
-            if self.cfg.protocol.uses_directory() {
-                self.tick_dir_home(t, now);
+        }
+        let ops = self.drivers[t].ops_done;
+        self.ops_total += ops - self.ops_cache[t];
+        self.ops_cache[t] = ops;
+        if !self.always_scan {
+            // Sleep only when every obligation other than the core itself
+            // is gone; any future work must then arrive as an ejected
+            // flit or a notification window, both of which wake the tile.
+            // INSO tiles never sleep: slot expiry is wall-clock driven.
+            let rest_asleep = drained
+                && !matches!(self.cfg.protocol, Protocol::Inso { .. })
+                && self.pending_expiry[t].is_none()
+                && self.l2s[t].outputs_drained()
+                && self.nics[t].can_sleep()
+                && self.reorders[t].buffered() == 0
+                && !self.net.eject_occupied(t);
+            if !rest_asleep {
+                self.tile_active.wake(t);
+            } else if !self.drivers[t].is_done() {
+                // The core still has work: sleep through its compute gap
+                // with a timed wake-up, or keep ticking if it is active.
+                match self.drivers[t].next_wake(now) {
+                    Some(wake) => self
+                        .timed_wakes
+                        .entry(wake.as_u64())
+                        .or_default()
+                        .push(t as u32),
+                    None => self.tile_active.wake(t),
+                }
             }
-            // Core issues; L2 and NIC advance.
-            self.drivers[t].tick(now, &mut self.l2s[t]);
-            self.l2s[t].tick(now);
-            let notify = self.notify.as_mut();
-            self.nics[t].tick(now, &mut self.net, notify);
         }
     }
 
     fn tick_mcs(&mut self, now: Cycle) {
+        let mut list = std::mem::take(&mut self.mc_scratch);
+        self.mc_active
+            .drain_sorted_or_all(self.always_scan, &mut list);
+        for &m in &list {
+            self.tick_mc(m as usize, now);
+        }
+        self.mc_scratch = list;
+    }
+
+    fn tick_mc(&mut self, m: usize, now: Cycle) {
         let cores = self.cfg.cores();
-        for m in 0..self.mcs.len() {
-            let ep_idx = cores + m;
-            match self.cfg.protocol {
-                Protocol::Scorpio => {
-                    while let Some(d) = self.nics[ep_idx].pop_ordered() {
-                        self.mcs[m].snoop(
-                            OrderedSnoop {
-                                own: false,
-                                msg: d.payload,
-                            },
-                            now,
-                        );
-                    }
-                    while let Some(pkt) = self.nics[ep_idx].pop_packet() {
-                        assert_eq!(pkt.payload.kind, MsgKind::WbData);
-                        self.mcs[m].wb_data(pkt.payload, now);
+        let ep_idx = cores + m;
+        match self.cfg.protocol {
+            Protocol::Scorpio => {
+                while let Some(d) = self.nics[ep_idx].pop_ordered() {
+                    self.mcs[m].snoop(
+                        OrderedSnoop {
+                            own: false,
+                            msg: d.payload,
+                        },
+                        now,
+                    );
+                }
+                while let Some(pkt) = self.nics[ep_idx].pop_packet() {
+                    assert_eq!(pkt.payload.kind, MsgKind::WbData);
+                    self.mcs[m].wb_data(pkt.payload, now);
+                }
+            }
+            _ => {
+                while let Some(pkt) = self.nics[ep_idx].pop_packet() {
+                    let msg = pkt.payload;
+                    match msg.kind {
+                        MsgKind::WbData => self.mcs[m].wb_data(msg, now),
+                        MsgKind::InsoExpire => {
+                            self.reorders[ep_idx].insert(msg.value, SlotContent::Expired);
+                        }
+                        k if k.is_ordered_request() => {
+                            self.reorders[ep_idx].insert(msg.value, SlotContent::Request(msg));
+                        }
+                        other => panic!("MC received {other:?}"),
                     }
                 }
-                _ => {
-                    while let Some(pkt) = self.nics[ep_idx].pop_packet() {
-                        let msg = pkt.payload;
-                        match msg.kind {
-                            MsgKind::WbData => self.mcs[m].wb_data(msg, now),
-                            MsgKind::InsoExpire => {
-                                self.reorders[ep_idx].insert(msg.value, SlotContent::Expired);
-                            }
-                            k if k.is_ordered_request() => {
-                                self.reorders[ep_idx].insert(msg.value, SlotContent::Request(msg));
-                            }
-                            other => panic!("MC received {other:?}"),
-                        }
-                    }
-                    while let Some(ready) = self.reorders[ep_idx].pop_ready() {
-                        if let Some(msg) = ready {
-                            self.mcs[m].snoop(OrderedSnoop { own: false, msg }, now);
-                        }
+                while let Some(ready) = self.reorders[ep_idx].pop_ready() {
+                    if let Some(msg) = ready {
+                        self.mcs[m].snoop(OrderedSnoop { own: false, msg }, now);
                     }
                 }
             }
-            self.mcs[m].tick(now);
-            while let Some(out) = self.mcs[m].peek_out() {
-                let dest = out.dest;
-                let msg = out.msg;
-                let flits = self.cfg.noc.data_flits();
-                match self.nics[ep_idx].try_send_unicast(
-                    VnetId::UO_RESP,
-                    dest,
-                    flits,
-                    msg,
-                    &mut self.net,
-                ) {
-                    Ok(()) => {
-                        self.mcs[m].pop_out();
-                    }
-                    Err(_) => break,
+        }
+        self.mcs[m].tick(now);
+        while let Some(out) = self.mcs[m].peek_out() {
+            let dest = out.dest;
+            let msg = out.msg;
+            let flits = self.cfg.noc.data_flits();
+            match self.nics[ep_idx].try_send_unicast(
+                VnetId::UO_RESP,
+                dest,
+                flits,
+                msg,
+                &mut self.net,
+            ) {
+                Ok(()) => {
+                    self.mcs[m].pop_out();
                 }
+                Err(_) => break,
             }
-            let notify = self.notify.as_mut();
-            self.nics[ep_idx].tick(now, &mut self.net, notify);
+        }
+        let notify = self.notify.as_mut();
+        self.nics[ep_idx].tick(now, &mut self.net, notify);
+        // Completion transition and sleep decision, mirroring tick_tile.
+        let quiet = self.mcs[m].is_idle();
+        if quiet != self.mc_quiet[m] {
+            self.mc_quiet[m] = quiet;
+            if quiet {
+                self.mcs_pending -= 1;
+            } else {
+                self.mcs_pending += 1;
+            }
+        }
+        if !self.always_scan {
+            let asleep = quiet
+                && self.nics[ep_idx].can_sleep()
+                && self.reorders[ep_idx].buffered() == 0
+                && !self.net.eject_occupied(ep_idx);
+            if !asleep {
+                self.mc_active.wake(m);
+            }
         }
     }
 

@@ -35,7 +35,12 @@ pub struct CoreDriver {
     line_bytes: u64,
     /// Trace position.
     pc: usize,
-    gap_left: u32,
+    /// First cycle the charged compute gap allows the next issue. Stored
+    /// as an absolute deadline rather than a countdown so an idle tile can
+    /// sleep through the gap: once charged, the countdown can never pause
+    /// (nothing issues mid-gap, so `outstanding` cannot grow), which makes
+    /// the deadline exactly equivalent to decrementing every cycle.
+    gap_until: Cycle,
     gap_charged: bool,
     /// In-flight (token, op, addr) tuples; capacity = `max_outstanding`.
     outstanding: Vec<(u64, TraceOp)>,
@@ -61,7 +66,7 @@ impl CoreDriver {
             l1: L1Cache::new(l1_bytes, l1_ways, line_bytes),
             line_bytes,
             pc: 0,
-            gap_left: 0,
+            gap_until: Cycle::ZERO,
             gap_charged: false,
             outstanding: Vec::new(),
             max_outstanding: 1,
@@ -92,14 +97,22 @@ impl CoreDriver {
         &mut self.l1
     }
 
+    /// The first future cycle at which ticking this driver can have any
+    /// effect, when that is knowable: the driver is mid-gap with nothing
+    /// in flight, so every tick before the deadline is a no-op by
+    /// construction. `None` means "tick me every cycle".
+    pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        (!self.done && self.outstanding.is_empty() && now < self.gap_until)
+            .then_some(self.gap_until)
+    }
+
     /// One cycle: consume a completion, or issue the next operation.
     /// Completions arrive via [`CoreDriver::complete`]; this only issues.
     pub fn tick(&mut self, now: Cycle, l2: &mut SnoopyL2) {
         if self.done || self.outstanding.len() >= self.max_outstanding {
             return;
         }
-        if self.gap_left > 0 {
-            self.gap_left -= 1;
+        if now < self.gap_until {
             return;
         }
         let Some((op, addr, value)) = self.next_op(now) else {
@@ -171,8 +184,8 @@ impl CoreDriver {
     }
 
     /// Produces the next operation, advancing the program/trace. For trace
-    /// records with a compute gap, the gap is charged first (`gap_left`)
-    /// and the op issues once it drains.
+    /// records with a compute gap, the gap is charged first (as the
+    /// absolute `gap_until` deadline) and the op issues once it passes.
     fn next_op(&mut self, now: Cycle) -> Option<(TraceOp, u64, u64)> {
         match &mut self.kind {
             CoreKind::Trace(trace) => {
@@ -183,7 +196,10 @@ impl CoreDriver {
                 let rec = trace.records()[self.pc];
                 if rec.gap > 0 && !self.gap_charged {
                     self.gap_charged = true;
-                    self.gap_left = rec.gap;
+                    // The charging tick issues nothing, then `gap` idle
+                    // ticks pass: next issue at `now + gap + 1`, exactly
+                    // the old per-cycle countdown's schedule.
+                    self.gap_until = now + rec.gap as u64 + 1;
                     return None;
                 }
                 self.gap_charged = false;

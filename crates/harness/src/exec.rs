@@ -20,7 +20,7 @@ use std::time::Instant;
 use scorpio::{System, SystemReport};
 use scorpio_workloads::generate;
 
-use crate::scenario::{RunSpec, SweepGrid};
+use crate::scenario::{Engine, RunSpec, SweepGrid};
 
 /// Executor options.
 #[derive(Debug, Clone)]
@@ -81,6 +81,9 @@ pub fn run_spec(spec: &RunSpec, ops_per_core: usize) -> RunResult {
     let started = Instant::now();
     let traces = generate(&params, cfg.cores(), cfg.seed);
     let mut sys = System::with_traces(cfg, traces);
+    if spec.engine == Engine::AlwaysScan {
+        sys.set_always_scan(true);
+    }
     let report = sys.run_to_completion();
     RunResult {
         spec: spec.clone(),

@@ -12,7 +12,7 @@ use scorpio::Protocol;
 use scorpio_workloads::WorkloadParams;
 
 use crate::exec::RunResult;
-use crate::scenario::{Knob, RunSpec, Scenario, SweepGrid, Variant};
+use crate::scenario::{Engine, Knob, RunSpec, Scenario, SweepGrid, Variant};
 use crate::table::render_normalized;
 
 /// Every registered scenario, in presentation order.
@@ -22,6 +22,7 @@ pub fn scenarios() -> Vec<Scenario> {
         fig6("fig6-small", 4),
         fig6("fig6-64", 8),
         fig7(),
+        fig7_small(),
         fig8a(),
         fig8b(),
         fig8c(),
@@ -35,6 +36,10 @@ pub fn scenarios() -> Vec<Scenario> {
         ablation("ablation-small", 4),
         scaling("scaling", &[6, 8, 10]),
         scaling("scaling-small", &[3, 4]),
+        scaling_mesh("scaling-mesh", &[8, 12, 16]),
+        scaling_mesh("scaling-mesh-small", &[4, 8]),
+        throughput("throughput", 16),
+        throughput("throughput-small", 8),
     ]
 }
 
@@ -199,6 +204,32 @@ fn fig7_render(s: &Scenario, results: &[RunResult]) -> String {
         .collect();
     let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
     render_normalized(&s.title, &names, &cols, &rows)
+}
+
+/// The reduced all-protocol grid backing the engine-equivalence golden
+/// test: every ordering scheme — SCORPIO, TokenB, INSO, and both directory
+/// baselines — on a 16-core mesh with a small PARSEC subset.
+fn fig7_small() -> Scenario {
+    Scenario {
+        name: "fig7-small",
+        title: "Figure 7 (reduced) — all ordering protocols, 16 cores".into(),
+        about: "SCORPIO vs TokenB vs INSO-40 vs LPD-D vs HT-D, reduced workload set",
+        grid: SweepGrid::over(
+            WorkloadParams::figure7_set()
+                .into_iter()
+                .filter(|p| ["blackscholes", "swaptions"].contains(&p.name))
+                .collect(),
+        )
+        .meshes(&[4])
+        .protocols(&[
+            Protocol::Scorpio,
+            Protocol::TokenB,
+            Protocol::Inso { expiry_window: 40 },
+            Protocol::LpdDir,
+            Protocol::HtDir,
+        ]),
+        render: fig7_render,
+    }
 }
 
 // ---------------------------------------------------------------- Figure 8
@@ -571,6 +602,168 @@ fn scaling_render(s: &Scenario, results: &[RunResult]) -> String {
     out
 }
 
+// ------------------------------------------------- Scaling-mesh scenarios
+
+/// Synthetic traffic shapes for the large-mesh sweeps. Not named after any
+/// benchmark: these are uniform-random traffic generators whose knobs are
+/// chosen to exercise the mesh, not to mimic an application, so they live
+/// here rather than in the workload registry.
+///
+/// `uniform-low` is the low-injection point: barrier-style phasing — short
+/// memory bursts over a cache-resident, mostly private footprint, then a
+/// long synchronized compute phase during which the network drains and the
+/// whole machine is quiescent. That burst/drain-tail shape is exactly the
+/// regime the active-set engine exists for. `uniform-med` keeps the mesh
+/// under continuous broadcast load for contrast.
+fn uniform_low() -> WorkloadParams {
+    WorkloadParams {
+        name: "uniform-low",
+        ops_per_core: 400,
+        mean_gap: 4.0,
+        write_fraction: 0.1,
+        shared_fraction: 0.004,
+        shared_lines: 64,
+        private_lines: 4,
+        hot_fraction: 0.2,
+        hot_lines: 8,
+        migratory_fraction: 0.02,
+        locality: 0.95,
+        phase_ops: 12,
+        phase_gap: 40_000,
+    }
+}
+
+/// Moderate-injection uniform traffic.
+fn uniform_med() -> WorkloadParams {
+    WorkloadParams {
+        name: "uniform-med",
+        ops_per_core: 400,
+        mean_gap: 10.0,
+        write_fraction: 0.35,
+        shared_fraction: 0.5,
+        shared_lines: 4096,
+        private_lines: 1024,
+        hot_fraction: 0.1,
+        hot_lines: 64,
+        migratory_fraction: 0.1,
+        locality: 0.6,
+        phase_ops: 0,
+        phase_gap: 0,
+    }
+}
+
+/// Large-mesh SCORPIO sweeps (8×8 → 16×16) with MC bandwidth scaled to the
+/// core count.
+fn scaling_mesh(name: &'static str, meshes: &[u16]) -> Scenario {
+    Scenario {
+        name,
+        title: "Scaling-mesh — SCORPIO beyond the chip (proportional MCs)".into(),
+        about: "Large-mesh synthetic-traffic sweeps, one MC per 16 tiles",
+        grid: SweepGrid::over(vec![uniform_low(), uniform_med()])
+            .meshes(meshes)
+            .with_base(vec![Knob::ProportionalMcs]),
+        render: scaling_mesh_render,
+    }
+}
+
+fn scaling_mesh_render(s: &Scenario, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", s.title));
+    out.push_str(&format!(
+        "{:<14}{:>8}{:>7}{:>5}{:>12}{:>12}{:>12}{:>10}\n",
+        "workload", "mesh", "cores", "MCs", "runtime", "L2 svc", "pkt lat", "bypass"
+    ));
+    for r in results {
+        let k = r.spec.mesh_side;
+        out.push_str(&format!(
+            "{:<14}{:>6}x{:<2}{:>6}{:>5}{:>12}{:>12.1}{:>12.1}{:>9.1}%\n",
+            r.spec.workload.name,
+            k,
+            k,
+            k as usize * k as usize,
+            r.spec.config().mesh.mc_routers().len(),
+            r.report.runtime_cycles,
+            r.report.l2_service_latency.mean(),
+            r.report.packet_latency.mean(),
+            100.0 * r.report.bypass_rate(),
+        ));
+    }
+    out
+}
+
+// ------------------------------------------------ Throughput self-benchmark
+
+/// Simulator self-benchmark: the identical low-injection sweep under both
+/// engines, so the active-set speedup is *measured* on every run rather
+/// than asserted. Wall-clock derived numbers are inherently
+/// non-deterministic; they appear in the rendered table (and, with
+/// `--timing`, the sinks) but never in default sink output.
+fn throughput(name: &'static str, mesh: u16) -> Scenario {
+    Scenario {
+        name,
+        title: format!(
+            "Throughput — simulated cycles/sec, active-set vs always-scan ({mesh}x{mesh})"
+        ),
+        about: "Engine self-benchmark: low-injection sweep under both engines",
+        grid: SweepGrid::over(vec![uniform_low()])
+            .meshes(&[mesh])
+            .engines(&[Engine::ActiveSet, Engine::AlwaysScan])
+            .with_base(vec![Knob::ProportionalMcs]),
+        render: throughput_render,
+    }
+}
+
+fn throughput_render(s: &Scenario, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", s.title));
+    out.push_str(&format!(
+        "{:<14}{:>8}{:>12}{:>12}{:>14}{:>16}\n",
+        "workload", "engine", "runtime", "wall (ms)", "sim cyc/sec", "speedup"
+    ));
+    // cycles/sec of each engine, then the active/scan ratio per workload.
+    let rate = |r: &RunResult| -> f64 {
+        let secs = r.wall_nanos as f64 / 1e9;
+        if secs > 0.0 {
+            r.report.runtime_cycles as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    for w in &s.grid.workloads {
+        let mut rates = [0.0f64; 2];
+        for r in results.iter().filter(|r| r.spec.workload.name == w.name) {
+            let (slot, label) = match r.spec.engine {
+                Engine::ActiveSet => (0, "active"),
+                Engine::AlwaysScan => (1, "scan"),
+            };
+            rates[slot] = rate(r);
+            out.push_str(&format!(
+                "{:<14}{:>8}{:>12}{:>12.1}{:>14.0}{:>16}\n",
+                w.name,
+                label,
+                r.report.runtime_cycles,
+                r.wall_nanos as f64 / 1e6,
+                rates[slot],
+                "",
+            ));
+        }
+        if rates[1] > 0.0 {
+            out.push_str(&format!(
+                "{:<14}{:>8}{:>12}{:>12}{:>14}{:>15.2}x\n",
+                w.name,
+                "",
+                "",
+                "",
+                "",
+                rates[0] / rates[1]
+            ));
+        }
+    }
+    out.push_str("\nBoth engines produce byte-identical reports (see the\n");
+    out.push_str("engine-equivalence test suite); only wall-clock differs.\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -595,6 +788,35 @@ mod tests {
         ] {
             assert!(by_name(required).is_some(), "missing scenario {required}");
         }
+    }
+
+    #[test]
+    fn new_scenarios_are_registered() {
+        // The engine self-benchmark sweeps both engines over one workload.
+        let t = by_name("throughput").unwrap();
+        assert_eq!(t.grid.len(), 2);
+        let specs = t.grid.enumerate();
+        assert_eq!(specs[0].engine, Engine::ActiveSet);
+        assert_eq!(specs[1].engine, Engine::AlwaysScan);
+        assert_eq!(specs[0].mesh_side, 16);
+        // Engines share the exact same configuration (same hash).
+        assert_eq!(
+            specs[0].config().stable_hash(),
+            specs[1].config().stable_hash()
+        );
+        assert!(specs[1].key().ends_with("/scan"));
+        // Scaling-mesh: 2 workloads x 3 meshes, proportional MCs applied.
+        let sm = by_name("scaling-mesh").unwrap();
+        assert_eq!(sm.grid.len(), 2 * 3);
+        let spec16 = sm
+            .grid
+            .enumerate()
+            .into_iter()
+            .find(|s| s.mesh_side == 16)
+            .unwrap();
+        assert_eq!(spec16.config().mesh.mc_routers().len(), 16);
+        // fig7-small covers every ordering protocol for the golden test.
+        assert_eq!(by_name("fig7-small").unwrap().grid.len(), 2 * 5);
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub enum Knob {
     NotificationWindowSlack(u64),
     /// Total directory-cache storage in bytes (Figure 6 scaling note).
     DirTotalBytes(usize),
+    /// Perimeter MC placement scaled to the core count (scaling-mesh
+    /// sweeps: one MC per 16 tiles instead of four fixed corners).
+    ProportionalMcs,
 }
 
 impl Knob {
@@ -70,6 +73,7 @@ impl Knob {
                 cfg.dir_total_bytes = b;
                 cfg
             }
+            Knob::ProportionalMcs => cfg.with_proportional_mcs(),
         }
     }
 
@@ -90,6 +94,7 @@ impl Knob {
             Knob::FidCapacity(n) => format!("fid-cap={n}"),
             Knob::NotificationWindowSlack(s) => format!("slack={s}"),
             Knob::DirTotalBytes(b) => format!("dir={b}B"),
+            Knob::ProportionalMcs => "prop-MCs".into(),
         }
     }
 }
@@ -137,6 +142,32 @@ impl Variant {
     }
 }
 
+/// Which simulation engine a run uses. Both produce byte-identical
+/// [`scorpio::SystemReport`]s (asserted by the engine-equivalence suite);
+/// only wall-clock speed differs, which is what the `throughput`
+/// self-benchmark measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The active-set engine (default): only components with pending work
+    /// are ticked each cycle.
+    #[default]
+    ActiveSet,
+    /// The always-scan reference engine: every tile, MC, router and
+    /// injection port is probed every cycle.
+    AlwaysScan,
+}
+
+impl Engine {
+    /// Short label for result rows (empty for the default engine so that
+    /// existing keys and sink output stay byte-stable).
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::ActiveSet => "",
+            Engine::AlwaysScan => "scan",
+        }
+    }
+}
+
 /// A filter restricting a grid to a non-rectangular subset.
 pub type GridFilter = fn(&RunSpec) -> bool;
 
@@ -151,6 +182,9 @@ pub struct SweepGrid {
     pub protocols: Vec<Protocol>,
     /// Configuration-variant axis.
     pub variants: Vec<Variant>,
+    /// Engine axis (the `throughput` self-benchmark sweeps both; everything
+    /// else runs the default active-set engine only).
+    pub engines: Vec<Engine>,
     /// Seed axis (replicates).
     pub seeds: Vec<u64>,
     /// Knobs applied to *every* run before its variant.
@@ -166,6 +200,7 @@ impl Default for SweepGrid {
             mesh_sides: vec![6],
             protocols: vec![Protocol::Scorpio],
             variants: vec![Variant::baseline()],
+            engines: vec![Engine::ActiveSet],
             seeds: vec![1],
             base: Vec::new(),
             filter: None,
@@ -203,6 +238,13 @@ impl SweepGrid {
         self
     }
 
+    /// Sets the engine axis.
+    #[must_use]
+    pub fn engines(mut self, engines: &[Engine]) -> SweepGrid {
+        self.engines = engines.to_vec();
+        self
+    }
+
     /// Sets the seed axis.
     #[must_use]
     pub fn seeds(mut self, seeds: &[u64]) -> SweepGrid {
@@ -227,31 +269,35 @@ impl SweepGrid {
     /// Flattens the grid into its ordered run list.
     ///
     /// The order is the nested-loop order workload → mesh → protocol →
-    /// variant → seed, which is stable across calls; indices are assigned
-    /// after filtering, so `enumerate()[i].index == i` always holds. The
-    /// executor may *complete* runs in any order, but results are returned
-    /// in this order, which is what makes sweep output reproducible.
+    /// variant → engine → seed, which is stable across calls; indices are
+    /// assigned after filtering, so `enumerate()[i].index == i` always
+    /// holds. The executor may *complete* runs in any order, but results
+    /// are returned in this order, which is what makes sweep output
+    /// reproducible.
     pub fn enumerate(&self) -> Vec<RunSpec> {
         let mut specs = Vec::new();
         for w in &self.workloads {
             for &mesh_side in &self.mesh_sides {
                 for &protocol in &self.protocols {
                     for v in &self.variants {
-                        for &seed in &self.seeds {
-                            let effective = Variant {
-                                label: v.label.clone(),
-                                knobs: self.base.iter().chain(&v.knobs).copied().collect(),
-                            };
-                            let spec = RunSpec {
-                                index: specs.len(),
-                                workload: w.clone(),
-                                mesh_side,
-                                protocol,
-                                variant: effective,
-                                seed,
-                            };
-                            if self.filter.is_none_or(|f| f(&spec)) {
-                                specs.push(spec);
+                        for &engine in &self.engines {
+                            for &seed in &self.seeds {
+                                let effective = Variant {
+                                    label: v.label.clone(),
+                                    knobs: self.base.iter().chain(&v.knobs).copied().collect(),
+                                };
+                                let spec = RunSpec {
+                                    index: specs.len(),
+                                    workload: w.clone(),
+                                    mesh_side,
+                                    protocol,
+                                    variant: effective,
+                                    engine,
+                                    seed,
+                                };
+                                if self.filter.is_none_or(|f| f(&spec)) {
+                                    specs.push(spec);
+                                }
                             }
                         }
                     }
@@ -285,6 +331,9 @@ pub struct RunSpec {
     pub protocol: Protocol,
     /// Configuration variant (grid base knobs already folded in).
     pub variant: Variant,
+    /// Simulation engine (semantics-neutral; reports are byte-identical
+    /// across engines).
+    pub engine: Engine,
     /// Workload seed.
     pub seed: u64,
 }
@@ -297,10 +346,16 @@ impl RunSpec {
         self.variant.apply(cfg)
     }
 
-    /// A human-readable identity key, unique within a grid.
+    /// A human-readable identity key, unique within a grid. Default-engine
+    /// keys are unchanged from before the engine axis existed; always-scan
+    /// runs gain a `/scan` suffix.
     pub fn key(&self) -> String {
+        let engine = match self.engine.label() {
+            "" => String::new(),
+            label => format!("/{label}"),
+        };
         format!(
-            "{}/{}x{}/{}/{}/seed{}",
+            "{}/{}x{}/{}/{}/seed{}{engine}",
             self.workload.name,
             self.mesh_side,
             self.mesh_side,

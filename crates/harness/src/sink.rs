@@ -27,8 +27,15 @@ pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
     } else {
         String::new()
     };
+    // The engine field appears only for non-default engines, so the
+    // default-engine output is byte-for-byte what it was before the
+    // engine axis existed.
+    let engine = match r.spec.engine.label() {
+        "" => String::new(),
+        label => format!(r#""engine":{label:?},"#),
+    };
     format!(
-        r#"{{"scenario":{:?},"index":{},"workload":{:?},"mesh":{},"protocol":{:?},"variant":{:?},"seed":{},"config":{:?},"config_hash":"{:#018x}",{}"report":{}}}"#,
+        r#"{{"scenario":{:?},"index":{},"workload":{:?},"mesh":{},"protocol":{:?},"variant":{:?},"seed":{},{}"config":{:?},"config_hash":"{:#018x}",{}"report":{}}}"#,
         scenario,
         r.spec.index,
         r.spec.workload.name,
@@ -36,6 +43,7 @@ pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
         r.spec.protocol.name(),
         r.spec.variant.label,
         r.spec.seed,
+        engine,
         r.config_label,
         r.config_hash,
         timing,
@@ -56,20 +64,28 @@ pub fn jsonl(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String
 /// All results as a CSV document with a header row.
 pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
     let mut out = String::new();
-    out.push_str("scenario,index,workload,mesh,variant,seed,config_hash,");
+    out.push_str("scenario,index,workload,mesh,variant,engine,seed,config_hash,");
     out.push_str(scorpio::SystemReport::csv_header());
     if opts.include_timing {
         out.push_str(",wall_nanos");
     }
     out.push('\n');
     for r in results {
+        // Unlike JSONL (self-describing records), CSV rows need a fixed
+        // schema, so the engine column is always present; the default
+        // engine's empty label renders as "active".
+        let engine = match r.spec.engine.label() {
+            "" => "active",
+            label => label,
+        };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{:#018x},{}",
+            "{},{},{},{},{},{},{},{:#018x},{}",
             scenario,
             r.spec.index,
             r.spec.workload.name,
             r.spec.mesh_side,
             r.spec.variant.label,
+            engine,
             r.spec.seed,
             r.config_hash,
             r.report.csv_row(),

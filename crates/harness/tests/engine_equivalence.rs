@@ -1,0 +1,60 @@
+//! The active-set engine's hard requirement: it is an *optimization*,
+//! never a semantics change. Every run must produce a byte-identical
+//! [`scorpio::SystemReport`] to the forced always-scan engine — across
+//! every ordering protocol, since each protocol exercises different
+//! wake/sleep paths (notification windows, reorder buffers, expiry
+//! broadcasts, directory homes).
+
+use scorpio_harness::exec::run_spec;
+use scorpio_harness::registry;
+use scorpio_harness::Engine;
+
+/// Golden equivalence on the fig7-small grid: SCORPIO, TokenB, INSO-40,
+/// LPD-D and HT-D, each compared engine-vs-engine via `to_json`.
+#[test]
+fn fig7_small_reports_are_byte_identical_across_engines() {
+    let scenario = registry::by_name("fig7-small").expect("fig7-small is registered");
+    let specs = scenario.grid.enumerate();
+    assert_eq!(specs.len(), 10, "2 workloads x 5 protocols");
+    for spec in specs {
+        assert_eq!(spec.engine, Engine::ActiveSet);
+        let mut scan_spec = spec.clone();
+        scan_spec.engine = Engine::AlwaysScan;
+        let active = run_spec(&spec, 12);
+        let scan = run_spec(&scan_spec, 12);
+        assert_eq!(
+            active.report.to_json(),
+            scan.report.to_json(),
+            "engine divergence at {}",
+            spec.key()
+        );
+        assert_eq!(active.config_hash, scan.config_hash);
+    }
+}
+
+/// The same holds on a larger mesh with proportional MCs and the
+/// phased low-injection workload — the regime where the active-set
+/// engine actually skips most of the machine.
+#[test]
+fn scaling_mesh_point_is_byte_identical_across_engines() {
+    let scenario = registry::by_name("scaling-mesh-small").expect("registered");
+    let spec = scenario
+        .grid
+        .enumerate()
+        .into_iter()
+        .find(|s| s.mesh_side == 8 && s.workload.name == "uniform-low")
+        .expect("8x8 uniform-low point exists");
+    let mut scan_spec = spec.clone();
+    scan_spec.engine = Engine::AlwaysScan;
+    let active = run_spec(&spec, 13);
+    let scan = run_spec(&scan_spec, 13);
+    assert_eq!(
+        active.report.to_json(),
+        scan.report.to_json(),
+        "engine divergence at {}",
+        spec.key()
+    );
+    // The runs did real work and really slept through phases.
+    assert!(active.report.ops_completed > 0);
+    assert!(active.report.runtime_cycles > 40_000, "phased gap missing");
+}

@@ -376,6 +376,15 @@ impl SnoopyL2 {
         self.miss_records.pop_front()
     }
 
+    /// Whether the queues toward the core side are drained too: no
+    /// completion or L1-inclusion invalidation waiting to be popped. An
+    /// idle L2 can still hold these (a snoop's invalidation lands after
+    /// the tile's pop loop ran), so the skip-idle-tiles engine checks both
+    /// before letting a tile sleep.
+    pub fn outputs_drained(&self) -> bool {
+        self.core_resps.is_empty() && self.l1_invalidations.is_empty()
+    }
+
     /// Whether the controller has no in-flight work (drained).
     pub fn is_idle(&self) -> bool {
         self.core_q.is_empty()

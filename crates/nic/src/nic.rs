@@ -212,6 +212,26 @@ impl<T: Payload> Nic<T> {
         (self.unsent, self.announced, self.last_window)
     }
 
+    /// Whether ticking this NIC is a no-op until something external
+    /// happens: nothing awaiting announcement or re-announcement, no
+    /// loopback self-delivery pending, empty delivery queues toward the
+    /// controller, and no stop bit that must be asserted at the next
+    /// window start. A NIC that merely *expects* ordered requests
+    /// (tracker backlog > 0) may still sleep: its published ESID is
+    /// already current, and the expected flit's arrival at the endpoint —
+    /// or the next non-empty/stop notification window — is exactly what
+    /// wakes the tile. Empty windows observed late are harmless: they
+    /// carry nothing and announcing is only required when `unsent > 0` or
+    /// the stop bit is due, both of which keep the NIC awake.
+    pub fn can_sleep(&self) -> bool {
+        self.unsent == 0
+            && self.announced == 0
+            && self.own_queue.is_empty()
+            && self.ordered_out.is_empty()
+            && self.packet_out.is_empty()
+            && !self.tracker.should_stop()
+    }
+
     /// Whether an ordered request would currently be accepted.
     pub fn can_send_request(&self) -> bool {
         self.sid.is_some()

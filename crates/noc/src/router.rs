@@ -276,9 +276,20 @@ pub(crate) struct Router<T> {
     sa_i_reg: [Option<SaIWin>; Port::COUNT],
     bypass_res: [Option<BypassRes>; Port::COUNT],
     st_plan: Vec<StOp>,
+    /// Recycled buffer backing `st_plan` across cycles (no per-tick alloc).
+    st_scratch: Vec<StOp>,
     sa_i_arb: Vec<RotatingArbiter>,
     sa_o_arb: Vec<RotatingArbiter>,
     la_arb: RotatingArbiter,
+    /// Flattened `(vnet, vc, is_rvc)` list in SA-I request order —
+    /// constant per configuration, shared by every input port.
+    vc_index: Vec<(u8, u8, bool)>,
+    /// Reused SA-I request vector (one slot per flattened VC).
+    sa_i_reqs: Vec<bool>,
+    /// Resident packets per input port; a port with zero occupancy has no
+    /// SA-I requester, and an all-false grant leaves the arbiter pointer
+    /// untouched, so its whole SA-I scan can be skipped exactly.
+    port_occupancy: [u32; Port::COUNT],
     pub(crate) stats: RouterStats,
     /// Resident packets + pending grants; used to skip idle routers.
     busy: u32,
@@ -304,6 +315,13 @@ impl<T: Payload> Router<T> {
             };
             downstream.push(present.then(|| DownstreamState::new(cfg)));
         }
+        let mut vc_index = Vec::with_capacity(total_vcs);
+        for (n, vcfg) in cfg.vnets.iter().enumerate() {
+            for vc in 0..vcfg.total_vcs() as u8 {
+                let is_rvc = vcfg.ordered && vc == vcfg.rvc_index();
+                vc_index.push((n as u8, vc, is_rvc));
+            }
+        }
         Router {
             id,
             inputs,
@@ -311,6 +329,7 @@ impl<T: Payload> Router<T> {
             sa_i_reg: [None; Port::COUNT],
             bypass_res: Default::default(),
             st_plan: Vec::new(),
+            st_scratch: Vec::new(),
             sa_i_arb: (0..Port::COUNT)
                 .map(|_| RotatingArbiter::new(total_vcs))
                 .collect(),
@@ -318,6 +337,9 @@ impl<T: Payload> Router<T> {
                 .map(|_| RotatingArbiter::new(Port::COUNT))
                 .collect(),
             la_arb: RotatingArbiter::new(Port::COUNT),
+            vc_index,
+            sa_i_reqs: vec![false; total_vcs],
+            port_occupancy: [0; Port::COUNT],
             stats: RouterStats::default(),
             busy: 0,
         }
@@ -362,8 +384,10 @@ impl<T: Payload> Router<T> {
 
     /// Stage 3: execute the switch traversals scheduled last cycle.
     fn execute_st(&mut self, cfg: &NocConfig, out: &mut Vec<RouterOut<T>>) {
-        let plan = std::mem::take(&mut self.st_plan);
-        for op in plan {
+        // Swap the plan out against the recycled scratch buffer, which
+        // becomes the (empty) plan the allocation stage fills this cycle.
+        let mut plan = std::mem::replace(&mut self.st_plan, std::mem::take(&mut self.st_scratch));
+        for op in plan.drain(..) {
             match op {
                 StOp::MaskFlit { port, vnet, vc } => {
                     let state = &mut self.inputs[port.index()][vnet as usize][vc as usize];
@@ -378,6 +402,7 @@ impl<T: Payload> Router<T> {
                         state.flits.pop_front();
                         state.active = false;
                         self.busy -= 1;
+                        self.port_occupancy[port.index()] -= 1;
                         out.push(RouterOut::CreditUp {
                             in_port: port,
                             vnet,
@@ -399,6 +424,7 @@ impl<T: Payload> Router<T> {
                         state.active = false;
                         state.out_port = None;
                         self.busy -= 1;
+                        self.port_occupancy[port.index()] -= 1;
                     }
                     out.push(RouterOut::CreditUp {
                         in_port: port,
@@ -410,6 +436,7 @@ impl<T: Payload> Router<T> {
                 }
             }
         }
+        self.st_scratch = plan;
     }
 
     fn emit_flit(
@@ -477,6 +504,7 @@ impl<T: Payload> Router<T> {
             );
             state.active = true;
             self.busy += 1;
+            self.port_occupancy[a.port.index()] += 1;
             let arrived_on = (!a.port.is_local()).then_some(a.port);
             let route = route_outputs(mesh, self.id, a.flit.packet.dest, arrived_on);
             if a.flit.is_single() {
@@ -785,6 +813,13 @@ impl<T: Payload> Router<T> {
     fn sa_i(&mut self, cfg: &NocConfig, esid: &dyn EsidOracle) {
         for in_port in Port::ALL {
             let pidx = in_port.index();
+            // No resident packet on any VC of this port: every request bit
+            // is false, and an all-false grant leaves the arbiter pointer
+            // where it is, so the whole scan can be skipped exactly.
+            if self.port_occupancy[pidx] == 0 {
+                self.sa_i_reg[pidx] = None;
+                continue;
+            }
             // Reserved VCs win outright.
             let mut rvc_win = None;
             for (n, vcfg) in cfg.vnets.iter().enumerate() {
@@ -805,29 +840,21 @@ impl<T: Payload> Router<T> {
                 self.sa_i_reg[pidx] = Some(win);
                 continue;
             }
-            // Regular VCs: rotating priority over the flattened VC list.
-            let total: usize = cfg.vnets.iter().map(|v| v.total_vcs()).sum();
-            let mut reqs = vec![false; total];
-            let mut flat = 0usize;
-            let mut index_of = Vec::with_capacity(total);
-            for (n, vcfg) in cfg.vnets.iter().enumerate() {
-                for vc in 0..vcfg.total_vcs() as u8 {
-                    let is_rvc = vcfg.ordered && vc == vcfg.rvc_index();
-                    if !is_rvc {
-                        reqs[flat] = self.vc_requests(cfg, esid, n as u8, vc, in_port);
-                    }
-                    index_of.push((n as u8, vc));
-                    flat += 1;
-                }
+            // Regular VCs: rotating priority over the (precomputed)
+            // flattened VC list, request bits in the reused scratch vector.
+            let mut reqs = std::mem::take(&mut self.sa_i_reqs);
+            for (flat, &(n, vc, is_rvc)) in self.vc_index.iter().enumerate() {
+                reqs[flat] = !is_rvc && self.vc_requests(cfg, esid, n, vc, in_port);
             }
             self.sa_i_reg[pidx] = self.sa_i_arb[pidx].grant(&reqs).map(|w| {
-                let (vnet, vc) = index_of[w];
+                let (vnet, vc, _) = self.vc_index[w];
                 SaIWin {
                     vnet,
                     vc,
                     is_rvc: false,
                 }
             });
+            self.sa_i_reqs = reqs;
         }
     }
 

@@ -319,6 +319,43 @@ impl Mesh {
         Mesh::new(k, k, &corners)
     }
 
+    /// A square `k × k` mesh with memory-controller ports scaled to the
+    /// core count: one MC per 16 tiles (at least the chip's 4), spread
+    /// evenly along the perimeter. Four corner MCs serve 36 cores fine,
+    /// but at 16×16 they would starve 256 cores of memory bandwidth and
+    /// melt the corner routers; the paper's scaling argument (Section 5.3)
+    /// assumes bandwidth grows with the machine. For `k ≤ 8` the placement
+    /// coincides with [`Mesh::square_with_corner_mcs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn square_with_proportional_mcs(k: u16) -> Mesh {
+        assert!(k > 0, "mesh dimension must be non-zero");
+        if k == 1 {
+            return Mesh::new(1, 1, &[RouterId(0)]);
+        }
+        // Perimeter routers in clockwise order from the north-west corner;
+        // evenly spaced picks land on the four corners when n == 4.
+        let last = k - 1;
+        let mut perimeter: Vec<RouterId> = Vec::with_capacity(4 * (k as usize - 1));
+        for x in 0..last {
+            perimeter.push(RouterId(x)); // north edge, west → east
+        }
+        for y in 0..last {
+            perimeter.push(RouterId(y * k + last)); // east edge, north → south
+        }
+        for x in 0..last {
+            perimeter.push(RouterId(k * last + (last - x))); // south edge, east → west
+        }
+        for y in 0..last {
+            perimeter.push(RouterId((last - y) * k)); // west edge, south → north
+        }
+        let n = (k as usize * k as usize / 16).max(4).min(perimeter.len());
+        let mcs: Vec<RouterId> = (0..n).map(|i| perimeter[i * perimeter.len() / n]).collect();
+        Mesh::new(k, k, &mcs)
+    }
+
     /// Number of columns.
     pub fn cols(&self) -> u16 {
         self.cols
@@ -523,6 +560,36 @@ mod tests {
     #[should_panic(expected = "duplicate MC router")]
     fn duplicate_mc_panics() {
         let _ = Mesh::new(2, 2, &[RouterId(1), RouterId(1)]);
+    }
+
+    #[test]
+    fn proportional_mcs_match_corners_on_small_meshes() {
+        for k in [2u16, 4, 6, 8] {
+            assert_eq!(
+                Mesh::square_with_proportional_mcs(k).mc_routers(),
+                Mesh::square_with_corner_mcs(k).mc_routers(),
+                "k={k}"
+            );
+        }
+        assert_eq!(Mesh::square_with_proportional_mcs(1).mc_routers().len(), 1);
+    }
+
+    #[test]
+    fn proportional_mcs_scale_with_tiles() {
+        // One MC per 16 tiles, on the perimeter, duplicate-free (Mesh::new
+        // asserts that), and including the NW corner.
+        for (k, expect) in [(12u16, 9usize), (16, 16), (20, 25)] {
+            let mesh = Mesh::square_with_proportional_mcs(k);
+            assert_eq!(mesh.mc_routers().len(), expect, "k={k}");
+            assert!(mesh.has_mc(RouterId(0)));
+            for &r in mesh.mc_routers() {
+                let c = mesh.coord(r);
+                assert!(
+                    c.x == 0 || c.y == 0 || c.x == k - 1 || c.y == k - 1,
+                    "MC {r} not on the perimeter of {k}x{k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -27,7 +27,14 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NotifyMsg {
-    counts: Vec<u8>,
+    /// Count fields bit-packed into words, `bits_per_core` bits per lane
+    /// (lane `i` at bit offset `i * bits_per_core`). Lanes never straddle
+    /// a word only when `64 % bits_per_core == 0`; to keep the code
+    /// general, a lane is read/written via a 128-bit window instead.
+    /// Packing matters: the notification mesh ORs `O(routers)` of these
+    /// every propagation cycle, so merges must be word-wide, not per-core.
+    words: Vec<u64>,
+    cores: usize,
     bits_per_core: u8,
     stop: bool,
 }
@@ -43,8 +50,10 @@ impl NotifyMsg {
             (1..=7).contains(&bits_per_core),
             "bits per core must be in 1..=7"
         );
+        let bits = cores * bits_per_core as usize;
         NotifyMsg {
-            counts: vec![0; cores],
+            words: vec![0; bits.div_ceil(64) + 1],
+            cores,
             bits_per_core,
             stop: false,
         }
@@ -52,7 +61,7 @@ impl NotifyMsg {
 
     /// Number of cores (bit-field lanes).
     pub fn cores(&self) -> usize {
-        self.counts.len()
+        self.cores
     }
 
     /// The saturation limit: largest count one core can announce.
@@ -67,7 +76,17 @@ impl NotifyMsg {
     ///
     /// Panics if `core` is out of range.
     pub fn set_count(&mut self, core: usize, count: u8) {
-        self.counts[core] = count.min(self.max_count());
+        assert!(core < self.cores, "core {core} out of range");
+        let value = count.min(self.max_count()) as u128;
+        let bit = core * self.bits_per_core as usize;
+        let (word, off) = (bit / 64, bit % 64);
+        // Read-modify-write a 128-bit window so a lane may straddle words
+        // (the `+ 1` spare word in `new` keeps the high read in bounds).
+        let mut window = self.words[word] as u128 | (self.words[word + 1] as u128) << 64;
+        window &= !((self.max_count() as u128) << off);
+        window |= value << off;
+        self.words[word] = window as u64;
+        self.words[word + 1] = (window >> 64) as u64;
     }
 
     /// Core `core`'s announced request count.
@@ -76,7 +95,11 @@ impl NotifyMsg {
     ///
     /// Panics if `core` is out of range.
     pub fn count(&self, core: usize) -> u8 {
-        self.counts[core]
+        assert!(core < self.cores, "core {core} out of range");
+        let bit = core * self.bits_per_core as usize;
+        let (word, off) = (bit / 64, bit % 64);
+        let window = self.words[word] as u128 | (self.words[word + 1] as u128) << 64;
+        ((window >> off) as u8) & self.max_count()
     }
 
     /// The stop bit (a NIC's tracker queue is full; everyone must ignore
@@ -96,46 +119,63 @@ impl NotifyMsg {
     ///
     /// Panics if the two messages have different shapes.
     pub fn merge_from(&mut self, other: &NotifyMsg) {
-        assert_eq!(self.counts.len(), other.counts.len(), "core count mismatch");
+        assert_eq!(self.cores, other.cores, "core count mismatch");
         assert_eq!(
             self.bits_per_core, other.bits_per_core,
             "bits-per-core mismatch"
         );
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= *b;
         }
         self.stop |= other.stop;
     }
 
+    /// Overwrites this message with `other`'s contents, reusing storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two messages have different shapes.
+    pub fn copy_from(&mut self, other: &NotifyMsg) {
+        assert_eq!(self.cores, other.cores, "core count mismatch");
+        assert_eq!(
+            self.bits_per_core, other.bits_per_core,
+            "bits-per-core mismatch"
+        );
+        self.words.copy_from_slice(&other.words);
+        self.stop = other.stop;
+    }
+
     /// Whether no core announced anything and the stop bit is clear.
     pub fn is_empty(&self) -> bool {
-        !self.stop && self.counts.iter().all(|&c| c == 0)
+        !self.stop && self.words.iter().all(|&w| w == 0)
     }
 
     /// Resets to all-zero.
     pub fn clear(&mut self) {
-        self.counts.fill(0);
+        self.words.fill(0);
         self.stop = false;
     }
 
     /// Iterates over `(core, count)` pairs with non-zero counts.
     pub fn nonzero(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (i, c))
+        (0..self.cores)
+            .map(|i| (i, self.count(i)))
+            .filter(|&(_, c)| c > 0)
     }
 
     /// Total announced requests across all cores.
     pub fn total(&self) -> u32 {
-        self.counts.iter().map(|&c| c as u32).sum()
+        if self.bits_per_core == 1 {
+            self.words.iter().map(|w| w.count_ones()).sum()
+        } else {
+            (0..self.cores).map(|i| self.count(i) as u32).sum()
+        }
     }
 
     /// The wire width of this message in bits (Table 1: 36 bits for the
     /// chip's 1-bit-per-core network, plus the stop bit).
     pub fn width_bits(&self) -> usize {
-        self.counts.len() * self.bits_per_core as usize + 1
+        self.cores * self.bits_per_core as usize + 1
     }
 }
 

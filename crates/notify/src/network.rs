@@ -70,6 +70,17 @@ pub struct NotifyNetwork {
     scratch: Vec<NotifyMsg>,
     /// Contributions waiting for the next window start, per core.
     pending: Vec<(u8, bool)>,
+    /// Cores with a staged contribution (indices into `pending`); lets a
+    /// window start skip the all-cores latch scan when nothing is staged.
+    pending_dirty: Vec<usize>,
+    /// Whether the window in flight carries anything. An all-zero window
+    /// needs no propagation: OR-merging zeros is the identity, so every
+    /// step — and the all-routers scan it implies — can be skipped without
+    /// changing a single latch value.
+    live: bool,
+    /// Mesh diameter: propagation converges after this many steps, after
+    /// which further OR steps merge equal values and are skipped too.
+    diameter: u64,
     /// The merged message of the last completed window.
     latest: Option<(u64, NotifyMsg)>,
     /// Completed windows so far.
@@ -102,6 +113,9 @@ impl NotifyNetwork {
             acc: vec![blank.clone(); mesh.router_count()],
             scratch: vec![blank; mesh.router_count()],
             pending: vec![(0, false); cfg.cores],
+            pending_dirty: Vec::new(),
+            live: false,
+            diameter,
             latest: None,
             windows_completed: Counter::new(),
             nonempty_windows: Counter::new(),
@@ -134,6 +148,9 @@ impl NotifyNetwork {
     pub fn stage_injection(&mut self, core: usize, count: u8, stop: bool) {
         let max = (1u16 << self.cfg.bits_per_core) as u8 - 1;
         let entry = &mut self.pending[core];
+        if *entry == (0, false) && (count > 0 || stop) {
+            self.pending_dirty.push(core);
+        }
         entry.0 = entry.0.max(count.min(max));
         entry.1 |= stop;
     }
@@ -151,33 +168,50 @@ impl NotifyNetwork {
 
     /// Advances one cycle: window-start injection, one OR-propagation step,
     /// and window-end completion.
+    ///
+    /// Two exact shortcuts keep an idle notification mesh O(1) per cycle:
+    /// a window nobody injected into stays all-zero (OR with zero is the
+    /// identity), and a live window stops propagating once every router
+    /// provably holds the global OR — after `diameter` steps — since
+    /// merging equal values changes nothing. Neither shortcut alters any
+    /// latch value a NIC could observe.
     pub fn tick(&mut self) {
         let w = self.cfg.window;
         let in_window = self.cycle.as_u64() % w;
 
         if in_window == 0 {
             // Window start: latch pending contributions as fresh values.
-            for (i, msg) in self.acc.iter_mut().enumerate() {
-                msg.clear();
-                if i < self.cfg.cores {
-                    let (count, stop) = std::mem::take(&mut self.pending[i]);
-                    if count > 0 {
-                        msg.set_count(i, count);
-                    }
-                    if stop {
-                        msg.set_stop(true);
-                    }
+            // Only a live window leaves nonzero latches to clear, and only
+            // staged cores latch anything.
+            if self.live {
+                for msg in self.acc.iter_mut() {
+                    msg.clear();
                 }
+                self.live = false;
             }
-        } else {
+            for k in 0..self.pending_dirty.len() {
+                let core = self.pending_dirty[k];
+                let (count, stop) = std::mem::take(&mut self.pending[core]);
+                let msg = &mut self.acc[core];
+                if count > 0 {
+                    msg.set_count(core, count);
+                }
+                if stop {
+                    msg.set_stop(true);
+                }
+                self.live = true;
+            }
+            self.pending_dirty.clear();
+        } else if self.live && in_window <= self.diameter {
             // One propagation step: each router ORs its neighbours' latched
-            // values into its own (two-phase via scratch).
+            // values into its own (two-phase via scratch, buffers reused).
             let cols = self.cols as usize;
             let rows = self.rows as usize;
             for y in 0..rows {
                 for x in 0..cols {
                     let idx = y * cols + x;
-                    let mut merged = self.acc[idx].clone();
+                    self.scratch[idx].copy_from(&self.acc[idx]);
+                    let merged = &mut self.scratch[idx];
                     if x > 0 {
                         merged.merge_from(&self.acc[idx - 1]);
                     }
@@ -190,7 +224,6 @@ impl NotifyNetwork {
                     if y + 1 < rows {
                         merged.merge_from(&self.acc[idx + cols]);
                     }
-                    self.scratch[idx] = merged;
                 }
             }
             std::mem::swap(&mut self.acc, &mut self.scratch);
@@ -204,10 +237,16 @@ impl NotifyNetwork {
             );
             let window_index = self.cycle.as_u64() / w;
             self.windows_completed.incr();
-            if !self.acc[0].is_empty() {
+            if self.live {
                 self.nonempty_windows.incr();
             }
-            self.latest = Some((window_index, self.acc[0].clone()));
+            match &mut self.latest {
+                Some((idx, msg)) => {
+                    *idx = window_index;
+                    msg.copy_from(&self.acc[0]);
+                }
+                None => self.latest = Some((window_index, self.acc[0].clone())),
+            }
         }
         self.cycle = self.cycle.next();
     }

@@ -1,0 +1,224 @@
+//! The active-set primitive behind the skip-idle-work simulation engine.
+//!
+//! An [`ActiveSet`] tracks which components of a fixed-size population have
+//! pending work this cycle: a dense bitset provides O(1) duplicate-free
+//! [`ActiveSet::wake`], and a dirty list keeps draining proportional to the
+//! number of *woken* members rather than the population size. Draining
+//! yields members in ascending index order, so an engine that replaces a
+//! full `for i in 0..n` probe loop with a drained active set visits the
+//! same components in the same order — the property the byte-identical
+//! equivalence guarantee between the always-scan and active-set engines
+//! rests on.
+//!
+//! # Examples
+//!
+//! ```
+//! use scorpio_sim::ActiveSet;
+//!
+//! let mut set = ActiveSet::new(8);
+//! set.wake(5);
+//! set.wake(2);
+//! set.wake(5); // duplicate: ignored
+//! let mut scratch = Vec::new();
+//! set.drain_sorted(&mut scratch);
+//! assert_eq!(scratch, vec![2, 5]);
+//! assert!(set.is_empty());
+//! ```
+
+/// A set of active component indices over a fixed population `0..len`.
+///
+/// Members are woken by index; draining visits them in ascending order and
+/// empties the set. Waking during an iteration over the drained list (the
+/// usual "component stays busy, re-arm for next cycle" pattern) is fine:
+/// the drained list is a separate buffer owned by the caller.
+#[derive(Debug, Clone)]
+pub struct ActiveSet {
+    /// Dense membership bitset, one bit per component.
+    bits: Vec<u64>,
+    /// Indices woken since the last drain (duplicate-free via `bits`).
+    dirty: Vec<u32>,
+    len: usize,
+}
+
+impl ActiveSet {
+    /// An empty set over the population `0..len`.
+    pub fn new(len: usize) -> ActiveSet {
+        ActiveSet {
+            bits: vec![0; len.div_ceil(64)],
+            dirty: Vec::new(),
+            len,
+        }
+    }
+
+    /// Population size this set covers.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Number of distinct members currently woken.
+    pub fn len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Whether no member is woken.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Whether member `idx` is currently woken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn is_active(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "index {idx} out of range");
+        self.bits[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Wakes member `idx`; waking an already-active member is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn wake(&mut self, idx: usize) {
+        assert!(idx < self.len, "index {idx} out of range");
+        let (word, mask) = (idx / 64, 1u64 << (idx % 64));
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.dirty.push(idx as u32);
+        }
+    }
+
+    /// Wakes every member of the population.
+    pub fn wake_all(&mut self) {
+        for idx in 0..self.len {
+            self.wake(idx);
+        }
+    }
+
+    /// Empties the set into `out` (cleared first) in ascending index
+    /// order. Cost is O(woken · log woken), independent of the population.
+    pub fn drain_sorted(&mut self, out: &mut Vec<u32>) {
+        out.clear();
+        out.append(&mut self.dirty);
+        out.sort_unstable();
+        for &idx in out.iter() {
+            self.bits[idx as usize / 64] &= !(1 << (idx % 64));
+        }
+    }
+
+    /// The scan-or-drain work list shared by every engine loop: with
+    /// `all` set (always-scan mode) fills `out` with the whole population
+    /// in order and clears the set; otherwise drains the woken members via
+    /// [`ActiveSet::drain_sorted`]. Factored here so the always-scan and
+    /// active-set engines cannot drift apart at individual call sites.
+    pub fn drain_sorted_or_all(&mut self, all: bool, out: &mut Vec<u32>) {
+        if all {
+            out.clear();
+            out.extend(0..self.len as u32);
+            self.clear();
+        } else {
+            self.drain_sorted(out);
+        }
+    }
+
+    /// Removes every member without reporting them.
+    pub fn clear(&mut self) {
+        for &idx in &self.dirty {
+            self.bits[idx as usize / 64] &= !(1 << (idx % 64));
+        }
+        self.dirty.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_is_duplicate_free_and_drain_is_sorted() {
+        let mut s = ActiveSet::new(100);
+        for idx in [99, 0, 42, 0, 99, 7] {
+            s.wake(idx);
+        }
+        assert_eq!(s.len(), 4);
+        assert!(s.is_active(42));
+        assert!(!s.is_active(41));
+        let mut out = Vec::new();
+        s.drain_sorted(&mut out);
+        assert_eq!(out, vec![0, 7, 42, 99]);
+        assert!(s.is_empty());
+        assert!(!s.is_active(99));
+    }
+
+    #[test]
+    fn drain_clears_and_allows_rewake() {
+        let mut s = ActiveSet::new(10);
+        s.wake(3);
+        let mut out = Vec::new();
+        s.drain_sorted(&mut out);
+        assert_eq!(out, vec![3]);
+        // Re-waking after a drain works (the bit was cleared).
+        s.wake(3);
+        s.wake(4);
+        s.drain_sorted(&mut out);
+        assert_eq!(out, vec![3, 4]);
+    }
+
+    #[test]
+    fn wake_all_covers_population() {
+        let mut s = ActiveSet::new(65);
+        s.wake_all();
+        assert_eq!(s.len(), 65);
+        let mut out = Vec::new();
+        s.drain_sorted(&mut out);
+        assert_eq!(out.len(), 65);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[64], 64);
+    }
+
+    #[test]
+    fn drain_or_all_covers_both_engines() {
+        let mut s = ActiveSet::new(5);
+        s.wake(3);
+        let mut out = Vec::new();
+        // Scan mode: the whole population, and the woken bit is cleared.
+        s.drain_sorted_or_all(true, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert!(s.is_empty());
+        // Active mode: just the woken members.
+        s.wake(4);
+        s.wake(1);
+        s.drain_sorted_or_all(false, &mut out);
+        assert_eq!(out, vec![1, 4]);
+    }
+
+    #[test]
+    fn clear_discards_members() {
+        let mut s = ActiveSet::new(8);
+        s.wake(1);
+        s.wake(6);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.is_active(1));
+        let mut out = vec![123];
+        s.drain_sorted(&mut out);
+        assert!(out.is_empty(), "drain clears the output buffer");
+    }
+
+    #[test]
+    fn zero_capacity_set_is_inert() {
+        let mut s = ActiveSet::new(0);
+        assert_eq!(s.capacity(), 0);
+        assert!(s.is_empty());
+        let mut out = Vec::new();
+        s.drain_sorted(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_wake_panics() {
+        ActiveSet::new(4).wake(4);
+    }
+}

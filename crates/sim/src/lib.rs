@@ -7,7 +7,9 @@
 //! * [`stats`] — counters, latency accumulators and histograms,
 //! * [`Fifo`] — bounded FIFO queues with occupancy accounting,
 //! * [`Latch`] — two-phase (compute/commit) registers used to model
-//!   synchronous hardware without tick-order artifacts.
+//!   synchronous hardware without tick-order artifacts,
+//! * [`ActiveSet`] — the wake/sleep bookkeeping the skip-idle-work
+//!   simulation engines are built on.
 //!
 //! The SCORPIO simulator is *cycle driven*: each component exposes a
 //! per-cycle `tick` and all cross-component communication goes through
@@ -35,12 +37,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod active;
 mod cycle;
 mod fifo;
 mod latch;
 mod rng;
 pub mod stats;
 
+pub use active::ActiveSet;
 pub use cycle::Cycle;
 pub use fifo::{Fifo, PushError};
 pub use latch::Latch;

@@ -41,6 +41,17 @@ pub struct WorkloadParams {
     pub migratory_fraction: f64,
     /// Temporal-locality revisit probability for private accesses.
     pub locality: f64,
+    /// Ops per compute/communicate phase (0 disables phasing). Barrier-
+    /// style applications alternate short memory bursts with long compute
+    /// phases; every `phase_ops` operations the trace inserts an extra
+    /// `phase_gap`-cycle quiet period on every core, leaving the machine
+    /// drained and idle between bursts.
+    pub phase_ops: usize,
+    /// Extra gap cycles inserted at each phase boundary. Must stay safely
+    /// below 50 000: a synchronized quiet phase completes no ops anywhere,
+    /// and `System::run_to_completion`'s deadlock watchdog panics after
+    /// 50k op-free cycles.
+    pub phase_gap: u32,
 }
 
 impl WorkloadParams {
@@ -65,6 +76,8 @@ impl WorkloadParams {
             hot_lines: (shared_lines / 8).max(4),
             migratory_fraction,
             locality: 0.6,
+            phase_ops: 0,
+            phase_gap: 0,
         }
     }
 
@@ -191,7 +204,10 @@ fn generate_core(params: &WorkloadParams, core: usize, rng: &mut SimRng) -> Trac
     let mut last_private: u64 = PRIVATE_BASE + core as u64 * PRIVATE_STRIDE;
     let mut pending_migratory: Option<u64> = None;
     for k in 0..params.ops_per_core {
-        let gap = geometric(rng, params.mean_gap);
+        let mut gap = geometric(rng, params.mean_gap);
+        if params.phase_ops > 0 && k > 0 && k % params.phase_ops == 0 {
+            gap += params.phase_gap;
+        }
         // A migratory access pattern: read then write the same line.
         if let Some(addr) = pending_migratory.take() {
             trace.push(TraceRecord {
