@@ -2,7 +2,7 @@
 
 use scorpio_mem::{L2Config, McConfig};
 use scorpio_nic::NicConfig;
-use scorpio_noc::{Endpoint, Mesh, NocConfig};
+use scorpio_noc::{Endpoint, Mesh, NocConfig, Ring, Topology, Torus};
 
 /// Which coherence-ordering scheme the system runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,8 +53,13 @@ impl Protocol {
 /// Configuration of a full SCORPIO system.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
-    /// The mesh (tiles + MC ports).
-    pub mesh: Mesh,
+    /// The delivery fabric (tiles + MC ports): a mesh, torus or ring.
+    ///
+    /// The field keeps its historical name: [`SystemConfig::stable_hash`]
+    /// fingerprints the derived `Debug` rendering, `Topology` debug-prints
+    /// as its inner struct, and together those keep every pre-topology
+    /// mesh config hash — and the JSONL rows keyed on them — valid.
+    pub mesh: Topology,
     /// Ordering scheme.
     pub protocol: Protocol,
     /// Main-network configuration.
@@ -97,6 +102,13 @@ impl SystemConfig {
 
     /// A chip-like configuration over an arbitrary mesh (corner MCs).
     pub fn with_mesh(mesh: Mesh) -> SystemConfig {
+        SystemConfig::with_topology(Topology::from(mesh))
+    }
+
+    /// A chip-like configuration over any delivery fabric. The L2's
+    /// MC-interleaving endpoints follow the topology's MC placement.
+    pub fn with_topology(topology: impl Into<Topology>) -> SystemConfig {
+        let mesh: Topology = topology.into();
         let mc_eps: Vec<Endpoint> = mesh.mc_routers().iter().map(|&r| Endpoint::mc(r)).collect();
         SystemConfig {
             mesh,
@@ -126,6 +138,28 @@ impl SystemConfig {
         SystemConfig::with_mesh(Mesh::square_with_corner_mcs(k))
     }
 
+    /// A `k × k` torus system with the MC ports on the same four routers
+    /// as [`SystemConfig::square`], so mesh-vs-torus sweeps compare
+    /// matched endpoint counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn torus(k: u16) -> SystemConfig {
+        SystemConfig::with_topology(Torus::square_with_corner_mcs(k))
+    }
+
+    /// A ring system of `len` routers with `n_mcs` MC ports spread evenly
+    /// — `SystemConfig::ring(k * k, 4)` matches the endpoint count of a
+    /// `k × k` mesh with corner MCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < 2` or `n_mcs` is zero or exceeds `len`.
+    pub fn ring(len: u16, n_mcs: u16) -> SystemConfig {
+        SystemConfig::with_topology(Ring::with_spread_mcs(len, n_mcs))
+    }
+
     /// Number of cores (tiles).
     pub fn cores(&self) -> usize {
         self.mesh.router_count()
@@ -149,14 +183,17 @@ impl SystemConfig {
     /// Panics if the mesh is not square.
     #[must_use]
     pub fn with_proportional_mcs(mut self) -> SystemConfig {
+        let Topology::Mesh(mesh) = &self.mesh else {
+            panic!("proportional MC placement is defined for meshes only");
+        };
         assert_eq!(
-            self.mesh.cols(),
-            self.mesh.rows(),
+            mesh.cols(),
+            mesh.rows(),
             "proportional MC placement needs a square mesh"
         );
-        let mesh = Mesh::square_with_proportional_mcs(self.mesh.cols());
+        let mesh = Mesh::square_with_proportional_mcs(mesh.cols());
         self.l2.mc_endpoints = mesh.mc_routers().iter().map(|&r| Endpoint::mc(r)).collect();
-        self.mesh = mesh;
+        self.mesh = mesh.into();
         self
     }
 
@@ -205,12 +242,13 @@ impl SystemConfig {
         self
     }
 
-    /// Short human-readable label: mesh geometry, protocol and seed.
+    /// Short human-readable label: fabric geometry, protocol and seed
+    /// (`"6x6/SCORPIO/seed1"`, `"torus6x6/…"`, `"ring36/…"` — mesh labels
+    /// are unchanged from before the topology axis existed).
     pub fn label(&self) -> String {
         format!(
-            "{}x{}/{}/seed{}",
-            self.mesh.cols(),
-            self.mesh.rows(),
+            "{}/{}/seed{}",
+            self.mesh.label(),
             self.protocol.name(),
             self.seed
         )
@@ -300,6 +338,35 @@ mod tests {
     #[test]
     fn stable_hash_is_pinned() {
         assert_eq!(SystemConfig::square(4).stable_hash(), 0xbbb791b93ac0807b);
+    }
+
+    #[test]
+    fn topology_axis_has_stable_labels_and_distinct_hashes() {
+        let mesh = SystemConfig::square(4);
+        let torus = SystemConfig::torus(4);
+        let ring = SystemConfig::ring(16, 4);
+        assert_eq!(mesh.label(), "4x4/SCORPIO/seed1");
+        assert_eq!(torus.label(), "torus4x4/SCORPIO/seed1");
+        assert_eq!(ring.label(), "ring16/SCORPIO/seed1");
+        // Matched endpoint counts at the same k.
+        assert_eq!(mesh.cores(), 16);
+        assert_eq!(torus.cores(), 16);
+        assert_eq!(ring.cores(), 16);
+        assert_eq!(mesh.mesh.endpoint_count(), 20);
+        assert_eq!(torus.mesh.endpoint_count(), 20);
+        assert_eq!(ring.mesh.endpoint_count(), 20);
+        // Every fabric fingerprints differently.
+        assert_ne!(mesh.stable_hash(), torus.stable_hash());
+        assert_ne!(mesh.stable_hash(), ring.stable_hash());
+        assert_ne!(torus.stable_hash(), ring.stable_hash());
+        // The L2's MC interleaving follows the fabric's MC placement.
+        assert_eq!(ring.l2.mc_endpoints.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "meshes only")]
+    fn proportional_mcs_reject_non_mesh_fabrics() {
+        let _ = SystemConfig::torus(4).with_proportional_mcs();
     }
 
     #[test]

@@ -250,6 +250,16 @@ impl System {
         self.net.set_always_scan(scan);
     }
 
+    /// Selects how routers route: compiled table lookups (default) or
+    /// per-flit evaluation of the topology's coordinate spec — the
+    /// reference engine the tables are compiled from. Semantics-neutral
+    /// (asserted by the equivalence suite); exists so the table-lookup
+    /// speedup stays measurable (`route-lookup` scenario). Call before the
+    /// first cycle.
+    pub fn set_table_routing(&mut self, tables: bool) {
+        self.net.set_table_routing(tables);
+    }
+
     /// Whether every core has finished and the machine is quiescent.
     ///
     /// The active-set engine answers from incrementally maintained

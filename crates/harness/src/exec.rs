@@ -81,8 +81,10 @@ pub fn run_spec(spec: &RunSpec, ops_per_core: usize) -> RunResult {
     let started = Instant::now();
     let traces = generate(&params, cfg.cores(), cfg.seed);
     let mut sys = System::with_traces(cfg, traces);
-    if spec.engine == Engine::AlwaysScan {
-        sys.set_always_scan(true);
+    match spec.engine {
+        Engine::ActiveSet => {}
+        Engine::AlwaysScan => sys.set_always_scan(true),
+        Engine::CoordRoute => sys.set_table_routing(false),
     }
     let report = sys.run_to_completion();
     RunResult {

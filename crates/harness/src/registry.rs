@@ -12,7 +12,7 @@ use scorpio::Protocol;
 use scorpio_workloads::WorkloadParams;
 
 use crate::exec::RunResult;
-use crate::scenario::{Engine, Knob, RunSpec, Scenario, SweepGrid, Variant};
+use crate::scenario::{Engine, Fabric, Knob, RunSpec, Scenario, SweepGrid, Variant};
 use crate::table::render_normalized;
 
 /// Every registered scenario, in presentation order.
@@ -40,6 +40,10 @@ pub fn scenarios() -> Vec<Scenario> {
         scaling_mesh("scaling-mesh-small", &[4, 8]),
         throughput("throughput", 16),
         throughput("throughput-small", 8),
+        topology("topology", 6),
+        topology("topology-small", 4),
+        route_lookup("route-lookup", 12),
+        route_lookup("route-lookup-small", 6),
     ]
 }
 
@@ -735,6 +739,7 @@ fn throughput_render(s: &Scenario, results: &[RunResult]) -> String {
             let (slot, label) = match r.spec.engine {
                 Engine::ActiveSet => (0, "active"),
                 Engine::AlwaysScan => (1, "scan"),
+                Engine::CoordRoute => continue,
             };
             rates[slot] = rate(r);
             out.push_str(&format!(
@@ -761,6 +766,135 @@ fn throughput_render(s: &Scenario, results: &[RunResult]) -> String {
     }
     out.push_str("\nBoth engines produce byte-identical reports (see the\n");
     out.push_str("engine-equivalence test suite); only wall-clock differs.\n");
+    out
+}
+
+// ------------------------------------------------- Topology comparisons
+
+/// All five ordering protocols over all three delivery fabrics at matched
+/// endpoint counts (`k²` tiles + 4 MC ports each): the ordered-broadcast
+/// machinery does not care how delivery happens, so every cell of this
+/// grid must complete — and the runtime differences isolate pure delivery
+/// effects (diameter, wrap links, router radix).
+fn topology(name: &'static str, k: u16) -> Scenario {
+    Scenario {
+        name,
+        title: format!(
+            "Topology — mesh vs torus vs ring at {} cores, all ordering protocols",
+            k as usize * k as usize
+        ),
+        about: "Delivery-fabric sweep: mesh/torus/ring under all five protocols",
+        grid: SweepGrid::over(
+            WorkloadParams::figure7_set()
+                .into_iter()
+                .filter(|p| ["blackscholes", "swaptions"].contains(&p.name))
+                .collect(),
+        )
+        .meshes(&[k])
+        .fabrics(&[Fabric::Mesh, Fabric::Torus, Fabric::Ring])
+        .protocols(&[
+            Protocol::Scorpio,
+            Protocol::TokenB,
+            Protocol::Inso { expiry_window: 40 },
+            Protocol::LpdDir,
+            Protocol::HtDir,
+        ]),
+        render: topology_render,
+    }
+}
+
+fn topology_render(s: &Scenario, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", s.title));
+    out.push_str(&format!(
+        "{:<14}{:<10}{:<12}{:>6}{:>12}{:>12}{:>12}{:>10}\n",
+        "workload", "fabric", "protocol", "diam", "runtime", "L2 svc", "pkt lat", "bypass"
+    ));
+    for r in results {
+        let cfg = r.spec.config();
+        out.push_str(&format!(
+            "{:<14}{:<10}{:<12}{:>6}{:>12}{:>12.1}{:>12.1}{:>9.1}%\n",
+            r.spec.workload.name,
+            cfg.mesh.name(),
+            r.report.protocol,
+            cfg.mesh.diameter(),
+            r.report.runtime_cycles,
+            r.report.l2_service_latency.mean(),
+            r.report.packet_latency.mean(),
+            100.0 * r.report.bypass_rate(),
+        ));
+    }
+    out.push_str("\nMatched endpoint counts per row block; ordering is decoupled\n");
+    out.push_str("from delivery, so every fabric carries every protocol.\n");
+    out
+}
+
+// ------------------------------------- Route-lookup self-benchmark
+
+/// Simulator self-benchmark: the identical sweep with table-lookup routing
+/// (default) vs per-flit coordinate-spec routing, so the table win is
+/// *measured* on every run. Reports are byte-identical across the two
+/// (engine-equivalence suite); only wall-clock differs.
+fn route_lookup(name: &'static str, mesh: u16) -> Scenario {
+    Scenario {
+        name,
+        title: format!("Route-lookup — table routing vs per-flit coordinate math ({mesh}x{mesh})"),
+        about: "Routing self-benchmark: compiled tables vs coordinate math",
+        grid: SweepGrid::over(vec![uniform_med()])
+            .meshes(&[mesh])
+            .engines(&[Engine::ActiveSet, Engine::CoordRoute]),
+        render: route_lookup_render,
+    }
+}
+
+fn route_lookup_render(s: &Scenario, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", s.title));
+    out.push_str(&format!(
+        "{:<14}{:>8}{:>12}{:>12}{:>14}{:>16}\n",
+        "workload", "routing", "runtime", "wall (ms)", "sim cyc/sec", "speedup"
+    ));
+    let rate = |r: &RunResult| -> f64 {
+        let secs = r.wall_nanos as f64 / 1e9;
+        if secs > 0.0 {
+            r.report.runtime_cycles as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    for w in &s.grid.workloads {
+        let mut rates = [0.0f64; 2];
+        for r in results.iter().filter(|r| r.spec.workload.name == w.name) {
+            let (slot, label) = match r.spec.engine {
+                Engine::ActiveSet => (0, "tables"),
+                Engine::CoordRoute => (1, "coord"),
+                Engine::AlwaysScan => continue,
+            };
+            rates[slot] = rate(r);
+            out.push_str(&format!(
+                "{:<14}{:>8}{:>12}{:>12.1}{:>14.0}{:>16}\n",
+                w.name,
+                label,
+                r.report.runtime_cycles,
+                r.wall_nanos as f64 / 1e6,
+                rates[slot],
+                "",
+            ));
+        }
+        if rates[1] > 0.0 {
+            out.push_str(&format!(
+                "{:<14}{:>8}{:>12}{:>12}{:>14}{:>15.2}x\n",
+                w.name,
+                "",
+                "",
+                "",
+                "",
+                rates[0] / rates[1]
+            ));
+        }
+    }
+    out.push_str("\nBoth routings produce byte-identical reports (equivalence\n");
+    out.push_str("suite); only wall-clock differs.\n");
     out
 }
 
@@ -817,6 +951,33 @@ mod tests {
         assert_eq!(spec16.config().mesh.mc_routers().len(), 16);
         // fig7-small covers every ordering protocol for the golden test.
         assert_eq!(by_name("fig7-small").unwrap().grid.len(), 2 * 5);
+        // Topology: 2 workloads x 3 fabrics x 5 protocols.
+        let topo = by_name("topology-small").unwrap();
+        assert_eq!(topo.grid.len(), 2 * 3 * 5);
+        let fabrics: HashSet<&str> = topo
+            .grid
+            .enumerate()
+            .iter()
+            .map(|s| s.config().mesh.name())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
+        assert_eq!(fabrics.len(), 3);
+        // Every fabric at matched endpoint counts.
+        for spec in topo.grid.enumerate() {
+            assert_eq!(spec.config().mesh.endpoint_count(), 4 * 4 + 4);
+        }
+        // Route-lookup sweeps tables vs coordinate math on one workload.
+        let rl = by_name("route-lookup").unwrap();
+        let specs = rl.grid.enumerate();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].engine, Engine::ActiveSet);
+        assert_eq!(specs[1].engine, Engine::CoordRoute);
+        assert_eq!(
+            specs[0].config().stable_hash(),
+            specs[1].config().stable_hash()
+        );
+        assert!(specs[1].key().ends_with("/coord"));
     }
 
     #[test]

@@ -142,19 +142,23 @@ impl Variant {
     }
 }
 
-/// Which simulation engine a run uses. Both produce byte-identical
+/// Which simulation engine a run uses. All engines produce byte-identical
 /// [`scorpio::SystemReport`]s (asserted by the engine-equivalence suite);
-/// only wall-clock speed differs, which is what the `throughput`
-/// self-benchmark measures.
+/// only wall-clock speed differs, which is what the `throughput` and
+/// `route-lookup` self-benchmarks measure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
     /// The active-set engine (default): only components with pending work
-    /// are ticked each cycle.
+    /// are ticked each cycle; routing is compiled-table lookup.
     #[default]
     ActiveSet,
     /// The always-scan reference engine: every tile, MC, router and
     /// injection port is probed every cycle.
     AlwaysScan,
+    /// The coordinate-routing reference engine: active-set scheduling, but
+    /// routers evaluate the topology's coordinate spec per flit instead of
+    /// reading the compiled tables.
+    CoordRoute,
 }
 
 impl Engine {
@@ -164,6 +168,44 @@ impl Engine {
         match self {
             Engine::ActiveSet => "",
             Engine::AlwaysScan => "scan",
+            Engine::CoordRoute => "coord",
+        }
+    }
+}
+
+/// The delivery-fabric axis of a sweep: which [`scorpio_noc::Topology`]
+/// the `k` of the mesh-side axis materializes as. Every fabric at the same
+/// `k` has `k²` tiles and four MC ports — matched endpoint counts, so
+/// runtime differences are delivery effects, not size effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fabric {
+    /// A `k × k` mesh with corner MCs (the chip fabric; default).
+    #[default]
+    Mesh,
+    /// A `k × k` torus with the MC ports on the mesh's corner routers.
+    Torus,
+    /// A ring of `k²` routers with four evenly spread MC ports.
+    Ring,
+}
+
+impl Fabric {
+    /// Short label for result rows (empty for the default fabric so that
+    /// existing keys and sink output stay byte-stable).
+    pub fn label(self) -> &'static str {
+        match self {
+            Fabric::Mesh => "",
+            Fabric::Torus => "torus",
+            Fabric::Ring => "ring",
+        }
+    }
+
+    /// The geometry string for run keys: `"4x4"`, `"torus4x4"`, `"ring16"`
+    /// (mesh keys are unchanged from before the fabric axis existed).
+    pub fn geometry(self, k: u16) -> String {
+        match self {
+            Fabric::Mesh => format!("{k}x{k}"),
+            Fabric::Torus => format!("torus{k}x{k}"),
+            Fabric::Ring => format!("ring{}", k as u32 * k as u32),
         }
     }
 }
@@ -176,8 +218,11 @@ pub type GridFilter = fn(&RunSpec) -> bool;
 pub struct SweepGrid {
     /// Workload axis.
     pub workloads: Vec<WorkloadParams>,
-    /// Mesh-side axis (`k` ⇒ a `k × k` system with corner MCs).
+    /// Mesh-side axis (`k` ⇒ a `k × k`-sized system; see [`Fabric`]).
     pub mesh_sides: Vec<u16>,
+    /// Delivery-fabric axis (the `topology` scenarios sweep all three;
+    /// everything else runs the default mesh only).
+    pub fabrics: Vec<Fabric>,
     /// Protocol axis.
     pub protocols: Vec<Protocol>,
     /// Configuration-variant axis.
@@ -198,6 +243,7 @@ impl Default for SweepGrid {
         SweepGrid {
             workloads: Vec::new(),
             mesh_sides: vec![6],
+            fabrics: vec![Fabric::Mesh],
             protocols: vec![Protocol::Scorpio],
             variants: vec![Variant::baseline()],
             engines: vec![Engine::ActiveSet],
@@ -221,6 +267,13 @@ impl SweepGrid {
     #[must_use]
     pub fn meshes(mut self, sides: &[u16]) -> SweepGrid {
         self.mesh_sides = sides.to_vec();
+        self
+    }
+
+    /// Sets the delivery-fabric axis.
+    #[must_use]
+    pub fn fabrics(mut self, fabrics: &[Fabric]) -> SweepGrid {
+        self.fabrics = fabrics.to_vec();
         self
     }
 
@@ -268,35 +321,38 @@ impl SweepGrid {
 
     /// Flattens the grid into its ordered run list.
     ///
-    /// The order is the nested-loop order workload → mesh → protocol →
-    /// variant → engine → seed, which is stable across calls; indices are
-    /// assigned after filtering, so `enumerate()[i].index == i` always
-    /// holds. The executor may *complete* runs in any order, but results
-    /// are returned in this order, which is what makes sweep output
-    /// reproducible.
+    /// The order is the nested-loop order workload → mesh → fabric →
+    /// protocol → variant → engine → seed, which is stable across calls;
+    /// indices are assigned after filtering, so `enumerate()[i].index == i`
+    /// always holds. The executor may *complete* runs in any order, but
+    /// results are returned in this order, which is what makes sweep
+    /// output reproducible.
     pub fn enumerate(&self) -> Vec<RunSpec> {
         let mut specs = Vec::new();
         for w in &self.workloads {
             for &mesh_side in &self.mesh_sides {
-                for &protocol in &self.protocols {
-                    for v in &self.variants {
-                        for &engine in &self.engines {
-                            for &seed in &self.seeds {
-                                let effective = Variant {
-                                    label: v.label.clone(),
-                                    knobs: self.base.iter().chain(&v.knobs).copied().collect(),
-                                };
-                                let spec = RunSpec {
-                                    index: specs.len(),
-                                    workload: w.clone(),
-                                    mesh_side,
-                                    protocol,
-                                    variant: effective,
-                                    engine,
-                                    seed,
-                                };
-                                if self.filter.is_none_or(|f| f(&spec)) {
-                                    specs.push(spec);
+                for &fabric in &self.fabrics {
+                    for &protocol in &self.protocols {
+                        for v in &self.variants {
+                            for &engine in &self.engines {
+                                for &seed in &self.seeds {
+                                    let effective = Variant {
+                                        label: v.label.clone(),
+                                        knobs: self.base.iter().chain(&v.knobs).copied().collect(),
+                                    };
+                                    let spec = RunSpec {
+                                        index: specs.len(),
+                                        workload: w.clone(),
+                                        mesh_side,
+                                        fabric,
+                                        protocol,
+                                        variant: effective,
+                                        engine,
+                                        seed,
+                                    };
+                                    if self.filter.is_none_or(|f| f(&spec)) {
+                                        specs.push(spec);
+                                    }
                                 }
                             }
                         }
@@ -325,8 +381,10 @@ pub struct RunSpec {
     pub index: usize,
     /// Workload parameters (ops-per-core is overridden by the executor).
     pub workload: WorkloadParams,
-    /// Mesh side (`k` ⇒ `k × k`).
+    /// Mesh side (`k` ⇒ a `k²`-tile system; see [`Fabric::geometry`]).
     pub mesh_side: u16,
+    /// Delivery fabric the `mesh_side` materializes as.
+    pub fabric: Fabric,
     /// Ordering protocol.
     pub protocol: Protocol,
     /// Configuration variant (grid base knobs already folded in).
@@ -339,26 +397,35 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
-    /// Materializes the [`SystemConfig`] for this run.
+    /// Materializes the [`SystemConfig`] for this run: a `k × k` mesh,
+    /// a `k × k` torus, or a `k²`-router ring — all with four MC ports,
+    /// so every fabric at the same `k` has matched endpoint counts.
     pub fn config(&self) -> SystemConfig {
-        let mut cfg = SystemConfig::square(self.mesh_side).with_protocol(self.protocol);
+        let k = self.mesh_side;
+        let base = match self.fabric {
+            Fabric::Mesh => SystemConfig::square(k),
+            Fabric::Torus => SystemConfig::torus(k),
+            Fabric::Ring => SystemConfig::ring(k * k, 4),
+        };
+        let mut cfg = base.with_protocol(self.protocol);
         cfg.seed = self.seed;
         self.variant.apply(cfg)
     }
 
     /// A human-readable identity key, unique within a grid. Default-engine
-    /// keys are unchanged from before the engine axis existed; always-scan
-    /// runs gain a `/scan` suffix.
+    /// mesh keys are unchanged from before the engine and fabric axes
+    /// existed; other fabrics change the geometry segment
+    /// (`torus4x4`, `ring16`) and non-default engines append a suffix
+    /// (`/scan`, `/coord`).
     pub fn key(&self) -> String {
         let engine = match self.engine.label() {
             "" => String::new(),
             label => format!("/{label}"),
         };
         format!(
-            "{}/{}x{}/{}/{}/seed{}{engine}",
+            "{}/{}/{}/{}/seed{}{engine}",
             self.workload.name,
-            self.mesh_side,
-            self.mesh_side,
+            self.fabric.geometry(self.mesh_side),
             self.protocol.name(),
             self.variant.label,
             self.seed
@@ -448,6 +515,39 @@ mod tests {
         let cfg = v.apply(SystemConfig::square(3));
         assert_eq!(cfg.noc.channel_bytes, 8);
         assert_eq!(cfg.noc.vnets[1].vcs, 4);
+    }
+
+    #[test]
+    fn fabric_axis_changes_geometry_but_not_mesh_keys() {
+        let g = SweepGrid::over(vec![WorkloadParams::by_name("lu").unwrap()])
+            .meshes(&[4])
+            .fabrics(&[Fabric::Mesh, Fabric::Torus, Fabric::Ring]);
+        let specs = g.enumerate();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].key(), "lu/4x4/SCORPIO/baseline/seed1");
+        assert_eq!(specs[1].key(), "lu/torus4x4/SCORPIO/baseline/seed1");
+        assert_eq!(specs[2].key(), "lu/ring16/SCORPIO/baseline/seed1");
+        // Matched endpoint counts, three distinct config hashes.
+        for s in &specs {
+            assert_eq!(s.config().cores(), 16);
+            assert_eq!(s.config().mesh.endpoint_count(), 20);
+        }
+        let hashes: HashSet<u64> = specs.iter().map(|s| s.config().stable_hash()).collect();
+        assert_eq!(hashes.len(), 3);
+    }
+
+    #[test]
+    fn coord_engine_suffixes_keys_and_shares_config() {
+        let g = SweepGrid::over(vec![WorkloadParams::by_name("lu").unwrap()])
+            .meshes(&[2])
+            .engines(&[Engine::ActiveSet, Engine::CoordRoute]);
+        let specs = g.enumerate();
+        assert_eq!(specs.len(), 2);
+        assert!(specs[1].key().ends_with("/coord"));
+        assert_eq!(
+            specs[0].config().stable_hash(),
+            specs[1].config().stable_hash()
+        );
     }
 
     #[test]

@@ -27,19 +27,24 @@ pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
     } else {
         String::new()
     };
-    // The engine field appears only for non-default engines, so the
-    // default-engine output is byte-for-byte what it was before the
-    // engine axis existed.
+    // The engine and fabric fields appear only for non-default values, so
+    // default (active-set, mesh) output is byte-for-byte what it was
+    // before those axes existed.
     let engine = match r.spec.engine.label() {
         "" => String::new(),
         label => format!(r#""engine":{label:?},"#),
     };
+    let fabric = match r.spec.fabric.label() {
+        "" => String::new(),
+        label => format!(r#""fabric":{label:?},"#),
+    };
     format!(
-        r#"{{"scenario":{:?},"index":{},"workload":{:?},"mesh":{},"protocol":{:?},"variant":{:?},"seed":{},{}"config":{:?},"config_hash":"{:#018x}",{}"report":{}}}"#,
+        r#"{{"scenario":{:?},"index":{},"workload":{:?},"mesh":{},{}"protocol":{:?},"variant":{:?},"seed":{},{}"config":{:?},"config_hash":"{:#018x}",{}"report":{}}}"#,
         scenario,
         r.spec.index,
         r.spec.workload.name,
         r.spec.mesh_side,
+        fabric,
         r.spec.protocol.name(),
         r.spec.variant.label,
         r.spec.seed,
@@ -64,7 +69,7 @@ pub fn jsonl(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String
 /// All results as a CSV document with a header row.
 pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
     let mut out = String::new();
-    out.push_str("scenario,index,workload,mesh,variant,engine,seed,config_hash,");
+    out.push_str("scenario,index,workload,mesh,fabric,variant,engine,seed,config_hash,");
     out.push_str(scorpio::SystemReport::csv_header());
     if opts.include_timing {
         out.push_str(",wall_nanos");
@@ -72,18 +77,23 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
     out.push('\n');
     for r in results {
         // Unlike JSONL (self-describing records), CSV rows need a fixed
-        // schema, so the engine column is always present; the default
-        // engine's empty label renders as "active".
+        // schema, so the engine and fabric columns are always present; the
+        // default labels render as "active" and "mesh".
         let engine = match r.spec.engine.label() {
             "" => "active",
             label => label,
         };
+        let fabric = match r.spec.fabric.label() {
+            "" => "mesh",
+            label => label,
+        };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{:#018x},{}",
+            "{},{},{},{},{},{},{},{},{:#018x},{}",
             scenario,
             r.spec.index,
             r.spec.workload.name,
             r.spec.mesh_side,
+            fabric,
             r.spec.variant.label,
             engine,
             r.spec.seed,

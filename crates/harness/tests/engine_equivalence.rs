@@ -32,6 +32,39 @@ fn fig7_small_reports_are_byte_identical_across_engines() {
     }
 }
 
+/// The new axis: every delivery fabric (mesh, torus, ring) under every
+/// ordering protocol must produce byte-identical reports across all three
+/// engines — active-set vs always-scan (scheduling is semantics-neutral)
+/// and table routing vs per-flit coordinate routing (the tables are the
+/// spec, memoized).
+#[test]
+fn topology_small_reports_are_byte_identical_across_engines() {
+    let scenario = registry::by_name("topology-small").expect("topology-small is registered");
+    let specs: Vec<_> = scenario
+        .grid
+        .enumerate()
+        .into_iter()
+        .filter(|s| s.workload.name == "blackscholes")
+        .collect();
+    assert_eq!(specs.len(), 3 * 5, "3 fabrics x 5 protocols");
+    for spec in specs {
+        assert_eq!(spec.engine, Engine::ActiveSet);
+        let active = run_spec(&spec, 8);
+        for engine in [Engine::AlwaysScan, Engine::CoordRoute] {
+            let mut other_spec = spec.clone();
+            other_spec.engine = engine;
+            let other = run_spec(&other_spec, 8);
+            assert_eq!(
+                active.report.to_json(),
+                other.report.to_json(),
+                "engine divergence at {} vs {engine:?}",
+                spec.key()
+            );
+            assert_eq!(active.config_hash, other.config_hash);
+        }
+    }
+}
+
 /// The same holds on a larger mesh with proportional MCs and the
 /// phased low-injection workload — the regime where the active-set
 /// engine actually skips most of the machine.

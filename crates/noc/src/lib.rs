@@ -1,6 +1,8 @@
-//! The SCORPIO main network: a mesh NoC with virtual-channel routers,
-//! lookahead bypassing, single-cycle multicast and reserved-VC deadlock
-//! avoidance (Section 3.2 of the paper).
+//! The SCORPIO main network: a NoC with virtual-channel routers, lookahead
+//! bypassing, single-cycle multicast and reserved-VC deadlock avoidance
+//! (Section 3.2 of the paper), delivered over a swappable [`Topology`] —
+//! the chip's 2-D [`Mesh`], a wraparound [`Torus`], or a bidirectional
+//! [`Ring`].
 //!
 //! The main network is *unordered*: it broadcasts coherence requests and
 //! delivers responses with no global ordering guarantee. Global ordering is
@@ -10,6 +12,11 @@
 //! ([`Network::set_esid`]) for reserved-VC policing, and VC-addressed
 //! ejection ([`Network::eject_heads`] / [`Network::eject_take`]) so the NIC
 //! can pull requests out of its buffers in the globally decided order.
+//! Because ordering is decoupled from delivery — the paper's central idea —
+//! any fabric that broadcasts to every endpoint exactly once can carry the
+//! ordered protocol; each topology's routing spec is compiled into
+//! per-router lookup tables at construction, so the per-flit hot path never
+//! runs coordinate arithmetic (`tables.rs`).
 //!
 //! # Examples
 //!
@@ -47,6 +54,7 @@ mod flit;
 mod network;
 mod router;
 pub mod routing;
+mod tables;
 mod topology;
 
 pub use arbiter::RotatingArbiter;
@@ -54,4 +62,6 @@ pub use config::{NocConfig, VnetCfg};
 pub use flit::{data_packet_flits, Dest, Flit, Packet, Payload, Sid, VnetId};
 pub use network::{EjectSlot, Network, NocStats};
 pub use router::RouterStats;
-pub use topology::{Coord, Endpoint, LocalSlot, Mesh, Port, PortMask, RouterId};
+pub use topology::{
+    Coord, Endpoint, LocalSlot, Mesh, Port, PortMask, Ring, RouterId, Topology, Torus,
+};

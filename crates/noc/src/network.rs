@@ -22,7 +22,8 @@ use crate::router::{
     CreditArrival, DownstreamState, EsidOracle, FlitArrival, LaArrival, Router, RouterOut,
     RouterStats,
 };
-use crate::topology::{Endpoint, LocalSlot, Mesh, Port, RouterId};
+use crate::tables::{validate_datelines, RouteCtx, RoutingTables, VcClass};
+use crate::topology::{Endpoint, LocalSlot, Port, RouterId, Topology};
 use scorpio_sim::stats::{Accumulator, Counter};
 use scorpio_sim::{ActiveSet, Cycle, Fifo, PushError};
 use std::collections::HashMap;
@@ -150,7 +151,12 @@ pub struct NocStats {
 /// assert!(net.eject_heads(far).next().is_some());
 /// ```
 pub struct Network<T> {
-    mesh: Mesh,
+    topology: Topology,
+    /// Routing tables compiled from the topology's spec at construction.
+    tables: RoutingTables,
+    /// Route via the tables (default) or evaluate the spec per flit (the
+    /// coordinate-routing reference engine; see `route-lookup`).
+    route_tables: bool,
     cfg: NocConfig,
     cycle: Cycle,
     routers: Vec<Router<T>>,
@@ -196,9 +202,10 @@ pub struct Network<T> {
 }
 
 /// ESID view used by routers for reserved-VC eligibility. Expectations are
-/// exact request instances: (SID, per-source sequence number).
+/// exact request instances: (SID, per-source sequence number). Link and MC
+/// queries go through the compiled tables, not coordinate math.
 struct EsidView<'a> {
-    mesh: &'a Mesh,
+    tables: &'a RoutingTables,
     /// Per-router tile ESID.
     tile: &'a [Option<(Sid, u16)>],
     /// Per-router MC ESID (only meaningful on MC routers).
@@ -208,7 +215,7 @@ struct EsidView<'a> {
 impl EsidView<'_> {
     fn router_has_expected(&self, r: RouterId, sid: Sid, seq: u16) -> bool {
         self.tile[r.index()] == Some((sid, seq))
-            || (self.mesh.has_mc(r) && self.mc[r.index()] == Some((sid, seq)))
+            || (self.tables.has_mc(r) && self.mc[r.index()] == Some((sid, seq)))
     }
 }
 
@@ -217,7 +224,7 @@ impl EsidOracle for EsidView<'_> {
         match out_port {
             Port::Tile => self.tile[router.index()] == Some((sid, seq)),
             Port::Mc => self.mc[router.index()] == Some((sid, seq)),
-            mesh_port => match self.mesh.neighbor(router, mesh_port) {
+            mesh_port => match self.tables.neighbor(router, mesh_port) {
                 Some(n) => self.router_has_expected(n, sid, seq),
                 None => false,
             },
@@ -226,18 +233,30 @@ impl EsidOracle for EsidView<'_> {
 }
 
 impl<T: Payload> Network<T> {
-    /// Builds a network over `mesh` with configuration `cfg`.
+    /// Builds a network over any delivery fabric — a [`Mesh`], [`Torus`],
+    /// [`Ring`] or an existing [`Topology`] — with configuration `cfg`.
+    /// The topology's routing spec is compiled into per-router lookup
+    /// tables here; the per-flit hot path never runs coordinate math.
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` fails [`NocConfig::validate`].
-    pub fn new(mesh: Mesh, cfg: NocConfig) -> Self {
+    /// Panics if `cfg` fails [`NocConfig::validate`], or if the topology
+    /// has wraparound links and a vnet has fewer than two regular VCs
+    /// (dateline deadlock freedom needs a class split).
+    ///
+    /// [`Mesh`]: crate::Mesh
+    /// [`Torus`]: crate::Torus
+    /// [`Ring`]: crate::Ring
+    pub fn new(fabric: impl Into<Topology>, cfg: NocConfig) -> Self {
+        let topology: Topology = fabric.into();
         cfg.validate().expect("invalid NoC configuration");
-        let routers: Vec<Router<T>> = mesh
+        validate_datelines(&topology, &cfg);
+        let tables = RoutingTables::build(&topology);
+        let routers: Vec<Router<T>> = topology
             .routers()
-            .map(|r| Router::new(&mesh, &cfg, r))
+            .map(|r| Router::new(&tables, &cfg, r))
             .collect();
-        let endpoints: Vec<Endpoint> = mesh.endpoints().collect();
+        let endpoints: Vec<Endpoint> = topology.endpoints().collect();
         let inject = endpoints
             .iter()
             .map(|ep| InjectPort {
@@ -265,11 +284,13 @@ impl<T: Payload> Network<T> {
                     .collect(),
             })
             .collect();
-        let n_routers = mesh.router_count();
+        let n_routers = topology.router_count();
         let n_eps = endpoints.len();
         let vnets = cfg.vnets.len();
         Network {
-            mesh,
+            topology,
+            tables,
+            route_tables: true,
             cfg,
             cycle: Cycle::ZERO,
             routers,
@@ -304,9 +325,15 @@ impl<T: Payload> Network<T> {
         }
     }
 
-    /// The mesh this network is built over.
-    pub fn mesh(&self) -> &Mesh {
-        &self.mesh
+    /// The topology this network delivers over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The delivery fabric — legacy name from when only meshes existed;
+    /// identical to [`Network::topology`].
+    pub fn mesh(&self) -> &Topology {
+        &self.topology
     }
 
     /// The active configuration.
@@ -361,22 +388,9 @@ impl<T: Payload> Network<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `ep` does not exist in this mesh.
+    /// Panics if `ep` does not exist in this topology.
     pub fn endpoint_index(&self, ep: Endpoint) -> usize {
-        match ep.slot {
-            LocalSlot::Tile => {
-                assert!(ep.router.index() < self.mesh.router_count());
-                ep.router.index()
-            }
-            LocalSlot::Mc => {
-                let pos = self
-                    .mesh
-                    .mc_routers()
-                    .binary_search(&ep.router)
-                    .unwrap_or_else(|_| panic!("no MC port at {}", ep.router));
-                self.mesh.router_count() + pos
-            }
-        }
+        self.tables.endpoint_index(ep)
     }
 
     /// Queues `packet` for injection at `ep`, stamping uid and inject cycle.
@@ -509,6 +523,16 @@ impl<T: Payload> Network<T> {
         self.always_scan = scan;
     }
 
+    /// Selects how routers route: via the compiled tables (default) or by
+    /// evaluating the topology's coordinate spec per flit — the reference
+    /// engine the tables were compiled from. Produces identical behavior
+    /// (asserted by the equivalence suite); exists so the table-lookup
+    /// speedup stays measurable (`route-lookup` scenario). Call before the
+    /// first cycle.
+    pub fn set_table_routing(&mut self, tables: bool) {
+        self.route_tables = tables;
+    }
+
     /// Drains the set of endpoints whose ejection buffers received flits
     /// since the last call (ascending order, deduplicated). The system
     /// layer uses this to wake sleeping tiles and memory controllers.
@@ -576,7 +600,9 @@ impl<T: Payload> Network<T> {
         self.router_active
             .drain_sorted_or_all(self.always_scan, &mut list);
         let Network {
-            mesh,
+            topology,
+            tables,
+            route_tables,
             cfg,
             routers,
             inbox_flits,
@@ -595,9 +621,15 @@ impl<T: Payload> Network<T> {
             ..
         } = self;
         let view = EsidView {
-            mesh,
+            tables,
             tile: esid_tile,
             mc: esid_mc,
+        };
+        let route = RouteCtx {
+            tables,
+            topo: topology,
+            use_tables: *route_tables,
+            datelines: topology.has_datelines(),
         };
         for &r in &list {
             let ridx = r as usize;
@@ -609,11 +641,11 @@ impl<T: Payload> Network<T> {
                 continue;
             }
             outbox.clear();
-            router.tick(mesh, cfg, &view, flits, las, credits, outbox);
+            router.tick(&route, cfg, &view, flits, las, credits, outbox);
             let rid = RouterId(ridx as u16);
             for ev in outbox.iter() {
                 Self::route_router_out(
-                    mesh,
+                    tables,
                     rid,
                     ev,
                     flit_wire,
@@ -661,10 +693,10 @@ impl<T: Payload> Network<T> {
             let (idx, esid) = self.staged_esid[k];
             self.esid[idx] = esid;
             // Keep the routers' per-router view in sync incrementally.
-            if idx < self.mesh.router_count() {
+            if idx < self.topology.router_count() {
                 self.esid_tile[idx] = esid;
             } else {
-                let r = self.mesh.mc_routers()[idx - self.mesh.router_count()];
+                let r = self.topology.mc_routers()[idx - self.topology.router_count()];
                 self.esid_mc[r.index()] = esid;
             }
         }
@@ -724,7 +756,7 @@ impl<T: Payload> Network<T> {
 
     #[allow(clippy::too_many_arguments)]
     fn route_router_out(
-        mesh: &Mesh,
+        tables: &RoutingTables,
         rid: RouterId,
         ev: &RouterOut<T>,
         flit_wire: &mut Wire<(RouterId, Port, u8, Flit<T>)>,
@@ -739,19 +771,18 @@ impl<T: Payload> Network<T> {
                     eject_wire.push((rid.index(), flit.packet.vnet.0, *vc, *flit));
                 }
                 Port::Mc => {
-                    let pos = mesh
-                        .mc_routers()
-                        .binary_search(&rid)
-                        .expect("MC flit at non-MC router");
-                    eject_wire.push((mesh.router_count() + pos, flit.packet.vnet.0, *vc, *flit));
+                    let pos = tables.mc_rank(rid);
+                    eject_wire.push((tables.router_count() + pos, flit.packet.vnet.0, *vc, *flit));
                 }
                 p => {
-                    let n = mesh.neighbor(rid, *p).expect("ST off the mesh edge");
+                    let n = tables.neighbor(rid, *p).expect("ST off the fabric edge");
                     flit_wire.push((n, p.opposite(), *vc, *flit));
                 }
             },
             RouterOut::La { out_port, flit } => {
-                let n = mesh.neighbor(rid, *out_port).expect("LA off the mesh edge");
+                let n = tables
+                    .neighbor(rid, *out_port)
+                    .expect("LA off the fabric edge");
                 la_wire.push((n, out_port.opposite(), *flit));
             }
             RouterOut::CreditUp {
@@ -764,14 +795,13 @@ impl<T: Payload> Network<T> {
                     inject_credit_wire.push((rid.index(), *vnet, *vc, *dealloc));
                 }
                 Port::Mc => {
-                    let pos = mesh
-                        .mc_routers()
-                        .binary_search(&rid)
-                        .expect("MC credit at non-MC router");
-                    inject_credit_wire.push((mesh.router_count() + pos, *vnet, *vc, *dealloc));
+                    let pos = tables.mc_rank(rid);
+                    inject_credit_wire.push((tables.router_count() + pos, *vnet, *vc, *dealloc));
                 }
                 p => {
-                    let n = mesh.neighbor(rid, *p).expect("credit off the mesh edge");
+                    let n = tables
+                        .neighbor(rid, *p)
+                        .expect("credit off the fabric edge");
                     credit_wire.push((
                         n,
                         CreditArrival {
@@ -844,7 +874,12 @@ impl<T: Payload> Network<T> {
                         || esid_mc[port.router.index()] == Some((s, packet.sid_seq))
                 })
                 .unwrap_or(false);
-            let Some(vc) = port.ds.alloc_vc(cfg, v as u8, packet.sid, rvc_ok) else {
+            // Injection allocates at the router's *local* input port; the
+            // dateline discipline only constrains mesh links.
+            let Some(vc) = port
+                .ds
+                .alloc_vc(cfg, v as u8, packet.sid, rvc_ok, VcClass::Any)
+            else {
                 continue;
             };
             port.queues[v].pop();
@@ -870,7 +905,7 @@ impl<T: Payload> Network<T> {
 impl<T: Payload> std::fmt::Debug for Network<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
-            .field("mesh", &(self.mesh.cols(), self.mesh.rows()))
+            .field("topology", &self.topology.label())
             .field("cycle", &self.cycle)
             .field("injected", &self.stats.injected_packets)
             .field("delivered", &self.stats.delivered_packets)
@@ -882,6 +917,7 @@ impl<T: Payload> std::fmt::Debug for Network<T> {
 mod tests {
     use super::*;
     use crate::flit::Dest;
+    use crate::topology::{Mesh, Ring, Torus};
 
     fn drain_all(net: &mut Network<u64>, max: u64) -> Vec<(Endpoint, Flit<u64>)> {
         let mut got = Vec::new();
@@ -1153,5 +1189,154 @@ mod tests {
     fn dest_debug_formats() {
         let d = Dest::Broadcast;
         assert!(format!("{d:?}").contains("Broadcast"));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_on_torus_and_ring() {
+        for topo in [
+            Topology::from(Torus::square_with_corner_mcs(4)),
+            Topology::from(Ring::with_spread_mcs(16, 4)),
+        ] {
+            let n_eps = topo.endpoints().count();
+            let mut net: Network<u64> = Network::new(topo.clone(), NocConfig::scorpio());
+            let src = Endpoint::tile(RouterId(5));
+            let uid = net
+                .try_inject(src, Packet::request(src, Sid(5), 0, 99))
+                .unwrap();
+            let got = drain_all(&mut net, 600);
+            assert!(net.is_drained(), "{} failed to drain", topo.label());
+            assert_eq!(net.deliveries(uid) as usize, n_eps - 1, "{}", topo.label());
+            let mut seen = std::collections::HashSet::new();
+            for (ep, _) in &got {
+                assert!(seen.insert(*ep), "duplicate delivery at {ep}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_unicast_takes_the_wraparound_shortcut() {
+        // 0 -> 3 on a 4x4 torus is one hop west; the mesh needs three east.
+        let run = |topo: Topology| -> f64 {
+            let mut cfg = NocConfig::scorpio();
+            cfg.track_deliveries = false;
+            let mut net: Network<u64> = Network::new(topo, cfg);
+            let src = Endpoint::tile(RouterId(0));
+            let dst = Endpoint::tile(RouterId(3));
+            net.try_inject(src, Packet::response(src, dst, 1, 1))
+                .unwrap();
+            drain_all(&mut net, 200);
+            net.stats().packet_latency.mean()
+        };
+        let mesh_lat = run(Mesh::new(4, 4, &[]).into());
+        let torus_lat = run(Torus::new(4, 4, &[]).into());
+        assert!(
+            torus_lat < mesh_lat,
+            "wrap link unused: torus {torus_lat} >= mesh {mesh_lat}"
+        );
+    }
+
+    #[test]
+    fn heavy_random_traffic_drains_on_wraparound_fabrics() {
+        use scorpio_sim::SimRng;
+        for topo in [
+            Topology::from(Torus::square_with_corner_mcs(4)),
+            Topology::from(Ring::with_spread_mcs(12, 4)),
+        ] {
+            let mut net: Network<u64> = Network::new(topo.clone(), NocConfig::scorpio());
+            let mut rng = SimRng::seed_from(4321);
+            let eps: Vec<Endpoint> = net.topology().endpoints().collect();
+            let mut injected = 0u64;
+            for cycle in 0..4000u64 {
+                if cycle < 1500 {
+                    for &ep in &eps {
+                        if rng.chance(0.05) {
+                            let to = eps[rng.gen_range_usize(eps.len())];
+                            let pkt = if ep.slot == LocalSlot::Tile && rng.chance(0.4) {
+                                Packet::request(ep, Sid(ep.router.0), cycle as u16, cycle)
+                            } else if to != ep {
+                                Packet::response(ep, to, 3, cycle)
+                            } else {
+                                continue;
+                            };
+                            if net.try_inject(ep, pkt).is_ok() {
+                                injected += 1;
+                            }
+                        }
+                    }
+                }
+                for &ep in &eps {
+                    let slots: Vec<EjectSlot> = net.eject_heads(ep).map(|(s, _)| s).collect();
+                    for s in slots {
+                        net.eject_take(ep, s);
+                    }
+                }
+                net.step();
+                if cycle > 1500 && net.is_drained() {
+                    break;
+                }
+            }
+            assert!(
+                net.is_drained(),
+                "{} wedged under random traffic (dateline classes broken?)",
+                topo.label()
+            );
+            assert!(injected > 100, "too little traffic on {}", topo.label());
+        }
+    }
+
+    #[test]
+    fn coordinate_routing_reference_engine_is_cycle_exact() {
+        // Same traffic, tables on vs off: identical ejection log and drain
+        // cycle — the tables are the spec, memoized.
+        use scorpio_sim::SimRng;
+        for topo in [
+            Topology::from(Mesh::new(4, 3, &[RouterId(0), RouterId(11)])),
+            Topology::from(Torus::square_with_corner_mcs(4)),
+            Topology::from(Ring::with_spread_mcs(9, 3)),
+        ] {
+            let run = |tables: bool| -> Vec<(u64, u64)> {
+                let mut net: Network<u64> = Network::new(topo.clone(), NocConfig::scorpio());
+                net.set_table_routing(tables);
+                let eps: Vec<Endpoint> = net.topology().endpoints().collect();
+                let mut rng = SimRng::seed_from(7);
+                let mut log = Vec::new();
+                for cycle in 0..1200u64 {
+                    if cycle < 400 {
+                        for &ep in &eps {
+                            if rng.chance(0.04) {
+                                let to = eps[rng.gen_range_usize(eps.len())];
+                                if ep.slot == LocalSlot::Tile && rng.chance(0.5) {
+                                    let _ = net.try_inject(
+                                        ep,
+                                        Packet::request(ep, Sid(ep.router.0), cycle as u16, cycle),
+                                    );
+                                } else if to != ep {
+                                    let _ = net.try_inject(ep, Packet::response(ep, to, 3, cycle));
+                                }
+                            }
+                        }
+                    }
+                    for &ep in &eps {
+                        let slots: Vec<EjectSlot> = net.eject_heads(ep).map(|(s, _)| s).collect();
+                        for s in slots {
+                            if let Some(f) = net.eject_take(ep, s) {
+                                log.push((cycle, f.packet.uid));
+                            }
+                        }
+                    }
+                    net.step();
+                    if cycle > 400 && net.is_drained() {
+                        break;
+                    }
+                }
+                assert!(
+                    net.is_drained(),
+                    "{} wedged (tables={tables})",
+                    topo.label()
+                );
+                log
+            };
+            assert_eq!(run(true), run(false), "divergence on {}", topo.label());
+        }
     }
 }

@@ -30,8 +30,8 @@
 use crate::arbiter::RotatingArbiter;
 use crate::config::NocConfig;
 use crate::flit::{Flit, Payload, Sid};
-use crate::routing::route_outputs;
-use crate::topology::{Mesh, Port, PortMask, RouterId};
+use crate::tables::{RouteCtx, RoutingTables, VcClass};
+use crate::topology::{Port, PortMask, RouterId};
 use scorpio_sim::stats::Counter;
 
 /// A flit arriving at an input port, tagged with the VC the upstream VS
@@ -140,10 +140,20 @@ impl DownstreamState {
     }
 
     /// Whether VS could allocate a VC right now (without doing so).
-    pub(crate) fn can_alloc(&self, cfg: &NocConfig, vnet: u8, rvc_ok: bool) -> bool {
+    /// `class` restricts the regular-VC pool to the flit's dateline
+    /// partition on wraparound topologies ([`VcClass::Any`] on a mesh).
+    pub(crate) fn can_alloc(
+        &self,
+        cfg: &NocConfig,
+        vnet: u8,
+        rvc_ok: bool,
+        class: VcClass,
+    ) -> bool {
         let n = vnet as usize;
         let vcfg = &cfg.vnets[n];
-        let regular = (0..vcfg.vcs as usize).any(|c| self.free_vc[n][c] && self.credits[n][c] > 0);
+        let regular = class
+            .regular_range(vcfg.vcs)
+            .any(|c| self.free_vc[n][c] && self.credits[n][c] > 0);
         if regular {
             return true;
         }
@@ -162,11 +172,13 @@ impl DownstreamState {
         vnet: u8,
         sid: Option<Sid>,
         rvc_ok: bool,
+        class: VcClass,
     ) -> Option<u8> {
         let n = vnet as usize;
         let vcfg = &cfg.vnets[n];
-        let mut pick =
-            (0..vcfg.vcs as usize).find(|&c| self.free_vc[n][c] && self.credits[n][c] > 0);
+        let mut pick = class
+            .regular_range(vcfg.vcs)
+            .find(|&c| self.free_vc[n][c] && self.credits[n][c] > 0);
         if pick.is_none() && vcfg.ordered && rvc_ok {
             let r = vcfg.rvc_index() as usize;
             if self.free_vc[n][r] && self.credits[n][r] > 0 {
@@ -205,6 +217,9 @@ struct VcState<T> {
     granted: PortMask,
     /// Mask path: downstream VC per granted output port.
     grant_vcs: [u8; Port::COUNT],
+    /// Dateline class-1 bit per output port of the packet's route
+    /// (always 0 on non-wraparound topologies).
+    class_mask: u8,
     /// Stream path (multi-flit unicast): fixed output port after head VS.
     out_port: Option<Port>,
     /// Stream path: downstream VC for the whole packet.
@@ -221,6 +236,7 @@ impl<T> VcState<T> {
             remaining: PortMask::EMPTY,
             granted: PortMask::EMPTY,
             grant_vcs: [0; Port::COUNT],
+            class_mask: 0,
             out_port: None,
             out_vc: 0,
             granted_flits: 0,
@@ -296,7 +312,7 @@ pub(crate) struct Router<T> {
 }
 
 impl<T: Payload> Router<T> {
-    pub(crate) fn new(mesh: &Mesh, cfg: &NocConfig, id: RouterId) -> Self {
+    pub(crate) fn new(tables: &RoutingTables, cfg: &NocConfig, id: RouterId) -> Self {
         let total_vcs: usize = cfg.vnets.iter().map(|v| v.total_vcs()).sum();
         let mut inputs = Vec::with_capacity(Port::COUNT);
         for _ in Port::ALL {
@@ -310,8 +326,8 @@ impl<T: Payload> Router<T> {
         for port in Port::ALL {
             let present = match port {
                 Port::Tile => true,
-                Port::Mc => mesh.has_mc(id),
-                mesh_port => mesh.neighbor(id, mesh_port).is_some(),
+                Port::Mc => tables.has_mc(id),
+                mesh_port => tables.neighbor(id, mesh_port).is_some(),
             };
             downstream.push(present.then(|| DownstreamState::new(cfg)));
         }
@@ -358,7 +374,7 @@ impl<T: Payload> Router<T> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn tick(
         &mut self,
-        mesh: &Mesh,
+        route: &RouteCtx<'_>,
         cfg: &NocConfig,
         esid: &dyn EsidOracle,
         arrivals: &[FlitArrival<T>],
@@ -368,9 +384,9 @@ impl<T: Payload> Router<T> {
     ) {
         self.apply_credits(cfg, credits);
         self.execute_st(cfg, out);
-        self.process_arrivals(mesh, cfg, arrivals, out);
-        self.allocate_outputs(mesh, cfg, esid, las);
-        self.sa_i(cfg, esid);
+        self.process_arrivals(route, cfg, arrivals, out);
+        self.allocate_outputs(route, cfg, esid, las);
+        self.sa_i(route, cfg, esid);
     }
 
     fn apply_credits(&mut self, cfg: &NocConfig, credits: &[CreditArrival]) {
@@ -458,7 +474,7 @@ impl<T: Payload> Router<T> {
     /// Stage 1 (BW) or the bypass path for flits arriving this cycle.
     fn process_arrivals(
         &mut self,
-        mesh: &Mesh,
+        route: &RouteCtx<'_>,
         cfg: &NocConfig,
         arrivals: &[FlitArrival<T>],
         out: &mut Vec<RouterOut<T>>,
@@ -484,7 +500,7 @@ impl<T: Payload> Router<T> {
                 }
                 continue;
             }
-            self.buffer_flit(mesh, a);
+            self.buffer_flit(route, a);
         }
         // Unconsumed reservations expire (the LA won but we still clear
         // conservatively; arrival is guaranteed one cycle after the LA).
@@ -493,7 +509,7 @@ impl<T: Payload> Router<T> {
         }
     }
 
-    fn buffer_flit(&mut self, mesh: &Mesh, a: &FlitArrival<T>) {
+    fn buffer_flit(&mut self, route: &RouteCtx<'_>, a: &FlitArrival<T>) {
         self.stats.buffered_flits.incr();
         let vnet = a.flit.packet.vnet.0 as usize;
         let state = &mut self.inputs[a.port.index()][vnet][a.vc as usize];
@@ -506,13 +522,14 @@ impl<T: Payload> Router<T> {
             self.busy += 1;
             self.port_occupancy[a.port.index()] += 1;
             let arrived_on = (!a.port.is_local()).then_some(a.port);
-            let route = route_outputs(mesh, self.id, a.flit.packet.dest, arrived_on);
+            let routed = route.route(self.id, &a.flit.packet, arrived_on);
+            state.class_mask = routed.classes;
             if a.flit.is_single() {
-                state.remaining = route;
+                state.remaining = routed.mask;
                 state.granted = PortMask::EMPTY;
             } else {
-                debug_assert_eq!(route.len(), 1, "multi-flit packets are unicast");
-                state.remaining = route;
+                debug_assert_eq!(routed.mask.len(), 1, "multi-flit packets are unicast");
+                state.remaining = routed.mask;
                 state.out_port = None;
                 state.granted_flits = 0;
             }
@@ -524,7 +541,7 @@ impl<T: Payload> Router<T> {
     /// ST plan and bypass reservations for next cycle.
     fn allocate_outputs(
         &mut self,
-        mesh: &Mesh,
+        route: &RouteCtx<'_>,
         cfg: &NocConfig,
         esid: &dyn EsidOracle,
         las: &[LaArrival<T>],
@@ -536,7 +553,15 @@ impl<T: Payload> Router<T> {
         let sa_i_reg = std::mem::take(&mut self.sa_i_reg);
 
         // Class 1: buffered flits in reserved VCs beat everything.
-        self.grant_buffered_class(cfg, esid, &sa_i_reg, true, &mut out_taken, &mut in_owner);
+        self.grant_buffered_class(
+            route,
+            cfg,
+            esid,
+            &sa_i_reg,
+            true,
+            &mut out_taken,
+            &mut in_owner,
+        );
 
         // Class 2: lookaheads, all-or-nothing, rotating priority by port.
         let mut la_reqs = [false; Port::COUNT];
@@ -551,7 +576,7 @@ impl<T: Payload> Router<T> {
                 .find(|l| l.port.index() == pidx)
                 .expect("LA request bitmap out of sync");
             if !self.try_bypass(
-                mesh,
+                route,
                 cfg,
                 esid,
                 la,
@@ -570,13 +595,23 @@ impl<T: Payload> Router<T> {
                 in_owner[p] = Some((u8::MAX, u8::MAX));
             }
         }
-        self.grant_buffered_class(cfg, esid, &sa_i_reg, false, &mut out_taken, &mut in_owner);
+        self.grant_buffered_class(
+            route,
+            cfg,
+            esid,
+            &sa_i_reg,
+            false,
+            &mut out_taken,
+            &mut in_owner,
+        );
     }
 
     /// Grants output ports to buffered SA-I winners of one priority class
     /// (`rvc_class` selects reserved-VC winners vs regular winners).
+    #[allow(clippy::too_many_arguments)]
     fn grant_buffered_class(
         &mut self,
+        route: &RouteCtx<'_>,
         cfg: &NocConfig,
         esid: &dyn EsidOracle,
         sa_i_reg: &[Option<SaIWin>; Port::COUNT],
@@ -604,7 +639,7 @@ impl<T: Payload> Router<T> {
                         continue;
                     }
                 }
-                if self.candidate_wants(cfg, esid, in_port, win, out_port) {
+                if self.candidate_wants(route, cfg, esid, in_port, win, out_port) {
                     reqs[in_port.index()] = true;
                 }
             }
@@ -613,7 +648,7 @@ impl<T: Payload> Router<T> {
             };
             let in_port = Port::ALL[winner_idx];
             let win = sa_i_reg[in_port.index()].expect("winner without SA-I record");
-            self.commit_grant(cfg, esid, in_port, win, out_port);
+            self.commit_grant(route, cfg, esid, in_port, win, out_port);
             out_taken[out_port.index()] = true;
             in_owner[in_port.index()] = Some((win.vnet, win.vc));
         }
@@ -622,6 +657,7 @@ impl<T: Payload> Router<T> {
     /// Whether the SA-I winner at `in_port` wants (and could use) `out_port`.
     fn candidate_wants(
         &self,
+        route: &RouteCtx<'_>,
         cfg: &NocConfig,
         esid: &dyn EsidOracle,
         in_port: Port,
@@ -636,6 +672,7 @@ impl<T: Payload> Router<T> {
         let ds = self.downstream[out_port.index()]
             .as_ref()
             .expect("caller checked port presence");
+        let class = route.class_for(state.class_mask, out_port);
         if flit.is_single() {
             if !state.remaining.contains(out_port) || state.granted.contains(out_port) {
                 return false;
@@ -650,7 +687,7 @@ impl<T: Payload> Router<T> {
                 .sid
                 .map(|s| esid.rvc_eligible(self.id, out_port, s, flit.packet.sid_seq))
                 .unwrap_or(false);
-            ds.can_alloc(cfg, win.vnet, rvc_ok)
+            ds.can_alloc(cfg, win.vnet, rvc_ok, class)
         } else {
             // Stream path: one pending ST grant at a time.
             if state.granted_flits != 0 {
@@ -661,7 +698,7 @@ impl<T: Payload> Router<T> {
                 None => {
                     state.remaining.contains(out_port)
                         && state.flits.front().expect("non-empty").is_head()
-                        && ds.can_alloc(cfg, win.vnet, false)
+                        && ds.can_alloc(cfg, win.vnet, false, class)
                 }
                 Some(p) => p == out_port && ds.has_credit(win.vnet, state.out_vc),
             }
@@ -671,6 +708,7 @@ impl<T: Payload> Router<T> {
     /// Applies a grant decided by SA-O: VS allocation + ST scheduling.
     fn commit_grant(
         &mut self,
+        route: &RouteCtx<'_>,
         cfg: &NocConfig,
         esid: &dyn EsidOracle,
         in_port: Port,
@@ -681,12 +719,14 @@ impl<T: Payload> Router<T> {
         let sid;
         let seq;
         let single;
+        let class;
         {
             let state = &self.inputs[in_port.index()][win.vnet as usize][win.vc as usize];
             let flit = state.flits.front().expect("grant on empty VC");
             sid = flit.packet.sid;
             seq = flit.packet.sid_seq;
             single = flit.is_single();
+            class = route.class_for(state.class_mask, out_port);
         }
         if single {
             let rvc_ok = sid
@@ -695,7 +735,7 @@ impl<T: Payload> Router<T> {
             let dvc = self.downstream[out_port.index()]
                 .as_mut()
                 .expect("grant toward absent port")
-                .alloc_vc(cfg, win.vnet, sid, rvc_ok)
+                .alloc_vc(cfg, win.vnet, sid, rvc_ok, class)
                 .expect("candidate_wants guaranteed allocatability");
             let state = &mut self.inputs[in_port.index()][win.vnet as usize][win.vc as usize];
             let first_grant = state.granted.is_empty();
@@ -717,7 +757,7 @@ impl<T: Payload> Router<T> {
                 let dvc = self.downstream[out_port.index()]
                     .as_mut()
                     .expect("grant toward absent port")
-                    .alloc_vc(cfg, win.vnet, None, false)
+                    .alloc_vc(cfg, win.vnet, None, false, class)
                     .expect("candidate_wants guaranteed allocatability");
                 let state = &mut self.inputs[in_port.index()][win.vnet as usize][win.vc as usize];
                 state.out_port = Some(out_port);
@@ -743,7 +783,7 @@ impl<T: Payload> Router<T> {
     #[allow(clippy::too_many_arguments)]
     fn try_bypass(
         &mut self,
-        mesh: &Mesh,
+        route: &RouteCtx<'_>,
         cfg: &NocConfig,
         esid: &dyn EsidOracle,
         la: &LaArrival<T>,
@@ -759,12 +799,12 @@ impl<T: Payload> Router<T> {
             return false;
         }
         let arrived_on = (!la.port.is_local()).then_some(la.port);
-        let route = route_outputs(mesh, self.id, la.flit.packet.dest, arrived_on);
+        let routed = route.route(self.id, &la.flit.packet, arrived_on);
         let vnet = la.flit.packet.vnet.0;
         let sid = la.flit.packet.sid;
         let seq = la.flit.packet.sid_seq;
         // Check every output first (all-or-nothing), then allocate.
-        for p in route.iter() {
+        for p in routed.mask.iter() {
             if out_taken[p.index()] {
                 return false;
             }
@@ -779,19 +819,19 @@ impl<T: Payload> Router<T> {
             let rvc_ok = sid
                 .map(|s| esid.rvc_eligible(self.id, p, s, seq))
                 .unwrap_or(false);
-            if !ds.can_alloc(cfg, vnet, rvc_ok) {
+            if !ds.can_alloc(cfg, vnet, rvc_ok, route.class_for(routed.classes, p)) {
                 return false;
             }
         }
-        let mut outs = Vec::with_capacity(route.len());
-        for p in route.iter() {
+        let mut outs = Vec::with_capacity(routed.mask.len());
+        for p in routed.mask.iter() {
             let rvc_ok = sid
                 .map(|s| esid.rvc_eligible(self.id, p, s, seq))
                 .unwrap_or(false);
             let dvc = self.downstream[p.index()]
                 .as_mut()
                 .expect("checked above")
-                .alloc_vc(cfg, vnet, sid, rvc_ok)
+                .alloc_vc(cfg, vnet, sid, rvc_ok, route.class_for(routed.classes, p))
                 .expect("checked above");
             outs.push((p, dvc));
             out_taken[p.index()] = true;
@@ -810,7 +850,7 @@ impl<T: Payload> Router<T> {
     /// (downstream VC/credit obtainable and no same-SID conflict). This
     /// matters most for the reserved VC, which wins SA-I outright: letting
     /// a blocked rVC flit hold the input slot would starve the port.
-    fn sa_i(&mut self, cfg: &NocConfig, esid: &dyn EsidOracle) {
+    fn sa_i(&mut self, route: &RouteCtx<'_>, cfg: &NocConfig, esid: &dyn EsidOracle) {
         for in_port in Port::ALL {
             let pidx = in_port.index();
             // No resident packet on any VC of this port: every request bit
@@ -827,7 +867,7 @@ impl<T: Payload> Router<T> {
                     continue;
                 }
                 let rvc = vcfg.rvc_index();
-                if self.vc_requests(cfg, esid, n as u8, rvc, in_port) {
+                if self.vc_requests(route, cfg, esid, n as u8, rvc, in_port) {
                     rvc_win = Some(SaIWin {
                         vnet: n as u8,
                         vc: rvc,
@@ -844,7 +884,7 @@ impl<T: Payload> Router<T> {
             // flattened VC list, request bits in the reused scratch vector.
             let mut reqs = std::mem::take(&mut self.sa_i_reqs);
             for (flat, &(n, vc, is_rvc)) in self.vc_index.iter().enumerate() {
-                reqs[flat] = !is_rvc && self.vc_requests(cfg, esid, n, vc, in_port);
+                reqs[flat] = !is_rvc && self.vc_requests(route, cfg, esid, n, vc, in_port);
             }
             self.sa_i_reg[pidx] = self.sa_i_arb[pidx].grant(&reqs).map(|w| {
                 let (vnet, vc, _) = self.vc_index[w];
@@ -906,6 +946,7 @@ impl<T: Payload> Router<T> {
     /// least one of its pending outputs are currently obtainable.
     fn vc_requests(
         &self,
+        route: &RouteCtx<'_>,
         cfg: &NocConfig,
         esid: &dyn EsidOracle,
         vnet: u8,
@@ -936,7 +977,7 @@ impl<T: Payload> Router<T> {
                     .sid
                     .map(|s| esid.rvc_eligible(self.id, p, s, flit.packet.sid_seq))
                     .unwrap_or(false);
-                ds.can_alloc(cfg, vnet, rvc_ok)
+                ds.can_alloc(cfg, vnet, rvc_ok, route.class_for(state.class_mask, p))
             })
         } else {
             if state.flits.len() <= state.granted_flits as usize {
@@ -944,9 +985,9 @@ impl<T: Payload> Router<T> {
             }
             match state.out_port {
                 None => state.remaining.iter().any(|p| {
-                    self.downstream[p.index()]
-                        .as_ref()
-                        .is_some_and(|ds| ds.can_alloc(cfg, vnet, false))
+                    self.downstream[p.index()].as_ref().is_some_and(|ds| {
+                        ds.can_alloc(cfg, vnet, false, route.class_for(state.class_mask, p))
+                    })
                 }),
                 Some(p) => self.downstream[p.index()]
                     .as_ref()
@@ -959,6 +1000,7 @@ impl<T: Payload> Router<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::{Mesh, Topology, Torus};
 
     struct NoRvc;
     impl EsidOracle for NoRvc {
@@ -977,20 +1019,38 @@ mod tests {
         let mut ds = DownstreamState::new(&c);
         // GO-REQ: 4 regular + 1 rVC.
         for expected in 0..4u8 {
-            let vc = ds.alloc_vc(&c, 0, Some(Sid(expected as u16)), true);
+            let vc = ds.alloc_vc(&c, 0, Some(Sid(expected as u16)), true, VcClass::Any);
             assert_eq!(vc, Some(expected));
         }
         // Regular exhausted: rVC only if eligible.
-        assert_eq!(ds.alloc_vc(&c, 0, Some(Sid(9)), false), None);
-        assert_eq!(ds.alloc_vc(&c, 0, Some(Sid(9)), true), Some(4));
-        assert_eq!(ds.alloc_vc(&c, 0, Some(Sid(10)), true), None);
+        assert_eq!(ds.alloc_vc(&c, 0, Some(Sid(9)), false, VcClass::Any), None);
+        assert_eq!(
+            ds.alloc_vc(&c, 0, Some(Sid(9)), true, VcClass::Any),
+            Some(4)
+        );
+        assert_eq!(ds.alloc_vc(&c, 0, Some(Sid(10)), true, VcClass::Any), None);
+    }
+
+    #[test]
+    fn dateline_classes_partition_the_regular_vcs() {
+        let c = cfg();
+        let mut ds = DownstreamState::new(&c);
+        // GO-REQ has 4 regular VCs: class 0 may use {0,1}, class 1 {2,3}.
+        assert_eq!(ds.alloc_vc(&c, 0, None, false, VcClass::C0), Some(0));
+        assert_eq!(ds.alloc_vc(&c, 0, None, false, VcClass::C1), Some(2));
+        assert_eq!(ds.alloc_vc(&c, 0, None, false, VcClass::C0), Some(1));
+        assert_eq!(ds.alloc_vc(&c, 0, None, false, VcClass::C0), None);
+        assert!(ds.can_alloc(&c, 0, false, VcClass::C1));
+        assert!(!ds.can_alloc(&c, 0, false, VcClass::C0));
+        assert_eq!(ds.alloc_vc(&c, 0, None, false, VcClass::C1), Some(3));
+        assert_eq!(ds.alloc_vc(&c, 0, None, false, VcClass::C1), None);
     }
 
     #[test]
     fn downstream_credit_roundtrip() {
         let c = cfg();
         let mut ds = DownstreamState::new(&c);
-        let vc = ds.alloc_vc(&c, 1, None, false).unwrap();
+        let vc = ds.alloc_vc(&c, 1, None, false, VcClass::Any).unwrap();
         assert!(ds.has_credit(1, vc)); // depth 3: 2 credits left
         ds.take_credit(1, vc);
         ds.take_credit(1, vc);
@@ -1000,23 +1060,25 @@ mod tests {
         // Dealloc frees the VC for reallocation.
         ds.on_credit(&c, 1, vc, false);
         ds.on_credit(&c, 1, vc, true);
-        assert_eq!(ds.alloc_vc(&c, 1, None, false), Some(vc));
+        assert_eq!(ds.alloc_vc(&c, 1, None, false, VcClass::Any), Some(vc));
     }
 
     #[test]
     fn sid_tracker_blocks_same_sid() {
         let c = cfg();
         let mut ds = DownstreamState::new(&c);
-        ds.alloc_vc(&c, 0, Some(Sid(5)), false).unwrap();
+        ds.alloc_vc(&c, 0, Some(Sid(5)), false, VcClass::Any)
+            .unwrap();
         assert!(ds.sid_in_flight(0, Sid(5)));
         assert!(!ds.sid_in_flight(0, Sid(6)));
     }
 
     #[test]
     fn router_construction_ports() {
-        let mesh = Mesh::scorpio_chip();
+        let topo: Topology = Mesh::scorpio_chip().into();
+        let tables = RoutingTables::build(&topo);
         let c = cfg();
-        let corner: Router<u32> = Router::new(&mesh, &c, RouterId(0));
+        let corner: Router<u32> = Router::new(&tables, &c, RouterId(0));
         // NW corner: East, South, Tile, Mc.
         assert!(corner.downstream[Port::East.index()].is_some());
         assert!(corner.downstream[Port::South.index()].is_some());
@@ -1025,18 +1087,35 @@ mod tests {
         assert!(corner.downstream[Port::Tile.index()].is_some());
         assert!(corner.downstream[Port::Mc.index()].is_some());
 
-        let center: Router<u32> = Router::new(&mesh, &c, RouterId(14));
+        let center: Router<u32> = Router::new(&tables, &c, RouterId(14));
         assert!(center.downstream[Port::Mc.index()].is_none());
         assert!(center.is_idle());
     }
 
     #[test]
+    fn torus_router_has_all_four_mesh_ports() {
+        let topo: Topology = Torus::square_with_corner_mcs(4).into();
+        let tables = RoutingTables::build(&topo);
+        let corner: Router<u32> = Router::new(&tables, &cfg(), RouterId(0));
+        for port in [Port::North, Port::South, Port::East, Port::West] {
+            assert!(corner.downstream[port.index()].is_some(), "{port}");
+        }
+    }
+
+    #[test]
     fn idle_router_tick_emits_nothing() {
-        let mesh = Mesh::scorpio_chip();
+        let topo: Topology = Mesh::scorpio_chip().into();
+        let tables = RoutingTables::build(&topo);
         let c = cfg();
-        let mut r: Router<u32> = Router::new(&mesh, &c, RouterId(14));
+        let mut r: Router<u32> = Router::new(&tables, &c, RouterId(14));
+        let ctx = RouteCtx {
+            tables: &tables,
+            topo: &topo,
+            use_tables: true,
+            datelines: false,
+        };
         let mut out = Vec::new();
-        r.tick(&mesh, &c, &NoRvc, &[], &[], &[], &mut out);
+        r.tick(&ctx, &c, &NoRvc, &[], &[], &[], &mut out);
         assert!(out.is_empty());
         assert!(r.is_idle());
     }

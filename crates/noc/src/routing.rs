@@ -1,124 +1,27 @@
-//! XY dimension-ordered routing and XY broadcast trees.
+//! Routing-spec walkers and shared topology property checks.
 //!
-//! The main network uses XY routing (Table 1), which is deadlock-free for
-//! the unordered response traffic. Broadcasts follow an XY tree: the request
-//! travels east and west along the injection row, and every router in that
-//! row forks copies north and south; column branches continue straight.
-//! Every router delivers one copy to each of its local endpoints, so each
-//! endpoint receives the broadcast exactly once.
+//! The per-flit hot path routes through the compiled tables (`tables.rs`);
+//! this module walks the *spec* — [`Topology::unicast_port`] /
+//! [`Topology::broadcast_ports`] — off the hot path: path enumeration for
+//! latency bounds, and the broadcast exactly-once property check that every
+//! [`Topology`] implementation must pass ([`check_broadcast_exactly_once`]).
 
-use crate::flit::Dest;
-use crate::topology::{Endpoint, Mesh, Port, PortMask, RouterId};
+use crate::topology::{Endpoint, Port, PortMask, RouterId, Topology};
 
-/// Computes the output port for a unicast packet at router `here`.
-///
-/// XY routing: correct the X offset first, then Y, then eject through the
-/// destination's local port.
-pub fn unicast_output(mesh: &Mesh, here: RouterId, dest: Endpoint) -> Port {
-    let hc = mesh.coord(here);
-    let dc = mesh.coord(dest.router);
-    if dc.x > hc.x {
-        Port::East
-    } else if dc.x < hc.x {
-        Port::West
-    } else if dc.y > hc.y {
-        Port::South
-    } else if dc.y < hc.y {
-        Port::North
-    } else {
-        dest.slot.port()
-    }
+/// The output port for a unicast packet at router `here` (spec form).
+pub fn unicast_output(topo: &Topology, here: RouterId, dest: Endpoint) -> Port {
+    topo.unicast_port(here, dest)
 }
 
-/// Computes the set of output ports for a broadcast flit at router `here`,
-/// given the port it arrived through (`None` at the source router).
-///
-/// The source's own tile copy is *not* produced: the requesting NIC
-/// self-delivers through its loopback path, so the network only serves the
-/// other endpoints. The source router still delivers to its MC port, if any.
-pub fn broadcast_outputs(mesh: &Mesh, here: RouterId, arrived_on: Option<Port>) -> PortMask {
-    let c = mesh.coord(here);
-    let mut mask = PortMask::EMPTY;
-    let at_source = arrived_on.is_none();
-
-    match arrived_on {
-        None => {
-            // Source: spread along the row in both X directions and start
-            // both column branches.
-            if c.x + 1 < mesh.cols() {
-                mask.insert(Port::East);
-            }
-            if c.x > 0 {
-                mask.insert(Port::West);
-            }
-            if c.y > 0 {
-                mask.insert(Port::North);
-            }
-            if c.y + 1 < mesh.rows() {
-                mask.insert(Port::South);
-            }
-        }
-        Some(Port::West) => {
-            // Travelling east along the row: keep going east, fork columns.
-            if c.x + 1 < mesh.cols() {
-                mask.insert(Port::East);
-            }
-            if c.y > 0 {
-                mask.insert(Port::North);
-            }
-            if c.y + 1 < mesh.rows() {
-                mask.insert(Port::South);
-            }
-        }
-        Some(Port::East) => {
-            if c.x > 0 {
-                mask.insert(Port::West);
-            }
-            if c.y > 0 {
-                mask.insert(Port::North);
-            }
-            if c.y + 1 < mesh.rows() {
-                mask.insert(Port::South);
-            }
-        }
-        Some(Port::North) => {
-            // Travelling south down a column: continue south only.
-            if c.y + 1 < mesh.rows() {
-                mask.insert(Port::South);
-            }
-        }
-        Some(Port::South) => {
-            if c.y > 0 {
-                mask.insert(Port::North);
-            }
-        }
-        Some(local @ (Port::Tile | Port::Mc)) => {
-            panic!("broadcast flit cannot arrive on local port {local}")
-        }
-    }
-
-    // Local deliveries. The source tile self-delivers via NIC loopback.
-    if !at_source {
-        mask.insert(Port::Tile);
-    }
-    if mesh.has_mc(here) {
-        mask.insert(Port::Mc);
-    }
-    mask
-}
-
-/// Computes the output set for a flit at `here` given its destination and
-/// arrival port. Unicast resolves to a single port; broadcast to a tree mask.
-pub fn route_outputs(
-    mesh: &Mesh,
+/// The output set for a broadcast flit from `src` at router `here`, given
+/// the port it arrived through (`None` at the source router) — spec form.
+pub fn broadcast_outputs(
+    topo: &Topology,
+    src: RouterId,
     here: RouterId,
-    dest: Dest,
     arrived_on: Option<Port>,
 ) -> PortMask {
-    match dest {
-        Dest::Unicast(ep) => PortMask::single(unicast_output(mesh, here, ep)),
-        Dest::Broadcast => broadcast_outputs(mesh, here, arrived_on),
-    }
+    topo.broadcast_ports(src, here, arrived_on)
 }
 
 /// For a flit leaving `here` through mesh port `out`, the input port it
@@ -127,33 +30,36 @@ pub fn arrival_port(out: Port) -> Port {
     out.opposite()
 }
 
-/// Walks the XY unicast path from `src` to `dest`, returning the router
+/// Walks the unicast route from `src` to `dest`, returning the router
 /// sequence including both ends. Useful for tests and latency bounds.
-pub fn unicast_path(mesh: &Mesh, src: RouterId, dest: Endpoint) -> Vec<RouterId> {
+pub fn unicast_path(topo: &Topology, src: RouterId, dest: Endpoint) -> Vec<RouterId> {
     let mut path = vec![src];
     let mut here = src;
     loop {
-        let out = unicast_output(mesh, here, dest);
+        let out = topo.unicast_port(here, dest);
         if out.is_local() {
             return path;
         }
-        here = mesh
+        here = topo
             .neighbor(here, out)
-            .expect("XY routing never points off-mesh");
+            .expect("unicast routing never points off-fabric");
         path.push(here);
     }
 }
 
 /// Simulates the broadcast tree from `src`, returning for every router the
-/// set of local ports that receive a copy. Used by tests to prove exactly-
-/// once delivery; the router pipeline performs the same forking cycle by
-/// cycle.
-pub fn broadcast_deliveries(mesh: &Mesh, src: RouterId) -> Vec<PortMask> {
-    let mut deliveries = vec![PortMask::EMPTY; mesh.router_count()];
+/// set of local ports that receive a copy. Asserts that no router is
+/// visited twice (a revisit would mean a duplicate delivery or a routing
+/// cycle) and that no local port is fed twice. The router pipeline performs
+/// the same forking cycle by cycle.
+pub fn broadcast_deliveries(topo: &Topology, src: RouterId) -> Vec<PortMask> {
+    let mut deliveries = vec![PortMask::EMPTY; topo.router_count()];
+    let mut visited = vec![false; topo.router_count()];
+    visited[src.index()] = true;
     // (router, arrival port) work list seeded at the source.
     let mut work: Vec<(RouterId, Option<Port>)> = vec![(src, None)];
     while let Some((here, arrived)) = work.pop() {
-        let outs = broadcast_outputs(mesh, here, arrived);
+        let outs = broadcast_outputs(topo, src, here, arrived);
         for port in outs.iter() {
             if port.is_local() {
                 let mut m = deliveries[here.index()];
@@ -161,9 +67,14 @@ pub fn broadcast_deliveries(mesh: &Mesh, src: RouterId) -> Vec<PortMask> {
                 m.insert(port);
                 deliveries[here.index()] = m;
             } else {
-                let next = mesh
+                let next = topo
                     .neighbor(here, port)
-                    .expect("broadcast mask never points off-mesh");
+                    .expect("broadcast mask never points off-fabric");
+                assert!(
+                    !visited[next.index()],
+                    "broadcast from {src} revisits router {next}"
+                );
+                visited[next.index()] = true;
                 work.push((next, Some(arrival_port(port))));
             }
         }
@@ -173,86 +84,142 @@ pub fn broadcast_deliveries(mesh: &Mesh, src: RouterId) -> Vec<PortMask> {
 
 /// The endpoints a broadcast from `src_tile` must reach: every endpoint
 /// except the source tile itself.
-pub fn broadcast_targets(mesh: &Mesh, src_tile: Endpoint) -> Vec<Endpoint> {
-    mesh.endpoints().filter(|ep| *ep != src_tile).collect()
+pub fn broadcast_targets(topo: &Topology, src_tile: Endpoint) -> Vec<Endpoint> {
+    topo.endpoints().filter(|ep| *ep != src_tile).collect()
+}
+
+/// The shared broadcast property every [`Topology`] implementation must
+/// satisfy, checked from every source router:
+///
+/// * no router is visited by more than one branch (no flit revisits a
+///   router — asserted inside [`broadcast_deliveries`]),
+/// * every tile except the source's receives exactly one copy (the source
+///   tile self-delivers through its NIC loopback),
+/// * every MC port — including the source router's — receives exactly one
+///   copy, and non-MC routers receive none.
+///
+/// # Panics
+///
+/// Panics with a description of the first violation.
+pub fn check_broadcast_exactly_once(topo: &Topology) {
+    for src in topo.routers() {
+        let deliveries = broadcast_deliveries(topo, src);
+        for r in topo.routers() {
+            let got_tile = deliveries[r.index()].contains(Port::Tile);
+            if r == src {
+                assert!(
+                    !got_tile,
+                    "{}: source tile {src} must self-deliver via loopback",
+                    topo.label()
+                );
+            } else {
+                assert!(
+                    got_tile,
+                    "{}: tile {r} missed the broadcast from {src}",
+                    topo.label()
+                );
+            }
+            assert_eq!(
+                deliveries[r.index()].contains(Port::Mc),
+                topo.has_mc(r),
+                "{}: MC delivery mismatch at {r} from {src}",
+                topo.label()
+            );
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::{Mesh, Ring, Torus};
 
-    #[test]
-    fn unicast_routes_x_before_y() {
-        let mesh = Mesh::new(6, 6, &[]);
-        // From (0,0) to (3,2): go east first.
-        let src = RouterId(0);
-        let dest = Endpoint::tile(RouterId(2 * 6 + 3));
-        assert_eq!(unicast_output(&mesh, src, dest), Port::East);
-        // Same column: go south.
-        let below = Endpoint::tile(RouterId(12));
-        assert_eq!(unicast_output(&mesh, src, below), Port::South);
-        // At destination: eject.
-        assert_eq!(unicast_output(&mesh, src, Endpoint::tile(src)), Port::Tile);
+    fn mesh(cols: u16, rows: u16) -> Topology {
+        Mesh::new(cols, rows, &[]).into()
     }
 
     #[test]
-    fn unicast_path_has_manhattan_length() {
-        let mesh = Mesh::new(6, 6, &[]);
-        for (a, b) in [(0u16, 35u16), (7, 7), (5, 30), (14, 21)] {
-            let path = unicast_path(&mesh, RouterId(a), Endpoint::tile(RouterId(b)));
-            assert_eq!(
-                path.len() as u16 - 1,
-                mesh.hops(RouterId(a), RouterId(b)),
-                "path {a}->{b}"
-            );
-            assert_eq!(*path.last().unwrap(), RouterId(b));
+    fn unicast_routes_x_before_y() {
+        let topo = mesh(6, 6);
+        // From (0,0) to (3,2): go east first.
+        let src = RouterId(0);
+        let dest = Endpoint::tile(RouterId(2 * 6 + 3));
+        assert_eq!(unicast_output(&topo, src, dest), Port::East);
+        // Same column: go south.
+        let below = Endpoint::tile(RouterId(12));
+        assert_eq!(unicast_output(&topo, src, below), Port::South);
+        // At destination: eject.
+        assert_eq!(unicast_output(&topo, src, Endpoint::tile(src)), Port::Tile);
+    }
+
+    #[test]
+    fn unicast_path_has_hops_length_on_every_topology() {
+        for topo in [
+            mesh(6, 6),
+            Topology::from(Torus::new(5, 4, &[])),
+            Topology::from(Ring::new(9, &[])),
+        ] {
+            for a in topo.routers() {
+                for b in topo.routers() {
+                    let path = unicast_path(&topo, a, Endpoint::tile(b));
+                    assert_eq!(
+                        path.len() as u16 - 1,
+                        topo.hops(a, b),
+                        "{}: path {a}->{b}",
+                        topo.label()
+                    );
+                    assert_eq!(*path.last().unwrap(), b);
+                }
+            }
         }
     }
 
     #[test]
     fn unicast_to_mc_slot_ejects_on_mc_port() {
-        let mesh = Mesh::scorpio_chip();
+        let topo: Topology = Mesh::scorpio_chip().into();
         let dest = Endpoint::mc(RouterId(0));
-        assert_eq!(unicast_output(&mesh, RouterId(0), dest), Port::Mc);
+        assert_eq!(unicast_output(&topo, RouterId(0), dest), Port::Mc);
     }
 
+    // The shared property check, over every topology implementation and a
+    // spread of geometries — the generalized form of the original
+    // `broadcast_reaches_every_tile_exactly_once` mesh test.
     #[test]
-    fn broadcast_reaches_every_tile_exactly_once() {
-        let mesh = Mesh::scorpio_chip();
-        for src in mesh.routers() {
-            let deliveries = broadcast_deliveries(&mesh, src);
-            for r in mesh.routers() {
-                let got_tile = deliveries[r.index()].contains(Port::Tile);
-                if r == src {
-                    assert!(!got_tile, "source tile self-delivers via loopback");
-                } else {
-                    assert!(got_tile, "tile {r} missed broadcast from {src}");
-                }
-                let got_mc = deliveries[r.index()].contains(Port::Mc);
-                assert_eq!(got_mc, mesh.has_mc(r), "mc delivery at {r} from {src}");
-            }
-        }
-    }
-
-    #[test]
-    fn broadcast_works_on_rectangles_and_small_meshes() {
-        for (cols, rows) in [(1u16, 1u16), (1, 4), (4, 1), (3, 5), (8, 8)] {
-            let mesh = Mesh::new(cols, rows, &[]);
-            for src in mesh.routers() {
-                let deliveries = broadcast_deliveries(&mesh, src);
-                let tiles = deliveries.iter().filter(|m| m.contains(Port::Tile)).count();
-                assert_eq!(tiles, mesh.router_count() - 1, "{cols}x{rows} from {src}");
-            }
+    fn broadcast_exactly_once_on_every_topology() {
+        let topologies: Vec<Topology> = vec![
+            Mesh::scorpio_chip().into(),
+            Mesh::new(1, 1, &[]).into(),
+            Mesh::new(1, 4, &[]).into(),
+            Mesh::new(4, 1, &[]).into(),
+            Mesh::new(3, 5, &[RouterId(2)]).into(),
+            Mesh::new(8, 8, &[]).into(),
+            Torus::new(2, 2, &[]).into(),
+            Torus::new(3, 3, &[RouterId(4)]).into(),
+            Torus::new(4, 4, &[RouterId(0), RouterId(15)]).into(),
+            Torus::new(5, 3, &[]).into(),
+            Torus::new(
+                6,
+                6,
+                &[RouterId(0), RouterId(5), RouterId(30), RouterId(35)],
+            )
+            .into(),
+            Ring::new(2, &[]).into(),
+            Ring::new(3, &[RouterId(1)]).into(),
+            Ring::new(8, &[RouterId(0), RouterId(4)]).into(),
+            Ring::with_spread_mcs(36, 4).into(),
+        ];
+        for topo in &topologies {
+            check_broadcast_exactly_once(topo);
         }
     }
 
     #[test]
     fn column_branches_do_not_refork() {
-        let mesh = Mesh::new(6, 6, &[]);
+        let topo = mesh(6, 6);
         // A flit arriving from the north (travelling south) only continues
         // south + ejects; it must never turn east/west (that would duplicate).
         let mid = RouterId(14);
-        let outs = broadcast_outputs(&mesh, mid, Some(Port::North));
+        let outs = broadcast_outputs(&topo, RouterId(2), mid, Some(Port::North));
         assert!(outs.contains(Port::South));
         assert!(outs.contains(Port::Tile));
         assert!(!outs.contains(Port::East));
@@ -261,32 +228,28 @@ mod tests {
     }
 
     #[test]
-    fn route_outputs_dispatches() {
-        let mesh = Mesh::scorpio_chip();
-        let uni = route_outputs(
-            &mesh,
-            RouterId(0),
-            Dest::Unicast(Endpoint::tile(RouterId(1))),
-            None,
-        );
-        assert_eq!(uni.iter().collect::<Vec<_>>(), vec![Port::East]);
-        let bc = route_outputs(&mesh, RouterId(14), Dest::Broadcast, None);
-        assert!(bc.len() >= 4);
-    }
-
-    #[test]
     #[should_panic(expected = "cannot arrive on local port")]
     fn broadcast_from_local_arrival_panics() {
-        let mesh = Mesh::new(2, 2, &[]);
-        let _ = broadcast_outputs(&mesh, RouterId(0), Some(Port::Tile));
+        let topo = mesh(2, 2);
+        let _ = broadcast_outputs(&topo, RouterId(0), RouterId(0), Some(Port::Tile));
     }
 
     #[test]
     fn broadcast_targets_exclude_source() {
-        let mesh = Mesh::scorpio_chip();
+        let topo: Topology = Mesh::scorpio_chip().into();
         let src = Endpoint::tile(RouterId(7));
-        let targets = broadcast_targets(&mesh, src);
+        let targets = broadcast_targets(&topo, src);
         assert_eq!(targets.len(), 39);
         assert!(!targets.contains(&src));
+    }
+
+    #[test]
+    fn ring_broadcast_splits_between_directions() {
+        let topo: Topology = Ring::new(4, &[]).into();
+        // len=4: the east branch covers 2 routers, the west branch 1.
+        let deliveries = broadcast_deliveries(&topo, RouterId(0));
+        let tiles = deliveries.iter().filter(|m| m.contains(Port::Tile)).count();
+        assert_eq!(tiles, 3);
+        assert!(deliveries[2].contains(Port::Tile)); // reached eastbound
     }
 }

@@ -1,4 +1,15 @@
-//! Mesh topology: routers, coordinates, ports and endpoints.
+//! Topologies: routers, coordinates, ports, endpoints — and the three
+//! delivery fabrics ([`Mesh`], [`Torus`], [`Ring`]) behind the
+//! [`Topology`] interface.
+//!
+//! SCORPIO's central idea is that message *ordering* is decoupled from
+//! message *delivery*, so the delivery fabric is swappable: anything that
+//! can broadcast to every endpoint exactly once and unicast responses can
+//! carry the ordered protocol. Each topology supplies its routing *spec*
+//! — [`Topology::unicast_port`] and [`Topology::broadcast_ports`] — which
+//! the network compiles into per-router lookup tables at construction
+//! time (see `tables.rs`); the per-flit hot path never runs coordinate
+//! arithmetic.
 
 use std::fmt;
 
@@ -182,6 +193,18 @@ impl PortMask {
     /// Iterates over the ports in the set in index order.
     pub fn iter(self) -> impl Iterator<Item = Port> {
         Port::ALL.into_iter().filter(move |p| self.contains(*p))
+    }
+
+    /// The raw bit representation (bit `i` = `Port::ALL[i]`).
+    #[inline]
+    pub(crate) fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds a mask from its raw bits.
+    #[inline]
+    pub(crate) fn from_bits(bits: u8) -> PortMask {
+        PortMask(bits)
     }
 }
 
@@ -417,10 +440,126 @@ impl Mesh {
         Some(self.router_at(n))
     }
 
-    /// Manhattan hop distance between two routers.
+    /// Hop distance between two routers, *derived from the routing spec*:
+    /// the length of the XY path [`Mesh::unicast_port`] actually produces
+    /// (which for a mesh equals the Manhattan distance). Deriving distance
+    /// and path from the same function means they can never diverge.
     pub fn hops(&self, a: RouterId, b: RouterId) -> u16 {
-        let (ca, cb) = (self.coord(a), self.coord(b));
-        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
+        walk_hops(
+            a,
+            b,
+            |here, dest| self.unicast_port(here, dest),
+            |r, p| self.neighbor(r, p),
+        )
+    }
+
+    /// Worst-case unicast hop count between any router pair.
+    pub fn diameter(&self) -> u16 {
+        (self.cols - 1) + (self.rows - 1)
+    }
+
+    /// Routing spec: the output port for a unicast packet at `here` bound
+    /// for `dest` — XY dimension-ordered routing (correct X first, then Y,
+    /// then eject through the destination's local port).
+    pub fn unicast_port(&self, here: RouterId, dest: Endpoint) -> Port {
+        let hc = self.coord(here);
+        let dc = self.coord(dest.router);
+        if dc.x > hc.x {
+            Port::East
+        } else if dc.x < hc.x {
+            Port::West
+        } else if dc.y > hc.y {
+            Port::South
+        } else if dc.y < hc.y {
+            Port::North
+        } else {
+            dest.slot.port()
+        }
+    }
+
+    /// Routing spec: the output set for a broadcast flit at `here`, given
+    /// the port it arrived through (`None` at the source router).
+    ///
+    /// XY broadcast tree: the request travels east and west along the
+    /// injection row, every row router forks copies north and south, and
+    /// column branches continue straight. The source's own tile copy is
+    /// *not* produced — the requesting NIC self-delivers through its
+    /// loopback path — but the source router still feeds its MC port.
+    pub fn broadcast_ports(
+        &self,
+        _src: RouterId,
+        here: RouterId,
+        arrived_on: Option<Port>,
+    ) -> PortMask {
+        let c = self.coord(here);
+        let mut mask = PortMask::EMPTY;
+        let at_source = arrived_on.is_none();
+
+        match arrived_on {
+            None => {
+                // Source: spread along the row in both X directions and
+                // start both column branches.
+                if c.x + 1 < self.cols {
+                    mask.insert(Port::East);
+                }
+                if c.x > 0 {
+                    mask.insert(Port::West);
+                }
+                if c.y > 0 {
+                    mask.insert(Port::North);
+                }
+                if c.y + 1 < self.rows {
+                    mask.insert(Port::South);
+                }
+            }
+            Some(Port::West) => {
+                // Travelling east along the row: keep going east, fork
+                // columns.
+                if c.x + 1 < self.cols {
+                    mask.insert(Port::East);
+                }
+                if c.y > 0 {
+                    mask.insert(Port::North);
+                }
+                if c.y + 1 < self.rows {
+                    mask.insert(Port::South);
+                }
+            }
+            Some(Port::East) => {
+                if c.x > 0 {
+                    mask.insert(Port::West);
+                }
+                if c.y > 0 {
+                    mask.insert(Port::North);
+                }
+                if c.y + 1 < self.rows {
+                    mask.insert(Port::South);
+                }
+            }
+            Some(Port::North) => {
+                // Travelling south down a column: continue south only.
+                if c.y + 1 < self.rows {
+                    mask.insert(Port::South);
+                }
+            }
+            Some(Port::South) => {
+                if c.y > 0 {
+                    mask.insert(Port::North);
+                }
+            }
+            Some(local @ (Port::Tile | Port::Mc)) => {
+                panic!("broadcast flit cannot arrive on local port {local}")
+            }
+        }
+
+        // Local deliveries. The source tile self-delivers via NIC loopback.
+        if !at_source {
+            mask.insert(Port::Tile);
+        }
+        if self.has_mc(here) {
+            mask.insert(Port::Mc);
+        }
+        mask
     }
 
     /// Iterates over every router id.
@@ -440,7 +579,852 @@ impl Mesh {
     ///
     /// For the 6×6 chip this is 13 cycles, matching Table 1.
     pub fn notification_window(&self) -> u64 {
-        (self.cols as u64 - 1) + (self.rows as u64 - 1) + 3
+        self.diameter() as u64 + 3
+    }
+}
+
+/// Walks the unicast route from `a` to `b`'s tile, counting mesh hops —
+/// the single distance definition every topology derives [`hops`] from,
+/// so reported distance and actual path length cannot diverge.
+///
+/// [`hops`]: Topology::hops
+fn walk_hops(
+    a: RouterId,
+    b: RouterId,
+    mut port_of: impl FnMut(RouterId, Endpoint) -> Port,
+    mut neighbor: impl FnMut(RouterId, Port) -> Option<RouterId>,
+) -> u16 {
+    let dest = Endpoint::tile(b);
+    let mut here = a;
+    let mut hops = 0u16;
+    loop {
+        let p = port_of(here, dest);
+        if p.is_local() {
+            return hops;
+        }
+        here = neighbor(here, p).expect("unicast route never points off-fabric");
+        hops += 1;
+    }
+}
+
+/// Validates an MC-router list: sorted copy, no duplicates, all in range.
+fn checked_mcs(mc_routers: &[RouterId], count: usize) -> Vec<RouterId> {
+    let mut sorted = mc_routers.to_vec();
+    sorted.sort();
+    for pair in sorted.windows(2) {
+        assert!(pair[0] != pair[1], "duplicate MC router {}", pair[0]);
+    }
+    for r in &sorted {
+        assert!(r.index() < count, "MC router {} out of range", r);
+    }
+    sorted
+}
+
+/// A 2-D torus: a mesh whose rows and columns wrap around.
+///
+/// Routing is minimal dimension-ordered XY with wraparound (ties broken
+/// toward East/South); deadlock freedom over the wrap links comes from
+/// *dateline* virtual-channel classes — a packet crossing a dimension's
+/// wraparound link switches from the class-0 to the class-1 VC partition
+/// for the rest of that dimension, which breaks the channel-dependency
+/// cycle each ring would otherwise form (see DESIGN.md §10).
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_noc::{Port, RouterId, Torus};
+///
+/// let torus = Torus::square_with_corner_mcs(4);
+/// // Every router has all four neighbours; edges wrap.
+/// assert_eq!(torus.neighbor(RouterId(0), Port::West), Some(RouterId(3)));
+/// assert_eq!(torus.neighbor(RouterId(0), Port::North), Some(RouterId(12)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Torus {
+    cols: u16,
+    rows: u16,
+    mc_routers: Vec<RouterId>,
+}
+
+impl Torus {
+    /// Creates a `cols × rows` torus with MC ports on `mc_routers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2 (a wrap link needs somewhere
+    /// to wrap to), if an MC router is out of range, or on duplicates.
+    pub fn new(cols: u16, rows: u16, mc_routers: &[RouterId]) -> Torus {
+        assert!(
+            cols >= 2 && rows >= 2,
+            "torus dimensions must be at least 2"
+        );
+        let count = cols as usize * rows as usize;
+        Torus {
+            cols,
+            rows,
+            mc_routers: checked_mcs(mc_routers, count),
+        }
+    }
+
+    /// A square `k × k` torus with MC ports on the same four routers the
+    /// mesh places its corner MCs on, so mesh-vs-torus sweeps compare
+    /// matched endpoint counts.
+    pub fn square_with_corner_mcs(k: u16) -> Torus {
+        assert!(k >= 2, "torus dimension must be at least 2");
+        let corners = [
+            RouterId(0),
+            RouterId(k - 1),
+            RouterId(k * (k - 1)),
+            RouterId(k * k - 1),
+        ];
+        Torus::new(k, k, &corners)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Total number of routers.
+    pub fn router_count(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// The routers hosting memory-controller ports, ascending.
+    pub fn mc_routers(&self) -> &[RouterId] {
+        &self.mc_routers
+    }
+
+    /// Whether `r` hosts a memory-controller port.
+    pub fn has_mc(&self, r: RouterId) -> bool {
+        self.mc_routers.binary_search(&r).is_ok()
+    }
+
+    /// The coordinate of router `r`.
+    pub fn coord(&self, r: RouterId) -> Coord {
+        assert!(r.index() < self.router_count(), "router {} out of range", r);
+        Coord {
+            x: r.0 % self.cols,
+            y: r.0 / self.cols,
+        }
+    }
+
+    /// The neighbour of `r` through `port` — always present on a torus
+    /// (wrapping at the edges); `None` only for local ports.
+    pub fn neighbor(&self, r: RouterId, port: Port) -> Option<RouterId> {
+        let c = self.coord(r);
+        let (x, y) = match port {
+            Port::North => (c.x, (c.y + self.rows - 1) % self.rows),
+            Port::South => (c.x, (c.y + 1) % self.rows),
+            Port::East => ((c.x + 1) % self.cols, c.y),
+            Port::West => ((c.x + self.cols - 1) % self.cols, c.y),
+            Port::Tile | Port::Mc => return None,
+        };
+        Some(RouterId(y * self.cols + x))
+    }
+
+    /// Whether the link leaving `r` through `port` crosses its dimension's
+    /// dateline (i.e. is a wraparound link). East wraps at the last
+    /// column, West at column 0; South at the last row, North at row 0.
+    pub fn wrap_link(&self, r: RouterId, port: Port) -> bool {
+        let c = self.coord(r);
+        match port {
+            Port::East => c.x + 1 == self.cols,
+            Port::West => c.x == 0,
+            Port::South => c.y + 1 == self.rows,
+            Port::North => c.y == 0,
+            Port::Tile | Port::Mc => false,
+        }
+    }
+
+    /// Worst-case unicast hop count: half of each dimension.
+    pub fn diameter(&self) -> u16 {
+        self.cols / 2 + self.rows / 2
+    }
+
+    /// Hop distance derived from the routing spec (see [`Mesh::hops`]);
+    /// equals the wraparound Manhattan distance.
+    pub fn hops(&self, a: RouterId, b: RouterId) -> u16 {
+        walk_hops(
+            a,
+            b,
+            |here, dest| self.unicast_port(here, dest),
+            |r, p| self.neighbor(r, p),
+        )
+    }
+
+    /// Routing spec: minimal dimension-ordered XY with wraparound; equal
+    /// distances break toward East/South so routes are deterministic.
+    pub fn unicast_port(&self, here: RouterId, dest: Endpoint) -> Port {
+        let hc = self.coord(here);
+        let dc = self.coord(dest.router);
+        let de = (dc.x + self.cols - hc.x) % self.cols;
+        let dw = (hc.x + self.cols - dc.x) % self.cols;
+        if de != 0 {
+            return if de <= dw { Port::East } else { Port::West };
+        }
+        let ds = (dc.y + self.rows - hc.y) % self.rows;
+        let dn = (hc.y + self.rows - dc.y) % self.rows;
+        if ds != 0 {
+            return if ds <= dn { Port::South } else { Port::North };
+        }
+        dest.slot.port()
+    }
+
+    /// Routing spec: the wraparound XY broadcast tree. The source's row
+    /// copies travel East for ⌈(cols−1)/2⌉ hops and West for the remaining
+    /// ⌊(cols−1)/2⌋, so together they cover every other column exactly
+    /// once; every row router forks column branches that likewise split
+    /// the ring between South and North.
+    pub fn broadcast_ports(
+        &self,
+        src: RouterId,
+        here: RouterId,
+        arrived_on: Option<Port>,
+    ) -> PortMask {
+        let sc = self.coord(src);
+        let hc = self.coord(here);
+        let e_max = self.cols / 2; // == ceil((cols-1)/2)
+        let w_max = (self.cols - 1) / 2;
+        let s_max = self.rows / 2;
+        let n_max = (self.rows - 1) / 2;
+        let de = (hc.x + self.cols - sc.x) % self.cols;
+        let dw = (sc.x + self.cols - hc.x) % self.cols;
+        let ds = (hc.y + self.rows - sc.y) % self.rows;
+        let dn = (sc.y + self.rows - hc.y) % self.rows;
+
+        let mut mask = PortMask::EMPTY;
+        let column_forks = |mask: &mut PortMask| {
+            if s_max > 0 {
+                mask.insert(Port::South);
+            }
+            if n_max > 0 {
+                mask.insert(Port::North);
+            }
+        };
+        match arrived_on {
+            None => {
+                if e_max > 0 {
+                    mask.insert(Port::East);
+                }
+                if w_max > 0 {
+                    mask.insert(Port::West);
+                }
+                column_forks(&mut mask);
+            }
+            Some(Port::West) => {
+                // Travelling east: `de` hops covered so far.
+                if de < e_max {
+                    mask.insert(Port::East);
+                }
+                column_forks(&mut mask);
+            }
+            Some(Port::East) => {
+                if dw < w_max {
+                    mask.insert(Port::West);
+                }
+                column_forks(&mut mask);
+            }
+            Some(Port::North) => {
+                if ds < s_max {
+                    mask.insert(Port::South);
+                }
+            }
+            Some(Port::South) => {
+                if dn < n_max {
+                    mask.insert(Port::North);
+                }
+            }
+            Some(local @ (Port::Tile | Port::Mc)) => {
+                panic!("broadcast flit cannot arrive on local port {local}")
+            }
+        }
+        if arrived_on.is_some() {
+            mask.insert(Port::Tile);
+        }
+        if self.has_mc(here) {
+            mask.insert(Port::Mc);
+        }
+        mask
+    }
+
+    /// Dateline VC class of the downstream input VC for the unicast hop
+    /// `here → neighbor(here, port)`: `true` (class 1) once the remaining
+    /// path in `port`'s dimension no longer crosses that dimension's
+    /// wraparound link, `false` (class 0) while it still will. The 0 → 1
+    /// switch at the dateline breaks each ring's channel-dependency cycle
+    /// (DESIGN.md §10).
+    pub fn unicast_class(&self, here: RouterId, dest: Endpoint, port: Port) -> bool {
+        if port.is_local() {
+            return false;
+        }
+        let next = self.neighbor(here, port).expect("torus ports always wrap");
+        let nc = self.coord(next);
+        let dc = self.coord(dest.router);
+        match port {
+            Port::East => nc.x <= dc.x,
+            Port::West => nc.x >= dc.x,
+            Port::South => nc.y <= dc.y,
+            Port::North => nc.y >= dc.y,
+            Port::Tile | Port::Mc => unreachable!("checked above"),
+        }
+    }
+
+    /// Dateline VC class for one branch hop of the broadcast from `src`
+    /// leaving `here` through `port` (same convention as
+    /// [`Torus::unicast_class`]): class 1 once the rest of the branch arc
+    /// stays clear of the wraparound link.
+    pub fn broadcast_class(&self, src: RouterId, here: RouterId, port: Port) -> bool {
+        if port.is_local() {
+            return false;
+        }
+        let sc = self.coord(src);
+        let next = self.neighbor(here, port).expect("torus ports always wrap");
+        let nc = self.coord(next);
+        let (rem, pos, span) = match port {
+            // saturating_sub: the spec is total (the table builder probes
+            // off-tree points too); beyond the branch's hop budget the
+            // remaining arc is simply zero.
+            Port::East => {
+                let de_next = (nc.x + self.cols - sc.x) % self.cols;
+                ((self.cols / 2).saturating_sub(de_next), nc.x, self.cols)
+            }
+            Port::West => {
+                let dw_next = (sc.x + self.cols - nc.x) % self.cols;
+                (
+                    ((self.cols - 1) / 2).saturating_sub(dw_next),
+                    nc.x,
+                    self.cols,
+                )
+            }
+            Port::South => {
+                let ds_next = (nc.y + self.rows - sc.y) % self.rows;
+                ((self.rows / 2).saturating_sub(ds_next), nc.y, self.rows)
+            }
+            Port::North => {
+                let dn_next = (sc.y + self.rows - nc.y) % self.rows;
+                (
+                    ((self.rows - 1) / 2).saturating_sub(dn_next),
+                    nc.y,
+                    self.rows,
+                )
+            }
+            Port::Tile | Port::Mc => unreachable!("checked above"),
+        };
+        match port {
+            // Positive directions wrap leaving the last row/column.
+            Port::East | Port::South => pos + rem < span,
+            // Negative directions wrap leaving row/column 0.
+            Port::West | Port::North => rem <= pos,
+            Port::Tile | Port::Mc => unreachable!("checked above"),
+        }
+    }
+}
+
+/// A bidirectional ring: every router has only East and West neighbours,
+/// the radically simpler fabric of ring-router microarchitectures.
+///
+/// Unicast takes the shorter way around (ties toward East); broadcasts
+/// split the ring between an eastbound and a westbound copy. Deadlock
+/// freedom uses the same dateline VC classes as [`Torus`].
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_noc::{Port, Ring, RouterId};
+///
+/// let ring = Ring::with_spread_mcs(16, 4);
+/// assert_eq!(ring.router_count(), 16);
+/// assert_eq!(ring.mc_routers().len(), 4);
+/// assert_eq!(ring.neighbor(RouterId(15), Port::East), Some(RouterId(0)));
+/// assert_eq!(ring.neighbor(RouterId(0), Port::North), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    len: u16,
+    mc_routers: Vec<RouterId>,
+}
+
+impl Ring {
+    /// Creates a ring of `len` routers with MC ports on `mc_routers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < 2`, if an MC router is out of range, or on
+    /// duplicates.
+    pub fn new(len: u16, mc_routers: &[RouterId]) -> Ring {
+        assert!(len >= 2, "ring length must be at least 2");
+        Ring {
+            len,
+            mc_routers: checked_mcs(mc_routers, len as usize),
+        }
+    }
+
+    /// A ring of `len` routers with `n_mcs` MC ports spread evenly,
+    /// starting at router 0 — `Ring::with_spread_mcs(k * k, 4)` matches
+    /// the endpoint count of a `k × k` mesh with corner MCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_mcs` is zero or exceeds `len`.
+    pub fn with_spread_mcs(len: u16, n_mcs: u16) -> Ring {
+        assert!(n_mcs > 0 && n_mcs <= len, "need 1..=len MC routers");
+        // u32 arithmetic: `i * len` overflows u16 for rings past ~16k
+        // routers, which would silently misplace MCs in release builds.
+        let mcs: Vec<RouterId> = (0..n_mcs as u32)
+            .map(|i| RouterId((i * len as u32 / n_mcs as u32) as u16))
+            .collect();
+        Ring::new(len, &mcs)
+    }
+
+    /// Number of routers.
+    pub fn router_count(&self) -> usize {
+        self.len as usize
+    }
+
+    /// The routers hosting memory-controller ports, ascending.
+    pub fn mc_routers(&self) -> &[RouterId] {
+        &self.mc_routers
+    }
+
+    /// Whether `r` hosts a memory-controller port.
+    pub fn has_mc(&self, r: RouterId) -> bool {
+        self.mc_routers.binary_search(&r).is_ok()
+    }
+
+    /// The neighbour of `r` through `port`: East/West wrap around, the
+    /// North/South ports do not exist on a ring.
+    pub fn neighbor(&self, r: RouterId, port: Port) -> Option<RouterId> {
+        assert!(r.index() < self.router_count(), "router {} out of range", r);
+        match port {
+            Port::East => Some(RouterId((r.0 + 1) % self.len)),
+            Port::West => Some(RouterId((r.0 + self.len - 1) % self.len)),
+            _ => None,
+        }
+    }
+
+    /// Whether the link leaving `r` through `port` is the dateline
+    /// (wraparound) link of its direction.
+    pub fn wrap_link(&self, r: RouterId, port: Port) -> bool {
+        match port {
+            Port::East => r.0 + 1 == self.len,
+            Port::West => r.0 == 0,
+            _ => false,
+        }
+    }
+
+    /// Worst-case unicast hop count: half way around.
+    pub fn diameter(&self) -> u16 {
+        self.len / 2
+    }
+
+    /// Hop distance derived from the routing spec (see [`Mesh::hops`]).
+    pub fn hops(&self, a: RouterId, b: RouterId) -> u16 {
+        walk_hops(
+            a,
+            b,
+            |here, dest| self.unicast_port(here, dest),
+            |r, p| self.neighbor(r, p),
+        )
+    }
+
+    /// Routing spec: shortest way around, ties toward East.
+    pub fn unicast_port(&self, here: RouterId, dest: Endpoint) -> Port {
+        let de = (dest.router.0 + self.len - here.0) % self.len;
+        let dw = (here.0 + self.len - dest.router.0) % self.len;
+        if de == 0 {
+            dest.slot.port()
+        } else if de <= dw {
+            Port::East
+        } else {
+            Port::West
+        }
+    }
+
+    /// Routing spec: the broadcast splits into an eastbound copy covering
+    /// ⌈(len−1)/2⌉ routers and a westbound copy covering the rest.
+    pub fn broadcast_ports(
+        &self,
+        src: RouterId,
+        here: RouterId,
+        arrived_on: Option<Port>,
+    ) -> PortMask {
+        let e_max = self.len / 2;
+        let w_max = (self.len - 1) / 2;
+        let de = (here.0 + self.len - src.0) % self.len;
+        let dw = (src.0 + self.len - here.0) % self.len;
+        let mut mask = PortMask::EMPTY;
+        match arrived_on {
+            None => {
+                if e_max > 0 {
+                    mask.insert(Port::East);
+                }
+                if w_max > 0 {
+                    mask.insert(Port::West);
+                }
+            }
+            Some(Port::West) => {
+                if de < e_max {
+                    mask.insert(Port::East);
+                }
+            }
+            Some(Port::East) => {
+                if dw < w_max {
+                    mask.insert(Port::West);
+                }
+            }
+            Some(other) => panic!("ring broadcast cannot arrive on port {other}"),
+        }
+        if arrived_on.is_some() {
+            mask.insert(Port::Tile);
+        }
+        if self.has_mc(here) {
+            mask.insert(Port::Mc);
+        }
+        mask
+    }
+
+    /// Dateline VC class for the unicast hop `here → next` (see
+    /// [`Torus::unicast_class`]): class 1 once the remaining arc to `dest`
+    /// stays clear of the wraparound link of its direction.
+    pub fn unicast_class(&self, here: RouterId, dest: Endpoint, port: Port) -> bool {
+        let d = dest.router.0;
+        match port {
+            Port::East => (here.0 + 1) % self.len <= d,
+            Port::West => (here.0 + self.len - 1) % self.len >= d,
+            _ => false,
+        }
+    }
+
+    /// Dateline VC class for one hop of the broadcast from `src` leaving
+    /// `here` through `port` (see [`Torus::broadcast_class`]).
+    pub fn broadcast_class(&self, src: RouterId, here: RouterId, port: Port) -> bool {
+        match port {
+            Port::East => {
+                let next = (here.0 + 1) % self.len;
+                let de_next = (next + self.len - src.0) % self.len;
+                let rem = (self.len / 2).saturating_sub(de_next);
+                next + rem < self.len
+            }
+            Port::West => {
+                let next = (here.0 + self.len - 1) % self.len;
+                let dw_next = (src.0 + self.len - next) % self.len;
+                let rem = ((self.len - 1) / 2).saturating_sub(dw_next);
+                rem <= next
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The delivery fabric of the main network: one of the supported
+/// topologies behind a single interface.
+///
+/// All structural queries (`router_count`, `neighbor`, `endpoints`, …),
+/// the routing spec (`unicast_port`, `broadcast_ports`) and the derived
+/// quantities the rest of the system consumes (`diameter`,
+/// `notification_window`, `hops`) dispatch to the concrete topology.
+/// `Network` compiles the routing spec into per-router lookup tables at
+/// construction; the spec itself is only evaluated per-flit under the
+/// coordinate-routing reference engine.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_noc::{Mesh, Ring, Topology, Torus};
+///
+/// let mesh: Topology = Mesh::square_with_corner_mcs(4).into();
+/// let torus: Topology = Torus::square_with_corner_mcs(4).into();
+/// let ring: Topology = Ring::with_spread_mcs(16, 4).into();
+/// // Matched endpoint counts, shrinking diameters.
+/// assert_eq!(mesh.endpoints().count(), 20);
+/// assert_eq!(torus.endpoints().count(), 20);
+/// assert_eq!(ring.endpoints().count(), 20);
+/// assert_eq!(mesh.diameter(), 6);
+/// assert_eq!(torus.diameter(), 4);
+/// assert_eq!(ring.diameter(), 8);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// A 2-D mesh (the SCORPIO chip's fabric).
+    Mesh(Mesh),
+    /// A 2-D torus (wraparound mesh, dateline deadlock avoidance).
+    Torus(Torus),
+    /// A bidirectional ring (East/West only).
+    Ring(Ring),
+}
+
+// Renders as the *inner* topology so a mesh still debug-prints exactly as
+// the bare `Mesh` struct always has. `SystemConfig::stable_hash`
+// fingerprints the Debug rendering; this transparency is what keeps every
+// pre-topology-refactor mesh config hash — and the JSONL rows keyed on
+// them — valid.
+impl fmt::Debug for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Mesh(m) => m.fmt(f),
+            Topology::Torus(t) => t.fmt(f),
+            Topology::Ring(r) => r.fmt(f),
+        }
+    }
+}
+
+impl From<Mesh> for Topology {
+    fn from(m: Mesh) -> Topology {
+        Topology::Mesh(m)
+    }
+}
+
+impl From<Torus> for Topology {
+    fn from(t: Torus) -> Topology {
+        Topology::Torus(t)
+    }
+}
+
+impl From<Ring> for Topology {
+    fn from(r: Ring) -> Topology {
+        Topology::Ring(r)
+    }
+}
+
+// By-reference conversions (cloning) so APIs that take
+// `impl Into<Topology>` keep accepting `&mesh` exactly as the mesh-only
+// signatures did.
+impl From<&Mesh> for Topology {
+    fn from(m: &Mesh) -> Topology {
+        Topology::Mesh(m.clone())
+    }
+}
+
+impl From<&Torus> for Topology {
+    fn from(t: &Torus) -> Topology {
+        Topology::Torus(t.clone())
+    }
+}
+
+impl From<&Ring> for Topology {
+    fn from(r: &Ring) -> Topology {
+        Topology::Ring(r.clone())
+    }
+}
+
+impl From<&Topology> for Topology {
+    fn from(t: &Topology) -> Topology {
+        t.clone()
+    }
+}
+
+impl Topology {
+    /// Short kind name: `"mesh"`, `"torus"` or `"ring"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Mesh(_) => "mesh",
+            Topology::Torus(_) => "torus",
+            Topology::Ring(_) => "ring",
+        }
+    }
+
+    /// Geometry label: `"6x6"` for a mesh (unchanged from the pre-topology
+    /// labels), `"torus6x6"`, `"ring36"`.
+    pub fn label(&self) -> String {
+        match self {
+            Topology::Mesh(m) => format!("{}x{}", m.cols(), m.rows()),
+            Topology::Torus(t) => format!("torus{}x{}", t.cols(), t.rows()),
+            Topology::Ring(r) => format!("ring{}", r.router_count()),
+        }
+    }
+
+    /// Total number of routers (== tiles).
+    pub fn router_count(&self) -> usize {
+        match self {
+            Topology::Mesh(m) => m.router_count(),
+            Topology::Torus(t) => t.router_count(),
+            Topology::Ring(r) => r.router_count(),
+        }
+    }
+
+    /// The routers hosting memory-controller ports, in ascending order.
+    pub fn mc_routers(&self) -> &[RouterId] {
+        match self {
+            Topology::Mesh(m) => m.mc_routers(),
+            Topology::Torus(t) => t.mc_routers(),
+            Topology::Ring(r) => r.mc_routers(),
+        }
+    }
+
+    /// Whether `r` hosts a memory-controller port.
+    pub fn has_mc(&self, r: RouterId) -> bool {
+        match self {
+            Topology::Mesh(m) => m.has_mc(r),
+            Topology::Torus(t) => t.has_mc(r),
+            Topology::Ring(r_) => r_.has_mc(r),
+        }
+    }
+
+    /// The physical neighbour of `r` through `port`, if that link exists.
+    pub fn neighbor(&self, r: RouterId, port: Port) -> Option<RouterId> {
+        match self {
+            Topology::Mesh(m) => m.neighbor(r, port),
+            Topology::Torus(t) => t.neighbor(r, port),
+            Topology::Ring(r_) => r_.neighbor(r, port),
+        }
+    }
+
+    /// Iterates over every router id.
+    pub fn routers(&self) -> impl Iterator<Item = RouterId> {
+        (0..self.router_count() as u16).map(RouterId)
+    }
+
+    /// Iterates over every endpoint: all tiles, then all MC ports.
+    pub fn endpoints(&self) -> impl Iterator<Item = Endpoint> + '_ {
+        self.routers()
+            .map(Endpoint::tile)
+            .chain(self.mc_routers().iter().copied().map(Endpoint::mc))
+    }
+
+    /// Number of endpoints (tiles + MC ports).
+    pub fn endpoint_count(&self) -> usize {
+        self.router_count() + self.mc_routers().len()
+    }
+
+    /// Worst-case unicast hop count between any router pair.
+    pub fn diameter(&self) -> u16 {
+        match self {
+            Topology::Mesh(m) => m.diameter(),
+            Topology::Torus(t) => t.diameter(),
+            Topology::Ring(r) => r.diameter(),
+        }
+    }
+
+    /// The default notification-network time window: the diameter bounds
+    /// worst-case OR-propagation, plus the fixed merge margin. Identical
+    /// to the historical `cols + rows + 1` formula on a mesh (13 cycles on
+    /// the 6×6 chip), and tighter on low-diameter fabrics.
+    pub fn notification_window(&self) -> u64 {
+        self.diameter() as u64 + 3
+    }
+
+    /// Hop distance between two routers, derived by walking the unicast
+    /// routing spec — distance and path length cannot diverge.
+    pub fn hops(&self, a: RouterId, b: RouterId) -> u16 {
+        match self {
+            Topology::Mesh(m) => m.hops(a, b),
+            Topology::Torus(t) => t.hops(a, b),
+            Topology::Ring(r) => r.hops(a, b),
+        }
+    }
+
+    /// Whether this topology has wraparound links and therefore needs the
+    /// dateline VC-class discipline (requires ≥ 2 regular VCs per vnet).
+    pub fn has_datelines(&self) -> bool {
+        !matches!(self, Topology::Mesh(_))
+    }
+
+    /// Whether the link leaving `r` through `port` crosses its
+    /// dimension's dateline.
+    pub fn wrap_link(&self, r: RouterId, port: Port) -> bool {
+        match self {
+            Topology::Mesh(_) => false,
+            Topology::Torus(t) => t.wrap_link(r, port),
+            Topology::Ring(r_) => r_.wrap_link(r, port),
+        }
+    }
+
+    /// Routing spec: the output port for a unicast packet at `here` bound
+    /// for `dest` (the local port once `here` is the destination router).
+    pub fn unicast_port(&self, here: RouterId, dest: Endpoint) -> Port {
+        match self {
+            Topology::Mesh(m) => m.unicast_port(here, dest),
+            Topology::Torus(t) => t.unicast_port(here, dest),
+            Topology::Ring(r) => r.unicast_port(here, dest),
+        }
+    }
+
+    /// Routing spec: the output set (mesh ports + local deliveries) for a
+    /// broadcast from `src` observed at `here` having arrived through
+    /// `arrived_on` (`None` at the source router).
+    pub fn broadcast_ports(
+        &self,
+        src: RouterId,
+        here: RouterId,
+        arrived_on: Option<Port>,
+    ) -> PortMask {
+        match self {
+            Topology::Mesh(m) => m.broadcast_ports(src, here, arrived_on),
+            Topology::Torus(t) => t.broadcast_ports(src, here, arrived_on),
+            Topology::Ring(r) => r.broadcast_ports(src, here, arrived_on),
+        }
+    }
+
+    /// Routing spec with dateline class: the unicast output port plus
+    /// whether the downstream VC must come from the class-1 partition
+    /// (always `false` on a mesh, where no link wraps).
+    pub fn unicast_hop(&self, here: RouterId, dest: Endpoint) -> (Port, bool) {
+        let port = self.unicast_port(here, dest);
+        let class = match self {
+            Topology::Mesh(_) => false,
+            Topology::Torus(t) => t.unicast_class(here, dest, port),
+            Topology::Ring(r) => r.unicast_class(here, dest, port),
+        };
+        (port, class)
+    }
+
+    /// Routing spec with dateline classes: the broadcast output set plus a
+    /// bitmask (by [`Port::index`]) of outputs whose downstream VC must
+    /// come from the class-1 partition (always 0 on a mesh).
+    pub fn broadcast_hop(
+        &self,
+        src: RouterId,
+        here: RouterId,
+        arrived_on: Option<Port>,
+    ) -> (PortMask, u8) {
+        let mask = self.broadcast_ports(src, here, arrived_on);
+        let mut classes = 0u8;
+        match self {
+            Topology::Mesh(_) => {}
+            Topology::Torus(t) => {
+                for p in mask.iter() {
+                    if t.broadcast_class(src, here, p) {
+                        classes |= 1 << p.index();
+                    }
+                }
+            }
+            Topology::Ring(r) => {
+                for p in mask.iter() {
+                    if r.broadcast_class(src, here, p) {
+                        classes |= 1 << p.index();
+                    }
+                }
+            }
+        }
+        (mask, classes)
+    }
+
+    /// The dense index of `ep`: tiles first (by router id), then MC ports
+    /// (by MC-router rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ep` does not exist in this topology.
+    pub fn endpoint_index(&self, ep: Endpoint) -> usize {
+        match ep.slot {
+            LocalSlot::Tile => {
+                assert!(ep.router.index() < self.router_count());
+                ep.router.index()
+            }
+            LocalSlot::Mc => {
+                let pos = self
+                    .mc_routers()
+                    .binary_search(&ep.router)
+                    .unwrap_or_else(|_| panic!("no MC port at {}", ep.router));
+                self.router_count() + pos
+            }
+        }
     }
 }
 
@@ -601,5 +1585,181 @@ mod tests {
             m4.mc_routers(),
             &[RouterId(0), RouterId(3), RouterId(12), RouterId(15)]
         );
+    }
+
+    // Satellite regression: hops is derived from the routing walk, so on a
+    // non-square mesh it must still equal the Manhattan distance (the old
+    // closed form) — distance and actual path length cannot diverge.
+    #[test]
+    fn non_square_hops_match_manhattan() {
+        let mesh = Mesh::new(7, 3, &[]);
+        for a in mesh.routers() {
+            for b in mesh.routers() {
+                let (ca, cb) = (mesh.coord(a), mesh.coord(b));
+                let manhattan = ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y);
+                assert_eq!(mesh.hops(a, b), manhattan, "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_neighbors_wrap_and_are_symmetric() {
+        let t = Torus::new(4, 3, &[]);
+        assert_eq!(t.neighbor(RouterId(0), Port::West), Some(RouterId(3)));
+        assert_eq!(t.neighbor(RouterId(0), Port::North), Some(RouterId(8)));
+        assert_eq!(t.neighbor(RouterId(11), Port::East), Some(RouterId(8)));
+        for r in 0..12u16 {
+            for port in [Port::North, Port::South, Port::East, Port::West] {
+                let n = t.neighbor(RouterId(r), port).unwrap();
+                assert_eq!(t.neighbor(n, port.opposite()), Some(RouterId(r)));
+            }
+        }
+        assert_eq!(t.neighbor(RouterId(0), Port::Tile), None);
+    }
+
+    #[test]
+    fn torus_hops_is_wraparound_manhattan() {
+        let t = Torus::new(5, 4, &[]);
+        for a in 0..20u16 {
+            for b in 0..20u16 {
+                let (ca, cb) = (t.coord(RouterId(a)), t.coord(RouterId(b)));
+                let dx = ca.x.abs_diff(cb.x).min(5 - ca.x.abs_diff(cb.x));
+                let dy = ca.y.abs_diff(cb.y).min(4 - ca.y.abs_diff(cb.y));
+                assert_eq!(t.hops(RouterId(a), RouterId(b)), dx + dy, "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn spread_mcs_survive_large_rings() {
+        // Regression: `i * len` in u16 overflowed past ~16k routers.
+        let r = Ring::with_spread_mcs(30000, 4);
+        assert_eq!(
+            r.mc_routers(),
+            &[
+                RouterId(0),
+                RouterId(7500),
+                RouterId(15000),
+                RouterId(22500)
+            ]
+        );
+    }
+
+    #[test]
+    fn ring_hops_is_shorter_way_around() {
+        let r = Ring::new(7, &[]);
+        assert_eq!(r.hops(RouterId(0), RouterId(3)), 3);
+        assert_eq!(r.hops(RouterId(0), RouterId(4)), 3); // west is shorter
+        assert_eq!(r.hops(RouterId(6), RouterId(0)), 1);
+        assert_eq!(r.hops(RouterId(2), RouterId(2)), 0);
+    }
+
+    #[test]
+    fn diameters_and_windows() {
+        let mesh: Topology = Mesh::square_with_corner_mcs(6).into();
+        let torus: Topology = Torus::square_with_corner_mcs(6).into();
+        let ring: Topology = Ring::with_spread_mcs(36, 4).into();
+        assert_eq!(mesh.diameter(), 10);
+        assert_eq!(torus.diameter(), 6);
+        assert_eq!(ring.diameter(), 18);
+        // Mesh window matches the historical cols + rows + 1 formula.
+        assert_eq!(mesh.notification_window(), 13);
+        assert_eq!(torus.notification_window(), 9);
+        assert_eq!(ring.notification_window(), 21);
+        assert!(!mesh.has_datelines());
+        assert!(torus.has_datelines());
+        assert!(ring.has_datelines());
+    }
+
+    #[test]
+    fn wrap_links_sit_on_the_edges() {
+        let t = Torus::new(4, 4, &[]);
+        assert!(t.wrap_link(RouterId(3), Port::East));
+        assert!(t.wrap_link(RouterId(0), Port::West));
+        assert!(t.wrap_link(RouterId(12), Port::South));
+        assert!(t.wrap_link(RouterId(0), Port::North));
+        assert!(!t.wrap_link(RouterId(1), Port::East));
+        let r = Ring::new(5, &[]);
+        assert!(r.wrap_link(RouterId(4), Port::East));
+        assert!(r.wrap_link(RouterId(0), Port::West));
+        assert!(!r.wrap_link(RouterId(2), Port::East));
+    }
+
+    // Dateline classes along any unicast walk must be monotone 0 → 1
+    // within each dimension: once a flit switches to the class-1
+    // partition it never goes back, which is the acyclicity argument.
+    #[test]
+    fn torus_unicast_classes_are_monotone_per_dimension() {
+        let topo: Topology = Torus::new(5, 4, &[]).into();
+        for a in topo.routers() {
+            for b in topo.routers() {
+                let dest = Endpoint::tile(b);
+                let mut here = a;
+                let mut last: Option<(Port, bool)> = None;
+                loop {
+                    let (port, class) = topo.unicast_hop(here, dest);
+                    if port.is_local() {
+                        break;
+                    }
+                    if let Some((lp, lc)) = last {
+                        let same_dim = matches!(
+                            (lp, port),
+                            (Port::East | Port::West, Port::East | Port::West)
+                                | (Port::North | Port::South, Port::North | Port::South)
+                        );
+                        if same_dim {
+                            assert!(lc <= class, "class fell back 1->0 at {here} ({a}->{b})");
+                        }
+                    }
+                    last = Some((port, class));
+                    here = topo.neighbor(here, port).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_unicast_classes_flip_exactly_at_the_dateline() {
+        let topo: Topology = Ring::new(6, &[]).into();
+        // 4 -> 1 goes east through the 5 -> 0 wrap: class 0 before, 1 after.
+        let dest = Endpoint::tile(RouterId(1));
+        let (p0, c0) = topo.unicast_hop(RouterId(4), dest);
+        assert_eq!((p0, c0), (Port::East, false));
+        let (p1, c1) = topo.unicast_hop(RouterId(5), dest);
+        assert_eq!((p1, c1), (Port::East, true));
+        let (p2, c2) = topo.unicast_hop(RouterId(0), dest);
+        assert_eq!((p2, c2), (Port::East, true));
+    }
+
+    #[test]
+    fn topology_names_and_labels() {
+        let mesh: Topology = Mesh::square_with_corner_mcs(4).into();
+        let torus: Topology = Torus::square_with_corner_mcs(4).into();
+        let ring: Topology = Ring::with_spread_mcs(16, 4).into();
+        assert_eq!((mesh.name(), mesh.label().as_str()), ("mesh", "4x4"));
+        assert_eq!(
+            (torus.name(), torus.label().as_str()),
+            ("torus", "torus4x4")
+        );
+        assert_eq!((ring.name(), ring.label().as_str()), ("ring", "ring16"));
+        // Debug transparency: the enum renders as the inner struct, which
+        // is what keeps pre-topology SystemConfig hashes valid.
+        assert_eq!(
+            format!("{mesh:?}"),
+            format!("{:?}", Mesh::square_with_corner_mcs(4))
+        );
+    }
+
+    #[test]
+    fn endpoint_index_is_dense_over_any_topology() {
+        for topo in [
+            Topology::from(Mesh::square_with_corner_mcs(4)),
+            Topology::from(Torus::square_with_corner_mcs(4)),
+            Topology::from(Ring::with_spread_mcs(16, 4)),
+        ] {
+            for (i, ep) in topo.endpoints().enumerate() {
+                assert_eq!(topo.endpoint_index(ep), i, "{}", topo.label());
+            }
+        }
     }
 }

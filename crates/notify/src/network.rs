@@ -1,15 +1,17 @@
-//! The bufferless bitwise-OR notification mesh (Figure 3).
+//! The bufferless bitwise-OR notification network (Figure 3).
 //!
 //! Each "router" is nothing but OR gates and latches: every cycle it merges
 //! the messages latched by its neighbours with its own and latches the
 //! result. Because merging never blocks, the network is contention-free and
-//! its latency is bounded by the mesh diameter. Nodes inject only at time-
-//! window boundaries; by construction every node holds the identical merged
-//! message at the end of the window, which is the property global ordering
-//! rests on (asserted in debug builds).
+//! its latency is bounded by the *topology diameter* — the notification
+//! fabric mirrors whatever delivery fabric the main network runs on (mesh,
+//! torus or ring), so low-diameter fabrics get proportionally shorter time
+//! windows. Nodes inject only at window boundaries; by construction every
+//! node holds the identical merged message at the end of the window, which
+//! is the property global ordering rests on (asserted in debug builds).
 
 use crate::message::NotifyMsg;
-use scorpio_noc::{Mesh, Port, RouterId};
+use scorpio_noc::{Mesh, Port, RouterId, Topology};
 use scorpio_sim::stats::Counter;
 use scorpio_sim::Cycle;
 
@@ -21,7 +23,7 @@ pub struct NotifyConfig {
     /// Bits per core: how many requests one core can announce per window
     /// (Section 3.3, "multiple requests per notification message").
     pub bits_per_core: u8,
-    /// Time-window length in cycles; must exceed the mesh diameter.
+    /// Time-window length in cycles; must exceed the topology diameter.
     pub window: u64,
 }
 
@@ -29,10 +31,17 @@ impl NotifyConfig {
     /// The chip configuration for `mesh`: 1 bit per core, window from
     /// [`Mesh::notification_window`] (13 cycles on the 6×6 chip).
     pub fn for_mesh(mesh: &Mesh) -> Self {
+        NotifyConfig::for_topology(&Topology::from(mesh))
+    }
+
+    /// The configuration for any delivery fabric: 1 bit per core, window
+    /// from [`Topology::notification_window`] (diameter-derived, so a
+    /// torus gets a tighter window than the mesh of the same size).
+    pub fn for_topology(topo: &Topology) -> Self {
         NotifyConfig {
-            cores: mesh.router_count(),
+            cores: topo.router_count(),
             bits_per_core: 1,
-            window: mesh.notification_window(),
+            window: topo.notification_window(),
         }
     }
 }
@@ -62,8 +71,11 @@ impl NotifyConfig {
 #[derive(Debug, Clone)]
 pub struct NotifyNetwork {
     cfg: NotifyConfig,
-    cols: u16,
-    rows: u16,
+    /// Flattened neighbour lists (`adj[adj_idx[r]..adj_idx[r + 1]]`), one
+    /// entry per physical link of the underlying topology — the OR-gate
+    /// fan-in of each notification router.
+    adj: Vec<u32>,
+    adj_idx: Vec<u32>,
     cycle: Cycle,
     /// Latched value per router.
     acc: Vec<NotifyMsg>,
@@ -78,8 +90,8 @@ pub struct NotifyNetwork {
     /// step — and the all-routers scan it implies — can be skipped without
     /// changing a single latch value.
     live: bool,
-    /// Mesh diameter: propagation converges after this many steps, after
-    /// which further OR steps merge equal values and are skipped too.
+    /// Topology diameter: propagation converges after this many steps,
+    /// after which further OR steps merge equal values and are skipped too.
     diameter: u64,
     /// The merged message of the last completed window.
     latest: Option<(u64, NotifyMsg)>,
@@ -90,28 +102,51 @@ pub struct NotifyNetwork {
 }
 
 impl NotifyNetwork {
-    /// Builds the notification network for `mesh`.
+    /// Builds the notification network mirroring `fabric` — a [`Mesh`]
+    /// (pass `&mesh` exactly as before the topology axis existed), a
+    /// torus, a ring, or a [`Topology`].
     ///
     /// # Panics
     ///
     /// Panics if the window is too short for worst-case propagation across
-    /// `mesh`, or if `cores` does not match the mesh.
-    pub fn new(mesh: &Mesh, cfg: NotifyConfig) -> Self {
-        let diameter = (mesh.cols() as u64 - 1) + (mesh.rows() as u64 - 1);
+    /// the fabric, or if `cores` does not match its router count.
+    pub fn new(fabric: impl Into<Topology>, cfg: NotifyConfig) -> Self {
+        let topo: Topology = fabric.into();
+        let diameter = topo.diameter() as u64;
         assert!(
             cfg.window > diameter,
-            "window {} cannot cover mesh diameter {}",
+            "window {} cannot cover topology diameter {}",
             cfg.window,
             diameter
         );
-        assert_eq!(cfg.cores, mesh.router_count(), "one bit-lane per tile");
+        assert_eq!(cfg.cores, topo.router_count(), "one bit-lane per tile");
+        // Flatten the neighbour lists: the OR-propagation step visits them
+        // in router order, and a router's merge order is irrelevant (OR is
+        // commutative), so mesh behavior is bit-identical to the old
+        // hard-coded 4-neighbourhood loop.
+        let mut adj = Vec::new();
+        let mut adj_idx = Vec::with_capacity(topo.router_count() + 1);
+        adj_idx.push(0u32);
+        for r in topo.routers() {
+            for port in [Port::North, Port::South, Port::East, Port::West] {
+                if let Some(n) = topo.neighbor(r, port) {
+                    // A 2-wide torus dimension wires both ports to the
+                    // same neighbour; merging it twice is the identity,
+                    // but dedup keeps the gate count honest.
+                    if !adj[adj_idx[r.index()] as usize..].contains(&(n.0 as u32)) {
+                        adj.push(n.0 as u32);
+                    }
+                }
+            }
+            adj_idx.push(adj.len() as u32);
+        }
         let blank = NotifyMsg::new(cfg.cores, cfg.bits_per_core);
         NotifyNetwork {
-            cols: mesh.cols(),
-            rows: mesh.rows(),
+            adj,
+            adj_idx,
             cycle: Cycle::ZERO,
-            acc: vec![blank.clone(); mesh.router_count()],
-            scratch: vec![blank; mesh.router_count()],
+            acc: vec![blank.clone(); topo.router_count()],
+            scratch: vec![blank; topo.router_count()],
             pending: vec![(0, false); cfg.cores],
             pending_dirty: Vec::new(),
             live: false,
@@ -205,25 +240,15 @@ impl NotifyNetwork {
         } else if self.live && in_window <= self.diameter {
             // One propagation step: each router ORs its neighbours' latched
             // values into its own (two-phase via scratch, buffers reused).
-            let cols = self.cols as usize;
-            let rows = self.rows as usize;
-            for y in 0..rows {
-                for x in 0..cols {
-                    let idx = y * cols + x;
-                    self.scratch[idx].copy_from(&self.acc[idx]);
-                    let merged = &mut self.scratch[idx];
-                    if x > 0 {
-                        merged.merge_from(&self.acc[idx - 1]);
-                    }
-                    if x + 1 < cols {
-                        merged.merge_from(&self.acc[idx + 1]);
-                    }
-                    if y > 0 {
-                        merged.merge_from(&self.acc[idx - cols]);
-                    }
-                    if y + 1 < rows {
-                        merged.merge_from(&self.acc[idx + cols]);
-                    }
+            // Neighbour sets come from the precomputed adjacency of the
+            // underlying topology, so the same loop serves mesh, torus and
+            // ring fabrics.
+            for idx in 0..self.acc.len() {
+                self.scratch[idx].copy_from(&self.acc[idx]);
+                let merged = &mut self.scratch[idx];
+                let (lo, hi) = (self.adj_idx[idx] as usize, self.adj_idx[idx + 1] as usize);
+                for &nb in &self.adj[lo..hi] {
+                    merged.merge_from(&self.acc[nb as usize]);
                 }
             }
             std::mem::swap(&mut self.acc, &mut self.scratch);
@@ -391,7 +416,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot cover mesh diameter")]
+    #[should_panic(expected = "cannot cover topology diameter")]
     fn too_short_window_panics() {
         let mesh = Mesh::new(6, 6, &[]);
         let _ = NotifyNetwork::new(
@@ -402,6 +427,58 @@ mod tests {
                 window: 5,
             },
         );
+    }
+
+    #[test]
+    fn torus_window_is_tighter_and_converges() {
+        use scorpio_noc::{Topology, Torus};
+        let topo: Topology = Torus::square_with_corner_mcs(6).into();
+        let cfg = NotifyConfig::for_topology(&topo);
+        // Torus diameter 6 vs mesh 10: window 9 vs the chip's 13.
+        assert_eq!(cfg.window, 9);
+        let mut nn = NotifyNetwork::new(&topo, cfg);
+        nn.stage_injection(0, 1, false);
+        nn.stage_injection(35, 1, false);
+        for _ in 0..9 {
+            nn.tick();
+        }
+        let (_, msg) = nn.latest().unwrap();
+        assert_eq!(msg.total(), 2);
+        for r in 0..36u16 {
+            assert_eq!(nn.latched_at(RouterId(r)).count(0), 1);
+        }
+    }
+
+    #[test]
+    fn ring_converges_within_its_half_circumference_window() {
+        use scorpio_noc::{Ring, Topology};
+        let topo: Topology = Ring::with_spread_mcs(16, 4).into();
+        let cfg = NotifyConfig::for_topology(&topo);
+        assert_eq!(cfg.window, 8 + 3);
+        let mut nn = NotifyNetwork::new(&topo, cfg.clone());
+        nn.stage_injection(0, 1, false);
+        nn.stage_injection(8, 1, false); // antipodal
+        for _ in 0..cfg.window {
+            nn.tick();
+        }
+        let (_, msg) = nn.latest().unwrap();
+        assert_eq!(msg.total(), 2);
+    }
+
+    #[test]
+    fn two_wide_torus_dimension_dedups_or_inputs() {
+        use scorpio_noc::Torus;
+        // cols = 2: East and West reach the same neighbour; the OR fan-in
+        // must still converge (merging a value twice is the identity).
+        let t = Torus::new(2, 4, &[]);
+        let cfg = NotifyConfig::for_topology(&(&t).into());
+        let mut nn = NotifyNetwork::new(&t, cfg);
+        nn.stage_injection(7, 1, false);
+        for _ in 0..nn.config().window {
+            nn.tick();
+        }
+        let (_, msg) = nn.latest().unwrap();
+        assert_eq!(msg.count(7), 1);
     }
 
     #[test]

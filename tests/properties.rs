@@ -14,14 +14,15 @@ use scorpio_workloads::{Trace, TraceOp, TraceRecord};
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// The XY broadcast tree reaches every tile except the source exactly
-    /// once, on any mesh shape.
+    /// The broadcast tree reaches every tile except the source exactly
+    /// once, on any mesh shape (the per-topology generalization lives in
+    /// `scorpio_noc::routing::check_broadcast_exactly_once`).
     #[test]
     fn broadcast_tree_exactly_once(cols in 1u16..8, rows in 1u16..8, src_seed in any::<u16>()) {
-        let mesh = Mesh::new(cols, rows, &[]);
+        let topo: scorpio_noc::Topology = Mesh::new(cols, rows, &[]).into();
         let src = RouterId(src_seed % (cols * rows));
-        let deliveries = routing::broadcast_deliveries(&mesh, src);
-        for r in mesh.routers() {
+        let deliveries = routing::broadcast_deliveries(&topo, src);
+        for r in topo.routers() {
             let got = deliveries[r.index()].contains(Port::Tile);
             prop_assert_eq!(got, r != src, "router {} from {}", r, src);
         }
@@ -31,12 +32,21 @@ proptest! {
     /// destination, for any pair.
     #[test]
     fn unicast_paths_are_minimal(cols in 1u16..8, rows in 1u16..8, a in any::<u16>(), b in any::<u16>()) {
-        let mesh = Mesh::new(cols, rows, &[]);
+        let topo: scorpio_noc::Topology = Mesh::new(cols, rows, &[]).into();
         let n = cols * rows;
         let (src, dst) = (RouterId(a % n), RouterId(b % n));
-        let path = routing::unicast_path(&mesh, src, Endpoint::tile(dst));
-        prop_assert_eq!(path.len() as u16 - 1, mesh.hops(src, dst));
+        let path = routing::unicast_path(&topo, src, Endpoint::tile(dst));
+        prop_assert_eq!(path.len() as u16 - 1, topo.hops(src, dst));
         prop_assert_eq!(*path.last().unwrap(), dst);
+    }
+
+    /// The broadcast exactly-once property holds on wraparound fabrics of
+    /// arbitrary size, not just meshes.
+    #[test]
+    fn broadcast_exactly_once_on_wraparound_fabrics(cols in 2u16..7, rows in 2u16..7, len in 2u16..20) {
+        use scorpio_noc::{Ring, Torus};
+        routing::check_broadcast_exactly_once(&Torus::new(cols, rows, &[]).into());
+        routing::check_broadcast_exactly_once(&Ring::new(len, &[]).into());
     }
 
     /// Notification trackers fed the same window stream agree on the full
