@@ -109,6 +109,16 @@ pub struct CohMsg {
     pub sender: Endpoint,
 }
 
+/// Multi-plane steering: all traffic for a line travels on the plane its
+/// address selects, which is what keeps per-address order intact when the
+/// main network is replicated. (The stripe granularity — how the byte
+/// address is shifted before the modulo — is configured at the network.)
+impl scorpio_noc::SteerKey for CohMsg {
+    fn steer_key(&self) -> u64 {
+        self.addr.0
+    }
+}
+
 impl CohMsg {
     /// A new message; `aux` defaults to 0.
     pub fn new(

@@ -3,6 +3,8 @@
 use scorpio_mem::{L2Config, McConfig};
 use scorpio_nic::NicConfig;
 use scorpio_noc::{Endpoint, Mesh, NocConfig, Ring, Topology, Torus};
+use std::fmt;
+use std::num::NonZeroUsize;
 
 /// Which coherence-ordering scheme the system runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +53,7 @@ impl Protocol {
 }
 
 /// Configuration of a full SCORPIO system.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SystemConfig {
     /// The delivery fabric (tiles + MC ports): a mesh, torus or ring.
     ///
@@ -91,6 +93,47 @@ pub struct SystemConfig {
     pub max_cycles: u64,
     /// Workload seed.
     pub seed: u64,
+    /// Parallel main-network planes (Section 5.3's "multiple main
+    /// networks"): N address-interleaved copies of the delivery fabric,
+    /// each with its own routers, VCs and per-plane ordering windows.
+    /// `1` is the chip's single network.
+    pub planes: NonZeroUsize,
+    /// Plane-interleave granularity: `2^n` consecutive cache lines share a
+    /// plane (0 = stripe line by line). Ignored with one plane.
+    pub plane_stripe_lines_log2: u32,
+}
+
+/// Renders exactly as the derived `Debug` did before the plane axis
+/// existed whenever the plane knobs hold their defaults (one plane,
+/// line-granularity striping), appending the two plane fields otherwise.
+/// [`SystemConfig::stable_hash`] fingerprints this rendering, so the
+/// conditional keeps every pre-plane config hash — and the JSONL result
+/// rows keyed on them — valid, exactly as `Topology`'s transparent `Debug`
+/// does for the fabric axis.
+impl fmt::Debug for SystemConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("SystemConfig");
+        d.field("mesh", &self.mesh)
+            .field("protocol", &self.protocol)
+            .field("noc", &self.noc)
+            .field("nic", &self.nic)
+            .field("notification_bits", &self.notification_bits)
+            .field("notification_window_slack", &self.notification_window_slack)
+            .field("l1_bytes", &self.l1_bytes)
+            .field("l1_ways", &self.l1_ways)
+            .field("l2", &self.l2)
+            .field("mc", &self.mc)
+            .field("dir_total_bytes", &self.dir_total_bytes)
+            .field("lpd_pointers", &self.lpd_pointers)
+            .field("core_outstanding", &self.core_outstanding)
+            .field("max_cycles", &self.max_cycles)
+            .field("seed", &self.seed);
+        if self.planes.get() != 1 || self.plane_stripe_lines_log2 != 0 {
+            d.field("planes", &self.planes)
+                .field("plane_stripe_lines_log2", &self.plane_stripe_lines_log2);
+        }
+        d.finish()
+    }
 }
 
 impl SystemConfig {
@@ -126,6 +169,8 @@ impl SystemConfig {
             core_outstanding: 1,
             max_cycles: 2_000_000,
             seed: 1,
+            planes: NonZeroUsize::new(1).expect("1 is non-zero"),
+            plane_stripe_lines_log2: 0,
         }
     }
 
@@ -242,12 +287,42 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the number of parallel main-network planes (Section 5.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` is zero.
+    #[must_use]
+    pub fn with_planes(mut self, planes: usize) -> SystemConfig {
+        self.planes = NonZeroUsize::new(planes).expect("at least one plane");
+        self
+    }
+
+    /// Sets the plane-interleave granularity: `2^n` consecutive lines per
+    /// stripe.
+    #[must_use]
+    pub fn with_plane_stripe_lines_log2(mut self, n: u32) -> SystemConfig {
+        self.plane_stripe_lines_log2 = n;
+        self
+    }
+
+    /// The byte-address shift the plane steering function applies: the
+    /// line-offset bits plus the configured stripe granularity.
+    pub fn plane_interleave_log2(&self) -> u32 {
+        self.l2.line_bytes.trailing_zeros() + self.plane_stripe_lines_log2
+    }
+
     /// Short human-readable label: fabric geometry, protocol and seed
     /// (`"6x6/SCORPIO/seed1"`, `"torus6x6/…"`, `"ring36/…"` — mesh labels
-    /// are unchanged from before the topology axis existed).
+    /// are unchanged from before the topology axis existed). Multi-plane
+    /// systems append the plane count to the geometry (`"8x8+4pl"`).
     pub fn label(&self) -> String {
+        let planes = match self.planes.get() {
+            1 => String::new(),
+            n => format!("+{n}pl"),
+        };
         format!(
-            "{}/{}/seed{}",
+            "{}{planes}/{}/seed{}",
             self.mesh.label(),
             self.protocol.name(),
             self.seed
@@ -367,6 +442,40 @@ mod tests {
     #[should_panic(expected = "meshes only")]
     fn proportional_mcs_reject_non_mesh_fabrics() {
         let _ = SystemConfig::torus(4).with_proportional_mcs();
+    }
+
+    #[test]
+    fn plane_axis_is_hash_transparent_at_default_and_distinct_otherwise() {
+        // One plane at line granularity renders (and hashes) exactly as
+        // the pre-plane config did — this is what keeps stored JSONL rows
+        // valid.
+        let base = SystemConfig::square(4);
+        assert_eq!(base.planes.get(), 1);
+        assert!(!format!("{base:?}").contains("planes"));
+        assert_eq!(base.stable_hash(), 0xbbb791b93ac0807b);
+        // Non-default plane knobs fingerprint differently from the base
+        // and from each other.
+        let two = SystemConfig::square(4).with_planes(2);
+        let four = SystemConfig::square(4).with_planes(4);
+        let coarse = SystemConfig::square(4)
+            .with_planes(2)
+            .with_plane_stripe_lines_log2(3);
+        assert!(format!("{two:?}").contains("planes: 2"));
+        assert_ne!(base.stable_hash(), two.stable_hash());
+        assert_ne!(two.stable_hash(), four.stable_hash());
+        assert_ne!(two.stable_hash(), coarse.stable_hash());
+        // Labels: planes join the geometry segment.
+        assert_eq!(base.label(), "4x4/SCORPIO/seed1");
+        assert_eq!(two.label(), "4x4+2pl/SCORPIO/seed1");
+        // The steering shift covers the line-offset bits (32 B lines).
+        assert_eq!(base.plane_interleave_log2(), 5);
+        assert_eq!(coarse.plane_interleave_log2(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one plane")]
+    fn zero_planes_panics() {
+        let _ = SystemConfig::square(4).with_planes(0);
     }
 
     #[test]

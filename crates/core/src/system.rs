@@ -20,7 +20,7 @@ use scorpio_coherence::{
 };
 use scorpio_mem::{L2Out, MemoryController, OrderedSnoop, SnoopyL2};
 use scorpio_nic::{Nic, NicMode};
-use scorpio_noc::{Endpoint, LocalSlot, Network, VnetId};
+use scorpio_noc::{Endpoint, LocalSlot, MultiNetwork, VnetId};
 use scorpio_notify::{NotifyConfig, NotifyNetwork};
 use scorpio_sim::{ActiveSet, Cycle};
 use scorpio_workloads::Trace;
@@ -29,7 +29,9 @@ use std::collections::{BTreeMap, VecDeque};
 /// A full SCORPIO (or baseline) system.
 pub struct System {
     cfg: SystemConfig,
-    net: Network<CohMsg>,
+    /// The main network: one or more address-interleaved delivery planes
+    /// behind one interface (`planes = 1` is the chip's single fabric).
+    net: MultiNetwork<CohMsg>,
     notify: Option<NotifyNetwork>,
     /// NICs per endpoint (tiles first, then MC ports).
     nics: Vec<Nic<CohMsg>>,
@@ -115,15 +117,24 @@ impl System {
         // Big sweeps don't need per-uid delivery tracking.
         cfg.noc.track_deliveries = false;
 
-        let net: Network<CohMsg> = Network::new(cfg.mesh.clone(), cfg.noc.clone());
+        let planes = cfg.planes;
+        let net: MultiNetwork<CohMsg> = MultiNetwork::new(
+            cfg.mesh.clone(),
+            cfg.noc.clone(),
+            planes,
+            cfg.plane_interleave_log2(),
+        );
         let notify = scorpio.then(|| {
-            NotifyNetwork::new(
+            // One notification fabric whose messages carry an independent
+            // announcement word group per plane.
+            NotifyNetwork::with_planes(
                 &cfg.mesh,
                 NotifyConfig {
                     cores,
                     bits_per_core: cfg.notification_bits,
                     window: cfg.mesh.notification_window() + cfg.notification_window_slack,
                 },
+                planes.get(),
             )
         });
         let mode = if scorpio {
@@ -155,7 +166,7 @@ impl System {
             .iter()
             .map(|ep| {
                 let sid = (ep.slot == LocalSlot::Tile).then_some(scorpio_noc::Sid(ep.router.0));
-                Nic::new(*ep, sid, mode, cores, nic_cfg.clone())
+                Nic::new(*ep, sid, mode, cores, planes.get(), nic_cfg.clone())
             })
             .collect();
         let drivers: Vec<CoreDriver> = kinds

@@ -43,7 +43,7 @@ pub mod sink;
 pub mod table;
 
 pub use exec::{run_grid, run_spec, ExecOptions, RunResult};
-pub use scenario::{Engine, Fabric, Knob, RunSpec, Scenario, SweepGrid, Variant};
+pub use scenario::{Engine, Fabric, Knob, McPlacement, RunSpec, Scenario, SweepGrid, Variant};
 pub use table::{print_normalized, render_normalized};
 
 use scorpio::{SystemConfig, SystemReport};

@@ -12,12 +12,18 @@ use scorpio::Protocol;
 use scorpio_workloads::WorkloadParams;
 
 use crate::exec::RunResult;
-use crate::scenario::{Engine, Fabric, Knob, RunSpec, Scenario, SweepGrid, Variant};
+use crate::scenario::{Engine, Fabric, Knob, McPlacement, RunSpec, Scenario, SweepGrid, Variant};
 use crate::table::render_normalized;
 
 /// Every registered scenario, in presentation order.
+///
+/// # Panics
+///
+/// Panics if any registered grid fails [`SweepGrid::validate`] — a
+/// zero/duplicate axis value would silently emit duplicate (or no) JSONL
+/// rows, so it is rejected here, at registry build time.
 pub fn scenarios() -> Vec<Scenario> {
-    vec![
+    let all = vec![
         fig6("fig6", 6),
         fig6("fig6-small", 4),
         fig6("fig6-64", 8),
@@ -44,7 +50,19 @@ pub fn scenarios() -> Vec<Scenario> {
         topology("topology-small", 4),
         route_lookup("route-lookup", 12),
         route_lookup("route-lookup-small", 6),
-    ]
+        planes_scenario("planes", 6),
+        planes_scenario("planes-small", 4),
+        planes_throughput("planes-throughput", 8),
+        planes_throughput("planes-throughput-small", 6),
+        mc_placement("mc-placement", 6),
+        mc_placement("mc-placement-small", 4),
+    ];
+    for s in &all {
+        s.grid
+            .validate()
+            .unwrap_or_else(|e| panic!("scenario {}: {e}", s.name));
+    }
+    all
 }
 
 /// Resolves a scenario by registry name.
@@ -898,6 +916,267 @@ fn route_lookup_render(s: &Scenario, results: &[RunResult]) -> String {
     out
 }
 
+// ----------------------------------------------- Multi-plane main networks
+
+/// Saturating broadcast-heavy traffic: every access misses (the shared
+/// footprint dwarfs the L2), so the ordered-request rate is bounded by the
+/// network, not the cores. The regime where Section 5.3's 1/k² broadcast
+/// bound binds — and the one the plane replication exists to lift.
+fn bcast_heavy() -> WorkloadParams {
+    WorkloadParams {
+        name: "bcast-heavy",
+        ops_per_core: 400,
+        mean_gap: 0.5,
+        write_fraction: 0.5,
+        shared_fraction: 1.0,
+        shared_lines: 16384,
+        private_lines: 1,
+        hot_fraction: 0.0,
+        hot_lines: 1,
+        migratory_fraction: 0.0,
+        locality: 0.0,
+        phase_ops: 0,
+        phase_gap: 0,
+    }
+}
+
+/// The GO-REQ VC count of a result's variant (chip default 4) — feeds the
+/// physical model's VC scaling in the plane/topology energy columns.
+fn result_goreq_vcs(r: &RunResult) -> u8 {
+    goreq_vcs(&r.spec)
+}
+
+/// Relative network energy per completed request for one run: the
+/// physical model's (fabric, planes, VC)-scaled network power integrated
+/// over the runtime, per op. Only ratios between rows are meaningful.
+fn net_energy_per_op(r: &RunResult) -> f64 {
+    scorpio_physical::energy_per_message_scale(
+        result_goreq_vcs(r),
+        r.spec.config().mesh.name(),
+        r.spec.planes,
+        r.report.runtime_cycles,
+        r.report.ops_completed,
+    )
+}
+
+/// Multi-plane main networks (Section 5.3's "cheaper fix"): every fabric ×
+/// 1/2/4 address-interleaved planes × all five ordering protocols at
+/// matched endpoint counts. Ordering is per plane (hence per address), so
+/// every cell must complete; the runtime and energy columns quantify what
+/// replication buys and costs.
+fn planes_scenario(name: &'static str, k: u16) -> Scenario {
+    Scenario {
+        name,
+        title: format!(
+            "Planes — 1/2/4 main networks at {} cores, all fabrics and protocols",
+            k as usize * k as usize
+        ),
+        about: "Multi-plane sweep: address-interleaved parallel fabrics, per-plane ordering",
+        grid: SweepGrid::over(
+            WorkloadParams::figure7_set()
+                .into_iter()
+                .filter(|p| p.name == "blackscholes")
+                .collect(),
+        )
+        .meshes(&[k])
+        .fabrics(&[Fabric::Mesh, Fabric::Torus, Fabric::Ring])
+        .planes(&[1, 2, 4])
+        .protocols(&[
+            Protocol::Scorpio,
+            Protocol::TokenB,
+            Protocol::Inso { expiry_window: 40 },
+            Protocol::LpdDir,
+            Protocol::HtDir,
+        ]),
+        render: planes_render,
+    }
+}
+
+fn planes_render(s: &Scenario, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", s.title));
+    out.push_str(&format!(
+        "{:<14}{:<10}{:>7}{:<3}{:<12}{:>12}{:>12}{:>12}{:>12}\n",
+        "workload",
+        "fabric",
+        "planes",
+        "",
+        "protocol",
+        "runtime",
+        "pkt lat",
+        "net-power",
+        "net-E/op"
+    ));
+    for r in results {
+        let cfg = r.spec.config();
+        out.push_str(&format!(
+            "{:<14}{:<10}{:>7}{:<3}{:<12}{:>12}{:>12.1}{:>11.2}x{:>12.1}\n",
+            r.spec.workload.name,
+            cfg.mesh.name(),
+            r.spec.planes,
+            "",
+            r.report.protocol,
+            r.report.runtime_cycles,
+            r.report.packet_latency.mean(),
+            scorpio_physical::network_power_scale(
+                result_goreq_vcs(r),
+                cfg.mesh.name(),
+                r.spec.planes
+            ),
+            net_energy_per_op(r),
+        ));
+    }
+    out.push_str("\nPer-address order is preserved across planes (steering assigns\n");
+    out.push_str("each line to exactly one plane); net-power and net-E/op come from\n");
+    out.push_str("the physical model, so bandwidth gains are priced, not free.\n");
+    out
+}
+
+// ----------------------------------- Plane-throughput self-benchmark
+
+/// Delivered-request throughput on a saturated mesh as planes replicate:
+/// the acceptance benchmark for the "multiple main networks" subsystem.
+/// Every run retires the same ops, so requests/kcycle — and the speedup
+/// column — reduce to runtime ratios of *simulated* cycles; unlike the
+/// engine self-benchmarks, this one is fully deterministic.
+fn planes_throughput(name: &'static str, mesh: u16) -> Scenario {
+    Scenario {
+        name,
+        title: format!(
+            "Planes-throughput — delivered requests/kcycle, 1/2/4 planes ({mesh}x{mesh} saturated)"
+        ),
+        about: "Plane self-benchmark: broadcast-saturated mesh, throughput and energy vs planes",
+        grid: SweepGrid::over(vec![bcast_heavy()])
+            .meshes(&[mesh])
+            .planes(&[1, 2, 4])
+            .with_base(vec![Knob::Outstanding(4)]),
+        render: planes_throughput_render,
+    }
+}
+
+fn planes_throughput_render(s: &Scenario, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", s.title));
+    out.push_str(&format!(
+        "{:<14}{:>7}{:>12}{:>12}{:>12}{:>12}{:>12}\n",
+        "workload", "planes", "runtime", "req/kcyc", "speedup", "net-power", "net-E/op"
+    ));
+    for w in &s.grid.workloads {
+        let base = find(results, |spec| {
+            spec.workload.name == w.name && spec.planes == 1
+        })
+        .map_or(0, |r| r.report.runtime_cycles);
+        for r in results.iter().filter(|r| r.spec.workload.name == w.name) {
+            let rate = if r.report.runtime_cycles > 0 {
+                1000.0 * r.report.ops_completed as f64 / r.report.runtime_cycles as f64
+            } else {
+                0.0
+            };
+            let speedup = if r.report.runtime_cycles > 0 && base > 0 {
+                format!("{:>11.2}x", base as f64 / r.report.runtime_cycles as f64)
+            } else {
+                format!("{:>12}", "-")
+            };
+            out.push_str(&format!(
+                "{:<14}{:>7}{:>12}{:>12.1}{speedup}{:>11.2}x{:>12.1}\n",
+                r.spec.workload.name,
+                r.spec.planes,
+                r.report.runtime_cycles,
+                rate,
+                scorpio_physical::network_power_scale(result_goreq_vcs(r), "mesh", r.spec.planes),
+                net_energy_per_op(r),
+            ));
+        }
+    }
+    out.push_str("\nEvery run retires the identical op count, so speedup is the\n");
+    out.push_str("runtime ratio vs the single-plane network on the same traffic.\n");
+    out
+}
+
+// ------------------------------------------- MC placement sweeps
+
+/// The MC-placement key of a spec's variant, if any.
+fn placement_of(spec: &RunSpec) -> Option<McPlacement> {
+    spec.variant.knobs.iter().find_map(|k| match k {
+        Knob::McPlacement { placement, .. } => Some(*placement),
+        _ => None,
+    })
+}
+
+/// Keeps only (fabric, placement) combinations that are defined: corner
+/// placements on mesh/torus, ring spreading on rings, proportional on
+/// meshes.
+fn mc_placement_filter(spec: &RunSpec) -> bool {
+    placement_of(spec).is_some_and(|p| p.supports(spec.fabric))
+}
+
+/// Topology-aware MC placement: MC count × placement scheme × fabric, at
+/// matched core counts. Exposes each fabric's memory-bandwidth
+/// sensitivity — corner MCs melt under traffic a spread placement
+/// balances, and the effect differs per topology.
+fn mc_placement(name: &'static str, k: u16) -> Scenario {
+    Scenario {
+        name,
+        title: format!(
+            "MC placement — count x placement x fabric at {} cores",
+            k as usize * k as usize
+        ),
+        about: "MC count/placement sweep: corner vs spread vs proportional per fabric",
+        grid: SweepGrid::over(vec![uniform_med()])
+            .meshes(&[k])
+            .fabrics(&[Fabric::Mesh, Fabric::Torus, Fabric::Ring])
+            .variants(vec![
+                Variant::knob(Knob::McPlacement {
+                    placement: McPlacement::Corner,
+                    mcs: 2,
+                }),
+                Variant::knob(Knob::McPlacement {
+                    placement: McPlacement::Corner,
+                    mcs: 4,
+                }),
+                Variant::knob(Knob::McPlacement {
+                    placement: McPlacement::Spread,
+                    mcs: 2,
+                }),
+                Variant::knob(Knob::McPlacement {
+                    placement: McPlacement::Spread,
+                    mcs: 4,
+                }),
+                Variant::knob(Knob::McPlacement {
+                    placement: McPlacement::Proportional,
+                    mcs: 0,
+                }),
+            ])
+            .filtered(mc_placement_filter),
+        render: mc_placement_render,
+    }
+}
+
+fn mc_placement_render(s: &Scenario, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", s.title));
+    out.push_str(&format!(
+        "{:<14}{:<10}{:<12}{:>5}{:>12}{:>14}{:>12}\n",
+        "workload", "fabric", "placement", "MCs", "runtime", "mem-served", "pkt lat"
+    ));
+    for r in results {
+        let cfg = r.spec.config();
+        out.push_str(&format!(
+            "{:<14}{:<10}{:<12}{:>5}{:>12}{:>14.1}{:>12.1}\n",
+            r.spec.workload.name,
+            cfg.mesh.name(),
+            r.spec.mc_placement().unwrap_or_default(),
+            cfg.mesh.mc_routers().len(),
+            r.report.runtime_cycles,
+            r.report.memory_served.mean(),
+            r.report.packet_latency.mean(),
+        ));
+    }
+    out.push_str("\nEach fabric runs only the placements defined for it (corner on\n");
+    out.push_str("mesh/torus, spreading on rings, proportional on meshes).\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -978,6 +1257,55 @@ mod tests {
             specs[1].config().stable_hash()
         );
         assert!(specs[1].key().ends_with("/coord"));
+    }
+
+    #[test]
+    fn plane_and_placement_scenarios_are_registered() {
+        // Planes: 1 workload x 3 fabrics x 3 plane counts x 5 protocols.
+        let p = by_name("planes-small").unwrap();
+        assert_eq!(p.grid.len(), 3 * 3 * 5);
+        let specs = p.grid.enumerate();
+        let plane_counts: HashSet<usize> = specs.iter().map(|s| s.planes).collect();
+        assert_eq!(plane_counts, HashSet::from([1, 2, 4]));
+        // Single-plane cells hash exactly like the axis-free config; every
+        // (fabric, planes) pair fingerprints uniquely.
+        let hashes: HashSet<u64> = specs.iter().map(|s| s.config().stable_hash()).collect();
+        assert_eq!(hashes.len(), 3 * 3 * 5);
+        // Plane-throughput: saturated workload, 1/2/4 planes, higher
+        // outstanding budget folded in as a base knob.
+        let t = by_name("planes-throughput").unwrap();
+        assert_eq!(t.grid.len(), 3);
+        for spec in t.grid.enumerate() {
+            assert_eq!(spec.mesh_side, 8);
+            assert_eq!(spec.config().core_outstanding, 4);
+        }
+        // MC placement: the ragged (fabric x placement) product — mesh
+        // gets corner-2/corner-4/prop, torus corner-2/corner-4, ring
+        // spread-2/spread-4.
+        let m = by_name("mc-placement-small").unwrap();
+        let specs = m.grid.enumerate();
+        assert_eq!(specs.len(), 3 + 2 + 2);
+        for spec in &specs {
+            let placement = spec.mc_placement().expect("every cell has a placement");
+            assert!(
+                placement_of(spec).unwrap().supports(spec.fabric),
+                "unsupported cell {placement} on {:?}",
+                spec.fabric
+            );
+        }
+        // Placement keys flow into the config (MC counts really change).
+        let corner2 = specs
+            .iter()
+            .find(|s| s.fabric == Fabric::Mesh && s.mc_placement().as_deref() == Some("corner-2"))
+            .unwrap();
+        assert_eq!(corner2.config().mesh.mc_routers().len(), 2);
+    }
+
+    #[test]
+    fn every_registered_grid_validates() {
+        for s in scenarios() {
+            assert!(s.grid.validate().is_ok(), "{} failed validation", s.name);
+        }
     }
 
     #[test]

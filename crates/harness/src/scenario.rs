@@ -39,6 +39,101 @@ pub enum Knob {
     /// Perimeter MC placement scaled to the core count (scaling-mesh
     /// sweeps: one MC per 16 tiles instead of four fixed corners).
     ProportionalMcs,
+    /// Topology-aware MC placement: `mcs` memory-controller ports placed
+    /// by `placement` (the `mc-placement` sweeps). The L2's interleaving
+    /// endpoints are rewired to match.
+    McPlacement {
+        /// Where the MC ports go.
+        placement: McPlacement,
+        /// How many (ignored by [`McPlacement::Proportional`], which
+        /// derives the count from the core count).
+        mcs: u16,
+    },
+}
+
+/// Memory-controller placement schemes for the `mc-placement` sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McPlacement {
+    /// Corner routers (mesh/torus): 2 picks the NW/SE diagonal, 4 all
+    /// four corners — the chip's arrangement.
+    Corner,
+    /// Evenly spread around the ring ([`scorpio_noc::Ring::with_spread_mcs`]).
+    Spread,
+    /// One MC per 16 tiles along the mesh perimeter
+    /// ([`SystemConfig::with_proportional_mcs`]).
+    Proportional,
+}
+
+impl McPlacement {
+    /// The placement key recorded in JSONL/CSV result rows.
+    pub fn key(self) -> &'static str {
+        match self {
+            McPlacement::Corner => "corner",
+            McPlacement::Spread => "spread",
+            McPlacement::Proportional => "prop",
+        }
+    }
+
+    /// Whether this placement is defined for `fabric`.
+    pub fn supports(self, fabric: Fabric) -> bool {
+        match self {
+            McPlacement::Corner => matches!(fabric, Fabric::Mesh | Fabric::Torus),
+            McPlacement::Spread => fabric == Fabric::Ring,
+            McPlacement::Proportional => fabric == Fabric::Mesh,
+        }
+    }
+}
+
+/// Rebuilds `cfg`'s fabric with `mcs` MC ports placed by `placement`,
+/// rewiring the L2's MC-interleaving endpoints to match.
+fn apply_mc_placement(mut cfg: SystemConfig, placement: McPlacement, mcs: u16) -> SystemConfig {
+    use scorpio_noc::{Mesh, Ring, RouterId, Topology, Torus};
+    let fabric: Topology = match (&cfg.mesh, placement) {
+        (_, McPlacement::Proportional) => return cfg.with_proportional_mcs(),
+        (Topology::Mesh(m), McPlacement::Corner) => {
+            let (c, r) = (m.cols(), m.rows());
+            let corners = corner_order(c, r);
+            Mesh::new(c, r, &corners[..(mcs as usize).min(corners.len())]).into()
+        }
+        (Topology::Torus(t), McPlacement::Corner) => {
+            let (c, r) = (t.cols(), t.rows());
+            let corners = corner_order(c, r);
+            Torus::new(c, r, &corners[..(mcs as usize).min(corners.len())]).into()
+        }
+        (Topology::Ring(r), McPlacement::Spread) => {
+            Ring::with_spread_mcs(r.router_count() as u16, mcs).into()
+        }
+        (topo, placement) => panic!(
+            "MC placement {placement:?} is undefined for the {} fabric",
+            topo.name()
+        ),
+    };
+    cfg.l2.mc_endpoints = fabric
+        .mc_routers()
+        .iter()
+        .map(|&r| scorpio_noc::Endpoint::mc(r))
+        .collect();
+    cfg.mesh = fabric;
+    return cfg;
+
+    /// Corner routers in placement-priority order: NW, SE (the opposite
+    /// diagonal first, so two MCs sit maximally apart), then NE, SW.
+    /// Degenerate 1×N / N×1 fabrics collapse coincident corners, so the
+    /// distinct filter must catch non-adjacent repeats too.
+    fn corner_order(cols: u16, rows: u16) -> Vec<RouterId> {
+        let mut corners: Vec<RouterId> = Vec::with_capacity(4);
+        for c in [
+            RouterId(0),
+            RouterId(cols * rows - 1),
+            RouterId(cols - 1),
+            RouterId(cols * (rows - 1)),
+        ] {
+            if !corners.contains(&c) {
+                corners.push(c);
+            }
+        }
+        corners
+    }
 }
 
 impl Knob {
@@ -74,6 +169,7 @@ impl Knob {
                 cfg
             }
             Knob::ProportionalMcs => cfg.with_proportional_mcs(),
+            Knob::McPlacement { placement, mcs } => apply_mc_placement(cfg, placement, mcs),
         }
     }
 
@@ -95,6 +191,11 @@ impl Knob {
             Knob::NotificationWindowSlack(s) => format!("slack={s}"),
             Knob::DirTotalBytes(b) => format!("dir={b}B"),
             Knob::ProportionalMcs => "prop-MCs".into(),
+            Knob::McPlacement {
+                placement: McPlacement::Proportional,
+                ..
+            } => "prop".into(),
+            Knob::McPlacement { placement, mcs } => format!("{}-{mcs}", placement.key()),
         }
     }
 }
@@ -223,6 +324,9 @@ pub struct SweepGrid {
     /// Delivery-fabric axis (the `topology` scenarios sweep all three;
     /// everything else runs the default mesh only).
     pub fabrics: Vec<Fabric>,
+    /// Main-network plane axis (the `planes` scenarios sweep 1/2/4;
+    /// everything else runs the single-plane network only).
+    pub planes: Vec<usize>,
     /// Protocol axis.
     pub protocols: Vec<Protocol>,
     /// Configuration-variant axis.
@@ -244,6 +348,7 @@ impl Default for SweepGrid {
             workloads: Vec::new(),
             mesh_sides: vec![6],
             fabrics: vec![Fabric::Mesh],
+            planes: vec![1],
             protocols: vec![Protocol::Scorpio],
             variants: vec![Variant::baseline()],
             engines: vec![Engine::ActiveSet],
@@ -274,6 +379,13 @@ impl SweepGrid {
     #[must_use]
     pub fn fabrics(mut self, fabrics: &[Fabric]) -> SweepGrid {
         self.fabrics = fabrics.to_vec();
+        self
+    }
+
+    /// Sets the main-network plane axis.
+    #[must_use]
+    pub fn planes(mut self, planes: &[usize]) -> SweepGrid {
+        self.planes = planes.to_vec();
         self
     }
 
@@ -319,39 +431,99 @@ impl SweepGrid {
         self
     }
 
+    /// Checks the grid's axes for values that would silently corrupt a
+    /// sweep: an empty or duplicate-carrying axis emits duplicate result
+    /// rows (or none at all), and a zero mesh side or plane count cannot
+    /// be materialized. Called for every registered scenario at registry
+    /// build time, so a bad grid fails fast instead of writing bad JSONL.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending axis and value.
+    pub fn validate(&self) -> Result<(), String> {
+        fn dup<T: PartialEq + std::fmt::Debug>(axis: &str, values: &[T]) -> Result<(), String> {
+            for (i, v) in values.iter().enumerate() {
+                if values[..i].contains(v) {
+                    return Err(format!("duplicate {axis} axis value {v:?}"));
+                }
+            }
+            Ok(())
+        }
+        let names: Vec<&str> = self.workloads.iter().map(|w| w.name).collect();
+        dup("workload", &names)?;
+        dup("mesh-side", &self.mesh_sides)?;
+        dup("fabric", &self.fabrics)?;
+        dup("planes", &self.planes)?;
+        dup("protocol", &self.protocols)?;
+        let labels: Vec<&str> = self.variants.iter().map(|v| v.label.as_str()).collect();
+        dup("variant", &labels)?;
+        dup("engine", &self.engines)?;
+        dup("seed", &self.seeds)?;
+        if self.mesh_sides.contains(&0) {
+            return Err("mesh-side axis contains 0".into());
+        }
+        if self.planes.contains(&0) {
+            return Err("planes axis contains 0".into());
+        }
+        for (axis, empty) in [
+            ("mesh-side", self.mesh_sides.is_empty()),
+            ("fabric", self.fabrics.is_empty()),
+            ("planes", self.planes.is_empty()),
+            ("protocol", self.protocols.is_empty()),
+            ("variant", self.variants.is_empty()),
+            ("engine", self.engines.is_empty()),
+            ("seed", self.seeds.is_empty()),
+        ] {
+            // Workloads may be empty (static table scenarios); every other
+            // axis must carry at least one value.
+            if empty {
+                return Err(format!("{axis} axis is empty"));
+            }
+        }
+        Ok(())
+    }
+
     /// Flattens the grid into its ordered run list.
     ///
     /// The order is the nested-loop order workload → mesh → fabric →
-    /// protocol → variant → engine → seed, which is stable across calls;
-    /// indices are assigned after filtering, so `enumerate()[i].index == i`
-    /// always holds. The executor may *complete* runs in any order, but
-    /// results are returned in this order, which is what makes sweep
-    /// output reproducible.
+    /// planes → protocol → variant → engine → seed, which is stable
+    /// across calls; indices are assigned after filtering, so
+    /// `enumerate()[i].index == i` always holds. The executor may
+    /// *complete* runs in any order, but results are returned in this
+    /// order, which is what makes sweep output reproducible.
     pub fn enumerate(&self) -> Vec<RunSpec> {
         let mut specs = Vec::new();
         for w in &self.workloads {
             for &mesh_side in &self.mesh_sides {
                 for &fabric in &self.fabrics {
-                    for &protocol in &self.protocols {
-                        for v in &self.variants {
-                            for &engine in &self.engines {
-                                for &seed in &self.seeds {
-                                    let effective = Variant {
-                                        label: v.label.clone(),
-                                        knobs: self.base.iter().chain(&v.knobs).copied().collect(),
-                                    };
-                                    let spec = RunSpec {
-                                        index: specs.len(),
-                                        workload: w.clone(),
-                                        mesh_side,
-                                        fabric,
-                                        protocol,
-                                        variant: effective,
-                                        engine,
-                                        seed,
-                                    };
-                                    if self.filter.is_none_or(|f| f(&spec)) {
-                                        specs.push(spec);
+                    for &planes in &self.planes {
+                        for &protocol in &self.protocols {
+                            for v in &self.variants {
+                                for &engine in &self.engines {
+                                    for &seed in &self.seeds {
+                                        let effective = Variant {
+                                            label: v.label.clone(),
+                                            knobs: self
+                                                .base
+                                                .iter()
+                                                .chain(&v.knobs)
+                                                .copied()
+                                                .collect(),
+                                        };
+                                        let spec = RunSpec {
+                                            index: specs.len(),
+                                            workload: w.clone(),
+                                            mesh_side,
+                                            fabric,
+                                            planes,
+                                            protocol,
+                                            variant: effective,
+                                            engine,
+                                            seed,
+                                        };
+                                        if self.filter.is_none_or(|f| f(&spec)) {
+                                            specs.push(spec);
+                                        }
                                     }
                                 }
                             }
@@ -385,6 +557,8 @@ pub struct RunSpec {
     pub mesh_side: u16,
     /// Delivery fabric the `mesh_side` materializes as.
     pub fabric: Fabric,
+    /// Parallel main-network planes (1 = the single-network engine).
+    pub planes: usize,
     /// Ordering protocol.
     pub protocol: Protocol,
     /// Configuration variant (grid base knobs already folded in).
@@ -409,21 +583,37 @@ impl RunSpec {
         };
         let mut cfg = base.with_protocol(self.protocol);
         cfg.seed = self.seed;
+        if self.planes != 1 {
+            cfg = cfg.with_planes(self.planes);
+        }
         self.variant.apply(cfg)
     }
 
+    /// The MC-placement key of this spec's variant, if it carries a
+    /// [`Knob::McPlacement`] (recorded by the JSONL/CSV sinks).
+    pub fn mc_placement(&self) -> Option<String> {
+        self.variant.knobs.iter().find_map(|k| match k {
+            Knob::McPlacement { .. } => Some(k.label()),
+            _ => None,
+        })
+    }
+
     /// A human-readable identity key, unique within a grid. Default-engine
-    /// mesh keys are unchanged from before the engine and fabric axes
-    /// existed; other fabrics change the geometry segment
-    /// (`torus4x4`, `ring16`) and non-default engines append a suffix
-    /// (`/scan`, `/coord`).
+    /// single-plane mesh keys are unchanged from before the engine, fabric
+    /// and plane axes existed; other fabrics change the geometry segment
+    /// (`torus4x4`, `ring16`), multiple planes extend it (`8x8+4pl`), and
+    /// non-default engines append a suffix (`/scan`, `/coord`).
     pub fn key(&self) -> String {
         let engine = match self.engine.label() {
             "" => String::new(),
             label => format!("/{label}"),
         };
+        let planes = match self.planes {
+            1 => String::new(),
+            n => format!("+{n}pl"),
+        };
         format!(
-            "{}/{}/{}/{}/seed{}{engine}",
+            "{}/{}{planes}/{}/{}/seed{}{engine}",
             self.workload.name,
             self.fabric.geometry(self.mesh_side),
             self.protocol.name(),
@@ -548,6 +738,114 @@ mod tests {
             specs[0].config().stable_hash(),
             specs[1].config().stable_hash()
         );
+    }
+
+    #[test]
+    fn planes_axis_extends_keys_and_configs_but_leaves_defaults_stable() {
+        let g = SweepGrid::over(vec![WorkloadParams::by_name("lu").unwrap()])
+            .meshes(&[4])
+            .planes(&[1, 2, 4]);
+        let specs = g.enumerate();
+        assert_eq!(specs.len(), 3);
+        // Single-plane keys are byte-stable from before the axis existed.
+        assert_eq!(specs[0].key(), "lu/4x4/SCORPIO/baseline/seed1");
+        assert_eq!(specs[1].key(), "lu/4x4+2pl/SCORPIO/baseline/seed1");
+        assert_eq!(specs[2].key(), "lu/4x4+4pl/SCORPIO/baseline/seed1");
+        assert_eq!(specs[0].config().planes.get(), 1);
+        assert_eq!(specs[2].config().planes.get(), 4);
+        // Three distinct config hashes; plane 1 matches the axis-free
+        // config exactly.
+        let hashes: HashSet<u64> = specs.iter().map(|s| s.config().stable_hash()).collect();
+        assert_eq!(hashes.len(), 3);
+        assert_eq!(
+            specs[0].config().stable_hash(),
+            SystemConfig::square(4).stable_hash()
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_and_duplicate_axis_values() {
+        let ok = SweepGrid::over(vec![WorkloadParams::by_name("lu").unwrap()]);
+        assert!(ok.validate().is_ok());
+        // Zero values.
+        let zero_planes = ok.clone().planes(&[0, 1]);
+        assert!(zero_planes.validate().unwrap_err().contains("planes"));
+        let zero_mesh = ok.clone().meshes(&[0]);
+        assert!(zero_mesh.validate().unwrap_err().contains("mesh-side"));
+        // Duplicates on every axis kind.
+        let dup_fabric = ok.clone().fabrics(&[Fabric::Torus, Fabric::Torus]);
+        assert!(dup_fabric.validate().unwrap_err().contains("fabric"));
+        let dup_seed = ok.clone().seeds(&[3, 3]);
+        assert!(dup_seed.validate().unwrap_err().contains("seed"));
+        let dup_planes = ok.clone().planes(&[2, 2]);
+        assert!(dup_planes.validate().unwrap_err().contains("planes"));
+        let dup_protocol = ok.clone().protocols(&[Protocol::TokenB, Protocol::TokenB]);
+        assert!(dup_protocol.validate().unwrap_err().contains("protocol"));
+        let dup_variant = ok
+            .clone()
+            .variants(vec![Variant::baseline(), Variant::baseline()]);
+        assert!(dup_variant.validate().unwrap_err().contains("variant"));
+        let dup_workload = SweepGrid::over(vec![
+            WorkloadParams::by_name("lu").unwrap(),
+            WorkloadParams::by_name("lu").unwrap(),
+        ]);
+        assert!(dup_workload.validate().unwrap_err().contains("workload"));
+        // Empty non-workload axes are rejected too.
+        let empty_engines = ok.clone().engines(&[]);
+        assert!(empty_engines.validate().unwrap_err().contains("engine"));
+        // Static scenarios (no workloads) stay valid.
+        assert!(SweepGrid::default().validate().is_ok());
+    }
+
+    #[test]
+    fn mc_placement_knob_rewires_fabric_and_l2() {
+        let corner2 = Knob::McPlacement {
+            placement: McPlacement::Corner,
+            mcs: 2,
+        };
+        let cfg = corner2.apply(SystemConfig::square(4));
+        assert_eq!(cfg.mesh.mc_routers().len(), 2);
+        assert_eq!(cfg.l2.mc_endpoints.len(), 2);
+        // Two corner MCs sit on the opposite diagonal.
+        assert_eq!(
+            cfg.mesh.mc_routers(),
+            &[scorpio_noc::RouterId(0), scorpio_noc::RouterId(15)]
+        );
+        let torus = corner2.apply(SystemConfig::torus(4));
+        assert_eq!(torus.mesh.name(), "torus");
+        assert_eq!(torus.mesh.mc_routers().len(), 2);
+        let spread = Knob::McPlacement {
+            placement: McPlacement::Spread,
+            mcs: 2,
+        }
+        .apply(SystemConfig::ring(16, 4));
+        assert_eq!(spread.mesh.mc_routers().len(), 2);
+        assert_eq!(spread.l2.mc_endpoints.len(), 2);
+        assert_eq!(corner2.label(), "corner-2");
+        assert_eq!(
+            Knob::McPlacement {
+                placement: McPlacement::Proportional,
+                mcs: 0
+            }
+            .label(),
+            "prop"
+        );
+        // Placement support matrix drives the sweep filter.
+        assert!(McPlacement::Corner.supports(Fabric::Mesh));
+        assert!(McPlacement::Corner.supports(Fabric::Torus));
+        assert!(!McPlacement::Corner.supports(Fabric::Ring));
+        assert!(McPlacement::Spread.supports(Fabric::Ring));
+        assert!(!McPlacement::Proportional.supports(Fabric::Torus));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined for the ring fabric")]
+    fn corner_placement_on_a_ring_panics() {
+        let _ = Knob::McPlacement {
+            placement: McPlacement::Corner,
+            mcs: 2,
+        }
+        .apply(SystemConfig::ring(16, 4));
     }
 
     #[test]

@@ -27,9 +27,9 @@ pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
     } else {
         String::new()
     };
-    // The engine and fabric fields appear only for non-default values, so
-    // default (active-set, mesh) output is byte-for-byte what it was
-    // before those axes existed.
+    // The engine, fabric, planes and placement fields appear only for
+    // non-default values, so default (active-set, mesh, single-plane)
+    // output is byte-for-byte what it was before those axes existed.
     let engine = match r.spec.engine.label() {
         "" => String::new(),
         label => format!(r#""engine":{label:?},"#),
@@ -38,13 +38,23 @@ pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
         "" => String::new(),
         label => format!(r#""fabric":{label:?},"#),
     };
+    let planes = match r.spec.planes {
+        1 => String::new(),
+        n => format!(r#""planes":{n},"#),
+    };
+    let placement = match r.spec.mc_placement() {
+        None => String::new(),
+        Some(key) => format!(r#""placement":{key:?},"#),
+    };
     format!(
-        r#"{{"scenario":{:?},"index":{},"workload":{:?},"mesh":{},{}"protocol":{:?},"variant":{:?},"seed":{},{}"config":{:?},"config_hash":"{:#018x}",{}"report":{}}}"#,
+        r#"{{"scenario":{:?},"index":{},"workload":{:?},"mesh":{},{}{}{}"protocol":{:?},"variant":{:?},"seed":{},{}"config":{:?},"config_hash":"{:#018x}",{}"report":{}}}"#,
         scenario,
         r.spec.index,
         r.spec.workload.name,
         r.spec.mesh_side,
         fabric,
+        planes,
+        placement,
         r.spec.protocol.name(),
         r.spec.variant.label,
         r.spec.seed,
@@ -69,7 +79,9 @@ pub fn jsonl(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String
 /// All results as a CSV document with a header row.
 pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
     let mut out = String::new();
-    out.push_str("scenario,index,workload,mesh,fabric,variant,engine,seed,config_hash,");
+    out.push_str(
+        "scenario,index,workload,mesh,fabric,planes,placement,variant,engine,seed,config_hash,",
+    );
     out.push_str(scorpio::SystemReport::csv_header());
     if opts.include_timing {
         out.push_str(",wall_nanos");
@@ -77,8 +89,9 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
     out.push('\n');
     for r in results {
         // Unlike JSONL (self-describing records), CSV rows need a fixed
-        // schema, so the engine and fabric columns are always present; the
-        // default labels render as "active" and "mesh".
+        // schema, so the engine, fabric, planes and placement columns are
+        // always present; the default labels render as "active", "mesh",
+        // "1" and "default".
         let engine = match r.spec.engine.label() {
             "" => "active",
             label => label,
@@ -87,13 +100,16 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
             "" => "mesh",
             label => label,
         };
+        let placement = r.spec.mc_placement().unwrap_or_else(|| "default".into());
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{:#018x},{}",
+            "{},{},{},{},{},{},{},{},{},{},{:#018x},{}",
             scenario,
             r.spec.index,
             r.spec.workload.name,
             r.spec.mesh_side,
             fabric,
+            r.spec.planes,
+            placement,
             r.spec.variant.label,
             engine,
             r.spec.seed,

@@ -65,6 +65,66 @@ fn topology_small_reports_are_byte_identical_across_engines() {
     }
 }
 
+/// The plane axis: multi-plane main networks (2 and 4 planes, every
+/// fabric) must produce byte-identical reports across all three engines.
+/// This covers the idle-plane skip (the always-scan engine never skips a
+/// plane, the active-set engine skips every quiescent one) and table vs
+/// coordinate routing inside each plane.
+#[test]
+fn multi_plane_reports_are_byte_identical_across_engines() {
+    let scenario = registry::by_name("planes-small").expect("planes-small is registered");
+    let specs: Vec<_> = scenario
+        .grid
+        .enumerate()
+        .into_iter()
+        .filter(|s| s.planes != 1 && s.protocol == scorpio::Protocol::Scorpio)
+        .collect();
+    assert_eq!(specs.len(), 3 * 2, "3 fabrics x 2 multi-plane counts");
+    for spec in specs {
+        assert_eq!(spec.engine, Engine::ActiveSet);
+        let active = run_spec(&spec, 8);
+        assert!(active.report.ops_completed > 0);
+        for engine in [Engine::AlwaysScan, Engine::CoordRoute] {
+            let mut other_spec = spec.clone();
+            other_spec.engine = engine;
+            let other = run_spec(&other_spec, 8);
+            assert_eq!(
+                active.report.to_json(),
+                other.report.to_json(),
+                "engine divergence at {} vs {engine:?}",
+                spec.key()
+            );
+            assert_eq!(active.config_hash, other.config_hash);
+        }
+    }
+}
+
+/// The acceptance benchmark behind the `planes-throughput` scenario: on
+/// the broadcast-saturated 8×8 mesh, four address-interleaved planes must
+/// deliver at least 1.5× the request throughput of the single network.
+/// Runtime ratios of simulated cycles are deterministic, but the runs are
+/// big — CI executes this under `--release --ignored` like the other
+/// heavy benchmarks.
+#[test]
+#[ignore = "heavy: run explicitly with --release (CI throughput job)"]
+fn four_planes_deliver_1_5x_throughput_on_a_saturated_mesh() {
+    let scenario = registry::by_name("planes-throughput").expect("registered");
+    let specs = scenario.grid.enumerate();
+    let one = specs.iter().find(|s| s.planes == 1).expect("1-plane cell");
+    let four = specs.iter().find(|s| s.planes == 4).expect("4-plane cell");
+    let r1 = run_spec(one, 150);
+    let r4 = run_spec(four, 150);
+    assert_eq!(r1.report.ops_completed, r4.report.ops_completed);
+    let speedup = r1.report.runtime_cycles as f64 / r4.report.runtime_cycles as f64;
+    assert!(
+        speedup >= 1.5,
+        "4 planes delivered only {speedup:.2}x the single-network throughput \
+         ({} vs {} cycles)",
+        r4.report.runtime_cycles,
+        r1.report.runtime_cycles
+    );
+}
+
 /// The same holds on a larger mesh with proportional MCs and the
 /// phased low-injection workload — the regime where the active-set
 /// engine actually skips most of the machine.

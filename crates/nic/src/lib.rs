@@ -1,11 +1,13 @@
 //! The SCORPIO network interface controller (Section 3.4).
 //!
 //! A [`Nic`] connects a cache controller (or memory controller) to the main
-//! network (`scorpio-noc`) and the notification network (`scorpio-notify`).
-//! Its [`NotificationTracker`] expands each completed time window into the
-//! globally consistent Expected-SID stream; ordered requests — including
-//! the NIC's own, via a loopback queue — are released to the controller
-//! strictly in that order, while responses flow through unordered.
+//! network (`scorpio-noc`, a [`scorpio_noc::MultiNetwork`] of one or more
+//! address-interleaved planes) and the notification network
+//! (`scorpio-notify`). One [`NotificationTracker`] per plane expands each
+//! completed time window into that plane's globally consistent
+//! Expected-SID stream; ordered requests — including the NIC's own, via
+//! per-plane loopback queues — are released to the controller strictly in
+//! their plane's order, while responses flow through unordered.
 //!
 //! # Examples
 //!
@@ -13,16 +15,19 @@
 //!
 //! ```
 //! use scorpio_nic::{Nic, NicConfig, NicMode};
-//! use scorpio_noc::{Endpoint, Mesh, Network, NocConfig, RouterId, Sid};
+//! use scorpio_noc::{Endpoint, Mesh, MultiNetwork, NocConfig, RouterId, Sid};
 //! use scorpio_notify::{NotifyConfig, NotifyNetwork};
+//! use std::num::NonZeroUsize;
 //!
 //! let mesh = Mesh::new(2, 2, &[]);
-//! let mut net: Network<u32> = Network::new(mesh.clone(), NocConfig::scorpio());
+//! let one = NonZeroUsize::new(1).unwrap();
+//! let mut net: MultiNetwork<u32> =
+//!     MultiNetwork::new(mesh.clone(), NocConfig::scorpio(), one, 0);
 //! let mut notify = NotifyNetwork::new(&mesh, NotifyConfig::for_mesh(&mesh));
 //! let mut nics: Vec<Nic<u32>> = (0..4)
 //!     .map(|i| {
 //!         let ep = Endpoint::tile(RouterId(i));
-//!         Nic::new(ep, Some(Sid(i)), NicMode::Ordered, 4, NicConfig::default())
+//!         Nic::new(ep, Some(Sid(i)), NicMode::Ordered, 4, 1, NicConfig::default())
 //!     })
 //!     .collect();
 //!

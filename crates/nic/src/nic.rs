@@ -1,16 +1,20 @@
 //! The network interface controller (Figure 4).
 //!
 //! The NIC sits between a cache controller (or memory controller) and the
-//! two networks. On the send path it packetises coherence messages, counts
-//! pending notifications (blocking new ordered requests past the limit,
-//! Table 1: max 4) and announces them at time-window boundaries. On the
-//! receive path it consumes unordered responses freely, but releases
-//! ordered requests to the controller only in the global order determined
-//! by the notification tracker — including the NIC's *own* requests, which
-//! self-deliver through a loopback queue rather than traversing the mesh.
+//! two networks. On the send path it packetises coherence messages, steers
+//! each ordered request onto its address's main-network plane, counts
+//! pending notifications per plane (blocking new ordered requests past the
+//! limit, Table 1: max 4) and announces them at time-window boundaries. On
+//! the receive path it consumes unordered responses freely, but releases
+//! ordered requests to the controller only in the per-plane global order
+//! determined by the notification trackers — including the NIC's *own*
+//! requests, which self-deliver through per-plane loopback queues rather
+//! than traversing the mesh. Because the steering function assigns every
+//! address to exactly one plane, the per-plane orders compose into a
+//! per-address total order, which is all snoopy coherence requires.
 
 use crate::tracker::NotificationTracker;
-use scorpio_noc::{Endpoint, Network, Packet, Payload, Sid, VnetId};
+use scorpio_noc::{Endpoint, MultiNetwork, Packet, Payload, Sid, SteerKey, VnetId};
 use scorpio_notify::NotifyNetwork;
 use scorpio_sim::stats::{Accumulator, Counter};
 use scorpio_sim::{Cycle, Fifo};
@@ -19,8 +23,8 @@ use std::collections::HashMap;
 /// NIC configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NicConfig {
-    /// Maximum notifications awaiting announcement before the NIC blocks
-    /// new ordered requests (Table 1: 4).
+    /// Maximum notifications awaiting announcement (per plane) before the
+    /// NIC blocks new ordered requests onto that plane (Table 1: 4).
     pub max_pending_notifications: u8,
     /// Notification tracker queue depth (windows).
     pub tracker_depth: usize,
@@ -53,7 +57,7 @@ impl Default for NicConfig {
 /// through unordered (the baseline protocols).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NicMode {
-    /// SCORPIO: GO-REQ deliveries gated by the ESID stream.
+    /// SCORPIO: GO-REQ deliveries gated by the per-plane ESID streams.
     Ordered,
     /// Baselines: every packet delivered as it arrives.
     Unordered,
@@ -114,73 +118,93 @@ pub struct NicStats {
     pub ordering_wait: Accumulator,
     /// End-to-end latency of delivered ordered requests (inject → deliver).
     pub ordered_latency: Accumulator,
-    /// Windows ignored because someone asserted stop.
+    /// Plane word groups ignored because someone asserted stop.
     pub stop_windows: Counter,
     /// Announcements that had to be re-sent after a stop window.
     pub notif_resends: Counter,
 }
 
 /// The network interface controller for one endpoint.
+///
+/// Every per-plane structure below is a `Vec` indexed by plane; with one
+/// plane (the chip configuration) each collapses to the single-network
+/// NIC, byte-for-byte.
 pub struct Nic<T> {
     ep: Endpoint,
     sid: Option<Sid>,
     mode: NicMode,
     cfg: NicConfig,
-    tracker: NotificationTracker,
-    /// Requests injected but not yet announced on the notification network.
-    unsent: u8,
-    /// Requests announced in the window currently in flight.
-    announced: u8,
+    planes: usize,
+    /// One tracker per plane, each expanding its own plane's word group.
+    tracker: Vec<NotificationTracker>,
+    /// Requests injected but not yet announced, per plane.
+    unsent: Vec<u8>,
+    /// Requests announced in the window currently in flight, per plane.
+    announced: Vec<u8>,
     last_window: Option<u64>,
-    own_queue: Fifo<(T, Cycle, u64)>,
+    /// Loopback self-delivery queues, per plane.
+    own_queue: Vec<Fifo<(T, Cycle, u64)>>,
     ordered_out: Fifo<OrderedDelivery<T>>,
     packet_out: Fifo<Packet<T>>,
-    /// Reassembly progress per (vnet, vc): flits received of current packet.
-    partial: HashMap<(u8, u8), u8>,
-    /// Per-source count of ordered requests this NIC has delivered; the
-    /// expected instance is always (ESID, delivered[ESID]).
-    delivered_seq: Vec<u16>,
-    /// Per-source count of own requests sent (assigns sid_seq).
-    sent_seq: u16,
-    published_esid: Option<(Sid, u16)>,
-    published_any: bool,
+    /// Reassembly progress per (plane, vnet, vc): flits received of the
+    /// current packet.
+    partial: HashMap<(u8, u8, u8), u8>,
+    /// Per-plane, per-source count of ordered requests this NIC has
+    /// delivered; the expected instance on plane `p` is always
+    /// (ESID, delivered[p][ESID]).
+    delivered_seq: Vec<Vec<u16>>,
+    /// Per-plane count of own requests sent (assigns sid_seq).
+    sent_seq: Vec<u16>,
+    published_esid: Vec<Option<(Sid, u16)>>,
+    published_any: Vec<bool>,
     busy_until: Cycle,
-    first_seen: HashMap<u64, Cycle>,
+    /// Per-plane first-seen cycles, keyed by that plane's packet uid.
+    first_seen: Vec<HashMap<u64, Cycle>>,
     /// Public statistics.
     pub stats: NicStats,
 }
 
-impl<T: Payload> Nic<T> {
-    /// Creates a NIC for endpoint `ep`.
+impl<T: Payload + SteerKey> Nic<T> {
+    /// Creates a NIC for endpoint `ep` attached to a `planes`-plane main
+    /// network.
     ///
     /// `sid` is `Some` for tile NICs that issue ordered requests and `None`
     /// for memory-controller NICs (which observe the order but never
-    /// inject into it). `cores` sizes the notification tracker.
+    /// inject into it). `cores` sizes the notification trackers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` is zero.
     pub fn new(
         ep: Endpoint,
         sid: Option<Sid>,
         mode: NicMode,
         cores: usize,
+        planes: usize,
         cfg: NicConfig,
     ) -> Self {
+        assert!(planes > 0, "a NIC needs at least one plane");
         Nic {
             ep,
             sid,
             mode,
-            tracker: NotificationTracker::new(cores, cfg.tracker_depth),
-            unsent: 0,
-            announced: 0,
+            planes,
+            tracker: (0..planes)
+                .map(|p| NotificationTracker::for_plane(cores, cfg.tracker_depth, p))
+                .collect(),
+            unsent: vec![0; planes],
+            announced: vec![0; planes],
             last_window: None,
-            own_queue: Fifo::bounded(64),
-            delivered_seq: vec![0; cores],
-            sent_seq: 0,
+            own_queue: (0..planes).map(|_| Fifo::bounded(64)).collect(),
+            delivered_seq: vec![vec![0; cores]; planes],
+            sent_seq: vec![0; planes],
             ordered_out: Fifo::bounded(cfg.ordered_queue_depth),
             packet_out: Fifo::bounded(cfg.packet_queue_depth),
             partial: HashMap::new(),
-            published_esid: None,
-            published_any: false,
+            published_esid: vec![None; planes],
+            published_any: vec![false; planes],
             busy_until: Cycle::ZERO,
-            first_seen: HashMap::new(),
+            first_seen: (0..planes).map(|_| HashMap::new()).collect(),
             cfg,
             stats: NicStats::default(),
         }
@@ -196,86 +220,110 @@ impl<T: Payload> Nic<T> {
         self.sid
     }
 
-    /// The SID currently expected in the global order.
+    /// Number of main-network planes this NIC serves.
+    pub fn planes(&self) -> usize {
+        self.planes
+    }
+
+    /// The SID currently expected in plane 0's global order (the
+    /// single-plane network's "the" expected SID).
     pub fn current_esid(&self) -> Option<Sid> {
-        self.tracker.current_esid()
+        self.tracker[0].current_esid()
     }
 
-    /// Ordered requests (current + queued windows) still to be delivered.
+    /// The SID currently expected in plane `p`'s global order.
+    pub fn current_esid_plane(&self, p: usize) -> Option<Sid> {
+        self.tracker[p].current_esid()
+    }
+
+    /// Ordered requests (current + queued windows, all planes) still to be
+    /// delivered.
     pub fn ordering_backlog(&self) -> usize {
-        self.tracker.backlog()
+        self.tracker.iter().map(NotificationTracker::backlog).sum()
     }
 
-    /// Internal counters for diagnostics: (unsent, announced, last window).
+    /// Internal counters for diagnostics: summed (unsent, announced) over
+    /// planes, and the last window processed.
     #[doc(hidden)]
-    pub fn debug_counters(&self) -> (u8, u8, Option<u64>) {
-        (self.unsent, self.announced, self.last_window)
+    pub fn debug_counters(&self) -> (u32, u32, Option<u64>) {
+        (
+            self.unsent.iter().map(|&u| u as u32).sum(),
+            self.announced.iter().map(|&a| a as u32).sum(),
+            self.last_window,
+        )
     }
 
     /// Whether ticking this NIC is a no-op until something external
-    /// happens: nothing awaiting announcement or re-announcement, no
-    /// loopback self-delivery pending, empty delivery queues toward the
-    /// controller, and no stop bit that must be asserted at the next
-    /// window start. A NIC that merely *expects* ordered requests
-    /// (tracker backlog > 0) may still sleep: its published ESID is
+    /// happens: nothing awaiting announcement or re-announcement on any
+    /// plane, no loopback self-delivery pending, empty delivery queues
+    /// toward the controller, and no stop bit that must be asserted at the
+    /// next window start. A NIC that merely *expects* ordered requests
+    /// (tracker backlog > 0) may still sleep: its published ESIDs are
     /// already current, and the expected flit's arrival at the endpoint —
     /// or the next non-empty/stop notification window — is exactly what
     /// wakes the tile. Empty windows observed late are harmless: they
     /// carry nothing and announcing is only required when `unsent > 0` or
-    /// the stop bit is due, both of which keep the NIC awake.
+    /// a stop bit is due, both of which keep the NIC awake.
     pub fn can_sleep(&self) -> bool {
-        self.unsent == 0
-            && self.announced == 0
-            && self.own_queue.is_empty()
+        self.unsent.iter().all(|&u| u == 0)
+            && self.announced.iter().all(|&a| a == 0)
+            && self.own_queue.iter().all(Fifo::is_empty)
             && self.ordered_out.is_empty()
             && self.packet_out.is_empty()
-            && !self.tracker.should_stop()
+            && !self.tracker.iter().any(NotificationTracker::should_stop)
     }
 
-    /// Whether an ordered request would currently be accepted.
-    pub fn can_send_request(&self) -> bool {
+    /// Whether an ordered request for the line keyed `key` would currently
+    /// be accepted (its plane's pending-notification budget has room).
+    pub fn can_send_request(&self, net: &MultiNetwork<T>, key: u64) -> bool {
+        let plane = net.plane_of(key);
         self.sid.is_some()
             && self.mode == NicMode::Ordered
-            && self.unsent + self.announced < self.cfg.max_pending_notifications
-            && !self.own_queue.is_full()
+            && self.unsent[plane] + self.announced[plane] < self.cfg.max_pending_notifications
+            && !self.own_queue[plane].is_full()
     }
 
-    /// Injects an ordered coherence request (broadcast + later notification).
+    /// Injects an ordered coherence request (broadcast + later
+    /// notification) onto the plane its payload's [`SteerKey`] selects.
     ///
     /// # Errors
     ///
     /// [`SendError::NotACore`] if this NIC has no SID or is unordered;
-    /// [`SendError::NotificationLimit`] when the pending counter is at its
-    /// limit; [`SendError::NetworkFull`] when the injection queue is full.
+    /// [`SendError::NotificationLimit`] when the plane's pending counter is
+    /// at its limit; [`SendError::NetworkFull`] when the plane's injection
+    /// queue is full.
     pub fn try_send_request(
         &mut self,
         payload: T,
         now: Cycle,
-        net: &mut Network<T>,
+        net: &mut MultiNetwork<T>,
     ) -> Result<(), SendError> {
         let sid = match (self.mode, self.sid) {
             (NicMode::Ordered, Some(sid)) => sid,
             _ => return Err(SendError::NotACore),
         };
-        if self.unsent + self.announced >= self.cfg.max_pending_notifications
-            || self.own_queue.is_full()
+        let plane = net.plane_of(payload.steer_key());
+        if self.unsent[plane] + self.announced[plane] >= self.cfg.max_pending_notifications
+            || self.own_queue[plane].is_full()
         {
             return Err(SendError::NotificationLimit);
         }
-        let seq = self.sent_seq;
-        let uid = net
+        let seq = self.sent_seq[plane];
+        let (steered, uid) = net
             .try_inject(self.ep, Packet::request(self.ep, sid, seq, payload))
             .map_err(|_| SendError::NetworkFull)?;
-        self.sent_seq = self.sent_seq.wrapping_add(1);
-        self.own_queue
+        debug_assert_eq!(steered, plane, "steering function disagreed with itself");
+        self.sent_seq[plane] = self.sent_seq[plane].wrapping_add(1);
+        self.own_queue[plane]
             .push((payload, now, uid))
             .expect("own queue capacity checked above");
-        self.unsent += 1;
+        self.unsent[plane] += 1;
         self.stats.requests_sent.incr();
         Ok(())
     }
 
-    /// Injects a unicast packet (response, directory request/forward, ...).
+    /// Injects a unicast packet (response, directory request/forward, ...)
+    /// on the plane its payload's address selects.
     ///
     /// # Errors
     ///
@@ -286,7 +334,7 @@ impl<T: Payload> Nic<T> {
         dest: Endpoint,
         len_flits: u8,
         payload: T,
-        net: &mut Network<T>,
+        net: &mut MultiNetwork<T>,
     ) -> Result<(), SendError> {
         net.try_inject(
             self.ep,
@@ -297,7 +345,8 @@ impl<T: Payload> Nic<T> {
         Ok(())
     }
 
-    /// Injects an unordered broadcast (TokenB / INSO baselines).
+    /// Injects an unordered broadcast (TokenB / INSO baselines) on the
+    /// plane its payload's address selects.
     ///
     /// # Errors
     ///
@@ -306,7 +355,7 @@ impl<T: Payload> Nic<T> {
         &mut self,
         vnet: VnetId,
         payload: T,
-        net: &mut Network<T>,
+        net: &mut MultiNetwork<T>,
     ) -> Result<(), SendError> {
         net.try_inject(self.ep, Packet::broadcast_unordered(vnet, self.ep, payload))
             .map_err(|_| SendError::NetworkFull)?;
@@ -331,7 +380,12 @@ impl<T: Payload> Nic<T> {
 
     /// One cycle. Call before the networks tick, every cycle, passing the
     /// notification network only for ordered-mode NICs.
-    pub fn tick(&mut self, now: Cycle, net: &mut Network<T>, notify: Option<&mut NotifyNetwork>) {
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        net: &mut MultiNetwork<T>,
+        notify: Option<&mut NotifyNetwork>,
+    ) {
         if self.mode == NicMode::Ordered {
             if let Some(notify) = notify {
                 self.process_completed_window(notify);
@@ -342,7 +396,9 @@ impl<T: Payload> Nic<T> {
         self.publish_esid(net);
     }
 
-    /// Handles the merged message of a window that just completed.
+    /// Handles the merged message of a window that just completed: each
+    /// plane's word group is processed independently, so one plane's stop
+    /// bit never stalls the others.
     fn process_completed_window(&mut self, notify: &NotifyNetwork) {
         let Some((w, msg)) = notify.latest() else {
             return;
@@ -351,25 +407,27 @@ impl<T: Payload> Nic<T> {
             return;
         }
         self.last_window = Some(w);
-        if msg.stop() {
-            // Everyone ignores this window; our announcement (if any) must
-            // be re-sent.
-            self.stats.stop_windows.incr();
-            if self.announced > 0 {
-                self.stats.notif_resends.incr();
-                self.unsent += self.announced;
+        for p in 0..self.planes {
+            if msg.stop_in(p) {
+                // Everyone ignores this plane's word group; our
+                // announcement (if any) must be re-sent.
+                self.stats.stop_windows.incr();
+                if self.announced[p] > 0 {
+                    self.stats.notif_resends.incr();
+                    self.unsent[p] += self.announced[p];
+                }
+                self.announced[p] = 0;
+                continue;
             }
-            self.announced = 0;
-            return;
-        }
-        self.announced = 0;
-        if !msg.is_empty() {
-            self.tracker.push_window(msg.clone());
+            self.announced[p] = 0;
+            if msg.total_in(p) > 0 {
+                self.tracker[p].push_window(msg.clone());
+            }
         }
     }
 
-    /// At window starts, announce pending requests (and the stop bit when
-    /// the tracker is near-full).
+    /// At window starts, announce pending requests per plane (and the stop
+    /// bit when a plane's tracker is near-full).
     fn announce(&mut self, now: Cycle, notify: &mut NotifyNetwork) {
         if !notify.is_window_start(now) {
             return;
@@ -378,33 +436,45 @@ impl<T: Payload> Nic<T> {
             // MC NICs observe but never announce.
             return;
         };
-        let stop = self.tracker.should_stop();
         let max = (1u16 << notify.config().bits_per_core) as u8 - 1;
-        let count = self.unsent.min(max);
-        if count > 0 || stop {
-            notify.stage_injection(sid.index(), count, stop);
-            self.unsent -= count;
-            self.announced = count;
+        for p in 0..self.planes {
+            let stop = self.tracker[p].should_stop();
+            let count = self.unsent[p].min(max);
+            if count > 0 || stop {
+                notify.stage_injection_in(p, sid.index(), count, stop);
+                self.unsent[p] -= count;
+                self.announced[p] = count;
+            }
         }
     }
 
-    /// Receive path: one ordered consume plus one unordered flit per cycle.
-    fn receive(&mut self, now: Cycle, net: &mut Network<T>) {
+    /// Receive path: per plane, one ordered consume plus one unordered
+    /// flit per cycle — each plane has its own ejection port, so receive
+    /// bandwidth scales with the plane count exactly as the replicated
+    /// hardware's would.
+    fn receive(&mut self, now: Cycle, net: &mut MultiNetwork<T>) {
         if !self.cfg.pipelined && now < self.busy_until {
             return;
         }
         let mut consumed = false;
         match self.mode {
             NicMode::Ordered => {
-                // One ordered consume + one unordered flit per cycle
-                // (separate ACE channels toward the L2).
-                consumed |= self.receive_ordered(now, net);
-                consumed |= self.receive_any_class(net, false);
+                // One ordered consume + one unordered flit per plane per
+                // cycle (separate ACE channels toward the L2).
+                for p in 0..self.planes {
+                    consumed |= self.receive_ordered(p, now, net);
+                }
+                for p in 0..self.planes {
+                    consumed |= self.receive_any_class(p, net, false);
+                }
             }
             NicMode::Unordered => {
-                // Same aggregate bandwidth: two flits from any class.
-                consumed |= self.receive_any_class(net, true);
-                consumed |= self.receive_any_class(net, true);
+                // Same aggregate bandwidth: two flits from any class per
+                // plane.
+                for p in 0..self.planes {
+                    consumed |= self.receive_any_class(p, net, true);
+                    consumed |= self.receive_any_class(p, net, true);
+                }
             }
         }
         if consumed && !self.cfg.pipelined {
@@ -412,10 +482,10 @@ impl<T: Payload> Nic<T> {
         }
     }
 
-    /// Consumes the expected ordered request if present (network or
-    /// loopback). Returns whether something was consumed.
-    fn receive_ordered(&mut self, now: Cycle, net: &mut Network<T>) -> bool {
-        let Some(esid) = self.tracker.current_esid() else {
+    /// Consumes plane `plane`'s expected ordered request if present
+    /// (network or loopback). Returns whether something was consumed.
+    fn receive_ordered(&mut self, plane: usize, now: Cycle, net: &mut MultiNetwork<T>) -> bool {
+        let Some(esid) = self.tracker[plane].current_esid() else {
             return false;
         };
         if self.ordered_out.is_full() {
@@ -427,15 +497,15 @@ impl<T: Payload> Nic<T> {
             // Consuming earlier would advance our ESID past our own SID
             // while the flit is not yet in the network, breaking the
             // reserved-VC deadlock-freedom invariant.
-            let &(_, _, uid) = self
-                .own_queue
+            let &(_, _, uid) = self.own_queue[plane]
                 .front()
                 .expect("own request announced but missing from loopback queue");
-            if net.inject_pending(self.ep, uid) {
+            if net.inject_pending(plane, self.ep, uid) {
                 return false;
             }
-            let (payload, inject_cycle, _) = self.own_queue.pop().expect("checked above");
-            self.delivered_seq[esid.index()] = self.delivered_seq[esid.index()].wrapping_add(1);
+            let (payload, inject_cycle, _) = self.own_queue[plane].pop().expect("checked above");
+            self.delivered_seq[plane][esid.index()] =
+                self.delivered_seq[plane][esid.index()].wrapping_add(1);
             self.deliver_ordered(OrderedDelivery {
                 sid: esid,
                 payload,
@@ -443,17 +513,18 @@ impl<T: Payload> Nic<T> {
                 inject_cycle,
                 first_seen: now,
             });
-            self.tracker.advance();
+            self.tracker[plane].advance();
             return true;
         }
-        // Find the expected request among the ordered-class ejection VCs.
+        // Find the expected request among the plane's ordered-class
+        // ejection VCs.
         let mut hit = None;
-        for (slot, flit) in net.eject_heads(self.ep) {
+        for (slot, flit) in net.eject_heads_plane(plane, self.ep) {
             if !net.config().vnets[slot.vnet.index()].ordered {
                 continue;
             }
             let uid = flit.packet.uid;
-            self.first_seen.entry(uid).or_insert(now);
+            self.first_seen[plane].entry(uid).or_insert(now);
             if flit.packet.sid == Some(esid) && hit.is_none() {
                 hit = Some(slot);
             }
@@ -461,14 +532,19 @@ impl<T: Payload> Nic<T> {
         let Some(slot) = hit else {
             return false;
         };
-        let flit = net.eject_take(self.ep, slot).expect("head flit vanished");
+        let flit = net
+            .eject_take_plane(plane, self.ep, slot)
+            .expect("head flit vanished");
         debug_assert_eq!(
             flit.packet.sid_seq,
-            self.delivered_seq[esid.index()],
+            self.delivered_seq[plane][esid.index()],
             "point-to-point ordering violated: wrong request instance"
         );
-        self.delivered_seq[esid.index()] = self.delivered_seq[esid.index()].wrapping_add(1);
-        let first_seen = self.first_seen.remove(&flit.packet.uid).unwrap_or(now);
+        self.delivered_seq[plane][esid.index()] =
+            self.delivered_seq[plane][esid.index()].wrapping_add(1);
+        let first_seen = self.first_seen[plane]
+            .remove(&flit.packet.uid)
+            .unwrap_or(now);
         self.stats.ordering_wait.record(now - first_seen);
         self.deliver_ordered(OrderedDelivery {
             sid: esid,
@@ -477,7 +553,7 @@ impl<T: Payload> Nic<T> {
             inject_cycle: flit.packet.inject_cycle,
             first_seen,
         });
-        self.tracker.advance();
+        self.tracker[plane].advance();
         true
     }
 
@@ -490,15 +566,20 @@ impl<T: Payload> Nic<T> {
             .expect("ordered_out fullness checked by caller");
     }
 
-    /// Consumes one flit into the packet queue. Ordered vnets are included
-    /// only when `include_ordered` is set (baseline mode, where no global
-    /// ordering applies).
-    fn receive_any_class(&mut self, net: &mut Network<T>, include_ordered: bool) -> bool {
+    /// Consumes one flit from plane `plane` into the packet queue. Ordered
+    /// vnets are included only when `include_ordered` is set (baseline
+    /// mode, where no global ordering applies).
+    fn receive_any_class(
+        &mut self,
+        plane: usize,
+        net: &mut MultiNetwork<T>,
+        include_ordered: bool,
+    ) -> bool {
         if self.packet_out.is_full() {
             return false;
         }
         let mut pick = None;
-        for (slot, _flit) in net.eject_heads(self.ep) {
+        for (slot, _flit) in net.eject_heads_plane(plane, self.ep) {
             let is_ordered = net.config().vnets[slot.vnet.index()].ordered;
             if is_ordered && !include_ordered {
                 continue;
@@ -509,8 +590,10 @@ impl<T: Payload> Nic<T> {
         let Some(slot) = pick else {
             return false;
         };
-        let flit = net.eject_take(self.ep, slot).expect("head flit vanished");
-        let key = (slot.vnet.0, slot.vc);
+        let flit = net
+            .eject_take_plane(plane, self.ep, slot)
+            .expect("head flit vanished");
+        let key = (plane as u8, slot.vnet.0, slot.vc);
         let got = self.partial.entry(key).or_insert(0);
         debug_assert_eq!(*got, flit.idx, "flit reassembly out of order");
         *got += 1;
@@ -524,20 +607,21 @@ impl<T: Payload> Nic<T> {
         true
     }
 
-    /// Publishes the expected request instance (SID + per-source sequence
-    /// number) to the main network for rVC policing.
-    fn publish_esid(&mut self, net: &mut Network<T>) {
-        let esid = match self.mode {
-            NicMode::Ordered => self
-                .tracker
-                .current_esid()
-                .map(|sid| (sid, self.delivered_seq[sid.index()])),
-            NicMode::Unordered => None,
-        };
-        if !self.published_any || esid != self.published_esid {
-            net.set_esid(self.ep, esid);
-            self.published_esid = esid;
-            self.published_any = true;
+    /// Publishes each plane's expected request instance (SID + per-source
+    /// sequence number) to that plane for rVC policing.
+    fn publish_esid(&mut self, net: &mut MultiNetwork<T>) {
+        for p in 0..self.planes {
+            let esid = match self.mode {
+                NicMode::Ordered => self.tracker[p]
+                    .current_esid()
+                    .map(|sid| (sid, self.delivered_seq[p][sid.index()])),
+                NicMode::Unordered => None,
+            };
+            if !self.published_any[p] || esid != self.published_esid[p] {
+                net.set_esid(p, self.ep, esid);
+                self.published_esid[p] = esid;
+                self.published_any[p] = true;
+            }
         }
     }
 }
@@ -548,7 +632,8 @@ impl<T: Payload> std::fmt::Debug for Nic<T> {
             .field("ep", &self.ep)
             .field("sid", &self.sid)
             .field("mode", &self.mode)
-            .field("esid", &self.tracker.current_esid())
+            .field("planes", &self.planes)
+            .field("esid", &self.tracker[0].current_esid())
             .field("unsent", &self.unsent)
             .finish()
     }

@@ -42,17 +42,34 @@ pub struct NotificationTracker {
     /// Queue occupancy at which the stop bit is asserted, leaving headroom
     /// for the one window already in flight.
     stop_threshold: usize,
+    /// Which plane's announcement word group this tracker expands. With a
+    /// multi-plane main network each NIC runs one tracker per plane; every
+    /// tracker consumes the identical window stream but reads only its own
+    /// plane's lanes, so each plane derives an independent — and still
+    /// globally agreed — per-plane total order.
+    plane: usize,
     reqs_scratch: Vec<bool>,
 }
 
 impl NotificationTracker {
-    /// A tracker for `cores` cores with a `depth`-entry window queue.
+    /// A tracker for `cores` cores with a `depth`-entry window queue,
+    /// expanding plane 0's announcement words (the single-plane network).
     ///
     /// # Panics
     ///
     /// Panics if `cores` is zero or `depth < 2` (one in-flight window of
     /// headroom is required for the stop-bit protocol to be lossless).
     pub fn new(cores: usize, depth: usize) -> Self {
+        NotificationTracker::for_plane(cores, depth, 0)
+    }
+
+    /// A tracker expanding plane `plane`'s word group of every pushed
+    /// window (see [`NotificationTracker::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`NotificationTracker::new`].
+    pub fn for_plane(cores: usize, depth: usize, plane: usize) -> Self {
         assert!(cores > 0, "tracker needs at least one core");
         assert!(depth >= 2, "tracker depth must be at least 2");
         NotificationTracker {
@@ -60,8 +77,14 @@ impl NotificationTracker {
             arbiter: RotatingArbiter::new(cores),
             current: VecDeque::new(),
             stop_threshold: depth - 1,
+            plane,
             reqs_scratch: vec![false; cores],
         }
+    }
+
+    /// The plane whose announcement words this tracker expands.
+    pub fn plane(&self) -> usize {
+        self.plane
     }
 
     /// Whether the NIC should assert the stop bit in its next notification
@@ -71,13 +94,18 @@ impl NotificationTracker {
         self.queue.len() >= self.stop_threshold
     }
 
-    /// Accepts a completed (non-stop, non-empty) window.
+    /// Accepts a completed window whose word group for this tracker's
+    /// plane is non-stop and non-empty (other planes' lanes are ignored).
     ///
     /// # Panics
     ///
     /// Panics if the queue overflows — the stop-bit protocol guarantees
     /// this cannot happen, so an overflow is a protocol bug.
     pub fn push_window(&mut self, msg: NotifyMsg) {
+        debug_assert!(
+            msg.total_in(self.plane) > 0,
+            "windows empty for this plane must be filtered out"
+        );
         self.queue
             .push(msg)
             .unwrap_or_else(|_| panic!("tracker queue overflow despite stop protocol"));
@@ -118,22 +146,30 @@ impl NotificationTracker {
 
     /// Total expected requests known to the tracker (current + queued).
     pub fn backlog(&self) -> usize {
-        self.current.len() + self.queue.iter().map(|m| m.total() as usize).sum::<usize>()
+        self.current.len()
+            + self
+                .queue
+                .iter()
+                .map(|m| m.total_in(self.plane) as usize)
+                .sum::<usize>()
     }
 
     fn expand_next(&mut self) {
         let Some(msg) = self.queue.pop() else {
             return;
         };
-        debug_assert!(!msg.is_empty(), "empty windows must be filtered out");
+        debug_assert!(
+            msg.total_in(self.plane) > 0,
+            "windows empty for this plane must be filtered out"
+        );
         for r in self.reqs_scratch.iter_mut() {
             *r = false;
         }
-        for (core, _) in msg.nonzero() {
+        for (core, _) in msg.nonzero_in(self.plane) {
             self.reqs_scratch[core] = true;
         }
         for core in self.arbiter.order(&self.reqs_scratch).collect::<Vec<_>>() {
-            for _ in 0..msg.count(core) {
+            for _ in 0..msg.count_in(self.plane, core) {
                 self.current.push_back(Sid(core as u16));
             }
         }

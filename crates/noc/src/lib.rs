@@ -52,6 +52,7 @@ mod arbiter;
 mod config;
 mod flit;
 mod network;
+pub mod planes;
 mod router;
 pub mod routing;
 mod tables;
@@ -61,6 +62,7 @@ pub use arbiter::RotatingArbiter;
 pub use config::{NocConfig, VnetCfg};
 pub use flit::{data_packet_flits, Dest, Flit, Packet, Payload, Sid, VnetId};
 pub use network::{EjectSlot, Network, NocStats};
+pub use planes::{MultiNetwork, PlaneSteer, SteerKey};
 pub use router::RouterStats;
 pub use topology::{
     Coord, Endpoint, LocalSlot, Mesh, Port, PortMask, Ring, RouterId, Topology, Torus,

@@ -131,6 +131,21 @@ pub struct NocStats {
     pub buffered_flits: u64,
 }
 
+impl NocStats {
+    /// Folds another network's statistics into this one (the multi-plane
+    /// aggregate view).
+    pub fn merge(&mut self, other: &NocStats) {
+        self.injected_packets.add(other.injected_packets.get());
+        self.delivered_packets.add(other.delivered_packets.get());
+        self.packet_latency.merge(&other.packet_latency);
+        for (a, b) in self.vnet_latency.iter_mut().zip(&other.vnet_latency) {
+            a.merge(b);
+        }
+        self.bypassed_flits += other.bypassed_flits;
+        self.buffered_flits += other.buffered_flits;
+    }
+}
+
 /// The SCORPIO main network.
 ///
 /// # Examples
@@ -702,6 +717,29 @@ impl<T: Payload> Network<T> {
         }
         self.staged_esid.clear();
         self.cycle = self.cycle.next();
+    }
+
+    /// Clock edge for a provably idle cycle: only time advances. Valid
+    /// exactly when [`Network::is_quiescent`] held at tick time — then the
+    /// skipped tick and commit were no-ops apart from the cycle increment,
+    /// which is what the multi-plane engine's idle-plane skip relies on.
+    pub fn commit_idle(&mut self) {
+        debug_assert!(self.is_quiescent(), "idle commit on a live network");
+        self.cycle = self.cycle.next();
+    }
+
+    /// Whether ticking this network would be a no-op: no woken router or
+    /// injection port, no in-flight wire traffic, no staged ESID update
+    /// and no pending endpoint wake-up. External events (an injection, an
+    /// ejection-buffer take returning a credit, an ESID publication) all
+    /// break quiescence before the next tick, so a quiescent network can
+    /// be skipped for a cycle without observable effect.
+    pub fn is_quiescent(&self) -> bool {
+        self.router_active.is_empty()
+            && self.inject_active.is_empty()
+            && self.ep_woken.is_empty()
+            && self.staged_esid.is_empty()
+            && self.wires_empty()
     }
 
     /// Convenience: `tick` + `commit`.

@@ -10,6 +10,13 @@ use std::fmt;
 /// control. Messages merge with a bitwise OR: since only core `i` ever sets
 /// field `i`, OR-merging never corrupts a count.
 ///
+/// With a multi-plane main network ([`scorpio_noc::MultiNetwork`]'s
+/// address-interleaved fabrics) the message carries one independent word
+/// group — counts *and* stop bit — per plane, so each plane converges its
+/// own ordering windows without any cross-plane coupling. Single-plane
+/// messages ([`NotifyMsg::new`]) behave exactly as before the plane axis
+/// existed; the plane-indexed accessors with plane 0 are the same fields.
+///
 /// # Examples
 ///
 /// ```
@@ -25,43 +32,66 @@ use std::fmt;
 /// assert_eq!(a.count(2), 1);
 /// assert!(a.stop());
 /// ```
+///
+/// [`scorpio_noc::MultiNetwork`]: ../scorpio_noc/struct.MultiNetwork.html
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NotifyMsg {
-    /// Count fields bit-packed into words, `bits_per_core` bits per lane
-    /// (lane `i` at bit offset `i * bits_per_core`). Lanes never straddle
-    /// a word only when `64 % bits_per_core == 0`; to keep the code
+    /// Count fields bit-packed into words, `bits_per_core` bits per lane;
+    /// lane `(plane, core)` sits at bit offset
+    /// `(plane * cores + core) * bits_per_core`. Lanes never straddle a
+    /// word only when `64 % bits_per_core == 0`; to keep the code
     /// general, a lane is read/written via a 128-bit window instead.
     /// Packing matters: the notification mesh ORs `O(routers)` of these
     /// every propagation cycle, so merges must be word-wide, not per-core.
     words: Vec<u64>,
     cores: usize,
     bits_per_core: u8,
-    stop: bool,
+    planes: usize,
+    /// Per-plane stop bits (bit `p` = plane `p`'s stop).
+    stop: u64,
 }
 
 impl NotifyMsg {
-    /// An all-zero message for `cores` cores at `bits_per_core` bits each.
+    /// An all-zero single-plane message for `cores` cores at
+    /// `bits_per_core` bits each.
     ///
     /// # Panics
     ///
     /// Panics if `bits_per_core` is 0 or greater than 7.
     pub fn new(cores: usize, bits_per_core: u8) -> Self {
+        NotifyMsg::with_planes(cores, bits_per_core, 1)
+    }
+
+    /// An all-zero message carrying one announcement word group per plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_core` is 0 or greater than 7, or `planes` is 0
+    /// or greater than 64 (the stop bits pack into one word).
+    pub fn with_planes(cores: usize, bits_per_core: u8, planes: usize) -> Self {
         assert!(
             (1..=7).contains(&bits_per_core),
             "bits per core must be in 1..=7"
         );
-        let bits = cores * bits_per_core as usize;
+        assert!((1..=64).contains(&planes), "planes must be in 1..=64");
+        let bits = planes * cores * bits_per_core as usize;
         NotifyMsg {
             words: vec![0; bits.div_ceil(64) + 1],
             cores,
             bits_per_core,
-            stop: false,
+            planes,
+            stop: 0,
         }
     }
 
-    /// Number of cores (bit-field lanes).
+    /// Number of cores (bit-field lanes per plane).
     pub fn cores(&self) -> usize {
         self.cores
+    }
+
+    /// Number of main-network planes this message announces for.
+    pub fn planes(&self) -> usize {
+        self.planes
     }
 
     /// The saturation limit: largest count one core can announce.
@@ -69,19 +99,31 @@ impl NotifyMsg {
         (1u16 << self.bits_per_core) as u8 - 1
     }
 
-    /// Sets core `core`'s announced request count, saturating at
-    /// [`NotifyMsg::max_count`].
+    /// Sets core `core`'s announced request count on plane 0, saturating
+    /// at [`NotifyMsg::max_count`].
     ///
     /// # Panics
     ///
     /// Panics if `core` is out of range.
     pub fn set_count(&mut self, core: usize, count: u8) {
+        self.set_count_in(0, core, count);
+    }
+
+    /// Sets core `core`'s announced request count for plane `plane`,
+    /// saturating at [`NotifyMsg::max_count`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` or `core` is out of range.
+    pub fn set_count_in(&mut self, plane: usize, core: usize, count: u8) {
+        assert!(plane < self.planes, "plane {plane} out of range");
         assert!(core < self.cores, "core {core} out of range");
         let value = count.min(self.max_count()) as u128;
-        let bit = core * self.bits_per_core as usize;
+        let bit = (plane * self.cores + core) * self.bits_per_core as usize;
         let (word, off) = (bit / 64, bit % 64);
         // Read-modify-write a 128-bit window so a lane may straddle words
-        // (the `+ 1` spare word in `new` keeps the high read in bounds).
+        // (the `+ 1` spare word in `with_planes` keeps the high read in
+        // bounds).
         let mut window = self.words[word] as u128 | (self.words[word + 1] as u128) << 64;
         window &= !((self.max_count() as u128) << off);
         window |= value << off;
@@ -89,28 +131,62 @@ impl NotifyMsg {
         self.words[word + 1] = (window >> 64) as u64;
     }
 
-    /// Core `core`'s announced request count.
+    /// Core `core`'s announced request count on plane 0.
     ///
     /// # Panics
     ///
     /// Panics if `core` is out of range.
     pub fn count(&self, core: usize) -> u8 {
+        self.count_in(0, core)
+    }
+
+    /// Core `core`'s announced request count for plane `plane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` or `core` is out of range.
+    pub fn count_in(&self, plane: usize, core: usize) -> u8 {
+        assert!(plane < self.planes, "plane {plane} out of range");
         assert!(core < self.cores, "core {core} out of range");
-        let bit = core * self.bits_per_core as usize;
+        let bit = (plane * self.cores + core) * self.bits_per_core as usize;
         let (word, off) = (bit / 64, bit % 64);
         let window = self.words[word] as u128 | (self.words[word + 1] as u128) << 64;
         ((window >> off) as u8) & self.max_count()
     }
 
-    /// The stop bit (a NIC's tracker queue is full; everyone must ignore
-    /// this window and resend).
+    /// Plane 0's stop bit (a NIC's tracker queue is full; everyone must
+    /// ignore that plane's word group this window and resend).
     pub fn stop(&self) -> bool {
-        self.stop
+        self.stop_in(0)
     }
 
-    /// Sets the stop bit.
+    /// Plane `plane`'s stop bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` is out of range.
+    pub fn stop_in(&self, plane: usize) -> bool {
+        assert!(plane < self.planes, "plane {plane} out of range");
+        self.stop & (1 << plane) != 0
+    }
+
+    /// Sets plane 0's stop bit.
     pub fn set_stop(&mut self, stop: bool) {
-        self.stop = stop;
+        self.set_stop_in(0, stop);
+    }
+
+    /// Sets plane `plane`'s stop bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` is out of range.
+    pub fn set_stop_in(&mut self, plane: usize, stop: bool) {
+        assert!(plane < self.planes, "plane {plane} out of range");
+        if stop {
+            self.stop |= 1 << plane;
+        } else {
+            self.stop &= !(1 << plane);
+        }
     }
 
     /// Bitwise-OR merge, the notification router's only operation.
@@ -124,6 +200,7 @@ impl NotifyMsg {
             self.bits_per_core, other.bits_per_core,
             "bits-per-core mismatch"
         );
+        assert_eq!(self.planes, other.planes, "plane count mismatch");
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= *b;
         }
@@ -141,41 +218,67 @@ impl NotifyMsg {
             self.bits_per_core, other.bits_per_core,
             "bits-per-core mismatch"
         );
+        assert_eq!(self.planes, other.planes, "plane count mismatch");
         self.words.copy_from_slice(&other.words);
         self.stop = other.stop;
     }
 
-    /// Whether no core announced anything and the stop bit is clear.
+    /// Whether no core announced anything on any plane and every stop bit
+    /// is clear.
     pub fn is_empty(&self) -> bool {
-        !self.stop && self.words.iter().all(|&w| w == 0)
+        self.stop == 0 && self.words.iter().all(|&w| w == 0)
     }
 
     /// Resets to all-zero.
     pub fn clear(&mut self) {
         self.words.fill(0);
-        self.stop = false;
+        self.stop = 0;
     }
 
-    /// Iterates over `(core, count)` pairs with non-zero counts.
+    /// Iterates over plane 0's `(core, count)` pairs with non-zero counts.
     pub fn nonzero(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
+        self.nonzero_in(0)
+    }
+
+    /// Iterates over plane `plane`'s `(core, count)` pairs with non-zero
+    /// counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` is out of range.
+    pub fn nonzero_in(&self, plane: usize) -> impl Iterator<Item = (usize, u8)> + '_ {
+        assert!(plane < self.planes, "plane {plane} out of range");
         (0..self.cores)
-            .map(|i| (i, self.count(i)))
+            .map(move |i| (i, self.count_in(plane, i)))
             .filter(|&(_, c)| c > 0)
     }
 
-    /// Total announced requests across all cores.
+    /// Total announced requests across all cores and all planes.
     pub fn total(&self) -> u32 {
         if self.bits_per_core == 1 {
             self.words.iter().map(|w| w.count_ones()).sum()
         } else {
-            (0..self.cores).map(|i| self.count(i) as u32).sum()
+            (0..self.planes).map(|p| self.total_in(p)).sum()
         }
     }
 
+    /// Total announced requests across all cores for plane `plane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` is out of range.
+    pub fn total_in(&self, plane: usize) -> u32 {
+        assert!(plane < self.planes, "plane {plane} out of range");
+        (0..self.cores)
+            .map(|i| self.count_in(plane, i) as u32)
+            .sum()
+    }
+
     /// The wire width of this message in bits (Table 1: 36 bits for the
-    /// chip's 1-bit-per-core network, plus the stop bit).
+    /// chip's 1-bit-per-core network, plus the stop bit; a multi-plane
+    /// network multiplies the word group — counts and stop — per plane).
     pub fn width_bits(&self) -> usize {
-        self.cores * self.bits_per_core as usize + 1
+        self.planes * (self.cores * self.bits_per_core as usize + 1)
     }
 }
 
@@ -183,18 +286,27 @@ impl fmt::Display for NotifyMsg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "notify[")?;
         let mut first = true;
-        for (core, count) in self.nonzero() {
-            if !first {
-                write!(f, " ")?;
+        for plane in 0..self.planes {
+            for (core, count) in self.nonzero_in(plane) {
+                if !first {
+                    write!(f, " ")?;
+                }
+                if self.planes > 1 {
+                    write!(f, "p{plane}/")?;
+                }
+                write!(f, "{core}:{count}")?;
+                first = false;
             }
-            write!(f, "{core}:{count}")?;
-            first = false;
-        }
-        if self.stop {
-            if !first {
-                write!(f, " ")?;
+            if self.stop_in(plane) {
+                if !first {
+                    write!(f, " ")?;
+                }
+                if self.planes > 1 {
+                    write!(f, "p{plane}/")?;
+                }
+                write!(f, "STOP")?;
+                first = false;
             }
-            write!(f, "STOP")?;
         }
         write!(f, "]")
     }
@@ -290,9 +402,58 @@ mod tests {
     }
 
     #[test]
+    fn planes_have_independent_lanes_and_stop_bits() {
+        let mut m = NotifyMsg::with_planes(8, 2, 3);
+        assert_eq!(m.planes(), 3);
+        m.set_count_in(0, 7, 2);
+        m.set_count_in(1, 7, 3);
+        m.set_count_in(2, 0, 1);
+        m.set_stop_in(1, true);
+        // No crosstalk between plane word groups.
+        assert_eq!(m.count_in(0, 7), 2);
+        assert_eq!(m.count_in(1, 7), 3);
+        assert_eq!(m.count_in(2, 7), 0);
+        assert_eq!(m.count_in(2, 0), 1);
+        assert!(!m.stop_in(0) && m.stop_in(1) && !m.stop_in(2));
+        assert_eq!(m.total_in(0), 2);
+        assert_eq!(m.total_in(1), 3);
+        assert_eq!(m.total(), 6);
+        let pairs: Vec<_> = m.nonzero_in(1).collect();
+        assert_eq!(pairs, vec![(7, 3)]);
+        // Merge keeps planes independent.
+        let mut o = NotifyMsg::with_planes(8, 2, 3);
+        o.set_count_in(2, 4, 1);
+        m.merge_from(&o);
+        assert_eq!(m.count_in(2, 4), 1);
+        assert_eq!(m.count_in(0, 4), 0);
+        // Width: 3 planes x (8 cores x 2 bits + stop).
+        assert_eq!(m.width_bits(), 3 * 17);
+        assert_eq!(m.to_string(), "notify[p0/7:2 p1/7:3 p1/STOP p2/0:1 p2/4:1]");
+    }
+
+    #[test]
+    fn single_plane_one_bit_totals_use_popcount() {
+        // bits_per_core == 1 takes the popcount shortcut; with planes it
+        // must still count every plane's lanes.
+        let mut m = NotifyMsg::with_planes(36, 1, 2);
+        m.set_count_in(0, 35, 1);
+        m.set_count_in(1, 0, 1);
+        m.set_count_in(1, 35, 1);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.total_in(0), 1);
+        assert_eq!(m.total_in(1), 2);
+    }
+
+    #[test]
     #[should_panic(expected = "bits per core")]
     fn zero_bits_panics() {
         let _ = NotifyMsg::new(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "planes must be in")]
+    fn zero_planes_panics() {
+        let _ = NotifyMsg::with_planes(4, 1, 0);
     }
 
     #[test]

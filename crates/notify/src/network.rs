@@ -77,13 +77,16 @@ pub struct NotifyNetwork {
     adj: Vec<u32>,
     adj_idx: Vec<u32>,
     cycle: Cycle,
+    /// Number of main-network planes the message word groups announce for.
+    planes: usize,
     /// Latched value per router.
     acc: Vec<NotifyMsg>,
     scratch: Vec<NotifyMsg>,
-    /// Contributions waiting for the next window start, per core.
+    /// Contributions waiting for the next window start, one lane per
+    /// (plane, core) pair (lane `p * cores + c`).
     pending: Vec<(u8, bool)>,
-    /// Cores with a staged contribution (indices into `pending`); lets a
-    /// window start skip the all-cores latch scan when nothing is staged.
+    /// Lanes with a staged contribution (indices into `pending`); lets a
+    /// window start skip the all-lanes latch scan when nothing is staged.
     pending_dirty: Vec<usize>,
     /// Whether the window in flight carries anything. An all-zero window
     /// needs no propagation: OR-merging zeros is the identity, so every
@@ -111,6 +114,20 @@ impl NotifyNetwork {
     /// Panics if the window is too short for worst-case propagation across
     /// the fabric, or if `cores` does not match its router count.
     pub fn new(fabric: impl Into<Topology>, cfg: NotifyConfig) -> Self {
+        NotifyNetwork::with_planes(fabric, cfg, 1)
+    }
+
+    /// Builds a notification network whose messages carry one independent
+    /// announcement word group per main-network plane — the multi-plane
+    /// configuration. One physical OR-tree fabric propagates all planes'
+    /// words together (they are just wider messages); each plane's
+    /// ordering windows converge independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`NotifyNetwork::new`], or if
+    /// `planes` is 0 or greater than 64.
+    pub fn with_planes(fabric: impl Into<Topology>, cfg: NotifyConfig, planes: usize) -> Self {
         let topo: Topology = fabric.into();
         let diameter = topo.diameter() as u64;
         assert!(
@@ -140,14 +157,15 @@ impl NotifyNetwork {
             }
             adj_idx.push(adj.len() as u32);
         }
-        let blank = NotifyMsg::new(cfg.cores, cfg.bits_per_core);
+        let blank = NotifyMsg::with_planes(cfg.cores, cfg.bits_per_core, planes);
         NotifyNetwork {
             adj,
             adj_idx,
             cycle: Cycle::ZERO,
+            planes,
             acc: vec![blank.clone(); topo.router_count()],
             scratch: vec![blank; topo.router_count()],
-            pending: vec![(0, false); cfg.cores],
+            pending: vec![(0, false); planes * cfg.cores],
             pending_dirty: Vec::new(),
             live: false,
             diameter,
@@ -173,18 +191,36 @@ impl NotifyNetwork {
         cycle.is_multiple_of(self.cfg.window)
     }
 
-    /// Stages core `core`'s announcement for the next window start:
-    /// `count` requests (saturating) and optionally the stop bit.
+    /// Number of main-network planes the messages announce for.
+    pub fn planes(&self) -> usize {
+        self.planes
+    }
+
+    /// Stages core `core`'s plane-0 announcement for the next window
+    /// start: `count` requests (saturating) and optionally the stop bit.
     /// Staging twice before a window start merges (max/OR semantics).
     ///
     /// # Panics
     ///
     /// Panics if `core` is out of range.
     pub fn stage_injection(&mut self, core: usize, count: u8, stop: bool) {
+        self.stage_injection_in(0, core, count, stop);
+    }
+
+    /// Stages core `core`'s announcement for plane `plane` at the next
+    /// window start (see [`NotifyNetwork::stage_injection`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` or `core` is out of range.
+    pub fn stage_injection_in(&mut self, plane: usize, core: usize, count: u8, stop: bool) {
+        assert!(plane < self.planes, "plane {plane} out of range");
+        assert!(core < self.cfg.cores, "core {core} out of range");
         let max = (1u16 << self.cfg.bits_per_core) as u8 - 1;
-        let entry = &mut self.pending[core];
+        let lane = plane * self.cfg.cores + core;
+        let entry = &mut self.pending[lane];
         if *entry == (0, false) && (count > 0 || stop) {
-            self.pending_dirty.push(core);
+            self.pending_dirty.push(lane);
         }
         entry.0 = entry.0.max(count.min(max));
         entry.1 |= stop;
@@ -225,14 +261,15 @@ impl NotifyNetwork {
                 self.live = false;
             }
             for k in 0..self.pending_dirty.len() {
-                let core = self.pending_dirty[k];
-                let (count, stop) = std::mem::take(&mut self.pending[core]);
+                let lane = self.pending_dirty[k];
+                let (plane, core) = (lane / self.cfg.cores, lane % self.cfg.cores);
+                let (count, stop) = std::mem::take(&mut self.pending[lane]);
                 let msg = &mut self.acc[core];
                 if count > 0 {
-                    msg.set_count(core, count);
+                    msg.set_count_in(plane, core, count);
                 }
                 if stop {
-                    msg.set_stop(true);
+                    msg.set_stop_in(plane, true);
                 }
                 self.live = true;
             }
@@ -484,5 +521,29 @@ mod tests {
     #[test]
     fn or_gate_count_matches_figure3() {
         assert_eq!(NotifyNetwork::router_or_gate_count(), 5);
+    }
+
+    #[test]
+    fn per_plane_words_converge_independently() {
+        let mesh = Mesh::new(4, 4, &[]);
+        let mut nn = NotifyNetwork::with_planes(&mesh, NotifyConfig::for_mesh(&mesh), 3);
+        assert_eq!(nn.planes(), 3);
+        // Same core announces on two planes; another core stops plane 2.
+        nn.stage_injection_in(0, 5, 1, false);
+        nn.stage_injection_in(1, 5, 1, false);
+        nn.stage_injection_in(2, 9, 0, true);
+        for _ in 0..9 {
+            nn.tick();
+        }
+        let (w, msg) = nn.latest().unwrap();
+        assert_eq!(w, 0);
+        assert_eq!(msg.count_in(0, 5), 1);
+        assert_eq!(msg.count_in(1, 5), 1);
+        assert_eq!(msg.count_in(2, 5), 0);
+        assert!(!msg.stop_in(0) && !msg.stop_in(1) && msg.stop_in(2));
+        // Every router latched the identical merged multi-plane word.
+        for r in 0..16u16 {
+            assert_eq!(nn.latched_at(RouterId(r)).count_in(1, 5), 1);
+        }
     }
 }

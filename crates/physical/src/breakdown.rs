@@ -163,10 +163,109 @@ pub fn router_power_scale(goreq_vcs: u8) -> f64 {
     1.0 + (goreq_vcs as f64 - 4.0) * (0.12 / 2.0)
 }
 
-/// Notification-network data width: m bits per core plus the stop bit;
-/// O(m·N) scaling discussed in Section 5.2.
+/// The main-network port count of one router on `fabric` (`"mesh"`,
+/// `"torus"` or `"ring"`): mesh and torus routers switch four directions
+/// plus the local port; a ring router has only East/West plus local. The
+/// chip's 5-port mesh router is the baseline the area/power shares of
+/// Figure 9 were synthesized for.
+///
+/// # Panics
+///
+/// Panics on an unknown fabric name.
+pub fn router_radix(fabric: &str) -> usize {
+    match fabric {
+        "mesh" | "torus" => 5,
+        "ring" => 3,
+        other => panic!("unknown fabric {other:?}"),
+    }
+}
+
+/// Average link-length scale of `fabric` relative to the mesh's
+/// nearest-neighbour links. A folded torus keeps every physical link equal
+/// but twice the mesh hop length (the standard folding layout for the
+/// wraparound links); a ring laid out as a folded loop likewise pays ~2×
+/// per link. Link energy scales linearly with wire length.
+///
+/// # Panics
+///
+/// Panics on an unknown fabric name.
+pub fn link_length_scale(fabric: &str) -> f64 {
+    match fabric {
+        "mesh" => 1.0,
+        "torus" | "ring" => 2.0,
+        other => panic!("unknown fabric {other:?}"),
+    }
+}
+
+/// Router+NIC area relative to the chip's 4-VC *mesh* router, corrected
+/// for the fabric's router radix: crossbar area grows with the square of
+/// the port count, buffers/allocators linearly, modeled here as the mean
+/// of the two. A 3-port ring router is therefore markedly smaller than
+/// the 5-port mesh router at the same VC count.
+pub fn router_area_scale_topo(goreq_vcs: u8, fabric: &str) -> f64 {
+    let r = router_radix(fabric) as f64 / router_radix("mesh") as f64;
+    router_area_scale(goreq_vcs) * (r * r + r) / 2.0
+}
+
+/// Router+NIC power relative to the chip's 4-VC mesh router, corrected
+/// for router radix (switching energy follows the same crossbar/buffer
+/// split as [`router_area_scale_topo`]) and for the fabric's link length
+/// (link drivers are ~40% of router+link power on the chip's
+/// nearest-neighbour links).
+pub fn router_power_scale_topo(goreq_vcs: u8, fabric: &str) -> f64 {
+    let r = router_radix(fabric) as f64 / router_radix("mesh") as f64;
+    let switching = router_power_scale(goreq_vcs) * (r * r + r) / 2.0;
+    const LINK_FRACTION: f64 = 0.4;
+    switching * (1.0 - LINK_FRACTION) + switching * LINK_FRACTION * link_length_scale(fabric)
+}
+
+/// Total main-network area relative to the chip's single-plane 4-VC mesh:
+/// replicating the network multiplies routers *and* links per plane, so
+/// area scales linearly with the plane count on top of the per-router
+/// topology correction.
+pub fn network_area_scale(goreq_vcs: u8, fabric: &str, planes: usize) -> f64 {
+    assert!(planes > 0, "at least one plane");
+    planes as f64 * router_area_scale_topo(goreq_vcs, fabric)
+}
+
+/// Total main-network power budget relative to the chip's single-plane
+/// 4-VC mesh. Idle planes clock-gate nothing in this model — the honest
+/// upper bound for the replication cost the `planes` sweeps report.
+pub fn network_power_scale(goreq_vcs: u8, fabric: &str, planes: usize) -> f64 {
+    assert!(planes > 0, "at least one plane");
+    planes as f64 * router_power_scale_topo(goreq_vcs, fabric)
+}
+
+/// Relative network energy per delivered message: the scaled network
+/// power integrated over the run, divided by the messages it delivered.
+/// Reported (not just cycles) by the multi-plane and topology sweeps so
+/// "more planes" and "better topology" compare on energy terms; only
+/// ratios between configurations are meaningful.
+///
+/// Returns 0 when no messages were delivered.
+pub fn energy_per_message_scale(
+    goreq_vcs: u8,
+    fabric: &str,
+    planes: usize,
+    runtime_cycles: u64,
+    messages: u64,
+) -> f64 {
+    if messages == 0 {
+        return 0.0;
+    }
+    network_power_scale(goreq_vcs, fabric, planes) * runtime_cycles as f64 / messages as f64
+}
+
+/// Notification-network data width: m bits per core plus the stop bit,
+/// times the number of main-network planes (each plane carries its own
+/// word group); O(m·N·planes) scaling discussed in Section 5.2.
 pub fn notification_width_bits(cores: usize, bits_per_core: u8) -> usize {
-    cores * bits_per_core as usize + 1
+    notification_width_bits_planes(cores, bits_per_core, 1)
+}
+
+/// [`notification_width_bits`] for a multi-plane network.
+pub fn notification_width_bits_planes(cores: usize, bits_per_core: u8, planes: usize) -> usize {
+    planes * (cores * bits_per_core as usize + 1)
 }
 
 #[cfg(test)]
@@ -227,5 +326,44 @@ mod tests {
         assert_eq!(notification_width_bits(36, 1), 37);
         assert_eq!(notification_width_bits(36, 2), 73);
         assert_eq!(notification_width_bits(100, 3), 301);
+        // Planes multiply the whole word group (counts + stop).
+        assert_eq!(notification_width_bits_planes(36, 1, 1), 37);
+        assert_eq!(notification_width_bits_planes(36, 1, 4), 148);
+    }
+
+    #[test]
+    fn topology_corrections_track_radix_and_wire_length() {
+        // The mesh baseline is exactly the VC-only scale.
+        assert!((router_area_scale_topo(4, "mesh") - 1.0).abs() < 1e-9);
+        assert!((router_power_scale_topo(4, "mesh") - 1.0).abs() < 1e-9);
+        // A torus router has mesh radix but 2x links: more power, equal
+        // area.
+        assert!((router_area_scale_topo(4, "torus") - 1.0).abs() < 1e-9);
+        let torus_p = router_power_scale_topo(4, "torus");
+        assert!(torus_p > 1.0 && torus_p < 2.0, "torus power {torus_p}");
+        // A 3-port ring router is smaller than the 5-port mesh router
+        // despite its longer folded links.
+        assert!(router_area_scale_topo(4, "ring") < 1.0);
+        // VC scaling still applies on every fabric.
+        assert!(router_area_scale_topo(6, "torus") > router_area_scale_topo(4, "torus"));
+    }
+
+    #[test]
+    fn plane_scaling_is_linear_and_energy_per_message_divides_out() {
+        assert!((network_area_scale(4, "mesh", 1) - 1.0).abs() < 1e-9);
+        assert!((network_area_scale(4, "mesh", 4) - 4.0).abs() < 1e-9);
+        assert!((network_power_scale(4, "mesh", 2) - 2.0).abs() < 1e-9);
+        // 4 planes at 1/3 the runtime: energy per message worsens by 4/3
+        // if message counts match.
+        let e1 = energy_per_message_scale(4, "mesh", 1, 3000, 100);
+        let e4 = energy_per_message_scale(4, "mesh", 4, 1000, 100);
+        assert!((e4 / e1 - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(energy_per_message_scale(4, "mesh", 1, 100, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fabric")]
+    fn unknown_fabric_panics() {
+        let _ = router_radix("hypercube");
     }
 }

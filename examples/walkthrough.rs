@@ -7,19 +7,22 @@
 //! ```
 
 use scorpio_nic::{Nic, NicConfig, NicMode};
-use scorpio_noc::{Endpoint, LocalSlot, Mesh, Network, NocConfig, RouterId, Sid};
+use scorpio_noc::{Endpoint, LocalSlot, Mesh, MultiNetwork, NocConfig, RouterId, Sid};
 use scorpio_notify::{NotifyConfig, NotifyNetwork};
+use std::num::NonZeroUsize;
 
 fn main() {
     let mesh = Mesh::square_with_corner_mcs(4);
     let cores = mesh.router_count();
-    let mut net: Network<&'static str> = Network::new(mesh.clone(), NocConfig::scorpio());
+    let one = NonZeroUsize::new(1).expect("non-zero");
+    let mut net: MultiNetwork<&'static str> =
+        MultiNetwork::new(mesh.clone(), NocConfig::scorpio(), one, 0);
     let mut notify = NotifyNetwork::new(&mesh, NotifyConfig::for_mesh(&mesh));
     let mut nics: Vec<Nic<&'static str>> = mesh
         .endpoints()
         .map(|ep| {
             let sid = (ep.slot == LocalSlot::Tile).then_some(Sid(ep.router.0));
-            Nic::new(ep, sid, NicMode::Ordered, cores, NicConfig::default())
+            Nic::new(ep, sid, NicMode::Ordered, cores, 1, NicConfig::default())
         })
         .collect();
 

@@ -122,6 +122,27 @@ proptest! {
             prop_assert_eq!(net.deliveries(uid), n as u32 - 1);
         }
     }
+
+    /// Plane steering is a partition: for any plane count and interleave
+    /// granularity, every address maps to exactly one in-range plane,
+    /// deterministically, and full stripe rotations divide evenly.
+    #[test]
+    fn plane_steering_partitions_addresses(planes in 1usize..=16, gran in 0u32..12, addr in any::<u64>()) {
+        let steer = scorpio_noc::PlaneSteer::new(
+            std::num::NonZeroUsize::new(planes).unwrap(),
+            gran,
+        );
+        let p = steer.plane_of(addr);
+        prop_assert!(p < planes, "plane {p} out of range for {planes}");
+        prop_assert_eq!(steer.plane_of(addr), p, "steering must be deterministic");
+        // The mapping matches the striping spec exactly — every node
+        // computing this formula independently lands on the same plane,
+        // and the modulo makes the per-stripe partition total + disjoint.
+        prop_assert_eq!(p as u64, (addr >> gran) % planes as u64);
+        // Addresses within the same stripe share the plane.
+        let stripe_base = addr & !((1u64 << gran) - 1);
+        prop_assert_eq!(steer.plane_of(stripe_base), p);
+    }
 }
 
 proptest! {
