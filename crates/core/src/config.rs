@@ -2,7 +2,7 @@
 
 use scorpio_mem::{L2Config, McConfig};
 use scorpio_nic::NicConfig;
-use scorpio_noc::{Endpoint, Mesh, NocConfig, Ring, Topology, Torus};
+use scorpio_noc::{CMesh, Endpoint, Mesh, NocConfig, Ring, Topology, Torus};
 use std::fmt;
 use std::num::NonZeroUsize;
 
@@ -205,9 +205,22 @@ impl SystemConfig {
         SystemConfig::with_topology(Ring::with_spread_mcs(len, n_mcs))
     }
 
-    /// Number of cores (tiles).
+    /// A concentrated-mesh system: a `cols × rows` router grid hosting
+    /// `concentration` tiles per router, corner MCs —
+    /// `SystemConfig::cmesh(4, 2, 2)` matches the core and endpoint count
+    /// of `SystemConfig::square(4)` at diameter 4 instead of 6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or `concentration` is not `1..=4`.
+    pub fn cmesh(cols: u16, rows: u16, concentration: u8) -> SystemConfig {
+        SystemConfig::with_topology(CMesh::with_corner_mcs(cols, rows, concentration))
+    }
+
+    /// Number of cores (tiles). On a concentrated mesh this is
+    /// `routers × concentration` — the tile count, not the router count.
     pub fn cores(&self) -> usize {
-        self.mesh.router_count()
+        self.mesh.tile_count()
     }
 
     /// Sets the protocol, builder-style.

@@ -164,8 +164,12 @@ impl System {
         let endpoints: Vec<Endpoint> = cfg.mesh.endpoints().collect();
         let nics: Vec<Nic<CohMsg>> = endpoints
             .iter()
-            .map(|ep| {
-                let sid = (ep.slot == LocalSlot::Tile).then_some(scorpio_noc::Sid(ep.router.0));
+            .enumerate()
+            .map(|(i, ep)| {
+                // A tile's SID is its tile number — its dense endpoint
+                // index (tiles come first), which on a concentrated mesh
+                // differs from its router id.
+                let sid = ep.slot.is_tile().then_some(scorpio_noc::Sid(i as u16));
                 Nic::new(*ep, sid, mode, cores, planes.get(), nic_cfg.clone())
             })
             .collect();
@@ -242,6 +246,26 @@ impl System {
     /// The configuration in use.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Maps a coherence-layer destination to its delivery-fabric endpoint.
+    ///
+    /// The cache/memory layer addresses tiles by *tile index* (it encodes
+    /// tile `t` as `Endpoint::tile(RouterId(t))` — requesters, FID owners
+    /// and directory homes are all tile numbers); the fabric addresses
+    /// them by (router, slot). On every unconcentrated fabric the two
+    /// coincide; on a concentrated mesh tile `t` lives at router `t / c`,
+    /// slot `t % c`. MC endpoints already carry physical router ids and
+    /// pass through. This is the single logical→physical boundary — every
+    /// unicast the system layer injects crosses it.
+    fn physical_dest(&self, dest: Endpoint) -> Endpoint {
+        match dest.slot {
+            LocalSlot::Tile(k) => {
+                debug_assert_eq!(k, 0, "coherence layer addresses tiles by index");
+                self.cfg.mesh.tile_endpoint(dest.router.index())
+            }
+            LocalSlot::Mc => dest,
+        }
     }
 
     /// Current cycle.
@@ -536,7 +560,7 @@ impl System {
         }
         self.mcs[m].tick(now);
         while let Some(out) = self.mcs[m].peek_out() {
-            let dest = out.dest;
+            let dest = self.physical_dest(out.dest);
             let msg = out.msg;
             let flits = self.cfg.noc.data_flits();
             match self.nics[ep_idx].try_send_unicast(
@@ -663,7 +687,7 @@ impl System {
                             self.l2s[t].pop_out();
                             self.dir_homes[t].accept(dir_msg, now);
                         } else {
-                            let dest = Endpoint::tile(scorpio_noc::RouterId(home as u16));
+                            let dest = self.cfg.mesh.tile_endpoint(home);
                             if self.nics[t]
                                 .try_send_unicast(VnetId(0), dest, 1, dir_msg, &mut self.net)
                                 .is_err()
@@ -720,6 +744,7 @@ impl System {
                     } else {
                         1
                     };
+                    let dest = self.physical_dest(dest);
                     if self.nics[t]
                         .try_send_unicast(VnetId::UO_RESP, dest, flits, msg, &mut self.net)
                         .is_err()

@@ -56,6 +56,8 @@ pub fn scenarios() -> Vec<Scenario> {
         planes_throughput("planes-throughput-small", 6),
         mc_placement("mc-placement", 6),
         mc_placement("mc-placement-small", 4),
+        cmesh("cmesh", 8),
+        cmesh("cmesh-small", 4),
     ];
     for s in &all {
         s.grid
@@ -947,13 +949,19 @@ fn result_goreq_vcs(r: &RunResult) -> u8 {
 }
 
 /// Relative network energy per completed request for one run: the
-/// physical model's (fabric, planes, VC)-scaled network power integrated
-/// over the runtime, per op. Only ratios between rows are meaningful.
+/// physical model's (fabric, planes, concentration, VC)-scaled network
+/// power integrated over the runtime, per op. Only ratios between rows
+/// are meaningful. The concentration comes from the topology itself
+/// (`tiles_per_router`) — the same derivation the delivery fabric and
+/// notification window use — so the energy column can never disagree
+/// with the topology about router shape.
 fn net_energy_per_op(r: &RunResult) -> f64 {
-    scorpio_physical::energy_per_message_scale(
+    let cfg = r.spec.config();
+    scorpio_physical::energy_per_message_scale_c(
         result_goreq_vcs(r),
-        r.spec.config().mesh.name(),
+        cfg.mesh.name(),
         r.spec.planes,
+        cfg.mesh.tiles_per_router() as usize,
         r.report.runtime_cycles,
         r.report.ops_completed,
     )
@@ -1177,6 +1185,112 @@ fn mc_placement_render(s: &Scenario, results: &[RunResult]) -> String {
     out
 }
 
+// --------------------------------------------- Concentrated-mesh sweeps
+
+/// Concentrated mesh (CMesh): `k²` cores at concentration 1, 2 and 4 —
+/// the same tile count on ever-smaller router grids — under every
+/// ordering protocol, plus a 2-plane SCORPIO column to show the fabric
+/// axis composes with plane replication. Concentration halves the
+/// diameter (and with it the notification window) at each step; the
+/// table's hop/window columns make the trade visible and the pkt-lat
+/// column shows it landing: on the uncongested workload, c=2/4 deliver
+/// ordered broadcasts in strictly fewer cycles than c=1.
+fn cmesh(name: &'static str, k: u16) -> Scenario {
+    Scenario {
+        name,
+        title: format!(
+            "CMesh — concentration 1/2/4 at {} cores, all ordering protocols",
+            k as usize * k as usize
+        ),
+        about: "Concentrated-mesh sweep: 1/2/4 tiles per router at matched core counts",
+        grid: SweepGrid::over(
+            WorkloadParams::figure7_set()
+                .into_iter()
+                .filter(|p| p.name == "blackscholes")
+                .collect(),
+        )
+        .meshes(&[k])
+        .fabrics(&[Fabric::CMesh(1), Fabric::CMesh(2), Fabric::CMesh(4)])
+        .planes(&[1, 2])
+        .protocols(&[
+            Protocol::Scorpio,
+            Protocol::TokenB,
+            Protocol::Inso { expiry_window: 40 },
+            Protocol::LpdDir,
+            Protocol::HtDir,
+        ])
+        // Ragged: every protocol on the single-plane network, SCORPIO
+        // alone on the 2-plane composition column.
+        .filtered(|s| s.planes == 1 || s.protocol == Protocol::Scorpio),
+        render: cmesh_render,
+    }
+}
+
+fn cmesh_render(s: &Scenario, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", s.title));
+    out.push_str(&format!(
+        "{:<14}{:<14}{:>5}{:>7}{:>6}{:>8} {:<13}{:>12}{:>12}{:>12}{:>12}\n",
+        "workload",
+        "geometry",
+        "conc",
+        "planes",
+        "diam",
+        "window",
+        "protocol",
+        "runtime",
+        "pkt lat",
+        "net-power",
+        "net-E/op"
+    ));
+    for r in results {
+        let cfg = r.spec.config();
+        let conc = cfg.mesh.tiles_per_router();
+        out.push_str(&format!(
+            "{:<14}{:<14}{:>5}{:>7}{:>6}{:>8} {:<13}{:>12}{:>12.1}{:>11.2}x{:>12.1}\n",
+            r.spec.workload.name,
+            cfg.mesh.label(),
+            conc,
+            r.spec.planes,
+            cfg.mesh.diameter(),
+            cfg.mesh.notification_window(),
+            r.report.protocol,
+            r.report.runtime_cycles,
+            r.report.packet_latency.mean(),
+            scorpio_physical::network_power_scale_c(
+                result_goreq_vcs(r),
+                cfg.mesh.name(),
+                r.spec.planes,
+                conc as usize,
+            ),
+            net_energy_per_op(r),
+        ));
+    }
+    // Per-protocol latency deltas vs the unconcentrated column — the
+    // hop-count win in one line each.
+    out.push('\n');
+    for &p in &s.grid.protocols {
+        let lat = |conc: u8| -> Option<f64> {
+            find(results, |spec| {
+                spec.protocol == p && spec.fabric == Fabric::CMesh(conc) && spec.planes == 1
+            })
+            .map(|r| r.report.packet_latency.mean())
+        };
+        if let (Some(c1), Some(c2), Some(c4)) = (lat(1), lat(2), lat(4)) {
+            out.push_str(&format!(
+                "{:<12} pkt lat c1 {c1:>7.1}  c2 {c2:>7.1} ({:>+6.1}%)  c4 {c4:>7.1} ({:>+6.1}%)\n",
+                protocol_label(p),
+                100.0 * (c2 - c1) / c1,
+                100.0 * (c4 - c1) / c1,
+            ));
+        }
+    }
+    out.push_str("\nSame cores, 1/c the routers: concentration shrinks the diameter\n");
+    out.push_str("and the notification window together; the higher-radix router's\n");
+    out.push_str("area/power cost is priced by the physical model's net columns.\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1299,6 +1413,60 @@ mod tests {
             .find(|s| s.fabric == Fabric::Mesh && s.mc_placement().as_deref() == Some("corner-2"))
             .unwrap();
         assert_eq!(corner2.config().mesh.mc_routers().len(), 2);
+    }
+
+    #[test]
+    fn cmesh_scenarios_are_registered() {
+        // Ragged grid: 3 concentrations x (5 single-plane protocols + the
+        // SCORPIO 2-plane composition column).
+        let s = by_name("cmesh-small").unwrap();
+        assert_eq!(s.grid.len(), 3 * (5 + 1));
+        let specs = s.grid.enumerate();
+        // Matched core counts on shrinking router grids, distinct hashes.
+        let mut geoms = HashSet::new();
+        let mut hashes = HashSet::new();
+        for spec in &specs {
+            let cfg = spec.config();
+            assert_eq!(cfg.cores(), 16, "{}", spec.key());
+            geoms.insert(cfg.mesh.label());
+            hashes.insert(cfg.stable_hash());
+        }
+        assert_eq!(
+            geoms,
+            HashSet::from([
+                "cmesh4x4x1".to_string(),
+                "cmesh4x2x2".to_string(),
+                "cmesh2x2x4".to_string()
+            ])
+        );
+        // Every cell carries a distinct configuration fingerprint
+        // (geometry x protocol x plane count all enter the hash).
+        assert_eq!(hashes.len(), specs.len());
+        // Keys carry the cmesh geometry and the plane suffix.
+        assert!(specs
+            .iter()
+            .any(|s| s.key() == "blackscholes/cmesh4x2x2/SCORPIO/baseline/seed1"));
+        assert!(specs
+            .iter()
+            .any(|s| s.key() == "blackscholes/cmesh2x2x4+2pl/SCORPIO/baseline/seed1"));
+        // The diameter really shrinks with concentration.
+        let diam = |c: u8| {
+            specs
+                .iter()
+                .find(|s| s.fabric == Fabric::CMesh(c))
+                .unwrap()
+                .config()
+                .mesh
+                .diameter()
+        };
+        assert_eq!((diam(1), diam(2), diam(4)), (6, 4, 2));
+        // The full variant runs 64 cores.
+        let full = by_name("cmesh").unwrap();
+        assert!(full
+            .grid
+            .enumerate()
+            .iter()
+            .all(|s| s.config().cores() == 64));
     }
 
     #[test]

@@ -276,8 +276,10 @@ impl Engine {
 
 /// The delivery-fabric axis of a sweep: which [`scorpio_noc::Topology`]
 /// the `k` of the mesh-side axis materializes as. Every fabric at the same
-/// `k` has `k²` tiles and four MC ports — matched endpoint counts, so
-/// runtime differences are delivery effects, not size effects.
+/// `k` has `k²` tiles — matched core counts, so runtime differences are
+/// delivery effects, not size effects. A concentrated mesh keeps the `k²`
+/// cores but shrinks the router grid by its concentration:
+/// `CMesh(2)` at `k = 4` is a 4×2 router grid of 2-tile routers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Fabric {
     /// A `k × k` mesh with corner MCs (the chip fabric; default).
@@ -287,6 +289,9 @@ pub enum Fabric {
     Torus,
     /// A ring of `k²` routers with four evenly spread MC ports.
     Ring,
+    /// A concentrated mesh of `k²` tiles at the given concentration
+    /// (1, 2 or 4 tiles per router; `k` must be even above 1), corner MCs.
+    CMesh(u8),
 }
 
 impl Fabric {
@@ -297,16 +302,52 @@ impl Fabric {
             Fabric::Mesh => "",
             Fabric::Torus => "torus",
             Fabric::Ring => "ring",
+            Fabric::CMesh(1) => "cmesh1",
+            Fabric::CMesh(2) => "cmesh2",
+            Fabric::CMesh(4) => "cmesh4",
+            Fabric::CMesh(_) => "cmesh",
+        }
+    }
+
+    /// The router grid a `k²`-tile concentrated mesh materializes as:
+    /// concentration 1 keeps `k × k`, 2 halves the rows (`k × k/2`), 4
+    /// halves both dimensions (`k/2 × k/2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported concentration, or an odd `k` above
+    /// concentration 1.
+    pub fn cmesh_dims(k: u16, concentration: u8) -> (u16, u16) {
+        match concentration {
+            1 => (k, k),
+            2 | 4 => {
+                assert!(
+                    k.is_multiple_of(2),
+                    "a {k}x{k}-tile cmesh at concentration {concentration} needs an even side"
+                );
+                if concentration == 2 {
+                    (k, k / 2)
+                } else {
+                    (k / 2, k / 2)
+                }
+            }
+            other => panic!("unsupported cmesh concentration {other} (use 1, 2 or 4)"),
         }
     }
 
     /// The geometry string for run keys: `"4x4"`, `"torus4x4"`, `"ring16"`
-    /// (mesh keys are unchanged from before the fabric axis existed).
+    /// (mesh keys are unchanged from before the fabric axis existed);
+    /// concentrated meshes use the topology's own label shape,
+    /// `"cmesh4x2x2"` (router grid × concentration).
     pub fn geometry(self, k: u16) -> String {
         match self {
             Fabric::Mesh => format!("{k}x{k}"),
             Fabric::Torus => format!("torus{k}x{k}"),
             Fabric::Ring => format!("ring{}", k as u32 * k as u32),
+            Fabric::CMesh(c) => {
+                let (w, h) = Fabric::cmesh_dims(k, c);
+                format!("cmesh{w}x{h}x{c}")
+            }
         }
     }
 }
@@ -580,6 +621,10 @@ impl RunSpec {
             Fabric::Mesh => SystemConfig::square(k),
             Fabric::Torus => SystemConfig::torus(k),
             Fabric::Ring => SystemConfig::ring(k * k, 4),
+            Fabric::CMesh(c) => {
+                let (w, h) = Fabric::cmesh_dims(k, c);
+                SystemConfig::cmesh(w, h, c)
+            }
         };
         let mut cfg = base.with_protocol(self.protocol);
         cfg.seed = self.seed;

@@ -1,0 +1,44 @@
+//! Documentation consistency: the registry is the source of truth for
+//! what can be run, and EXPERIMENTS.md is its user-facing catalogue. A
+//! scenario that exists but is undocumented silently rots (nobody runs
+//! it, nothing explains its columns), so CI fails the build instead.
+
+use scorpio_harness::registry;
+
+/// Repo-root file contents (the harness crate lives two levels down).
+fn repo_file(name: &str) -> String {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// Every registered scenario name must appear — backticked, so a name
+/// that is merely a substring of another (`fig6` in `fig6-small`) cannot
+/// satisfy the check by accident — in EXPERIMENTS.md.
+#[test]
+fn every_scenario_name_is_documented_in_experiments_md() {
+    let md = repo_file("EXPERIMENTS.md");
+    let mut missing = Vec::new();
+    for s in registry::scenarios() {
+        if !md.contains(&format!("`{}`", s.name)) {
+            missing.push(s.name);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "scenarios missing from EXPERIMENTS.md (add a `name` entry for each): {missing:?}"
+    );
+}
+
+/// The README's topology section documents the fabric axis; every fabric
+/// kind the harness can sweep must be mentioned so run examples exist for
+/// all of them.
+#[test]
+fn readme_documents_every_fabric_kind() {
+    let md = repo_file("README.md");
+    for fabric in ["mesh", "torus", "ring", "cmesh"] {
+        assert!(
+            md.contains(fabric),
+            "README.md never mentions the {fabric} fabric"
+        );
+    }
+}

@@ -99,6 +99,47 @@ fn multi_plane_reports_are_byte_identical_across_engines() {
     }
 }
 
+/// The concentrated-mesh axis: every concentration (1/2/4 tiles per
+/// router), single- and multi-plane, must produce byte-identical reports
+/// across all three engines. This exercises the endpoint-indexed broadcast
+/// tables (source-slot-dependent fork masks), the per-slot ESID views and
+/// the higher-radix router arbitration under both scheduling engines and
+/// both routing engines — and SCORPIO's 2-plane cells cover the
+/// cmesh × planes composition.
+#[test]
+fn cmesh_reports_are_byte_identical_across_engines() {
+    let scenario = registry::by_name("cmesh-small").expect("cmesh-small is registered");
+    let specs: Vec<_> = scenario
+        .grid
+        .enumerate()
+        .into_iter()
+        .filter(|s| {
+            s.protocol == scorpio::Protocol::Scorpio
+                || (s.fabric == scorpio_harness::Fabric::CMesh(4) && s.planes == 1)
+        })
+        .collect();
+    // 3 concentrations x {1, 2} planes of SCORPIO + the four baseline
+    // protocols at concentration 4.
+    assert_eq!(specs.len(), 3 * 2 + 4);
+    for spec in specs {
+        assert_eq!(spec.engine, Engine::ActiveSet);
+        let active = run_spec(&spec, 8);
+        assert!(active.report.ops_completed > 0);
+        for engine in [Engine::AlwaysScan, Engine::CoordRoute] {
+            let mut other_spec = spec.clone();
+            other_spec.engine = engine;
+            let other = run_spec(&other_spec, 8);
+            assert_eq!(
+                active.report.to_json(),
+                other.report.to_json(),
+                "engine divergence at {} vs {engine:?}",
+                spec.key()
+            );
+            assert_eq!(active.config_hash, other.config_hash);
+        }
+    }
+}
+
 /// The acceptance benchmark behind the `planes-throughput` scenario: on
 /// the broadcast-saturated 8×8 mesh, four address-interleaved planes must
 /// deliver at least 1.5× the request throughput of the single network.

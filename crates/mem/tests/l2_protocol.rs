@@ -65,7 +65,7 @@ impl World {
             let ready = {
                 let (_, dest, msg) = self.uni_wire.front().expect("checked");
                 match dest.slot {
-                    LocalSlot::Tile => {
+                    LocalSlot::Tile(_) => {
                         msg.kind != MsgKind::Data || self.l2s[dest.router.index()].resp_ready()
                     }
                     LocalSlot::Mc => true,
@@ -76,7 +76,7 @@ impl World {
             }
             let (_, dest, msg) = self.uni_wire.pop_front().expect("checked");
             match dest.slot {
-                LocalSlot::Tile => self.l2s[dest.router.index()].push_resp(msg),
+                LocalSlot::Tile(_) => self.l2s[dest.router.index()].push_resp(msg),
                 LocalSlot::Mc => self.mc.wb_data(msg, now),
             }
         }

@@ -44,7 +44,7 @@ impl World {
         let mut nics = Vec::new();
         for ep in mesh.endpoints() {
             let sid = match ep.slot {
-                scorpio_noc::LocalSlot::Tile => Some(Sid(ep.router.0)),
+                scorpio_noc::LocalSlot::Tile(_) => Some(Sid(ep.router.0)),
                 scorpio_noc::LocalSlot::Mc => None,
             };
             nics.push(Nic::new(

@@ -65,5 +65,5 @@ pub use network::{EjectSlot, Network, NocStats};
 pub use planes::{MultiNetwork, PlaneSteer, SteerKey};
 pub use router::RouterStats;
 pub use topology::{
-    Coord, Endpoint, LocalSlot, Mesh, Port, PortMask, Ring, RouterId, Topology, Torus,
+    CMesh, Coord, Endpoint, LocalSlot, Mesh, Port, PortMask, Ring, RouterId, Topology, Torus,
 };

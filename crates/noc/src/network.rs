@@ -180,9 +180,9 @@ pub struct Network<T> {
     /// Committed ESID per endpoint index; `staged_esid` applies at commit.
     esid: Vec<Option<(Sid, u16)>>,
     staged_esid: Vec<(usize, Option<(Sid, u16)>)>,
-    /// Committed per-router tile ESID, maintained incrementally at commit
-    /// (the routers' [`EsidView`] reads these instead of rebuilding two
-    /// fresh `Vec`s every tick).
+    /// Committed per-tile-endpoint ESID (tile number = `router·c + slot`),
+    /// maintained incrementally at commit (the routers' [`EsidView`] reads
+    /// these instead of rebuilding two fresh `Vec`s every tick).
     esid_tile: Vec<Option<(Sid, u16)>>,
     /// Committed per-router MC ESID (only meaningful on MC routers).
     esid_mc: Vec<Option<(Sid, u16)>>,
@@ -221,27 +221,36 @@ pub struct Network<T> {
 /// queries go through the compiled tables, not coordinate math.
 struct EsidView<'a> {
     tables: &'a RoutingTables,
-    /// Per-router tile ESID.
+    /// Per-tile-endpoint ESID (indexed by tile number `router·c + slot`).
     tile: &'a [Option<(Sid, u16)>],
     /// Per-router MC ESID (only meaningful on MC routers).
     mc: &'a [Option<(Sid, u16)>],
 }
 
 impl EsidView<'_> {
+    /// Whether any NIC local to router `r` — one of its tile slots or its
+    /// MC port — expects exactly (`sid`, `seq`).
     fn router_has_expected(&self, r: RouterId, sid: Sid, seq: u16) -> bool {
-        self.tile[r.index()] == Some((sid, seq))
+        let c = self.tables.concentration() as usize;
+        let base = r.index() * c;
+        self.tile[base..base + c].contains(&Some((sid, seq)))
             || (self.tables.has_mc(r) && self.mc[r.index()] == Some((sid, seq)))
     }
 }
 
 impl EsidOracle for EsidView<'_> {
     fn rvc_eligible(&self, router: RouterId, out_port: Port, sid: Sid, seq: u16) -> bool {
-        match out_port {
-            Port::Tile => self.tile[router.index()] == Some((sid, seq)),
-            Port::Mc => self.mc[router.index()] == Some((sid, seq)),
-            mesh_port => match self.tables.neighbor(router, mesh_port) {
-                Some(n) => self.router_has_expected(n, sid, seq),
-                None => false,
+        match out_port.tile_index() {
+            Some(k) => {
+                let c = self.tables.concentration() as usize;
+                self.tile[router.index() * c + k as usize] == Some((sid, seq))
+            }
+            None => match out_port {
+                Port::Mc => self.mc[router.index()] == Some((sid, seq)),
+                mesh_port => match self.tables.neighbor(router, mesh_port) {
+                    Some(n) => self.router_has_expected(n, sid, seq),
+                    None => false,
+                },
             },
         }
     }
@@ -300,6 +309,7 @@ impl<T: Payload> Network<T> {
             })
             .collect();
         let n_routers = topology.router_count();
+        let n_tiles = topology.tile_count();
         let n_eps = endpoints.len();
         let vnets = cfg.vnets.len();
         Network {
@@ -313,7 +323,7 @@ impl<T: Payload> Network<T> {
             eject,
             esid: vec![None; n_eps],
             staged_esid: Vec::new(),
-            esid_tile: vec![None; n_routers],
+            esid_tile: vec![None; n_tiles],
             esid_mc: vec![None; n_routers],
             flit_wire: Wire::new(2),
             la_wire: Wire::new(1),
@@ -707,11 +717,13 @@ impl<T: Payload> Network<T> {
         for k in 0..self.staged_esid.len() {
             let (idx, esid) = self.staged_esid[k];
             self.esid[idx] = esid;
-            // Keep the routers' per-router view in sync incrementally.
-            if idx < self.topology.router_count() {
+            // Keep the routers' per-slot view in sync incrementally: tile
+            // endpoint indices coincide with tile numbers, MC indices
+            // follow the tiles.
+            if idx < self.tables.tile_count() {
                 self.esid_tile[idx] = esid;
             } else {
-                let r = self.topology.mc_routers()[idx - self.topology.router_count()];
+                let r = self.topology.mc_routers()[idx - self.tables.tile_count()];
                 self.esid_mc[r.index()] = esid;
             }
         }
@@ -804,19 +816,17 @@ impl<T: Payload> Network<T> {
         inject_credit_wire: &mut Wire<(usize, u8, u8, bool)>,
     ) {
         match ev {
-            RouterOut::Flit { out_port, vc, flit } => match out_port {
-                Port::Tile => {
-                    eject_wire.push((rid.index(), flit.packet.vnet.0, *vc, *flit));
+            RouterOut::Flit { out_port, vc, flit } => {
+                if out_port.is_local() {
+                    let ep = tables.local_ep_index(rid, *out_port);
+                    eject_wire.push((ep, flit.packet.vnet.0, *vc, *flit));
+                } else {
+                    let n = tables
+                        .neighbor(rid, *out_port)
+                        .expect("ST off the fabric edge");
+                    flit_wire.push((n, out_port.opposite(), *vc, *flit));
                 }
-                Port::Mc => {
-                    let pos = tables.mc_rank(rid);
-                    eject_wire.push((tables.router_count() + pos, flit.packet.vnet.0, *vc, *flit));
-                }
-                p => {
-                    let n = tables.neighbor(rid, *p).expect("ST off the fabric edge");
-                    flit_wire.push((n, p.opposite(), *vc, *flit));
-                }
-            },
+            }
             RouterOut::La { out_port, flit } => {
                 let n = tables
                     .neighbor(rid, *out_port)
@@ -828,29 +838,25 @@ impl<T: Payload> Network<T> {
                 vnet,
                 vc,
                 dealloc,
-            } => match in_port {
-                Port::Tile => {
-                    inject_credit_wire.push((rid.index(), *vnet, *vc, *dealloc));
-                }
-                Port::Mc => {
-                    let pos = tables.mc_rank(rid);
-                    inject_credit_wire.push((tables.router_count() + pos, *vnet, *vc, *dealloc));
-                }
-                p => {
+            } => {
+                if in_port.is_local() {
+                    let ep = tables.local_ep_index(rid, *in_port);
+                    inject_credit_wire.push((ep, *vnet, *vc, *dealloc));
+                } else {
                     let n = tables
-                        .neighbor(rid, *p)
+                        .neighbor(rid, *in_port)
                         .expect("credit off the fabric edge");
                     credit_wire.push((
                         n,
                         CreditArrival {
-                            out_port: p.opposite(),
+                            out_port: in_port.opposite(),
                             vnet: *vnet,
                             vc: *vc,
                             dealloc: *dealloc,
                         },
                     ));
                 }
-            },
+            }
         }
     }
 
@@ -863,6 +869,7 @@ impl<T: Payload> Network<T> {
         let cfg = &self.cfg;
         let esid_tile = &self.esid_tile;
         let esid_mc = &self.esid_mc;
+        let conc = self.tables.concentration() as usize;
         let port = &mut self.inject[idx];
         let vnets = cfg.vnets.len();
         let has_work =
@@ -905,11 +912,15 @@ impl<T: Payload> Network<T> {
                     continue;
                 }
             }
+            // rVC eligibility at injection: some NIC local to this router
+            // (any tile slot, or its MC port) expects this exact instance.
             let rvc_ok = packet
                 .sid
                 .map(|s| {
-                    esid_tile[port.router.index()] == Some((s, packet.sid_seq))
-                        || esid_mc[port.router.index()] == Some((s, packet.sid_seq))
+                    let expected = Some((s, packet.sid_seq));
+                    let base = port.router.index() * conc;
+                    esid_tile[base..base + conc].contains(&expected)
+                        || esid_mc[port.router.index()] == expected
                 })
                 .unwrap_or(false);
             // Injection allocates at the router's *local* input port; the
@@ -1100,7 +1111,7 @@ mod tests {
                 for &ep in &eps {
                     if rng.chance(0.05) {
                         let to = eps[rng.gen_range_usize(eps.len())];
-                        let pkt = if ep.slot == LocalSlot::Tile && rng.chance(0.4) {
+                        let pkt = if ep.slot.is_tile() && rng.chance(0.4) {
                             Packet::request(ep, Sid(ep.router.0), cycle as u16, cycle)
                         } else if to != ep {
                             Packet::response(ep, to, 3, cycle)
@@ -1230,6 +1241,90 @@ mod tests {
     }
 
     #[test]
+    fn cmesh_broadcast_reaches_every_endpoint_including_siblings() {
+        // 4 routers x 2 tiles + 4 MC ports = 12 endpoints. A broadcast
+        // from tile slot 1 of router 0 must reach its *sibling* slot 0
+        // (through the router, not the mesh), every remote slot, and every
+        // MC port — 11 copies, each exactly once.
+        let cm = crate::topology::CMesh::with_corner_mcs(2, 2, 2);
+        let mut net: Network<u64> = Network::new(cm, NocConfig::scorpio());
+        let src = Endpoint::tile_slot(RouterId(0), 1);
+        let uid = net
+            .try_inject(src, Packet::request(src, Sid(1), 0, 77))
+            .unwrap();
+        let got = drain_all(&mut net, 400);
+        assert!(net.is_drained(), "cmesh failed to drain");
+        assert_eq!(net.deliveries(uid), 11);
+        let mut seen = std::collections::HashSet::new();
+        for (ep, f) in &got {
+            assert_eq!(f.packet.payload, 77);
+            assert!(seen.insert(*ep), "duplicate delivery at {ep}");
+        }
+        assert!(!seen.contains(&src), "source must self-deliver via NIC");
+        assert!(
+            seen.contains(&Endpoint::tile(RouterId(0))),
+            "sibling slot 0 of the source router missed the broadcast"
+        );
+    }
+
+    #[test]
+    fn cmesh_unicast_targets_the_exact_slot() {
+        let cm = crate::topology::CMesh::with_corner_mcs(2, 2, 4);
+        let mut net: Network<u64> = Network::new(cm, NocConfig::scorpio());
+        let src = Endpoint::tile_slot(RouterId(0), 0);
+        let dst = Endpoint::tile_slot(RouterId(3), 2);
+        net.try_inject(src, Packet::response(src, dst, 3, 9))
+            .unwrap();
+        let got = drain_all(&mut net, 300);
+        assert!(net.is_drained());
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|(ep, _)| *ep == dst), "wrong slot ejected");
+    }
+
+    #[test]
+    fn cmesh_heavy_random_traffic_drains_without_loss() {
+        use scorpio_sim::SimRng;
+        let cm = crate::topology::CMesh::with_corner_mcs(3, 2, 2);
+        let mut net: Network<u64> = Network::new(cm, NocConfig::scorpio());
+        let mut rng = SimRng::seed_from(99);
+        let eps: Vec<Endpoint> = net.topology().endpoints().collect();
+        let n_tiles = net.topology().tile_count();
+        let mut injected = 0u64;
+        for cycle in 0..4000u64 {
+            if cycle < 1500 {
+                for (i, &ep) in eps.iter().enumerate() {
+                    if rng.chance(0.05) {
+                        let to = eps[rng.gen_range_usize(eps.len())];
+                        let pkt = if ep.slot.is_tile() && rng.chance(0.4) {
+                            Packet::request(ep, Sid(i as u16), cycle as u16, cycle)
+                        } else if to != ep {
+                            Packet::response(ep, to, 3, cycle)
+                        } else {
+                            continue;
+                        };
+                        if net.try_inject(ep, pkt).is_ok() {
+                            injected += 1;
+                        }
+                    }
+                }
+            }
+            for &ep in &eps {
+                let slots: Vec<EjectSlot> = net.eject_heads(ep).map(|(s, _)| s).collect();
+                for s in slots {
+                    net.eject_take(ep, s);
+                }
+            }
+            net.step();
+            if cycle > 1500 && net.is_drained() {
+                break;
+            }
+        }
+        assert!(net.is_drained(), "cmesh wedged under random traffic");
+        assert!(injected > 100, "too little traffic");
+        assert_eq!(n_tiles, 12);
+    }
+
+    #[test]
     fn broadcast_reaches_everyone_on_torus_and_ring() {
         for topo in [
             Topology::from(Torus::square_with_corner_mcs(4)),
@@ -1289,7 +1384,7 @@ mod tests {
                     for &ep in &eps {
                         if rng.chance(0.05) {
                             let to = eps[rng.gen_range_usize(eps.len())];
-                            let pkt = if ep.slot == LocalSlot::Tile && rng.chance(0.4) {
+                            let pkt = if ep.slot.is_tile() && rng.chance(0.4) {
                                 Packet::request(ep, Sid(ep.router.0), cycle as u16, cycle)
                             } else if to != ep {
                                 Packet::response(ep, to, 3, cycle)
@@ -1343,7 +1438,7 @@ mod tests {
                         for &ep in &eps {
                             if rng.chance(0.04) {
                                 let to = eps[rng.gen_range_usize(eps.len())];
-                                if ep.slot == LocalSlot::Tile && rng.chance(0.5) {
+                                if ep.slot.is_tile() && rng.chance(0.5) {
                                     let _ = net.try_inject(
                                         ep,
                                         Packet::request(ep, Sid(ep.router.0), cycle as u16, cycle),

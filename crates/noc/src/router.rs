@@ -285,6 +285,13 @@ pub struct RouterStats {
 
 pub(crate) struct Router<T> {
     id: RouterId,
+    /// Ports this router actually has: the prefix of [`Port::ALL`] ending
+    /// after the last tile slot the topology attaches (6 on every
+    /// single-tile fabric — the historical port set in its historical
+    /// order, so arbitration is bit-identical there — up to 9 at
+    /// concentration 4). Arbiters and port scans run over exactly this
+    /// prefix.
+    n_ports: usize,
     /// `[port][vnet][vc]`.
     inputs: Vec<Vec<Vec<VcState<T>>>>,
     /// Downstream credit view per output port (`None` = port absent).
@@ -314,20 +321,28 @@ pub(crate) struct Router<T> {
 impl<T: Payload> Router<T> {
     pub(crate) fn new(tables: &RoutingTables, cfg: &NocConfig, id: RouterId) -> Self {
         let total_vcs: usize = cfg.vnets.iter().map(|v| v.total_vcs()).sum();
-        let mut inputs = Vec::with_capacity(Port::COUNT);
-        for _ in Port::ALL {
+        // The router's port set is the Port::ALL prefix covering the four
+        // cardinal ports, tile slot 0, Mc, and any further tile slots the
+        // topology concentrates behind this router. Single-tile fabrics
+        // get n_ports == 6: the exact historical router, with identical
+        // arbiter sizes and scan order.
+        let n_ports = 5 + tables.concentration() as usize;
+        let mut inputs = Vec::with_capacity(n_ports);
+        for _ in &Port::ALL[..n_ports] {
             let mut per_vnet = Vec::with_capacity(cfg.vnets.len());
             for v in &cfg.vnets {
                 per_vnet.push((0..v.total_vcs()).map(|_| VcState::new(v.depth)).collect());
             }
             inputs.push(per_vnet);
         }
-        let mut downstream = Vec::with_capacity(Port::COUNT);
-        for port in Port::ALL {
-            let present = match port {
-                Port::Tile => true,
-                Port::Mc => tables.has_mc(id),
-                mesh_port => tables.neighbor(id, mesh_port).is_some(),
+        let mut downstream = Vec::with_capacity(n_ports);
+        for &port in &Port::ALL[..n_ports] {
+            let present = match port.tile_index() {
+                Some(k) => k < tables.concentration(),
+                None => match port {
+                    Port::Mc => tables.has_mc(id),
+                    mesh_port => tables.neighbor(id, mesh_port).is_some(),
+                },
             };
             downstream.push(present.then(|| DownstreamState::new(cfg)));
         }
@@ -340,25 +355,32 @@ impl<T: Payload> Router<T> {
         }
         Router {
             id,
+            n_ports,
             inputs,
             downstream,
             sa_i_reg: [None; Port::COUNT],
             bypass_res: Default::default(),
             st_plan: Vec::new(),
             st_scratch: Vec::new(),
-            sa_i_arb: (0..Port::COUNT)
+            sa_i_arb: (0..n_ports)
                 .map(|_| RotatingArbiter::new(total_vcs))
                 .collect(),
-            sa_o_arb: (0..Port::COUNT)
-                .map(|_| RotatingArbiter::new(Port::COUNT))
+            sa_o_arb: (0..n_ports)
+                .map(|_| RotatingArbiter::new(n_ports))
                 .collect(),
-            la_arb: RotatingArbiter::new(Port::COUNT),
+            la_arb: RotatingArbiter::new(n_ports),
             vc_index,
             sa_i_reqs: vec![false; total_vcs],
             port_occupancy: [0; Port::COUNT],
             stats: RouterStats::default(),
             busy: 0,
         }
+    }
+
+    /// The ports this router has (a prefix of [`Port::ALL`]).
+    #[inline]
+    fn ports(&self) -> &'static [Port] {
+        &Port::ALL[..self.n_ports]
     }
 
     pub(crate) fn id(&self) -> RouterId {
@@ -568,7 +590,7 @@ impl<T: Payload> Router<T> {
         for la in las {
             la_reqs[la.port.index()] = true;
         }
-        let order: Vec<usize> = self.la_arb.order(&la_reqs).collect();
+        let order: Vec<usize> = self.la_arb.order(&la_reqs[..self.n_ports]).collect();
         self.la_arb.rotate();
         for pidx in order {
             let la = las
@@ -619,13 +641,13 @@ impl<T: Payload> Router<T> {
         out_taken: &mut [bool; Port::COUNT],
         in_owner: &mut [Option<(u8, u8)>; Port::COUNT],
     ) {
-        for out_port in Port::ALL {
+        for &out_port in self.ports() {
             if out_taken[out_port.index()] || self.downstream[out_port.index()].is_none() {
                 continue;
             }
             // Collect candidate input ports for this output.
             let mut reqs = [false; Port::COUNT];
-            for in_port in Port::ALL {
+            for &in_port in self.ports() {
                 let Some(win) = sa_i_reg[in_port.index()] else {
                     continue;
                 };
@@ -643,7 +665,8 @@ impl<T: Payload> Router<T> {
                     reqs[in_port.index()] = true;
                 }
             }
-            let Some(winner_idx) = self.sa_o_arb[out_port.index()].grant(&reqs) else {
+            let Some(winner_idx) = self.sa_o_arb[out_port.index()].grant(&reqs[..self.n_ports])
+            else {
                 continue;
             };
             let in_port = Port::ALL[winner_idx];
@@ -851,7 +874,8 @@ impl<T: Payload> Router<T> {
     /// matters most for the reserved VC, which wins SA-I outright: letting
     /// a blocked rVC flit hold the input slot would starve the port.
     fn sa_i(&mut self, route: &RouteCtx<'_>, cfg: &NocConfig, esid: &dyn EsidOracle) {
-        for in_port in Port::ALL {
+        for in_port in self.ports() {
+            let in_port = *in_port;
             let pidx = in_port.index();
             // No resident packet on any VC of this port: every request bit
             // is false, and an all-false grant leaves the arbiter pointer
@@ -901,7 +925,7 @@ impl<T: Payload> Router<T> {
     /// Renders occupied input VCs and SID trackers for deadlock debugging.
     pub(crate) fn debug_occupancy(&self) -> Vec<String> {
         let mut lines = Vec::new();
-        for port in Port::ALL {
+        for &port in self.ports() {
             for (n, per_vnet) in self.inputs[port.index()].iter().enumerate() {
                 for (vc, state) in per_vnet.iter().enumerate() {
                     if state.active {
@@ -921,7 +945,7 @@ impl<T: Payload> Router<T> {
                 }
             }
         }
-        for port in Port::ALL {
+        for &port in self.ports() {
             if let Some(ds) = &self.downstream[port.index()] {
                 let mut desc = Vec::new();
                 for (n, per_vnet) in ds.sid_in_vc.iter().enumerate() {

@@ -6,18 +6,21 @@
 //! latency bounds, and the broadcast exactly-once property check that every
 //! [`Topology`] implementation must pass ([`check_broadcast_exactly_once`]).
 
-use crate::topology::{Endpoint, Port, PortMask, RouterId, Topology};
+use crate::topology::{Endpoint, LocalSlot, Port, PortMask, RouterId, Topology};
 
 /// The output port for a unicast packet at router `here` (spec form).
 pub fn unicast_output(topo: &Topology, here: RouterId, dest: Endpoint) -> Port {
     topo.unicast_port(here, dest)
 }
 
-/// The output set for a broadcast flit from `src` at router `here`, given
-/// the port it arrived through (`None` at the source router) — spec form.
+/// The output set for a broadcast flit from the endpoint `src` at router
+/// `here`, given the port it arrived through (`None` at the source
+/// router) — spec form. The source is an endpoint because on concentrated
+/// fabrics the fork mask depends on which tile slot injected (the source
+/// slot self-delivers through the NIC loopback; its siblings do not).
 pub fn broadcast_outputs(
     topo: &Topology,
-    src: RouterId,
+    src: Endpoint,
     here: RouterId,
     arrived_on: Option<Port>,
 ) -> PortMask {
@@ -47,17 +50,34 @@ pub fn unicast_path(topo: &Topology, src: RouterId, dest: Endpoint) -> Vec<Route
     }
 }
 
-/// Simulates the broadcast tree from `src`, returning for every router the
-/// set of local ports that receive a copy. Asserts that no router is
-/// visited twice (a revisit would mean a duplicate delivery or a routing
-/// cycle) and that no local port is fed twice. The router pipeline performs
-/// the same forking cycle by cycle.
-pub fn broadcast_deliveries(topo: &Topology, src: RouterId) -> Vec<PortMask> {
+/// The diameter obtained by *walking the unicast routing spec* between
+/// every router pair — the ground truth [`Topology::diameter`] (the single
+/// closed-form derivation every consumer reads: notification-window
+/// sizing, OR-propagation convergence, the physical wire model) is
+/// asserted against, so a declared diameter and the paths flits actually
+/// take can never quietly disagree. O(routers² · diameter); test/property
+/// use only.
+pub fn walked_diameter(topo: &Topology) -> u16 {
+    let mut max = 0;
+    for a in topo.routers() {
+        for b in topo.routers() {
+            max = max.max(topo.hops(a, b));
+        }
+    }
+    max
+}
+
+/// Simulates the broadcast tree from the tile endpoint `src`, returning
+/// for every router the set of local ports that receive a copy. Asserts
+/// that no router is visited twice (a revisit would mean a duplicate
+/// delivery or a routing cycle) and that no local port is fed twice. The
+/// router pipeline performs the same forking cycle by cycle.
+pub fn broadcast_deliveries(topo: &Topology, src: Endpoint) -> Vec<PortMask> {
     let mut deliveries = vec![PortMask::EMPTY; topo.router_count()];
     let mut visited = vec![false; topo.router_count()];
-    visited[src.index()] = true;
-    // (router, arrival port) work list seeded at the source.
-    let mut work: Vec<(RouterId, Option<Port>)> = vec![(src, None)];
+    visited[src.router.index()] = true;
+    // (router, arrival port) work list seeded at the source router.
+    let mut work: Vec<(RouterId, Option<Port>)> = vec![(src.router, None)];
     while let Some((here, arrived)) = work.pop() {
         let outs = broadcast_outputs(topo, src, here, arrived);
         for port in outs.iter() {
@@ -89,12 +109,14 @@ pub fn broadcast_targets(topo: &Topology, src_tile: Endpoint) -> Vec<Endpoint> {
 }
 
 /// The shared broadcast property every [`Topology`] implementation must
-/// satisfy, checked from every source router:
+/// satisfy, checked from every source *tile endpoint* (on a concentrated
+/// fabric that is every slot of every router):
 ///
 /// * no router is visited by more than one branch (no flit revisits a
 ///   router — asserted inside [`broadcast_deliveries`]),
-/// * every tile except the source's receives exactly one copy (the source
-///   tile self-delivers through its NIC loopback),
+/// * every tile slot except the source's own receives exactly one copy —
+///   including the source router's sibling slots — while the source tile
+///   self-delivers through its NIC loopback,
 /// * every MC port — including the source router's — receives exactly one
 ///   copy, and non-MC routers receive none.
 ///
@@ -102,22 +124,28 @@ pub fn broadcast_targets(topo: &Topology, src_tile: Endpoint) -> Vec<Endpoint> {
 ///
 /// Panics with a description of the first violation.
 pub fn check_broadcast_exactly_once(topo: &Topology) {
-    for src in topo.routers() {
+    for src_tile in 0..topo.tile_count() {
+        let src = topo.tile_endpoint(src_tile);
+        let LocalSlot::Tile(src_slot) = src.slot else {
+            unreachable!("tile_endpoint returned a non-tile slot");
+        };
         let deliveries = broadcast_deliveries(topo, src);
         for r in topo.routers() {
-            let got_tile = deliveries[r.index()].contains(Port::Tile);
-            if r == src {
-                assert!(
-                    !got_tile,
-                    "{}: source tile {src} must self-deliver via loopback",
-                    topo.label()
-                );
-            } else {
-                assert!(
-                    got_tile,
-                    "{}: tile {r} missed the broadcast from {src}",
-                    topo.label()
-                );
+            for k in 0..topo.tiles_per_router() {
+                let got = deliveries[r.index()].contains(Port::tile_slot(k));
+                if r == src.router && k == src_slot {
+                    assert!(
+                        !got,
+                        "{}: source tile {src} must self-deliver via loopback",
+                        topo.label()
+                    );
+                } else {
+                    assert!(
+                        got,
+                        "{}: tile slot {k} of {r} missed the broadcast from {src}",
+                        topo.label()
+                    );
+                }
             }
             assert_eq!(
                 deliveries[r.index()].contains(Port::Mc),
@@ -132,7 +160,7 @@ pub fn check_broadcast_exactly_once(topo: &Topology) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::{Mesh, Ring, Torus};
+    use crate::topology::{CMesh, Mesh, Ring, Torus};
 
     fn mesh(cols: u16, rows: u16) -> Topology {
         Mesh::new(cols, rows, &[]).into()
@@ -207,9 +235,90 @@ mod tests {
             Ring::new(3, &[RouterId(1)]).into(),
             Ring::new(8, &[RouterId(0), RouterId(4)]).into(),
             Ring::with_spread_mcs(36, 4).into(),
+            CMesh::with_corner_mcs(4, 2, 2).into(),
+            CMesh::with_corner_mcs(2, 2, 4).into(),
+            CMesh::with_corner_mcs(4, 4, 1).into(),
+            CMesh::new(3, 3, 3, &[RouterId(4)]).into(),
+            CMesh::new(1, 1, 4, &[RouterId(0)]).into(),
+            CMesh::new(5, 1, 2, &[]).into(),
         ];
         for topo in &topologies {
             check_broadcast_exactly_once(topo);
+        }
+    }
+
+    // Property test over *random* concentrated meshes (and random MC
+    // placements): the exactly-once broadcast property, the declared-vs-
+    // walked diameter agreement, and dense endpoint indexing must hold for
+    // every (cols, rows, concentration) the generator produces. This is
+    // the dependency-free stand-in for a proptest suite (the offline
+    // toolchain carries no external crates), using the simulator's own
+    // deterministic RNG.
+    #[test]
+    fn random_concentrations_hold_the_topology_properties() {
+        use scorpio_sim::SimRng;
+        let mut rng = SimRng::seed_from(0xC0DE);
+        for _ in 0..40 {
+            let cols = 1 + rng.gen_range_usize(5) as u16;
+            let rows = 1 + rng.gen_range_usize(5) as u16;
+            let conc = 1 + rng.gen_range_usize(Port::MAX_TILE_SLOTS as usize) as u8;
+            let n = cols as usize * rows as usize;
+            // Random duplicate-free MC subset (possibly empty).
+            let mut mcs: Vec<RouterId> = Vec::new();
+            for r in 0..n as u16 {
+                if rng.chance(0.2) {
+                    mcs.push(RouterId(r));
+                }
+            }
+            let topo: Topology = CMesh::new(cols, rows, conc, &mcs).into();
+            let label = topo.label();
+            assert_eq!(topo.tile_count(), n * conc as usize, "{label}");
+            check_broadcast_exactly_once(&topo);
+            assert_eq!(topo.diameter(), walked_diameter(&topo), "{label}");
+            for (i, ep) in topo.endpoints().enumerate() {
+                assert_eq!(topo.endpoint_index(ep), i, "{label}");
+            }
+            for i in 0..topo.tile_count() {
+                assert_eq!(topo.endpoint_index(topo.tile_endpoint(i)), i, "{label}");
+            }
+        }
+    }
+
+    // The bugfix satellite: the diameter every consumer reads (notify
+    // window sizing, OR-propagation bound, physical wire model) and the
+    // diameter implied by actually walking the unicast spec must be the
+    // same number on every fabric — CMesh included, where the router grid
+    // (not the tile count) is what bounds propagation.
+    #[test]
+    fn declared_diameter_matches_walked_diameter_everywhere() {
+        let topologies: Vec<Topology> = vec![
+            Mesh::scorpio_chip().into(),
+            Mesh::new(7, 3, &[]).into(),
+            Mesh::new(1, 1, &[]).into(),
+            Torus::new(4, 4, &[]).into(),
+            Torus::new(5, 3, &[]).into(),
+            Torus::new(2, 2, &[]).into(),
+            Ring::new(2, &[]).into(),
+            Ring::new(9, &[]).into(),
+            Ring::with_spread_mcs(36, 4).into(),
+            CMesh::with_corner_mcs(4, 2, 2).into(),
+            CMesh::with_corner_mcs(2, 2, 4).into(),
+            CMesh::with_corner_mcs(6, 6, 1).into(),
+        ];
+        for topo in &topologies {
+            assert_eq!(
+                topo.diameter(),
+                walked_diameter(topo),
+                "declared vs walked diameter diverged on {}",
+                topo.label()
+            );
+            // And the notification window follows that one number.
+            assert_eq!(
+                topo.notification_window(),
+                topo.diameter() as u64 + 3,
+                "{}",
+                topo.label()
+            );
         }
     }
 
@@ -219,7 +328,7 @@ mod tests {
         // A flit arriving from the north (travelling south) only continues
         // south + ejects; it must never turn east/west (that would duplicate).
         let mid = RouterId(14);
-        let outs = broadcast_outputs(&topo, RouterId(2), mid, Some(Port::North));
+        let outs = broadcast_outputs(&topo, Endpoint::tile(RouterId(2)), mid, Some(Port::North));
         assert!(outs.contains(Port::South));
         assert!(outs.contains(Port::Tile));
         assert!(!outs.contains(Port::East));
@@ -231,7 +340,12 @@ mod tests {
     #[should_panic(expected = "cannot arrive on local port")]
     fn broadcast_from_local_arrival_panics() {
         let topo = mesh(2, 2);
-        let _ = broadcast_outputs(&topo, RouterId(0), RouterId(0), Some(Port::Tile));
+        let _ = broadcast_outputs(
+            &topo,
+            Endpoint::tile(RouterId(0)),
+            RouterId(0),
+            Some(Port::Tile),
+        );
     }
 
     #[test]
@@ -247,7 +361,7 @@ mod tests {
     fn ring_broadcast_splits_between_directions() {
         let topo: Topology = Ring::new(4, &[]).into();
         // len=4: the east branch covers 2 routers, the west branch 1.
-        let deliveries = broadcast_deliveries(&topo, RouterId(0));
+        let deliveries = broadcast_deliveries(&topo, Endpoint::tile(RouterId(0)));
         let tiles = deliveries.iter().filter(|m| m.contains(Port::Tile)).count();
         assert_eq!(tiles, 3);
         assert!(deliveries[2].contains(Port::Tile)); // reached eastbound

@@ -74,22 +74,27 @@ const ABSENT: u16 = u16::MAX;
 /// Precomputed routing state for one topology instance.
 ///
 /// * `unicast[here * n_endpoints + ep]` — output port + class bit,
-/// * `broadcast[(src * n_routers + here) * 5 + arrival]` — fork mask +
-///   class bits,
-/// * `neighbor[router * 6 + port]` — link table ([`ABSENT`] = no link),
+/// * `broadcast[(src_tile * n_routers + here) * 5 + arrival]` — fork mask
+///   plus class bits, keyed by the *source endpoint's* tile index (on a
+///   concentrated fabric the fork mask depends on which slot injected:
+///   the source slot self-delivers, its siblings are fed by the router),
+/// * `neighbor[router * 9 + port]` — link table ([`ABSENT`] = no link),
 /// * `mc_rank[router]` — dense MC index ([`ABSENT`] = no MC port).
 pub(crate) struct RoutingTables {
     n_routers: usize,
     n_endpoints: usize,
-    /// Packed `port.index() | (class1 << 3)`.
+    n_tiles: usize,
+    /// Tiles per router (the topology's concentration).
+    concentration: u8,
+    /// Packed `port.index() | (class1 << 4)`.
     unicast: Vec<u8>,
     /// `(mask bits, class bits)`.
-    broadcast: Vec<(u8, u8)>,
-    /// Elements the broadcast index advances per source router: mesh
-    /// broadcast masks are independent of the source (`at_source` is
-    /// decided by the arrival port alone), so the mesh collapses the
-    /// source dimension entirely (`stride == 0`) — O(routers) entries
-    /// instead of O(routers²).
+    broadcast: Vec<(u16, u8)>,
+    /// Elements the broadcast index advances per source tile: mesh (and
+    /// single-tile CMesh) broadcast masks are independent of the source
+    /// (`at_source` is decided by the arrival port alone), so those
+    /// fabrics collapse the source dimension entirely (`stride == 0`) —
+    /// O(routers) entries instead of O(tiles × routers).
     broadcast_src_stride: usize,
     neighbor: Vec<u16>,
     mc_rank: Vec<u16>,
@@ -99,6 +104,8 @@ impl RoutingTables {
     /// Evaluates the routing spec of `topo` at every table point.
     pub(crate) fn build(topo: &Topology) -> RoutingTables {
         let n_routers = topo.router_count();
+        let n_tiles = topo.tile_count();
+        let concentration = topo.tiles_per_router();
         let endpoints: Vec<Endpoint> = topo.endpoints().collect();
         let n_endpoints = endpoints.len();
 
@@ -106,22 +113,29 @@ impl RoutingTables {
         for r in topo.routers() {
             for &ep in &endpoints {
                 let (port, class1) = topo.unicast_hop(r, ep);
-                unicast.push(port.index() as u8 | (u8::from(class1) << 3));
+                unicast.push(port.index() as u8 | (u8::from(class1) << 4));
             }
         }
 
-        // Mesh broadcast trees ignore the source router, so one source
+        // Mesh broadcast trees ignore the source entirely, and a
+        // single-tile CMesh has no sibling slot to skip, so one source
         // slice serves every source; wraparound fabrics key their fork
-        // budgets on the source and store the full cube.
-        let src_independent = matches!(topo, Topology::Mesh(_));
+        // budgets on the source router, and concentrated fabrics key the
+        // local-delivery set on the source slot — both store the cube.
+        let src_independent = match topo {
+            Topology::Mesh(_) => true,
+            Topology::CMesh(c) => c.concentration() == 1,
+            _ => false,
+        };
         let broadcast_src_stride = if src_independent {
             0
         } else {
             n_routers * ARRIVALS
         };
-        let sources: usize = if src_independent { 1 } else { n_routers };
+        let sources: usize = if src_independent { 1 } else { n_tiles };
         let mut broadcast = Vec::with_capacity(sources * n_routers * ARRIVALS);
-        for src in topo.routers().take(sources) {
+        for src_tile in 0..sources {
+            let src = topo.tile_endpoint(src_tile);
             for here in topo.routers() {
                 for arr in 0..ARRIVALS {
                     let arrived_on = if arr == 4 { None } else { Some(Port::ALL[arr]) };
@@ -161,6 +175,8 @@ impl RoutingTables {
         RoutingTables {
             n_routers,
             n_endpoints,
+            n_tiles,
+            concentration,
             unicast,
             broadcast,
             broadcast_src_stride,
@@ -174,19 +190,35 @@ impl RoutingTables {
     #[inline]
     pub(crate) fn unicast(&self, here: RouterId, ep_idx: usize) -> (Port, bool) {
         let packed = self.unicast[here.index() * self.n_endpoints + ep_idx];
-        (Port::ALL[(packed & 0x7) as usize], packed & 0x8 != 0)
+        (Port::ALL[(packed & 0xF) as usize], packed & 0x10 != 0)
     }
 
     /// Broadcast lookup: fork mask + class bits at `here` for the
-    /// broadcast from `src` arriving through `arrived_on`.
+    /// broadcast from the endpoint `src` arriving through `arrived_on`.
     #[inline]
     pub(crate) fn broadcast(
         &self,
-        src: RouterId,
+        src: Endpoint,
         here: RouterId,
         arrived_on: Option<Port>,
     ) -> (PortMask, u8) {
-        let idx = src.index() * self.broadcast_src_stride
+        // Tile sources index the source dimension by tile number; an MC
+        // source (possible on unordered vnets, unconcentrated fabrics
+        // only) borrows its router's slot-0 tile entry, which is exact
+        // there because the slot never affects the mask. On a concentrated
+        // fabric a tile-source entry suppresses that slot's delivery, so
+        // MC sources are rejected rather than silently mis-delivered.
+        let src_idx = match src.slot {
+            LocalSlot::Tile(k) => src.router.index() * self.concentration as usize + k as usize,
+            LocalSlot::Mc => {
+                debug_assert!(
+                    self.concentration == 1,
+                    "MC-source broadcasts are undefined on concentrated fabrics"
+                );
+                src.router.index() * self.concentration as usize
+            }
+        };
+        let idx = src_idx * self.broadcast_src_stride
             + here.index() * ARRIVALS
             + arrival_index(arrived_on);
         let (mask, classes) = self.broadcast[idx];
@@ -225,18 +257,45 @@ impl RoutingTables {
     #[inline]
     pub(crate) fn endpoint_index(&self, ep: Endpoint) -> usize {
         match ep.slot {
-            LocalSlot::Tile => {
-                assert!(ep.router.index() < self.n_routers);
-                ep.router.index()
+            LocalSlot::Tile(k) => {
+                debug_assert!(ep.router.index() < self.n_routers && k < self.concentration);
+                ep.router.index() * self.concentration as usize + k as usize
             }
-            LocalSlot::Mc => self.n_routers + self.mc_rank(ep.router),
+            LocalSlot::Mc => self.n_tiles + self.mc_rank(ep.router),
         }
     }
 
-    /// Router count the tables were built for.
+    /// The dense endpoint index served by local output `port` of router
+    /// `r` — the ejection-wire demux (tile slot `k` of router `r` is
+    /// endpoint `r·c + k`; the MC port is `n_tiles + mc_rank`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not a local port of `r`.
     #[inline]
-    pub(crate) fn router_count(&self) -> usize {
-        self.n_routers
+    pub(crate) fn local_ep_index(&self, r: RouterId, port: Port) -> usize {
+        match port.tile_index() {
+            Some(k) => {
+                debug_assert!(k < self.concentration, "tile slot {k} absent at {r}");
+                r.index() * self.concentration as usize + k as usize
+            }
+            None => {
+                debug_assert_eq!(port, Port::Mc, "not a local port");
+                self.n_tiles + self.mc_rank(r)
+            }
+        }
+    }
+
+    /// Tile count the tables were built for.
+    #[inline]
+    pub(crate) fn tile_count(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// Tiles per router.
+    #[inline]
+    pub(crate) fn concentration(&self) -> u8 {
+        self.concentration
     }
 }
 
@@ -270,11 +329,14 @@ impl RouteCtx<'_> {
                 };
                 RouteMask {
                     mask: PortMask::single(port),
-                    classes: u8::from(class1) << port.index(),
+                    // Class bits exist only on the four cardinal ports
+                    // (index < 4); a local ejection (up to index 8) never
+                    // carries one, so the shift must be guarded.
+                    classes: if class1 { 1 << port.index() } else { 0 },
                 }
             }
             Dest::Broadcast => {
-                let src = packet.src.router;
+                let src = packet.src;
                 let (mask, classes) = if self.use_tables {
                     self.tables.broadcast(src, here, arrived_on)
                 } else {
@@ -340,6 +402,8 @@ mod tests {
             Topology::from(Mesh::new(5, 3, &[RouterId(2), RouterId(14)])),
             Topology::from(Torus::new(4, 4, &[RouterId(0), RouterId(15)])),
             Topology::from(Ring::with_spread_mcs(9, 3)),
+            Topology::from(crate::topology::CMesh::with_corner_mcs(3, 2, 2)),
+            Topology::from(crate::topology::CMesh::with_corner_mcs(2, 2, 4)),
         ] {
             let tables = RoutingTables::build(&topo);
             let endpoints: Vec<Endpoint> = topo.endpoints().collect();
@@ -352,7 +416,8 @@ mod tests {
                         topo.label()
                     );
                 }
-                for src in topo.routers() {
+                for src_tile in 0..topo.tile_count() {
+                    let src = topo.tile_endpoint(src_tile);
                     for arr in [
                         None,
                         Some(Port::North),
@@ -381,6 +446,21 @@ mod tests {
             for (i, ep) in topo.endpoints().enumerate() {
                 assert_eq!(tables.endpoint_index(ep), i);
                 assert_eq!(tables.endpoint_index(ep), topo.endpoint_index(ep));
+            }
+            // Local ejection demux agrees with endpoint indexing.
+            for r in topo.routers() {
+                for k in 0..topo.tiles_per_router() {
+                    assert_eq!(
+                        tables.local_ep_index(r, Port::tile_slot(k)),
+                        topo.endpoint_index(Endpoint::tile_slot(r, k))
+                    );
+                }
+                if topo.has_mc(r) {
+                    assert_eq!(
+                        tables.local_ep_index(r, Port::Mc),
+                        topo.endpoint_index(Endpoint::mc(r))
+                    );
+                }
             }
         }
     }

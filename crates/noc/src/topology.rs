@@ -42,12 +42,20 @@ pub struct Coord {
     pub y: u16,
 }
 
-/// One of the (up to) six ports of a SCORPIO router.
+/// One of the (up to) nine ports of a SCORPIO router.
 ///
-/// The four cardinal ports connect to neighbouring routers; `Tile` connects
-/// to the tile's network interface controller, and `Mc` is the extra local
-/// port present on the four edge routers that host a memory-controller
-/// attachment (Section 4 of the paper).
+/// The four cardinal ports connect to neighbouring routers; the tile ports
+/// connect to the network interface controllers of the tiles the router
+/// hosts, and `Mc` is the extra local port present on the edge routers
+/// that host a memory-controller attachment (Section 4 of the paper).
+///
+/// On the chip's fabrics every router hosts exactly one tile, so only
+/// `Tile` (slot 0) exists. A *concentrated* mesh attaches up to
+/// [`Port::MAX_TILE_SLOTS`] tiles per router through the additional
+/// `Tile1`..`Tile3` ports — the radix increase that buys CMesh its halved
+/// diameter. The extra tile ports are appended *after* `Mc` in index order
+/// so that every single-tile fabric sees the identical six-port router it
+/// always had (same indices, same arbitration order, same tables).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Port {
     /// Toward the router at `y - 1`.
@@ -58,17 +66,27 @@ pub enum Port {
     East,
     /// Toward the router at `x - 1`.
     West,
-    /// The tile-NIC local port.
+    /// The tile-NIC local port of tile slot 0.
     Tile,
     /// The memory-controller local port (only on MC-hosting routers).
     Mc,
+    /// Tile slot 1 (concentrated fabrics only).
+    Tile1,
+    /// Tile slot 2 (concentrated fabrics only).
+    Tile2,
+    /// Tile slot 3 (concentrated fabrics only).
+    Tile3,
 }
 
 impl Port {
     /// Number of distinct ports.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 9;
 
-    /// All ports, in index order.
+    /// Maximum tiles one router can host (tile slots `0..4`).
+    pub const MAX_TILE_SLOTS: u8 = 4;
+
+    /// All ports, in index order. The first six entries are exactly the
+    /// historical single-tile port set, in its historical order.
     pub const ALL: [Port; Port::COUNT] = [
         Port::North,
         Port::South,
@@ -76,6 +94,9 @@ impl Port {
         Port::West,
         Port::Tile,
         Port::Mc,
+        Port::Tile1,
+        Port::Tile2,
+        Port::Tile3,
     ];
 
     /// Dense index in `0..Port::COUNT`.
@@ -88,6 +109,37 @@ impl Port {
             Port::West => 3,
             Port::Tile => 4,
             Port::Mc => 5,
+            Port::Tile1 => 6,
+            Port::Tile2 => 7,
+            Port::Tile3 => 8,
+        }
+    }
+
+    /// The tile port of local slot `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= Port::MAX_TILE_SLOTS`.
+    #[inline]
+    pub fn tile_slot(k: u8) -> Port {
+        match k {
+            0 => Port::Tile,
+            1 => Port::Tile1,
+            2 => Port::Tile2,
+            3 => Port::Tile3,
+            _ => panic!("tile slot {k} out of range"),
+        }
+    }
+
+    /// The tile slot this port serves, if it is a tile port.
+    #[inline]
+    pub fn tile_index(self) -> Option<u8> {
+        match self {
+            Port::Tile => Some(0),
+            Port::Tile1 => Some(1),
+            Port::Tile2 => Some(2),
+            Port::Tile3 => Some(3),
+            _ => None,
         }
     }
 
@@ -95,7 +147,7 @@ impl Port {
     ///
     /// # Panics
     ///
-    /// Panics for the local ports `Tile` and `Mc`, which have no opposite.
+    /// Panics for the local ports (tiles and `Mc`), which have no opposite.
     #[inline]
     pub fn opposite(self) -> Port {
         match self {
@@ -103,14 +155,14 @@ impl Port {
             Port::South => Port::North,
             Port::East => Port::West,
             Port::West => Port::East,
-            Port::Tile | Port::Mc => panic!("local ports have no opposite"),
+            _ => panic!("local ports have no opposite"),
         }
     }
 
-    /// Whether this is one of the two local (non-mesh) ports.
+    /// Whether this is one of the local (non-mesh) ports.
     #[inline]
     pub fn is_local(self) -> bool {
-        matches!(self, Port::Tile | Port::Mc)
+        !matches!(self, Port::North | Port::South | Port::East | Port::West)
     }
 }
 
@@ -123,6 +175,9 @@ impl fmt::Display for Port {
             Port::West => "W",
             Port::Tile => "tile",
             Port::Mc => "mc",
+            Port::Tile1 => "tile1",
+            Port::Tile2 => "tile2",
+            Port::Tile3 => "tile3",
         };
         f.write_str(s)
     }
@@ -148,7 +203,7 @@ impl fmt::Display for Port {
 /// assert_eq!(m.iter().collect::<Vec<_>>(), vec![Port::Tile]);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct PortMask(u8);
+pub struct PortMask(u16);
 
 impl PortMask {
     /// The empty set.
@@ -197,22 +252,28 @@ impl PortMask {
 
     /// The raw bit representation (bit `i` = `Port::ALL[i]`).
     #[inline]
-    pub(crate) fn bits(self) -> u8 {
+    pub(crate) fn bits(self) -> u16 {
         self.0
     }
 
     /// Rebuilds a mask from its raw bits.
     #[inline]
-    pub(crate) fn from_bits(bits: u8) -> PortMask {
+    pub(crate) fn from_bits(bits: u16) -> PortMask {
         PortMask(bits)
     }
 }
 
 /// Which local attachment of a router an endpoint refers to.
+///
+/// Every fabric addresses its local attachments through this type; on the
+/// chip's single-tile fabrics the only tile slot is `Tile(0)`, while a
+/// concentrated mesh hosts `Tile(0)..Tile(c-1)` behind one router. The
+/// slot is the *normal path* of endpoint indexing, not a special case:
+/// tile endpoint `i` of any topology is `(router i / c, Tile(i % c))`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LocalSlot {
-    /// The tile NIC (core + caches).
-    Tile,
+    /// Tile NIC attachment `k` of the router (core + caches).
+    Tile(u8),
     /// The memory-controller NIC.
     Mc,
 }
@@ -222,9 +283,21 @@ impl LocalSlot {
     #[inline]
     pub fn port(self) -> Port {
         match self {
-            LocalSlot::Tile => Port::Tile,
+            LocalSlot::Tile(k) => Port::tile_slot(k),
             LocalSlot::Mc => Port::Mc,
         }
+    }
+
+    /// Whether this is a tile attachment.
+    #[inline]
+    pub fn is_tile(self) -> bool {
+        matches!(self, LocalSlot::Tile(_))
+    }
+
+    /// Whether this is the memory-controller attachment.
+    #[inline]
+    pub fn is_mc(self) -> bool {
+        matches!(self, LocalSlot::Mc)
     }
 }
 
@@ -241,11 +314,20 @@ pub struct Endpoint {
 }
 
 impl Endpoint {
-    /// The tile endpoint of router `r`.
+    /// The slot-0 tile endpoint of router `r` — the only tile endpoint of
+    /// an unconcentrated router.
     pub fn tile(r: RouterId) -> Endpoint {
         Endpoint {
             router: r,
-            slot: LocalSlot::Tile,
+            slot: LocalSlot::Tile(0),
+        }
+    }
+
+    /// Tile endpoint `k` of router `r` (concentrated fabrics).
+    pub fn tile_slot(r: RouterId, k: u8) -> Endpoint {
+        Endpoint {
+            router: r,
+            slot: LocalSlot::Tile(k),
         }
     }
 
@@ -261,7 +343,8 @@ impl Endpoint {
 impl fmt::Display for Endpoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.slot {
-            LocalSlot::Tile => write!(f, "tile@{}", self.router),
+            LocalSlot::Tile(0) => write!(f, "tile@{}", self.router),
+            LocalSlot::Tile(k) => write!(f, "tile.{k}@{}", self.router),
             LocalSlot::Mc => write!(f, "mc@{}", self.router),
         }
     }
@@ -389,7 +472,7 @@ impl Mesh {
         self.rows
     }
 
-    /// Total number of routers (== tiles).
+    /// Total number of routers (each hosting one tile on a plain mesh).
     pub fn router_count(&self) -> usize {
         self.cols as usize * self.rows as usize
     }
@@ -547,7 +630,8 @@ impl Mesh {
                     mask.insert(Port::North);
                 }
             }
-            Some(local @ (Port::Tile | Port::Mc)) => {
+            Some(local) => {
+                debug_assert!(local.is_local());
                 panic!("broadcast flit cannot arrive on local port {local}")
             }
         }
@@ -723,7 +807,7 @@ impl Torus {
             Port::South => (c.x, (c.y + 1) % self.rows),
             Port::East => ((c.x + 1) % self.cols, c.y),
             Port::West => ((c.x + self.cols - 1) % self.cols, c.y),
-            Port::Tile | Port::Mc => return None,
+            _ => return None,
         };
         Some(RouterId(y * self.cols + x))
     }
@@ -738,7 +822,7 @@ impl Torus {
             Port::West => c.x == 0,
             Port::South => c.y + 1 == self.rows,
             Port::North => c.y == 0,
-            Port::Tile | Port::Mc => false,
+            _ => false,
         }
     }
 
@@ -840,7 +924,8 @@ impl Torus {
                     mask.insert(Port::North);
                 }
             }
-            Some(local @ (Port::Tile | Port::Mc)) => {
+            Some(local) => {
+                debug_assert!(local.is_local());
                 panic!("broadcast flit cannot arrive on local port {local}")
             }
         }
@@ -871,7 +956,7 @@ impl Torus {
             Port::West => nc.x >= dc.x,
             Port::South => nc.y <= dc.y,
             Port::North => nc.y >= dc.y,
-            Port::Tile | Port::Mc => unreachable!("checked above"),
+            _ => unreachable!("checked above"),
         }
     }
 
@@ -914,14 +999,14 @@ impl Torus {
                     self.rows,
                 )
             }
-            Port::Tile | Port::Mc => unreachable!("checked above"),
+            _ => unreachable!("checked above"),
         };
         match port {
             // Positive directions wrap leaving the last row/column.
             Port::East | Port::South => pos + rem < span,
             // Negative directions wrap leaving row/column 0.
             Port::West | Port::North => rem <= pos,
-            Port::Tile | Port::Mc => unreachable!("checked above"),
+            _ => unreachable!("checked above"),
         }
     }
 }
@@ -1122,6 +1207,172 @@ impl Ring {
     }
 }
 
+/// A concentrated 2-D mesh: a mesh of routers where every router hosts
+/// `concentration` tiles instead of one.
+///
+/// Concentration is the classic lever against mesh diameter (Slim NoC,
+/// Epiphany-V): at the same core count a `c`-concentrated mesh has `1/c`
+/// the routers, so the worst-case ordered-broadcast path — and with it the
+/// notification window — shrinks with the router grid, paid for by a
+/// higher-radix router (4 mesh ports + `c` tile ports + optional MC).
+/// Routing is exactly the mesh's XY spec over the router grid; the only
+/// new behavior is local delivery, where a broadcast feeds *every* tile
+/// port of a router — except the source's own slot, which self-delivers
+/// through its NIC loopback like every SCORPIO source does.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_noc::{CMesh, RouterId, Topology};
+///
+/// // 16 tiles as 8 routers x 2 tiles: diameter 4 instead of the 4x4
+/// // mesh's 6.
+/// let cm = CMesh::with_corner_mcs(4, 2, 2);
+/// assert_eq!(cm.router_count(), 8);
+/// assert_eq!(cm.tile_count(), 16);
+/// let topo = Topology::from(cm);
+/// assert_eq!(topo.diameter(), 4);
+/// assert_eq!(topo.endpoint_count(), 20); // 16 tiles + 4 MC ports
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CMesh {
+    mesh: Mesh,
+    concentration: u8,
+}
+
+impl CMesh {
+    /// Creates a `cols × rows` router grid hosting `concentration` tiles
+    /// per router, with MC ports on `mc_routers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero, if `concentration` is zero or
+    /// exceeds [`Port::MAX_TILE_SLOTS`], or on a bad MC list.
+    pub fn new(cols: u16, rows: u16, concentration: u8, mc_routers: &[RouterId]) -> CMesh {
+        assert!(
+            (1..=Port::MAX_TILE_SLOTS).contains(&concentration),
+            "concentration must be 1..={}, got {concentration}",
+            Port::MAX_TILE_SLOTS
+        );
+        CMesh {
+            mesh: Mesh::new(cols, rows, mc_routers),
+            concentration,
+        }
+    }
+
+    /// A `cols × rows` router grid with MC ports on the four corners
+    /// (collapsed on degenerate 1-wide grids).
+    pub fn with_corner_mcs(cols: u16, rows: u16, concentration: u8) -> CMesh {
+        let last = RouterId(cols * rows - 1);
+        let mut corners: Vec<RouterId> = Vec::with_capacity(4);
+        for c in [
+            RouterId(0),
+            RouterId(cols - 1),
+            RouterId(cols * (rows - 1)),
+            last,
+        ] {
+            if !corners.contains(&c) {
+                corners.push(c);
+            }
+        }
+        corners.sort();
+        CMesh::new(cols, rows, concentration, &corners)
+    }
+
+    /// Number of router-grid columns.
+    pub fn cols(&self) -> u16 {
+        self.mesh.cols()
+    }
+
+    /// Number of router-grid rows.
+    pub fn rows(&self) -> u16 {
+        self.mesh.rows()
+    }
+
+    /// Tiles hosted per router.
+    pub fn concentration(&self) -> u8 {
+        self.concentration
+    }
+
+    /// Total number of routers.
+    pub fn router_count(&self) -> usize {
+        self.mesh.router_count()
+    }
+
+    /// Total number of tiles (`routers × concentration`).
+    pub fn tile_count(&self) -> usize {
+        self.router_count() * self.concentration as usize
+    }
+
+    /// The routers hosting memory-controller ports, ascending.
+    pub fn mc_routers(&self) -> &[RouterId] {
+        self.mesh.mc_routers()
+    }
+
+    /// Whether `r` hosts a memory-controller port.
+    pub fn has_mc(&self, r: RouterId) -> bool {
+        self.mesh.has_mc(r)
+    }
+
+    /// The coordinate of router `r` in the router grid.
+    pub fn coord(&self, r: RouterId) -> Coord {
+        self.mesh.coord(r)
+    }
+
+    /// The neighbour of `r` through `port` (router-grid mesh links).
+    pub fn neighbor(&self, r: RouterId, port: Port) -> Option<RouterId> {
+        self.mesh.neighbor(r, port)
+    }
+
+    /// Worst-case unicast hop count — the *router grid's* diameter, which
+    /// is what concentration shrinks.
+    pub fn diameter(&self) -> u16 {
+        self.mesh.diameter()
+    }
+
+    /// Hop distance derived from the routing walk (see [`Mesh::hops`]).
+    pub fn hops(&self, a: RouterId, b: RouterId) -> u16 {
+        self.mesh.hops(a, b)
+    }
+
+    /// Routing spec: XY dimension-ordered routing over the router grid;
+    /// at the destination router, eject through the endpoint's slot port.
+    pub fn unicast_port(&self, here: RouterId, dest: Endpoint) -> Port {
+        self.mesh.unicast_port(here, dest)
+    }
+
+    /// Routing spec: the mesh XY broadcast tree over the router grid, with
+    /// concentrated local delivery — every tile port of every router gets
+    /// a copy, except the source endpoint's own slot (NIC loopback), and
+    /// MC routers feed their MC port exactly as on the mesh.
+    pub fn broadcast_ports(
+        &self,
+        src: Endpoint,
+        here: RouterId,
+        arrived_on: Option<Port>,
+    ) -> PortMask {
+        let mut mask = self.mesh.broadcast_ports(src.router, here, arrived_on);
+        // The mesh spec's local delivery covers exactly one tile (slot 0,
+        // absent at the source router); replace it with the concentrated
+        // set: all slots, minus the source's own slot at the source router.
+        mask.remove(Port::Tile);
+        let skip = if arrived_on.is_none() {
+            match src.slot {
+                LocalSlot::Tile(k) => Some(k),
+                LocalSlot::Mc => None,
+            }
+        } else {
+            None
+        };
+        for k in 0..self.concentration {
+            if Some(k) != skip {
+                mask.insert(Port::tile_slot(k));
+            }
+        }
+        mask
+    }
+}
+
 /// The delivery fabric of the main network: one of the supported
 /// topologies behind a single interface.
 ///
@@ -1157,6 +1408,8 @@ pub enum Topology {
     Torus(Torus),
     /// A bidirectional ring (East/West only).
     Ring(Ring),
+    /// A concentrated 2-D mesh (multiple tiles per router).
+    CMesh(CMesh),
 }
 
 // Renders as the *inner* topology so a mesh still debug-prints exactly as
@@ -1170,6 +1423,7 @@ impl fmt::Debug for Topology {
             Topology::Mesh(m) => m.fmt(f),
             Topology::Torus(t) => t.fmt(f),
             Topology::Ring(r) => r.fmt(f),
+            Topology::CMesh(c) => c.fmt(f),
         }
     }
 }
@@ -1213,6 +1467,18 @@ impl From<&Ring> for Topology {
     }
 }
 
+impl From<CMesh> for Topology {
+    fn from(c: CMesh) -> Topology {
+        Topology::CMesh(c)
+    }
+}
+
+impl From<&CMesh> for Topology {
+    fn from(c: &CMesh) -> Topology {
+        Topology::CMesh(c.clone())
+    }
+}
+
 impl From<&Topology> for Topology {
     fn from(t: &Topology) -> Topology {
         t.clone()
@@ -1220,32 +1486,64 @@ impl From<&Topology> for Topology {
 }
 
 impl Topology {
-    /// Short kind name: `"mesh"`, `"torus"` or `"ring"`.
+    /// Short kind name: `"mesh"`, `"torus"`, `"ring"` or `"cmesh"`.
     pub fn name(&self) -> &'static str {
         match self {
             Topology::Mesh(_) => "mesh",
             Topology::Torus(_) => "torus",
             Topology::Ring(_) => "ring",
+            Topology::CMesh(_) => "cmesh",
         }
     }
 
     /// Geometry label: `"6x6"` for a mesh (unchanged from the pre-topology
-    /// labels), `"torus6x6"`, `"ring36"`.
+    /// labels), `"torus6x6"`, `"ring36"`, `"cmesh4x2x2"` (router grid ×
+    /// concentration).
     pub fn label(&self) -> String {
         match self {
             Topology::Mesh(m) => format!("{}x{}", m.cols(), m.rows()),
             Topology::Torus(t) => format!("torus{}x{}", t.cols(), t.rows()),
             Topology::Ring(r) => format!("ring{}", r.router_count()),
+            Topology::CMesh(c) => {
+                format!("cmesh{}x{}x{}", c.cols(), c.rows(), c.concentration())
+            }
         }
     }
 
-    /// Total number of routers (== tiles).
+    /// Total number of routers.
     pub fn router_count(&self) -> usize {
         match self {
             Topology::Mesh(m) => m.router_count(),
             Topology::Torus(t) => t.router_count(),
             Topology::Ring(r) => r.router_count(),
+            Topology::CMesh(c) => c.router_count(),
         }
+    }
+
+    /// Tiles hosted per router (`1` on every unconcentrated fabric).
+    pub fn tiles_per_router(&self) -> u8 {
+        match self {
+            Topology::CMesh(c) => c.concentration(),
+            _ => 1,
+        }
+    }
+
+    /// Total number of tiles (`router_count × tiles_per_router`). This —
+    /// not the router count — is the system's core count.
+    pub fn tile_count(&self) -> usize {
+        self.router_count() * self.tiles_per_router() as usize
+    }
+
+    /// The endpoint of tile `i`: router `i / c`, slot `i % c` — the normal
+    /// path of endpoint indexing (`c == 1` collapses to router `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn tile_endpoint(&self, i: usize) -> Endpoint {
+        assert!(i < self.tile_count(), "tile {i} out of range");
+        let c = self.tiles_per_router() as usize;
+        Endpoint::tile_slot(RouterId((i / c) as u16), (i % c) as u8)
     }
 
     /// The routers hosting memory-controller ports, in ascending order.
@@ -1254,6 +1552,7 @@ impl Topology {
             Topology::Mesh(m) => m.mc_routers(),
             Topology::Torus(t) => t.mc_routers(),
             Topology::Ring(r) => r.mc_routers(),
+            Topology::CMesh(c) => c.mc_routers(),
         }
     }
 
@@ -1263,6 +1562,7 @@ impl Topology {
             Topology::Mesh(m) => m.has_mc(r),
             Topology::Torus(t) => t.has_mc(r),
             Topology::Ring(r_) => r_.has_mc(r),
+            Topology::CMesh(c) => c.has_mc(r),
         }
     }
 
@@ -1272,6 +1572,7 @@ impl Topology {
             Topology::Mesh(m) => m.neighbor(r, port),
             Topology::Torus(t) => t.neighbor(r, port),
             Topology::Ring(r_) => r_.neighbor(r, port),
+            Topology::CMesh(c) => c.neighbor(r, port),
         }
     }
 
@@ -1280,24 +1581,34 @@ impl Topology {
         (0..self.router_count() as u16).map(RouterId)
     }
 
-    /// Iterates over every endpoint: all tiles, then all MC ports.
+    /// Iterates over every endpoint: all tiles in tile-index order
+    /// (router-major, slot-minor), then all MC ports.
     pub fn endpoints(&self) -> impl Iterator<Item = Endpoint> + '_ {
-        self.routers()
-            .map(Endpoint::tile)
+        (0..self.tile_count())
+            .map(|i| self.tile_endpoint(i))
             .chain(self.mc_routers().iter().copied().map(Endpoint::mc))
     }
 
     /// Number of endpoints (tiles + MC ports).
     pub fn endpoint_count(&self) -> usize {
-        self.router_count() + self.mc_routers().len()
+        self.tile_count() + self.mc_routers().len()
     }
 
     /// Worst-case unicast hop count between any router pair.
+    ///
+    /// This is the *single* diameter derivation in the system: the
+    /// notification-network window, the OR-propagation convergence bound
+    /// and the physical wire model all consume this function, and
+    /// `walked_diameter` in `routing.rs` (the ground truth obtained by
+    /// walking the unicast spec between every router pair) is asserted
+    /// equal to it for every topology — so the declared diameter and the
+    /// paths flits actually take can never disagree.
     pub fn diameter(&self) -> u16 {
         match self {
             Topology::Mesh(m) => m.diameter(),
             Topology::Torus(t) => t.diameter(),
             Topology::Ring(r) => r.diameter(),
+            Topology::CMesh(c) => c.diameter(),
         }
     }
 
@@ -1316,20 +1627,21 @@ impl Topology {
             Topology::Mesh(m) => m.hops(a, b),
             Topology::Torus(t) => t.hops(a, b),
             Topology::Ring(r) => r.hops(a, b),
+            Topology::CMesh(c) => c.hops(a, b),
         }
     }
 
     /// Whether this topology has wraparound links and therefore needs the
     /// dateline VC-class discipline (requires ≥ 2 regular VCs per vnet).
     pub fn has_datelines(&self) -> bool {
-        !matches!(self, Topology::Mesh(_))
+        matches!(self, Topology::Torus(_) | Topology::Ring(_))
     }
 
     /// Whether the link leaving `r` through `port` crosses its
     /// dimension's dateline.
     pub fn wrap_link(&self, r: RouterId, port: Port) -> bool {
         match self {
-            Topology::Mesh(_) => false,
+            Topology::Mesh(_) | Topology::CMesh(_) => false,
             Topology::Torus(t) => t.wrap_link(r, port),
             Topology::Ring(r_) => r_.wrap_link(r, port),
         }
@@ -1342,22 +1654,30 @@ impl Topology {
             Topology::Mesh(m) => m.unicast_port(here, dest),
             Topology::Torus(t) => t.unicast_port(here, dest),
             Topology::Ring(r) => r.unicast_port(here, dest),
+            Topology::CMesh(c) => c.unicast_port(here, dest),
         }
     }
 
     /// Routing spec: the output set (mesh ports + local deliveries) for a
-    /// broadcast from `src` observed at `here` having arrived through
-    /// `arrived_on` (`None` at the source router).
+    /// broadcast from the endpoint `src` observed at `here` having arrived
+    /// through `arrived_on` (`None` at the source router).
+    ///
+    /// The source is an *endpoint*, not a router: on a concentrated fabric
+    /// the source router still feeds its sibling tile slots (only the
+    /// source's own slot self-delivers through the NIC loopback), so the
+    /// fork mask depends on which slot injected. Unconcentrated fabrics
+    /// ignore the slot.
     pub fn broadcast_ports(
         &self,
-        src: RouterId,
+        src: Endpoint,
         here: RouterId,
         arrived_on: Option<Port>,
     ) -> PortMask {
         match self {
-            Topology::Mesh(m) => m.broadcast_ports(src, here, arrived_on),
-            Topology::Torus(t) => t.broadcast_ports(src, here, arrived_on),
-            Topology::Ring(r) => r.broadcast_ports(src, here, arrived_on),
+            Topology::Mesh(m) => m.broadcast_ports(src.router, here, arrived_on),
+            Topology::Torus(t) => t.broadcast_ports(src.router, here, arrived_on),
+            Topology::Ring(r) => r.broadcast_ports(src.router, here, arrived_on),
+            Topology::CMesh(c) => c.broadcast_ports(src, here, arrived_on),
         }
     }
 
@@ -1367,7 +1687,7 @@ impl Topology {
     pub fn unicast_hop(&self, here: RouterId, dest: Endpoint) -> (Port, bool) {
         let port = self.unicast_port(here, dest);
         let class = match self {
-            Topology::Mesh(_) => false,
+            Topology::Mesh(_) | Topology::CMesh(_) => false,
             Topology::Torus(t) => t.unicast_class(here, dest, port),
             Topology::Ring(r) => r.unicast_class(here, dest, port),
         };
@@ -1376,27 +1696,29 @@ impl Topology {
 
     /// Routing spec with dateline classes: the broadcast output set plus a
     /// bitmask (by [`Port::index`]) of outputs whose downstream VC must
-    /// come from the class-1 partition (always 0 on a mesh).
+    /// come from the class-1 partition (always 0 on mesh-like fabrics).
+    /// Class bits only ever appear on the four cardinal ports (indices
+    /// `0..4`); local ports never carry one.
     pub fn broadcast_hop(
         &self,
-        src: RouterId,
+        src: Endpoint,
         here: RouterId,
         arrived_on: Option<Port>,
     ) -> (PortMask, u8) {
         let mask = self.broadcast_ports(src, here, arrived_on);
         let mut classes = 0u8;
         match self {
-            Topology::Mesh(_) => {}
+            Topology::Mesh(_) | Topology::CMesh(_) => {}
             Topology::Torus(t) => {
                 for p in mask.iter() {
-                    if t.broadcast_class(src, here, p) {
+                    if t.broadcast_class(src.router, here, p) {
                         classes |= 1 << p.index();
                     }
                 }
             }
             Topology::Ring(r) => {
                 for p in mask.iter() {
-                    if r.broadcast_class(src, here, p) {
+                    if r.broadcast_class(src.router, here, p) {
                         classes |= 1 << p.index();
                     }
                 }
@@ -1405,24 +1727,30 @@ impl Topology {
         (mask, classes)
     }
 
-    /// The dense index of `ep`: tiles first (by router id), then MC ports
-    /// (by MC-router rank).
+    /// The dense index of `ep`: tiles first (router-major, slot-minor — a
+    /// tile's index *is* its core/SID number), then MC ports by MC-router
+    /// rank.
     ///
     /// # Panics
     ///
     /// Panics if `ep` does not exist in this topology.
     pub fn endpoint_index(&self, ep: Endpoint) -> usize {
+        let c = self.tiles_per_router();
         match ep.slot {
-            LocalSlot::Tile => {
-                assert!(ep.router.index() < self.router_count());
-                ep.router.index()
+            LocalSlot::Tile(k) => {
+                assert!(
+                    ep.router.index() < self.router_count() && k < c,
+                    "no tile slot {k} at {}",
+                    ep.router
+                );
+                ep.router.index() * c as usize + k as usize
             }
             LocalSlot::Mc => {
                 let pos = self
                     .mc_routers()
                     .binary_search(&ep.router)
                     .unwrap_or_else(|_| panic!("no MC port at {}", ep.router));
-                self.router_count() + pos
+                self.tile_count() + pos
             }
         }
     }

@@ -107,7 +107,7 @@ fn engines_are_cycle_exact_under_random_traffic() {
                 for &ep in &eps {
                     if rng.chance(0.03) {
                         let to = eps[rng.gen_range_usize(eps.len())];
-                        if ep.slot == scorpio_noc::LocalSlot::Tile && rng.chance(0.5) {
+                        if ep.slot.is_tile() && rng.chance(0.5) {
                             let _ = net.try_inject(
                                 ep,
                                 Packet::request(ep, Sid(ep.router.0), cycle as u16, cycle),

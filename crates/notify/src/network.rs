@@ -36,10 +36,12 @@ impl NotifyConfig {
 
     /// The configuration for any delivery fabric: 1 bit per core, window
     /// from [`Topology::notification_window`] (diameter-derived, so a
-    /// torus gets a tighter window than the mesh of the same size).
+    /// torus — or a concentrated mesh, whose *router grid* is what bounds
+    /// propagation — gets a tighter window than the mesh of the same core
+    /// count).
     pub fn for_topology(topo: &Topology) -> Self {
         NotifyConfig {
-            cores: topo.router_count(),
+            cores: topo.tile_count(),
             bits_per_core: 1,
             window: topo.notification_window(),
         }
@@ -76,6 +78,10 @@ pub struct NotifyNetwork {
     /// fan-in of each notification router.
     adj: Vec<u32>,
     adj_idx: Vec<u32>,
+    /// The notification router each core's bit lane injects at — on a
+    /// concentrated fabric several cores share one router (`tile_router[i]
+    /// == i / c`); everywhere else it is the identity.
+    tile_router: Vec<u32>,
     cycle: Cycle,
     /// Number of main-network planes the message word groups announce for.
     planes: usize,
@@ -136,7 +142,10 @@ impl NotifyNetwork {
             cfg.window,
             diameter
         );
-        assert_eq!(cfg.cores, topo.router_count(), "one bit-lane per tile");
+        assert_eq!(cfg.cores, topo.tile_count(), "one bit-lane per tile");
+        let tile_router: Vec<u32> = (0..cfg.cores)
+            .map(|i| topo.tile_endpoint(i).router.0 as u32)
+            .collect();
         // Flatten the neighbour lists: the OR-propagation step visits them
         // in router order, and a router's merge order is irrelevant (OR is
         // commutative), so mesh behavior is bit-identical to the old
@@ -161,6 +170,7 @@ impl NotifyNetwork {
         NotifyNetwork {
             adj,
             adj_idx,
+            tile_router,
             cycle: Cycle::ZERO,
             planes,
             acc: vec![blank.clone(); topo.router_count()],
@@ -264,7 +274,9 @@ impl NotifyNetwork {
                 let lane = self.pending_dirty[k];
                 let (plane, core) = (lane / self.cfg.cores, lane % self.cfg.cores);
                 let (count, stop) = std::mem::take(&mut self.pending[lane]);
-                let msg = &mut self.acc[core];
+                // Latch at the router hosting this core's tile; the lane
+                // inside the message stays the core number.
+                let msg = &mut self.acc[self.tile_router[core] as usize];
                 if count > 0 {
                     msg.set_count_in(plane, core, count);
                 }
@@ -315,8 +327,10 @@ impl NotifyNetwork {
 
     /// The port fan-in of a notification router (for the physical model):
     /// 4 neighbour inputs + local, merged by five OR gates per Figure 3.
+    /// (Concentration does not add gates: co-hosted cores share the local
+    /// input, their contributions having been ORed at the latch.)
     pub fn router_or_gate_count() -> usize {
-        Port::COUNT - 1
+        5
     }
 }
 
@@ -521,6 +535,35 @@ mod tests {
     #[test]
     fn or_gate_count_matches_figure3() {
         assert_eq!(NotifyNetwork::router_or_gate_count(), 5);
+    }
+
+    #[test]
+    fn cmesh_lanes_share_routers_and_converge_in_the_smaller_window() {
+        use scorpio_noc::{CMesh, Topology};
+        // 16 cores as a 4x2 router grid x 2 tiles: diameter 4, window 7 —
+        // tighter than the 4x4 mesh's 9 at the same core count.
+        let topo: Topology = CMesh::with_corner_mcs(4, 2, 2).into();
+        let cfg = NotifyConfig::for_topology(&topo);
+        assert_eq!(cfg.cores, 16);
+        assert_eq!(cfg.window, 7);
+        let mut nn = NotifyNetwork::new(&topo, cfg.clone());
+        // Cores 0 and 1 share router 0; core 15 sits at router 7.
+        nn.stage_injection(0, 1, false);
+        nn.stage_injection(1, 1, false);
+        nn.stage_injection(15, 0, true);
+        for _ in 0..cfg.window {
+            nn.tick();
+        }
+        let (w, msg) = nn.latest().unwrap();
+        assert_eq!(w, 0);
+        assert_eq!(msg.count(0), 1);
+        assert_eq!(msg.count(1), 1);
+        assert_eq!(msg.total(), 2);
+        assert!(msg.stop());
+        // Every *router* latched the identical merged word.
+        for r in 0..8u16 {
+            assert_eq!(nn.latched_at(RouterId(r)).total(), 2);
+        }
     }
 
     #[test]

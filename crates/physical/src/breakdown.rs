@@ -164,85 +164,170 @@ pub fn router_power_scale(goreq_vcs: u8) -> f64 {
 }
 
 /// The main-network port count of one router on `fabric` (`"mesh"`,
-/// `"torus"` or `"ring"`): mesh and torus routers switch four directions
-/// plus the local port; a ring router has only East/West plus local. The
-/// chip's 5-port mesh router is the baseline the area/power shares of
-/// Figure 9 were synthesized for.
+/// `"torus"`, `"ring"` or `"cmesh"`) hosting `concentration` local tile
+/// attachments: four mesh directions (two on a ring) plus one local port
+/// per tile. The chip's 5-port mesh router (`concentration == 1`) is the
+/// baseline the area/power shares of Figure 9 were synthesized for; a
+/// concentration-4 CMesh router switches 8 ports.
+///
+/// This is the single radix derivation the physical model uses — the
+/// concentration comes from `Topology::tiles_per_router`, the same source
+/// the delivery fabric and notification window are built from, so the
+/// wire model can never disagree with the topology about router shape.
+///
+/// # Panics
+///
+/// Panics on an unknown fabric name or zero concentration.
+pub fn router_radix_c(fabric: &str, concentration: usize) -> usize {
+    assert!(concentration > 0, "at least one tile per router");
+    match fabric {
+        "mesh" | "torus" | "cmesh" => 4 + concentration,
+        "ring" => 2 + concentration,
+        other => panic!("unknown fabric {other:?}"),
+    }
+}
+
+/// [`router_radix_c`] at the chip's one-tile-per-router concentration.
 ///
 /// # Panics
 ///
 /// Panics on an unknown fabric name.
 pub fn router_radix(fabric: &str) -> usize {
-    match fabric {
-        "mesh" | "torus" => 5,
-        "ring" => 3,
-        other => panic!("unknown fabric {other:?}"),
-    }
+    router_radix_c(fabric, 1)
 }
 
-/// Average link-length scale of `fabric` relative to the mesh's
-/// nearest-neighbour links. A folded torus keeps every physical link equal
-/// but twice the mesh hop length (the standard folding layout for the
-/// wraparound links); a ring laid out as a folded loop likewise pays ~2×
-/// per link. Link energy scales linearly with wire length.
+/// Average link-length scale of `fabric` at `concentration` tiles per
+/// router, relative to the mesh's nearest-neighbour links. A folded torus
+/// keeps every physical link equal but twice the mesh hop length (the
+/// standard folding layout for the wraparound links); a ring laid out as
+/// a folded loop likewise pays ~2×. Concentrating `c` tiles behind one
+/// router stretches each inter-router link across a `√c × √c` tile block,
+/// so wire length grows with `√c`. Link energy scales linearly with wire
+/// length.
+///
+/// # Panics
+///
+/// Panics on an unknown fabric name or zero concentration.
+pub fn link_length_scale_c(fabric: &str, concentration: usize) -> f64 {
+    assert!(concentration > 0, "at least one tile per router");
+    let base = match fabric {
+        "mesh" | "cmesh" => 1.0,
+        "torus" | "ring" => 2.0,
+        other => panic!("unknown fabric {other:?}"),
+    };
+    base * (concentration as f64).sqrt()
+}
+
+/// [`link_length_scale_c`] at concentration 1.
 ///
 /// # Panics
 ///
 /// Panics on an unknown fabric name.
 pub fn link_length_scale(fabric: &str) -> f64 {
-    match fabric {
-        "mesh" => 1.0,
-        "torus" | "ring" => 2.0,
-        other => panic!("unknown fabric {other:?}"),
-    }
+    link_length_scale_c(fabric, 1)
 }
 
 /// Router+NIC area relative to the chip's 4-VC *mesh* router, corrected
 /// for the fabric's router radix: crossbar area grows with the square of
 /// the port count, buffers/allocators linearly, modeled here as the mean
 /// of the two. A 3-port ring router is therefore markedly smaller than
-/// the 5-port mesh router at the same VC count.
-pub fn router_area_scale_topo(goreq_vcs: u8, fabric: &str) -> f64 {
-    let r = router_radix(fabric) as f64 / router_radix("mesh") as f64;
+/// the 5-port mesh router at the same VC count, and a concentration-4
+/// CMesh router markedly larger.
+pub fn router_area_scale_topo_c(goreq_vcs: u8, fabric: &str, concentration: usize) -> f64 {
+    let r = router_radix_c(fabric, concentration) as f64 / router_radix("mesh") as f64;
     router_area_scale(goreq_vcs) * (r * r + r) / 2.0
+}
+
+/// [`router_area_scale_topo_c`] at concentration 1.
+pub fn router_area_scale_topo(goreq_vcs: u8, fabric: &str) -> f64 {
+    router_area_scale_topo_c(goreq_vcs, fabric, 1)
 }
 
 /// Router+NIC power relative to the chip's 4-VC mesh router, corrected
 /// for router radix (switching energy follows the same crossbar/buffer
-/// split as [`router_area_scale_topo`]) and for the fabric's link length
-/// (link drivers are ~40% of router+link power on the chip's
+/// split as [`router_area_scale_topo_c`]) and for the fabric's link
+/// length (link drivers are ~40% of router+link power on the chip's
 /// nearest-neighbour links).
-pub fn router_power_scale_topo(goreq_vcs: u8, fabric: &str) -> f64 {
-    let r = router_radix(fabric) as f64 / router_radix("mesh") as f64;
+pub fn router_power_scale_topo_c(goreq_vcs: u8, fabric: &str, concentration: usize) -> f64 {
+    let r = router_radix_c(fabric, concentration) as f64 / router_radix("mesh") as f64;
     let switching = router_power_scale(goreq_vcs) * (r * r + r) / 2.0;
     const LINK_FRACTION: f64 = 0.4;
-    switching * (1.0 - LINK_FRACTION) + switching * LINK_FRACTION * link_length_scale(fabric)
+    switching * (1.0 - LINK_FRACTION)
+        + switching * LINK_FRACTION * link_length_scale_c(fabric, concentration)
 }
 
-/// Total main-network area relative to the chip's single-plane 4-VC mesh:
-/// replicating the network multiplies routers *and* links per plane, so
-/// area scales linearly with the plane count on top of the per-router
-/// topology correction.
-pub fn network_area_scale(goreq_vcs: u8, fabric: &str, planes: usize) -> f64 {
+/// [`router_power_scale_topo_c`] at concentration 1.
+pub fn router_power_scale_topo(goreq_vcs: u8, fabric: &str) -> f64 {
+    router_power_scale_topo_c(goreq_vcs, fabric, 1)
+}
+
+/// Total main-network area relative to the chip's single-plane 4-VC mesh
+/// *at the same tile count*: replicating the network multiplies routers
+/// and links per plane, while concentrating divides the router count by
+/// `concentration` — so a bigger router is paid for out of fewer routers.
+/// At concentration 2 the per-router area rises ~1.3× but only half the
+/// routers exist, a net win the `cmesh` sweeps report.
+pub fn network_area_scale_c(
+    goreq_vcs: u8,
+    fabric: &str,
+    planes: usize,
+    concentration: usize,
+) -> f64 {
     assert!(planes > 0, "at least one plane");
-    planes as f64 * router_area_scale_topo(goreq_vcs, fabric)
+    planes as f64 * router_area_scale_topo_c(goreq_vcs, fabric, concentration)
+        / concentration as f64
+}
+
+/// [`network_area_scale_c`] at concentration 1.
+pub fn network_area_scale(goreq_vcs: u8, fabric: &str, planes: usize) -> f64 {
+    network_area_scale_c(goreq_vcs, fabric, planes, 1)
 }
 
 /// Total main-network power budget relative to the chip's single-plane
-/// 4-VC mesh. Idle planes clock-gate nothing in this model — the honest
-/// upper bound for the replication cost the `planes` sweeps report.
-pub fn network_power_scale(goreq_vcs: u8, fabric: &str, planes: usize) -> f64 {
+/// 4-VC mesh at the same tile count (see [`network_area_scale_c`] for the
+/// router-count normalization). Idle planes clock-gate nothing in this
+/// model — the honest upper bound for the replication cost the `planes`
+/// sweeps report.
+pub fn network_power_scale_c(
+    goreq_vcs: u8,
+    fabric: &str,
+    planes: usize,
+    concentration: usize,
+) -> f64 {
     assert!(planes > 0, "at least one plane");
-    planes as f64 * router_power_scale_topo(goreq_vcs, fabric)
+    planes as f64 * router_power_scale_topo_c(goreq_vcs, fabric, concentration)
+        / concentration as f64
+}
+
+/// [`network_power_scale_c`] at concentration 1.
+pub fn network_power_scale(goreq_vcs: u8, fabric: &str, planes: usize) -> f64 {
+    network_power_scale_c(goreq_vcs, fabric, planes, 1)
 }
 
 /// Relative network energy per delivered message: the scaled network
 /// power integrated over the run, divided by the messages it delivered.
-/// Reported (not just cycles) by the multi-plane and topology sweeps so
-/// "more planes" and "better topology" compare on energy terms; only
-/// ratios between configurations are meaningful.
+/// Reported (not just cycles) by the multi-plane, topology and cmesh
+/// sweeps so "more planes", "better topology" and "more concentration"
+/// compare on energy terms; only ratios between configurations are
+/// meaningful.
 ///
 /// Returns 0 when no messages were delivered.
+pub fn energy_per_message_scale_c(
+    goreq_vcs: u8,
+    fabric: &str,
+    planes: usize,
+    concentration: usize,
+    runtime_cycles: u64,
+    messages: u64,
+) -> f64 {
+    if messages == 0 {
+        return 0.0;
+    }
+    network_power_scale_c(goreq_vcs, fabric, planes, concentration) * runtime_cycles as f64
+        / messages as f64
+}
+
+/// [`energy_per_message_scale_c`] at concentration 1.
 pub fn energy_per_message_scale(
     goreq_vcs: u8,
     fabric: &str,
@@ -250,10 +335,7 @@ pub fn energy_per_message_scale(
     runtime_cycles: u64,
     messages: u64,
 ) -> f64 {
-    if messages == 0 {
-        return 0.0;
-    }
-    network_power_scale(goreq_vcs, fabric, planes) * runtime_cycles as f64 / messages as f64
+    energy_per_message_scale_c(goreq_vcs, fabric, planes, 1, runtime_cycles, messages)
 }
 
 /// Notification-network data width: m bits per core plus the stop bit,
@@ -365,5 +447,34 @@ mod tests {
     #[should_panic(expected = "unknown fabric")]
     fn unknown_fabric_panics() {
         let _ = router_radix("hypercube");
+    }
+
+    #[test]
+    fn concentration_scaling_trades_radix_for_router_count() {
+        // A c=1 cmesh is the mesh baseline exactly.
+        assert_eq!(router_radix_c("cmesh", 1), 5);
+        assert!((router_area_scale_topo_c(4, "cmesh", 1) - 1.0).abs() < 1e-9);
+        assert!((network_power_scale_c(4, "cmesh", 1, 1) - 1.0).abs() < 1e-9);
+        // Radix grows with concentration; the ring keeps its 2-port base.
+        assert_eq!(router_radix_c("cmesh", 4), 8);
+        assert_eq!(router_radix_c("ring", 4), 6);
+        // Per-router cost rises with concentration...
+        assert!(router_area_scale_topo_c(4, "cmesh", 2) > router_area_scale_topo_c(4, "cmesh", 1));
+        // ...but the *network* (same tile count, 1/c the routers) shrinks:
+        // concentration is a net area win at every supported c.
+        let a1 = network_area_scale_c(4, "cmesh", 1, 1);
+        let a2 = network_area_scale_c(4, "cmesh", 1, 2);
+        let a4 = network_area_scale_c(4, "cmesh", 1, 4);
+        assert!(a2 < a1, "c=2 network area {a2} not below c=1 {a1}");
+        assert!(a4 < a2, "c=4 network area {a4} not below c=2 {a2}");
+        // Wires stretch with sqrt(c).
+        assert!((link_length_scale_c("cmesh", 4) - 2.0).abs() < 1e-9);
+        assert!((link_length_scale_c("torus", 1) - 2.0).abs() < 1e-9);
+        // Power: bigger switch vs fewer routers and longer wires — still
+        // below the unconcentrated mesh at c=2.
+        assert!(network_power_scale_c(4, "cmesh", 1, 2) < 1.0);
+        // Plane replication composes multiplicatively.
+        let two_planes = network_power_scale_c(4, "cmesh", 2, 2);
+        assert!((two_planes - 2.0 * network_power_scale_c(4, "cmesh", 1, 2)).abs() < 1e-9);
     }
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use scorpio_nic::{Nic, NicConfig, NicMode};
-use scorpio_noc::{Endpoint, LocalSlot, Mesh, MultiNetwork, NocConfig, RouterId, Sid};
+use scorpio_noc::{Endpoint, Mesh, MultiNetwork, NocConfig, RouterId, Sid};
 use scorpio_notify::{NotifyConfig, NotifyNetwork};
 use std::num::NonZeroUsize;
 
@@ -21,7 +21,7 @@ fn main() {
     let mut nics: Vec<Nic<&'static str>> = mesh
         .endpoints()
         .map(|ep| {
-            let sid = (ep.slot == LocalSlot::Tile).then_some(Sid(ep.router.0));
+            let sid = ep.slot.is_tile().then_some(Sid(ep.router.0));
             Nic::new(ep, sid, NicMode::Ordered, cores, 1, NicConfig::default())
         })
         .collect();

@@ -334,6 +334,89 @@ fn trace_record_gaps_are_respected() {
 }
 
 #[test]
+fn scorpio_completes_on_a_concentrated_mesh() {
+    // 16 cores as a 4x2 router grid x 2 tiles per router: same core count
+    // as `square(4)` with the diameter cut from 6 to 4. The full stack —
+    // per-slot broadcast delivery, sibling-tile forwarding, tile-indexed
+    // SIDs and notification lanes — must carry the ordered protocol.
+    let cfg = SystemConfig::cmesh(4, 2, 2);
+    assert_eq!(cfg.cores(), 16);
+    let traces = small_workload(&cfg, 60);
+    let mut sys = System::with_traces(cfg, traces);
+    let r = sys.run_to_completion();
+    assert_eq!(r.ops_completed, 16 * 60);
+    assert!(r.l2_misses > 0, "workload never exercised coherence");
+    assert!(r.data_forwards > 0, "no cache-to-cache transfers");
+    assert!(r.notify_nonempty > 0, "notification network unused");
+}
+
+#[test]
+fn every_protocol_completes_on_cmesh_and_composes_with_planes() {
+    for protocol in [
+        Protocol::Scorpio,
+        Protocol::TokenB,
+        Protocol::Inso { expiry_window: 40 },
+        Protocol::LpdDir,
+        Protocol::HtDir,
+    ] {
+        let cfg = SystemConfig::cmesh(2, 2, 4).with_protocol(protocol);
+        let traces = small_workload(&cfg, 40);
+        let mut sys = System::with_traces(cfg, traces);
+        let r = sys.run_to_completion();
+        assert_eq!(r.ops_completed, 16 * 40, "{}", protocol.name());
+    }
+    // The fabric axis composes with the plane axis: two address-interleaved
+    // CMesh planes behind one delivery interface.
+    let cfg = SystemConfig::cmesh(4, 2, 2).with_planes(2);
+    let traces = small_workload(&cfg, 40);
+    let mut sys = System::with_traces(cfg, traces);
+    let r = sys.run_to_completion();
+    assert_eq!(r.ops_completed, 16 * 40);
+}
+
+#[test]
+fn single_tile_cmesh_reports_match_the_plain_mesh() {
+    // Concentration 1 is the mesh: same router grid, same port set, same
+    // tables, same windows — the whole report must be byte-identical.
+    let mesh_cfg = SystemConfig::square(4);
+    let cmesh_cfg = SystemConfig::cmesh(4, 4, 1);
+    let traces = small_workload(&mesh_cfg, 50);
+    let mut mesh_sys = System::with_traces(mesh_cfg, traces.clone());
+    let mut cmesh_sys = System::with_traces(cmesh_cfg, traces);
+    assert_eq!(
+        mesh_sys.run_to_completion().to_json(),
+        cmesh_sys.run_to_completion().to_json(),
+        "c=1 CMesh diverged from the mesh"
+    );
+}
+
+#[test]
+fn concentration_cuts_ordered_broadcast_latency_at_matched_core_count() {
+    // The CMesh acceptance bar: 16 cores at concentration 1 (4x4 routers,
+    // diameter 6), 2 (4x2, diameter 4) and 4 (2x2, diameter 2) on an
+    // uncongested workload. Fewer hops must show up as strictly lower
+    // average packet latency at c=2 and c=4 than at c=1.
+    let run = |cols: u16, rows: u16, c: u8| -> f64 {
+        let cfg = SystemConfig::cmesh(cols, rows, c);
+        assert_eq!(cfg.cores(), 16);
+        let traces = small_workload(&cfg, 60);
+        let mut sys = System::with_traces(cfg, traces);
+        sys.run_to_completion().packet_latency.mean()
+    };
+    let c1 = run(4, 4, 1);
+    let c2 = run(4, 2, 2);
+    let c4 = run(2, 2, 4);
+    assert!(
+        c2 < c1,
+        "c=2 packet latency {c2:.1} not below c=1's {c1:.1}"
+    );
+    assert!(
+        c4 < c1,
+        "c=4 packet latency {c4:.1} not below c=1's {c1:.1}"
+    );
+}
+
+#[test]
 fn nonpipelined_uncore_is_slower() {
     let mk = |pl: bool| {
         let cfg = SystemConfig::square(3).with_pipelined_uncore(pl);
