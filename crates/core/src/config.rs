@@ -52,6 +52,27 @@ impl Protocol {
     }
 }
 
+/// Default cap on retained flit-trace events ([`SystemConfig::trace_limit`]).
+pub const DEFAULT_TRACE_LIMIT: usize = 100_000;
+
+/// How much the observability layer records during a run.
+///
+/// Purely additive instrumentation: every level produces identical
+/// simulated behavior (the equivalence suite asserts it), and the default
+/// [`ObsLevel::Off`] keeps the hot path free of any recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsLevel {
+    /// No observability sinks installed (the pre-observability hot path
+    /// plus one dormant branch per hook).
+    #[default]
+    Off,
+    /// Latency histograms and the per-router/link/VC counter plane.
+    Counters,
+    /// Counters plus the deterministic flit-event trace (bounded by
+    /// [`SystemConfig::trace_limit`]).
+    Trace,
+}
+
 /// Configuration of a full SCORPIO system.
 #[derive(Clone)]
 pub struct SystemConfig {
@@ -101,6 +122,11 @@ pub struct SystemConfig {
     /// Plane-interleave granularity: `2^n` consecutive cache lines share a
     /// plane (0 = stripe line by line). Ignored with one plane.
     pub plane_stripe_lines_log2: u32,
+    /// Observability level (histograms / counters / trace).
+    pub obs: ObsLevel,
+    /// Retained flit-trace events (per plane and in the merged stream);
+    /// meaningful only at [`ObsLevel::Trace`].
+    pub trace_limit: usize,
 }
 
 /// Renders exactly as the derived `Debug` did before the plane axis
@@ -131,6 +157,10 @@ impl fmt::Debug for SystemConfig {
         if self.planes.get() != 1 || self.plane_stripe_lines_log2 != 0 {
             d.field("planes", &self.planes)
                 .field("plane_stripe_lines_log2", &self.plane_stripe_lines_log2);
+        }
+        if self.obs != ObsLevel::Off || self.trace_limit != DEFAULT_TRACE_LIMIT {
+            d.field("obs", &self.obs)
+                .field("trace_limit", &self.trace_limit);
         }
         d.finish()
     }
@@ -171,6 +201,8 @@ impl SystemConfig {
             seed: 1,
             planes: NonZeroUsize::new(1).expect("1 is non-zero"),
             plane_stripe_lines_log2: 0,
+            obs: ObsLevel::Off,
+            trace_limit: DEFAULT_TRACE_LIMIT,
         }
     }
 
@@ -316,6 +348,20 @@ impl SystemConfig {
     #[must_use]
     pub fn with_plane_stripe_lines_log2(mut self, n: u32) -> SystemConfig {
         self.plane_stripe_lines_log2 = n;
+        self
+    }
+
+    /// Sets the observability level, builder-style.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsLevel) -> SystemConfig {
+        self.obs = obs;
+        self
+    }
+
+    /// Caps the retained flit-trace events, builder-style.
+    #[must_use]
+    pub fn with_trace_limit(mut self, limit: usize) -> SystemConfig {
+        self.trace_limit = limit;
         self
     }
 
@@ -483,6 +529,31 @@ mod tests {
         // The steering shift covers the line-offset bits (32 B lines).
         assert_eq!(base.plane_interleave_log2(), 5);
         assert_eq!(coarse.plane_interleave_log2(), 8);
+    }
+
+    #[test]
+    fn obs_axis_is_hash_transparent_at_default_and_distinct_otherwise() {
+        // Observability off renders (and hashes) exactly as the
+        // pre-observability config did, so pinned config hashes — and the
+        // byte-identity of reports keyed on them — survive the new axis.
+        let base = SystemConfig::square(4);
+        assert_eq!(base.obs, ObsLevel::Off);
+        assert!(!format!("{base:?}").contains("obs"));
+        assert_eq!(base.stable_hash(), 0xbbb791b93ac0807b);
+        // Non-default observability knobs fingerprint differently from the
+        // base and from each other.
+        let counters = SystemConfig::square(4).with_obs(ObsLevel::Counters);
+        let trace = SystemConfig::square(4).with_obs(ObsLevel::Trace);
+        let capped = SystemConfig::square(4)
+            .with_obs(ObsLevel::Trace)
+            .with_trace_limit(16);
+        assert!(format!("{counters:?}").contains("obs: Counters"));
+        assert_ne!(base.stable_hash(), counters.stable_hash());
+        assert_ne!(counters.stable_hash(), trace.stable_hash());
+        assert_ne!(trace.stable_hash(), capped.stable_hash());
+        // Observability never changes the label: it alters what a run
+        // records, not what it simulates.
+        assert_eq!(trace.label(), base.label());
     }
 
     #[test]

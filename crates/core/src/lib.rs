@@ -37,7 +37,7 @@ mod report;
 mod system;
 mod tile;
 
-pub use config::{Protocol, SystemConfig};
-pub use report::SystemReport;
+pub use config::{ObsLevel, Protocol, SystemConfig, DEFAULT_TRACE_LIMIT};
+pub use report::{ObsReport, PlaneObs, SystemReport};
 pub use system::System;
 pub use tile::{CoreDriver, CoreKind};

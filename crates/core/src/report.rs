@@ -1,6 +1,157 @@
 //! End-of-run reporting: the numbers the paper's figures are built from.
 
-use scorpio_sim::stats::Accumulator;
+use scorpio_sim::stats::{Accumulator, LogHistogram};
+
+/// One delivery plane's counter snapshot (observability layer).
+#[derive(Debug, Clone, Default)]
+pub struct PlaneObs {
+    /// Total flit crossings summed over every (router, output port) link.
+    pub link_flits: u64,
+    /// Links that carried at least one flit.
+    pub links_used: u64,
+    /// Crossings on the busiest single link.
+    pub max_link_flits: u64,
+    /// Buffer-occupancy integral: resident packets summed over ticked
+    /// routers and cycles (packet-cycles).
+    pub buffer_integral: u64,
+    /// Switch-allocation stage-I losses (another VC won the input port).
+    pub stall_sa_i: u64,
+    /// Switch-allocation stage-II losses (another input won the output).
+    pub stall_sa_ii: u64,
+    /// Head-flit cycles blocked in VC allocation.
+    pub stall_vc_alloc: u64,
+    /// Body-flit cycles blocked on downstream credits.
+    pub stall_credit: u64,
+    /// Flits buffered per VC, flattened vnet-major (GO-REQ VCs first).
+    pub vc_buffered: Vec<u64>,
+}
+
+impl PlaneObs {
+    fn to_json(&self) -> String {
+        let vcs: Vec<String> = self.vc_buffered.iter().map(u64::to_string).collect();
+        format!(
+            r#"{{"link_flits":{},"links_used":{},"max_link_flits":{},"buffer_integral":{},"stalls":{{"sa_i":{},"sa_ii":{},"vc_alloc":{},"credit":{}}},"vc_buffered":[{}]}}"#,
+            self.link_flits,
+            self.links_used,
+            self.max_link_flits,
+            self.buffer_integral,
+            self.stall_sa_i,
+            self.stall_sa_ii,
+            self.stall_vc_alloc,
+            self.stall_credit,
+            vcs.join(","),
+        )
+    }
+}
+
+/// Observability annex of a [`SystemReport`]: log-bucketed latency
+/// histograms per message class plus the per-plane counter snapshots.
+/// Present only when the run enabled observability
+/// ([`crate::config::ObsLevel`]), so reports with it off stay
+/// byte-identical to pre-observability output.
+#[derive(Debug, Clone, Default)]
+pub struct ObsReport {
+    /// End-to-end packet latency, all classes, merged over planes.
+    pub packet_latency: LogHistogram,
+    /// Packet latency split per virtual network (message class).
+    pub vnet_latency: Vec<(String, LogHistogram)>,
+    /// L2 service latency (enqueue → reply).
+    pub l2_service: LogHistogram,
+    /// Ordering delay (issue → own ordered observation).
+    pub ordering_delay: LogHistogram,
+    /// Injection wait (queue entry → head-flit VC grant), all endpoints.
+    pub inject_wait: LogHistogram,
+    /// Injection wait split per tile slot (concentration position; the
+    /// final entry is the MC ports).
+    pub inject_wait_slots: Vec<LogHistogram>,
+    /// Per-plane counters (one entry per delivery plane).
+    pub planes: Vec<PlaneObs>,
+    /// Flit-trace events retained / dropped at the cap (zero when the
+    /// level stops at counters).
+    pub trace_kept: u64,
+    /// Events beyond the cap.
+    pub trace_dropped: u64,
+}
+
+/// Renders a log histogram as JSON: count, p50/p95/p99/p999 and max (all
+/// `null` when empty), plus the sparse `[bucket_index, count]` pairs. An
+/// index `k` covers samples in `[2^(k-1), 2^k - 1]` (bucket 0 holds zero).
+fn hist_json(h: &LogHistogram) -> String {
+    let p = |f: f64| {
+        h.percentile(f)
+            .map_or_else(|| "null".into(), |v| v.to_string())
+    };
+    let mut b = String::new();
+    for (i, (idx, c)) in h.nonzero_buckets().enumerate() {
+        if i > 0 {
+            b.push(',');
+        }
+        b.push_str(&format!("[{idx},{c}]"));
+    }
+    format!(
+        r#"{{"count":{},"p50":{},"p95":{},"p99":{},"p999":{},"max":{},"buckets":[{}]}}"#,
+        h.count(),
+        p(0.50),
+        p(0.95),
+        p(0.99),
+        p(0.999),
+        h.max()
+            .map_or_else(|| "null".into(), |v: u64| v.to_string()),
+        b,
+    )
+}
+
+impl ObsReport {
+    /// Serializes the annex as one JSON object (same byte-stability
+    /// contract as [`SystemReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        s.push_str(&format!(
+            r#""packet_latency":{},"#,
+            hist_json(&self.packet_latency)
+        ));
+        s.push_str(r#""classes":{"#);
+        for (i, (name, h)) in self.vnet_latency.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(r#"{name:?}:{}"#, hist_json(h)));
+        }
+        s.push_str("},");
+        s.push_str(&format!(r#""l2_service":{},"#, hist_json(&self.l2_service)));
+        s.push_str(&format!(
+            r#""ordering_delay":{},"#,
+            hist_json(&self.ordering_delay)
+        ));
+        s.push_str(&format!(
+            r#""inject_wait":{},"#,
+            hist_json(&self.inject_wait)
+        ));
+        s.push_str(r#""inject_wait_slots":["#);
+        for (i, h) in self.inject_wait_slots.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&hist_json(h));
+        }
+        s.push_str("],");
+        s.push_str(r#""planes":["#);
+        for (i, p) in self.planes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&p.to_json());
+        }
+        s.push_str("],");
+        s.push_str(&format!(
+            r#""trace":{{"kept":{},"dropped":{}}}"#,
+            self.trace_kept, self.trace_dropped
+        ));
+        s.push('}');
+        s
+    }
+}
 
 /// Aggregated results of one full-system run.
 #[derive(Debug, Clone, Default)]
@@ -60,6 +211,11 @@ pub struct SystemReport {
     pub dir_accesses: u64,
     /// Directory-cache misses at the homes.
     pub dir_misses: u64,
+    /// Observability annex — histograms, counter planes and trace totals.
+    /// `None` (and absent from the JSON) unless the run enabled
+    /// observability, keeping default reports byte-identical to
+    /// pre-observability output.
+    pub obs: Option<Box<ObsReport>>,
 }
 
 impl SystemReport {
@@ -142,6 +298,10 @@ impl SystemReport {
         s.push_str(&format!(r#""expiry_messages":{},"#, self.expiry_messages));
         s.push_str(&format!(r#""dir_accesses":{},"#, self.dir_accesses));
         s.push_str(&format!(r#""dir_misses":{}"#, self.dir_misses));
+        if let Some(o) = &self.obs {
+            s.push_str(r#","obs":"#);
+            s.push_str(&o.to_json());
+        }
         s.push('}');
         s
     }
@@ -251,6 +411,35 @@ mod tests {
         let row_cols = SystemReport::default().csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
         assert_eq!(header_cols, 27);
+    }
+
+    #[test]
+    fn obs_annex_is_absent_by_default_and_renders_when_present() {
+        let mut r = SystemReport::default();
+        assert!(!r.to_json().contains(r#""obs""#));
+        let mut o = ObsReport::default();
+        o.packet_latency.record(5);
+        o.packet_latency.record(9);
+        o.vnet_latency
+            .push(("GO-REQ".into(), LogHistogram::default()));
+        o.planes.push(PlaneObs {
+            link_flits: 7,
+            links_used: 3,
+            max_link_flits: 4,
+            ..PlaneObs::default()
+        });
+        r.obs = Some(Box::new(o));
+        let j = r.to_json();
+        // 5 → bucket 3 ([4,7]), 9 → bucket 4 ([8,15]); p50 = edge(3) = 7.
+        assert!(j.contains(
+            r#""obs":{"packet_latency":{"count":2,"p50":7,"p95":15,"p99":15,"p999":15,"max":9,"buckets":[[3,1],[4,1]]}"#
+        ));
+        // Empty histograms render null percentiles, not a panic.
+        assert!(j.contains(r#""GO-REQ":{"count":0,"p50":null,"p95":null,"p99":null,"p999":null,"max":null,"buckets":[]}"#));
+        assert!(j.contains(r#""link_flits":7,"links_used":3,"max_link_flits":4"#));
+        assert!(j.contains(r#""trace":{"kept":0,"dropped":0}"#));
+        assert!(j.ends_with('}'));
+        assert_eq!(j, r.clone().to_json(), "serialization must be stable");
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! fabric, exactly as the paper's methodology demands ("keeping all
 //! conditions equal besides the ordered network").
 
-use crate::config::{Protocol, SystemConfig};
-use crate::report::SystemReport;
+use crate::config::{ObsLevel, Protocol, SystemConfig};
+use crate::report::{ObsReport, PlaneObs, SystemReport};
 use crate::tile::{CoreDriver, CoreKind};
 use scorpio_coherence::{
     home_tile, CohMsg, DirectoryCache, InsoReorderBuffer, InsoSlotAllocator, LpdEntry, MsgKind,
@@ -20,8 +20,12 @@ use scorpio_coherence::{
 };
 use scorpio_mem::{L2Out, MemoryController, OrderedSnoop, SnoopyL2};
 use scorpio_nic::{Nic, NicMode};
-use scorpio_noc::{Endpoint, LocalSlot, MultiNetwork, VnetId};
+use scorpio_noc::{
+    merge_trace, Endpoint, LocalSlot, MultiNetwork, ObsConfig, SteerKey, TraceEvent, TraceKind,
+    VnetId,
+};
 use scorpio_notify::{NotifyConfig, NotifyNetwork};
+use scorpio_sim::stats::LogHistogram;
 use scorpio_sim::{ActiveSet, Cycle};
 use scorpio_workloads::Trace;
 use std::collections::{BTreeMap, VecDeque};
@@ -83,6 +87,16 @@ pub struct System {
     /// [`System::is_complete`] by full scan — the pre-refactor engine,
     /// kept as the equivalence/benchmark reference.
     always_scan: bool,
+    // ---- Observability (all empty/zero unless `cfg.obs` enables it).
+    /// System-layer trace events (ordered commits), one stream per plane
+    /// so each stays sorted by [`TraceEvent::sort_key`] (the per-stream
+    /// cap then preserves the exact merged prefix); merged with the
+    /// network planes' streams by [`System::take_trace`].
+    sys_trace: Vec<Vec<TraceEvent>>,
+    /// Monotonic sequence for `sys_trace` (keeps advancing past the cap).
+    sys_seq: u64,
+    /// System-layer events discarded at the cap.
+    sys_trace_dropped: u64,
 }
 
 impl System {
@@ -118,12 +132,20 @@ impl System {
         cfg.noc.track_deliveries = false;
 
         let planes = cfg.planes;
-        let net: MultiNetwork<CohMsg> = MultiNetwork::new(
+        let mut net: MultiNetwork<CohMsg> = MultiNetwork::new(
             cfg.mesh.clone(),
             cfg.noc.clone(),
             planes,
             cfg.plane_interleave_log2(),
         );
+        // Observability sinks are installed before the first cycle;
+        // every level simulates identically (asserted by the obs
+        // equivalence tests), the level only controls what is recorded.
+        net.set_observability(match cfg.obs {
+            ObsLevel::Off => None,
+            ObsLevel::Counters => Some(ObsConfig::counters_only()),
+            ObsLevel::Trace => Some(ObsConfig::with_trace(cfg.trace_limit)),
+        });
         let notify = scorpio.then(|| {
             // One notification fabric whose messages carry an independent
             // announcement word group per plane.
@@ -182,7 +204,13 @@ impl System {
             })
             .collect();
         let l2s: Vec<SnoopyL2> = (0..cores as u16)
-            .map(|t| SnoopyL2::new(t, cfg.l2.clone()))
+            .map(|t| {
+                let mut l2 = SnoopyL2::new(t, cfg.l2.clone());
+                if cfg.obs != ObsLevel::Off {
+                    l2.stats.enable_histograms();
+                }
+                l2
+            })
             .collect();
         let mc_total = cfg.mesh.mc_routers().len();
         let mcs: Vec<MemoryController> = cfg
@@ -239,6 +267,9 @@ impl System {
             last_notify_window: None,
             timed_wakes: BTreeMap::new(),
             always_scan: false,
+            sys_trace: vec![Vec::new(); cfg.planes.get()],
+            sys_seq: 0,
+            sys_trace_dropped: 0,
             cfg,
         }
     }
@@ -422,6 +453,7 @@ impl System {
                     let Some(d) = self.nics[t].pop_ordered() else {
                         break;
                     };
+                    self.trace_commit(now, t, d.sid, d.own, d.payload.steer_key());
                     self.l2s[t].push_snoop(OrderedSnoop {
                         own: d.own,
                         msg: d.payload,
@@ -524,6 +556,7 @@ impl System {
         match self.cfg.protocol {
             Protocol::Scorpio => {
                 while let Some(d) = self.nics[ep_idx].pop_ordered() {
+                    self.trace_commit(now, ep_idx, d.sid, d.own, d.payload.steer_key());
                     self.mcs[m].snoop(
                         OrderedSnoop {
                             own: false,
@@ -837,6 +870,135 @@ impl System {
         }
     }
 
+    /// Records a system-layer ordered-commit trace event: endpoint `ep`
+    /// consumed the SID-`sid` ordered broadcast from its NIC (`own` marks
+    /// the requester's own observation). `key` is the payload's steering
+    /// key — the event is filed under the plane the request travelled on.
+    fn trace_commit(&mut self, now: Cycle, ep: usize, sid: scorpio_noc::Sid, own: bool, key: u64) {
+        if self.cfg.obs != ObsLevel::Trace {
+            return;
+        }
+        let seq = self.sys_seq;
+        self.sys_seq += 1;
+        let plane = self.net.plane_of(key);
+        if self.sys_trace[plane].len() >= self.cfg.trace_limit {
+            self.sys_trace_dropped += 1;
+            return;
+        }
+        self.sys_trace[plane].push(TraceEvent {
+            cycle: now.as_u64(),
+            plane: plane as u16,
+            src: 1,
+            seq,
+            kind: TraceKind::OrderedCommit,
+            uid: u64::from(sid.0),
+            vnet: 0,
+            node: ep as u32,
+            port: 0,
+            vc: 0,
+            aux: u64::from(own),
+        });
+    }
+
+    /// Per-stream trace totals: events currently retained across every
+    /// network plane and the system layer, and events already dropped at
+    /// the per-stream caps.
+    fn trace_totals(&self) -> (usize, u64) {
+        let mut kept = 0;
+        let mut dropped = self.sys_trace_dropped;
+        for p in 0..self.cfg.planes.get() {
+            kept += self.sys_trace[p].len();
+            if let Some(o) = self.net.obs(p) {
+                kept += o.events().len();
+                dropped += o.dropped();
+            }
+        }
+        (kept, dropped)
+    }
+
+    /// Drains the run's flit-event trace: every plane's network stream
+    /// plus the system layer's ordered-commit streams, merged into one
+    /// deterministically ordered list (ascending [`TraceEvent::sort_key`])
+    /// capped at `cfg.trace_limit`. The second value counts events beyond
+    /// the cap. Returns an empty trace unless `cfg.obs` is
+    /// [`ObsLevel::Trace`].
+    pub fn take_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        let (kept, mut dropped) = self.trace_totals();
+        let mut streams: Vec<Vec<TraceEvent>> = Vec::new();
+        self.net.take_trace(&mut streams);
+        for s in &mut self.sys_trace {
+            streams.push(std::mem::take(s));
+        }
+        self.sys_trace_dropped = 0;
+        let merged = merge_trace(streams, self.cfg.trace_limit);
+        dropped += (kept - merged.len()) as u64;
+        (merged, dropped)
+    }
+
+    /// Assembles the observability annex: latency histograms merged
+    /// across planes and L2s, per-plane counter snapshots, and the trace
+    /// totals [`System::take_trace`] will report.
+    fn obs_report(&self) -> Box<ObsReport> {
+        let mut o = Box::new(ObsReport::default());
+        o.vnet_latency = self
+            .cfg
+            .noc
+            .vnets
+            .iter()
+            .map(|v| (v.name.to_string(), LogHistogram::default()))
+            .collect();
+        let endpoints: Vec<Endpoint> = self.cfg.mesh.endpoints().collect();
+        // Concentration positions 0..tile_slots, then one MC bucket.
+        let tile_slots = endpoints
+            .iter()
+            .filter_map(|e| match e.slot {
+                LocalSlot::Tile(k) => Some(k as usize + 1),
+                LocalSlot::Mc => None,
+            })
+            .max()
+            .unwrap_or(1);
+        o.inject_wait_slots = vec![LogHistogram::default(); tile_slots + 1];
+        for p in 0..self.cfg.planes.get() {
+            let Some(n) = self.net.obs(p) else { continue };
+            o.packet_latency.merge(&n.packet_latency);
+            for (dst, src) in o.vnet_latency.iter_mut().zip(&n.vnet_latency) {
+                dst.1.merge(src);
+            }
+            for (i, h) in n.inject_wait.iter().enumerate() {
+                o.inject_wait.merge(h);
+                let slot = match endpoints[i].slot {
+                    LocalSlot::Tile(k) => k as usize,
+                    LocalSlot::Mc => tile_slots,
+                };
+                o.inject_wait_slots[slot].merge(h);
+            }
+            o.planes.push(PlaneObs {
+                link_flits: n.link_flits.iter().sum(),
+                links_used: n.link_flits.iter().filter(|&&c| c > 0).count() as u64,
+                max_link_flits: n.link_flits.iter().copied().max().unwrap_or(0),
+                buffer_integral: n.buffer_integral,
+                stall_sa_i: n.stall_sa_i,
+                stall_sa_ii: n.stall_sa_o,
+                stall_vc_alloc: n.stall_vc_alloc,
+                stall_credit: n.stall_credit,
+                vc_buffered: n.vc_buffered.clone(),
+            });
+        }
+        for l2 in &self.l2s {
+            if let Some(h) = &l2.stats.service_hist {
+                o.l2_service.merge(h);
+            }
+            if let Some(h) = &l2.stats.ordering_hist {
+                o.ordering_delay.merge(h);
+            }
+        }
+        let (kept, dropped) = self.trace_totals();
+        let merged_kept = kept.min(self.cfg.trace_limit);
+        o.trace_kept = merged_kept as u64;
+        o.trace_dropped = dropped + (kept - merged_kept) as u64;
+        o
+    }
+
     /// Builds the aggregate report for the run so far.
     pub fn report(&self) -> SystemReport {
         let mut r = SystemReport {
@@ -884,6 +1046,9 @@ impl System {
         for h in &self.dir_homes {
             r.dir_accesses += h.dir.hits() + h.dir.misses();
             r.dir_misses += h.dir.misses();
+        }
+        if self.cfg.obs != ObsLevel::Off {
+            r.obs = Some(self.obs_report());
         }
         r
     }

@@ -6,12 +6,15 @@
 //! harness workloads
 //! harness run <scenario>... [--threads N] [--ops N] [--seeds 1,2,3]
 //!                           [--json PATH] [--csv PATH] [--timing]
+//!                           [--hist] [--trace PATH] [--trace-limit N]
 //!                           [--verbose] [--no-table]
 //! ```
 //!
-//! `--json`/`--csv` accept `-` for stdout. Output is deterministic for a
-//! given (scenario, seeds, ops) regardless of `--threads`, unless
-//! `--timing` opts into per-run wall-clock columns.
+//! `--json`/`--csv`/`--trace` accept `-` for stdout. Output is
+//! deterministic for a given (scenario, seeds, ops) regardless of
+//! `--threads`, unless `--timing` opts into per-run wall-clock columns;
+//! `--hist` (latency histograms + NoC counters) and `--trace` (the flit
+//! trace) keep that byte-stability.
 
 use std::io::Write;
 use std::time::Instant;
@@ -30,6 +33,9 @@ struct RunOptions {
     json: Option<String>,
     csv: Option<String>,
     timing: bool,
+    hist: bool,
+    trace: Option<String>,
+    trace_limit: Option<usize>,
     verbose: bool,
     no_table: bool,
 }
@@ -45,6 +51,11 @@ run options:
   --json PATH     write JSON-lines results (- for stdout)
   --csv PATH      write CSV results (- for stdout)
   --timing        include per-run wall time in sinks (non-deterministic)
+  --hist          record latency histograms + NoC counters on every run
+                  (adds percentile columns; deterministic)
+  --trace PATH    record the deterministic flit-event trace and write it
+                  as JSON lines (- for stdout; implies --hist's recording)
+  --trace-limit N cap retained trace events per run (default 100000)
   --verbose       per-run progress lines on stderr
   --no-table      skip the human-readable tables";
 
@@ -148,6 +159,12 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
             "--json" => opts.json = Some(value("--json")?),
             "--csv" => opts.csv = Some(value("--csv")?),
             "--timing" => opts.timing = true,
+            "--hist" => opts.hist = true,
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--trace-limit" => {
+                let raw = value("--trace-limit")?;
+                opts.trace_limit = Some(positive("--trace-limit", raw)?);
+            }
             "--verbose" => opts.verbose = true,
             "--no-table" => opts.no_table = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
@@ -166,13 +183,23 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
 }
 
 fn run(opts: &RunOptions) -> i32 {
+    let obs_override = if opts.trace.is_some() {
+        Some(scorpio::ObsLevel::Trace)
+    } else if opts.hist {
+        Some(scorpio::ObsLevel::Counters)
+    } else {
+        None
+    };
     let exec = ExecOptions {
         threads: opts.threads.unwrap_or(0),
         ops_per_core: opts.ops.unwrap_or_else(crate::ops_per_core),
         verbose: opts.verbose,
+        obs_override,
+        trace_limit: opts.trace_limit,
     };
     let sink_opts = SinkOptions {
         include_timing: opts.timing,
+        include_hist: opts.hist || opts.trace.is_some(),
     };
     let mut all: Vec<(String, Vec<RunResult>)> = Vec::new();
     for name in &opts.scenarios {
@@ -219,6 +246,36 @@ fn run(opts: &RunOptions) -> i32 {
                 // One header for the whole file.
                 doc.extend(part.split_once('\n').map(|x| x.1).map(String::from));
             }
+        }
+        if let Err(e) = sink::write(path, &doc) {
+            eprintln!("harness: writing {path}: {e}");
+            return 1;
+        }
+    }
+    if let Some(path) = &opts.trace {
+        let mut doc = String::new();
+        let mut dropped = 0u64;
+        for (name, results) in &all {
+            for r in results {
+                dropped += r.trace_dropped;
+                for body in r.trace.as_deref().unwrap_or_default() {
+                    // Each event line leads with its run's identity so a
+                    // multi-run file keeps one self-describing schema
+                    // (the event body starts with '{').
+                    doc.push_str(&format!(
+                        "{{\"scenario\":{name:?},\"index\":{},\"seed\":{},{}",
+                        r.spec.index,
+                        r.spec.seed,
+                        &body[1..]
+                    ));
+                    doc.push('\n');
+                }
+            }
+        }
+        if dropped > 0 {
+            eprintln!(
+                "[harness] trace: {dropped} event(s) beyond the cap dropped (raise --trace-limit)"
+            );
         }
         if let Err(e) = sink::write(path, &doc) {
             eprintln!("harness: writing {path}: {e}");
@@ -275,6 +332,11 @@ mod tests {
             "--csv",
             "-",
             "--timing",
+            "--hist",
+            "--trace",
+            "t.jsonl",
+            "--trace-limit",
+            "500",
             "--verbose",
             "--no-table",
         ]
@@ -288,7 +350,9 @@ mod tests {
         assert_eq!(o.seeds, Some(vec![1, 2, 3]));
         assert_eq!(o.json.as_deref(), Some("o.jsonl"));
         assert_eq!(o.csv.as_deref(), Some("-"));
-        assert!(o.timing && o.verbose && o.no_table);
+        assert_eq!(o.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(o.trace_limit, Some(500));
+        assert!(o.timing && o.hist && o.verbose && o.no_table);
     }
 
     #[test]
@@ -301,6 +365,8 @@ mod tests {
         assert!(parse_run(&s(&["fig7", "--ops", "0"])).is_err());
         assert!(parse_run(&s(&["fig7", "--threads", "0"])).is_err());
         assert!(parse_run(&s(&["fig7", "--wat"])).is_err());
+        assert!(parse_run(&s(&["fig7", "--trace"])).is_err());
+        assert!(parse_run(&s(&["fig7", "--trace-limit", "0"])).is_err());
     }
 
     #[test]

@@ -17,7 +17,8 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use scorpio::{System, SystemReport};
+use scorpio::{ObsLevel, System, SystemReport};
+use scorpio_noc::TraceEvent;
 use scorpio_workloads::generate;
 
 use crate::scenario::{Engine, RunSpec, SweepGrid};
@@ -33,6 +34,12 @@ pub struct ExecOptions {
     pub ops_per_core: usize,
     /// Emit one progress line per completed run to stderr.
     pub verbose: bool,
+    /// Force an observability level on every run (`--hist` / `--trace`).
+    /// `None` keeps each spec's own level (usually off, or whatever a
+    /// `Knob::Obs` variant set).
+    pub obs_override: Option<ObsLevel>,
+    /// Force the flit-trace cap on every run (`--trace-limit`).
+    pub trace_limit: Option<usize>,
 }
 
 impl Default for ExecOptions {
@@ -41,6 +48,8 @@ impl Default for ExecOptions {
             threads: 0,
             ops_per_core: crate::ops_per_core(),
             verbose: false,
+            obs_override: None,
+            trace_limit: None,
         }
     }
 }
@@ -70,13 +79,43 @@ pub struct RunResult {
     /// Wall-clock nanoseconds this run took (not part of deterministic
     /// output; see the sink options).
     pub wall_nanos: u128,
+    /// Setup phase: workload generation plus system construction.
+    pub setup_nanos: u128,
+    /// Simulation phase (`run_to_completion` only) — the denominator of
+    /// the simulated-cycles-per-second throughput metric.
+    pub sim_nanos: u128,
+    /// Rendered flit-trace events (one JSON object per event, in
+    /// deterministic merge order) when the run traced; `None` otherwise.
+    pub trace: Option<Vec<String>>,
+    /// Trace events dropped at the cap.
+    pub trace_dropped: u64,
 }
 
 /// Runs one spec to completion.
 pub fn run_spec(spec: &RunSpec, ops_per_core: usize) -> RunResult {
-    let cfg = spec.config();
+    run_spec_opts(spec, ops_per_core, None, None)
+}
+
+/// Runs one spec to completion, optionally forcing the observability
+/// level and flit-trace cap on top of the spec's own configuration.
+pub fn run_spec_opts(
+    spec: &RunSpec,
+    ops_per_core: usize,
+    obs_override: Option<ObsLevel>,
+    trace_limit: Option<usize>,
+) -> RunResult {
+    let mut cfg = spec.config();
+    if let Some(level) = obs_override {
+        cfg = cfg.with_obs(level);
+    }
+    if let Some(n) = trace_limit {
+        cfg = cfg.with_trace_limit(n);
+    }
+    // The hash fingerprints the exact configuration run, overrides
+    // included — an obs-off run keeps its pre-observability hash.
     let config_hash = cfg.stable_hash();
     let config_label = cfg.label();
+    let tracing = cfg.obs == ObsLevel::Trace;
     let params = spec.workload.clone().with_ops(ops_per_core);
     let started = Instant::now();
     let traces = generate(&params, cfg.cores(), cfg.seed);
@@ -86,13 +125,29 @@ pub fn run_spec(spec: &RunSpec, ops_per_core: usize) -> RunResult {
         Engine::AlwaysScan => sys.set_always_scan(true),
         Engine::CoordRoute => sys.set_table_routing(false),
     }
+    let setup_nanos = started.elapsed().as_nanos();
+    let sim_started = Instant::now();
     let report = sys.run_to_completion();
+    let sim_nanos = sim_started.elapsed().as_nanos();
+    let (trace, trace_dropped) = if tracing {
+        let (events, dropped) = sys.take_trace();
+        (
+            Some(events.iter().map(TraceEvent::json_body).collect()),
+            dropped,
+        )
+    } else {
+        (None, 0)
+    };
     RunResult {
         spec: spec.clone(),
         config_hash,
         config_label,
         report,
         wall_nanos: started.elapsed().as_nanos(),
+        setup_nanos,
+        sim_nanos,
+        trace,
+        trace_dropped,
     }
 }
 
@@ -112,7 +167,7 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> Vec<RunResult> {
         return specs
             .iter()
             .map(|s| {
-                let r = run_spec(s, opts.ops_per_core);
+                let r = run_spec_opts(s, opts.ops_per_core, opts.obs_override, opts.trace_limit);
                 if opts.verbose {
                     eprintln!(
                         "[harness] {} -> {} cycles",
@@ -156,7 +211,12 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> Vec<RunResult> {
                         .find_map(|v| queues[v].lock().unwrap().pop_back())
                 });
                 let Some(i) = job else { break };
-                let r = run_spec(&specs[i], opts.ops_per_core);
+                let r = run_spec_opts(
+                    &specs[i],
+                    opts.ops_per_core,
+                    opts.obs_override,
+                    opts.trace_limit,
+                );
                 if opts.verbose {
                     eprintln!(
                         "[harness] {} -> {} cycles (worker {w})",
@@ -200,7 +260,7 @@ mod tests {
         let opts = ExecOptions {
             threads: 3,
             ops_per_core: 5,
-            verbose: false,
+            ..ExecOptions::default()
         };
         let results = run_grid(&grid, &opts);
         assert_eq!(results.len(), 6);
@@ -217,7 +277,7 @@ mod tests {
             &ExecOptions {
                 threads: 1,
                 ops_per_core: 8,
-                verbose: false,
+                ..ExecOptions::default()
             },
         );
         for workers in [2, 4, 7] {
@@ -226,7 +286,7 @@ mod tests {
                 &ExecOptions {
                     threads: workers,
                     ops_per_core: 8,
-                    verbose: false,
+                    ..ExecOptions::default()
                 },
             );
             assert_eq!(serial.len(), parallel.len());
@@ -251,7 +311,7 @@ mod tests {
             &ExecOptions {
                 threads: 64,
                 ops_per_core: 4,
-                verbose: false,
+                ..ExecOptions::default()
             },
         );
         assert_eq!(results.len(), 1);
@@ -281,7 +341,7 @@ mod tests {
                 &ExecOptions {
                     threads: 4,
                     ops_per_core: 2,
-                    verbose: false,
+                    ..ExecOptions::default()
                 },
             );
             assert_eq!(r.len(), 6);

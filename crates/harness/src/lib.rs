@@ -26,7 +26,7 @@
 //! use scorpio_harness::registry;
 //!
 //! let scenario = registry::by_name("fig7").unwrap();
-//! let opts = ExecOptions { threads: 0, ops_per_core: 5, verbose: false };
+//! let opts = ExecOptions { threads: 0, ops_per_core: 5, ..ExecOptions::default() };
 //! let results = run_grid(&scenario.grid, &opts);
 //! assert_eq!(results.len(), 20); // 4 workloads x 5 protocols
 //! println!("{}", (scenario.render)(&scenario, &results));

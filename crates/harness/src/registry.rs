@@ -50,6 +50,8 @@ pub fn scenarios() -> Vec<Scenario> {
         topology("topology-small", 4),
         route_lookup("route-lookup", 12),
         route_lookup("route-lookup-small", 6),
+        obs_overhead("obs-overhead", 12),
+        obs_overhead("obs-overhead-small", 6),
         planes_scenario("planes", 6),
         planes_scenario("planes-small", 4),
         planes_throughput("planes-throughput", 8),
@@ -915,6 +917,72 @@ fn route_lookup_render(s: &Scenario, results: &[RunResult]) -> String {
     }
     out.push_str("\nBoth routings produce byte-identical reports (equivalence\n");
     out.push_str("suite); only wall-clock differs.\n");
+    out
+}
+
+// ----------------------------------------- Observability self-benchmark
+
+/// Simulator self-benchmark: the identical sweep with observability off,
+/// at the counter level and at the full flit trace, so the cost of the
+/// instrumentation is *measured* on every run. The off column is the
+/// baseline the <2% overhead assertion (`obs_overhead` test) holds
+/// against; reports differ only in the `obs` annex (equivalence suite).
+fn obs_overhead(name: &'static str, mesh: u16) -> Scenario {
+    Scenario {
+        name,
+        title: format!("Observability overhead — off vs counters vs trace ({mesh}x{mesh})"),
+        about: "Observability self-benchmark: off vs counters vs flit trace",
+        grid: SweepGrid::over(vec![uniform_med()])
+            .meshes(&[mesh])
+            .variants(vec![
+                Variant::new("obs-off", vec![]),
+                Variant::knob(Knob::Obs(scorpio::ObsLevel::Counters)),
+                Variant::knob(Knob::Obs(scorpio::ObsLevel::Trace)),
+            ]),
+        render: obs_overhead_render,
+    }
+}
+
+fn obs_overhead_render(s: &Scenario, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", s.title));
+    out.push_str(&format!(
+        "{:<14}{:>14}{:>12}{:>12}{:>14}{:>12}\n",
+        "workload", "obs", "runtime", "wall (ms)", "sim cyc/sec", "overhead"
+    ));
+    let rate = |r: &RunResult| -> f64 {
+        let secs = r.sim_nanos as f64 / 1e9;
+        if secs > 0.0 {
+            r.report.runtime_cycles as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    for w in &s.grid.workloads {
+        let mut base = 0.0f64;
+        for r in results.iter().filter(|r| r.spec.workload.name == w.name) {
+            let cyc = rate(r);
+            if r.spec.variant.label == "obs-off" {
+                base = cyc;
+            }
+            let overhead = if base > 0.0 && cyc > 0.0 {
+                format!("{:>+10.1}%", 100.0 * (base / cyc - 1.0))
+            } else {
+                format!("{:>11}", "")
+            };
+            out.push_str(&format!(
+                "{:<14}{:>14}{:>12}{:>12.1}{:>14.0}{:>12}\n",
+                w.name,
+                r.spec.variant.label,
+                r.report.runtime_cycles,
+                r.wall_nanos as f64 / 1e6,
+                cyc,
+                overhead,
+            ));
+        }
+    }
+    out.push_str("\nSimulated behavior is identical at every level (obs\n");
+    out.push_str("equivalence tests); only recording work differs.\n");
     out
 }
 

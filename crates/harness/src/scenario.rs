@@ -7,7 +7,7 @@
 //! an ordered, duplicate-free list of [`RunSpec`]s that the executor can
 //! run in any order and on any number of threads without changing results.
 
-use scorpio::{Protocol, SystemConfig};
+use scorpio::{ObsLevel, Protocol, SystemConfig};
 use scorpio_workloads::WorkloadParams;
 
 /// One settable configuration knob, applied on top of the square-mesh
@@ -39,6 +39,12 @@ pub enum Knob {
     /// Perimeter MC placement scaled to the core count (scaling-mesh
     /// sweeps: one MC per 16 tiles instead of four fixed corners).
     ProportionalMcs,
+    /// Observability level: latency histograms and NoC counters, or the
+    /// full flit trace (the `obs-overhead` sweep; simulated behavior is
+    /// unchanged — asserted by the equivalence suite).
+    Obs(ObsLevel),
+    /// Flit-trace cap, paired with `Obs(ObsLevel::Trace)`.
+    TraceLimit(usize),
     /// Topology-aware MC placement: `mcs` memory-controller ports placed
     /// by `placement` (the `mc-placement` sweeps). The L2's interleaving
     /// endpoints are rewired to match.
@@ -169,6 +175,8 @@ impl Knob {
                 cfg
             }
             Knob::ProportionalMcs => cfg.with_proportional_mcs(),
+            Knob::Obs(level) => cfg.with_obs(level),
+            Knob::TraceLimit(n) => cfg.with_trace_limit(n),
             Knob::McPlacement { placement, mcs } => apply_mc_placement(cfg, placement, mcs),
         }
     }
@@ -191,6 +199,10 @@ impl Knob {
             Knob::NotificationWindowSlack(s) => format!("slack={s}"),
             Knob::DirTotalBytes(b) => format!("dir={b}B"),
             Knob::ProportionalMcs => "prop-MCs".into(),
+            Knob::Obs(ObsLevel::Off) => "obs-off".into(),
+            Knob::Obs(ObsLevel::Counters) => "obs-counters".into(),
+            Knob::Obs(ObsLevel::Trace) => "obs-trace".into(),
+            Knob::TraceLimit(n) => format!("trace-cap={n}"),
             Knob::McPlacement {
                 placement: McPlacement::Proportional,
                 ..

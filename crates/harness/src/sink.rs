@@ -14,16 +14,36 @@ use crate::exec::RunResult;
 /// Sink configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SinkOptions {
-    /// Include per-run wall-clock nanoseconds. Off by default because it
-    /// makes output depend on the host rather than only on (scenario,
-    /// seed).
+    /// Include per-run wall-clock nanoseconds, phase breakdown and
+    /// simulated-cycles/sec. Off by default because it makes output depend
+    /// on the host rather than only on (scenario, seed).
     pub include_timing: bool,
+    /// Add the latency-percentile CSV columns (packet latency and
+    /// ordering delay, p50/p95/p99/p999). Blank when a run recorded no
+    /// histograms; deterministic when it did, so this flag keeps the
+    /// byte-stability guarantee (unlike `include_timing`).
+    pub include_hist: bool,
+}
+
+/// Simulated cycles per wall-clock second of the simulation phase.
+fn cycles_per_sec(r: &RunResult) -> f64 {
+    if r.sim_nanos == 0 {
+        0.0
+    } else {
+        r.report.runtime_cycles as f64 * 1e9 / r.sim_nanos as f64
+    }
 }
 
 /// One result as a JSON-lines record.
 pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
     let timing = if opts.include_timing {
-        format!(r#""wall_nanos":{},"#, r.wall_nanos)
+        format!(
+            r#""wall_nanos":{},"setup_nanos":{},"sim_nanos":{},"cycles_per_sec":{:?},"#,
+            r.wall_nanos,
+            r.setup_nanos,
+            r.sim_nanos,
+            cycles_per_sec(r),
+        )
     } else {
         String::new()
     };
@@ -83,8 +103,14 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
         "scenario,index,workload,mesh,fabric,planes,placement,variant,engine,seed,config_hash,",
     );
     out.push_str(scorpio::SystemReport::csv_header());
+    if opts.include_hist {
+        out.push_str(
+            ",packet_p50,packet_p95,packet_p99,packet_p999,\
+             ordering_p50,ordering_p95,ordering_p99,ordering_p999",
+        );
+    }
     if opts.include_timing {
-        out.push_str(",wall_nanos");
+        out.push_str(",wall_nanos,setup_nanos,sim_nanos,cycles_per_sec");
     }
     out.push('\n');
     for r in results {
@@ -116,8 +142,30 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
             r.config_hash,
             r.report.csv_row(),
         ));
+        if opts.include_hist {
+            let obs = r.report.obs.as_deref();
+            let cell = |v: Option<u64>| v.map_or_else(String::new, |x| format!("{x}"));
+            for f in [0.50, 0.95, 0.99, 0.999] {
+                out.push_str(&format!(
+                    ",{}",
+                    cell(obs.and_then(|o| o.packet_latency.percentile(f)))
+                ));
+            }
+            for f in [0.50, 0.95, 0.99, 0.999] {
+                out.push_str(&format!(
+                    ",{}",
+                    cell(obs.and_then(|o| o.ordering_delay.percentile(f)))
+                ));
+            }
+        }
         if opts.include_timing {
-            out.push_str(&format!(",{}", r.wall_nanos));
+            out.push_str(&format!(
+                ",{},{},{},{:?}",
+                r.wall_nanos,
+                r.setup_nanos,
+                r.sim_nanos,
+                cycles_per_sec(r)
+            ));
         }
         out.push('\n');
     }
@@ -155,7 +203,7 @@ mod tests {
             &ExecOptions {
                 threads: 1,
                 ops_per_core: 5,
-                verbose: false,
+                ..ExecOptions::default()
             },
         )
     }
@@ -189,17 +237,53 @@ mod tests {
             &rs,
             SinkOptions {
                 include_timing: true,
+                ..SinkOptions::default()
             },
         );
         assert!(with.contains("wall_nanos"));
+        assert!(with.contains("setup_nanos"));
+        assert!(with.contains("sim_nanos"));
+        assert!(with.contains("cycles_per_sec"));
         let csv_with = csv(
             "demo",
             &rs,
             SinkOptions {
                 include_timing: true,
+                ..SinkOptions::default()
             },
         );
-        assert!(csv_with.lines().next().unwrap().ends_with(",wall_nanos"));
+        assert!(csv_with
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with(",wall_nanos,setup_nanos,sim_nanos,cycles_per_sec"));
+    }
+
+    #[test]
+    fn hist_columns_are_opt_in_and_blank_without_observability() {
+        let rs = results();
+        let plain = csv("demo", &rs, SinkOptions::default());
+        assert!(!plain.contains("packet_p50"));
+        let with = csv(
+            "demo",
+            &rs,
+            SinkOptions {
+                include_hist: true,
+                ..SinkOptions::default()
+            },
+        );
+        let header = with.lines().next().unwrap();
+        assert!(header.ends_with(
+            ",packet_p50,packet_p95,packet_p99,packet_p999,\
+             ordering_p50,ordering_p95,ordering_p99,ordering_p999"
+        ));
+        // These runs recorded no histograms, so the cells are blank — and
+        // every row still matches the header's arity.
+        let cols = header.split(',').count();
+        for line in with.lines().skip(1) {
+            assert_eq!(line.split(',').count(), cols);
+            assert!(line.ends_with(",,,,,,,"));
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ fn opts(threads: usize) -> ExecOptions {
     ExecOptions {
         threads,
         ops_per_core: 10,
-        verbose: false,
+        ..ExecOptions::default()
     }
 }
 
@@ -73,6 +73,45 @@ fn every_registered_grid_enumerates_stably_without_duplicates() {
     }
 }
 
+/// With observability on (histograms, counters and the flit trace), the
+/// percentile-bearing JSONL/CSV *and* the merged trace stream must stay
+/// byte-identical across worker counts — the observability layer inherits
+/// the executor's determinism guarantee.
+#[test]
+fn observability_output_is_thread_count_invariant() {
+    let scenario = registry::by_name("fig7-small").expect("registered");
+    let o = |threads| ExecOptions {
+        threads,
+        ops_per_core: 10,
+        obs_override: Some(scorpio::ObsLevel::Trace),
+        trace_limit: Some(4096),
+        ..ExecOptions::default()
+    };
+    let hist = SinkOptions {
+        include_hist: true,
+        ..SinkOptions::default()
+    };
+    let serial = run_grid(&scenario.grid, &o(1));
+    let json = sink::jsonl("fig7-small", &serial, hist);
+    let csv = sink::csv("fig7-small", &serial, hist);
+    assert!(json.contains(r#""obs":{"packet_latency":{"count":"#));
+    assert!(json.contains(r#""p999":"#));
+    assert!(csv.lines().next().unwrap().contains("packet_p50"));
+    for threads in [2, 8] {
+        let parallel = run_grid(&scenario.grid, &o(threads));
+        assert_eq!(json, sink::jsonl("fig7-small", &parallel, hist));
+        assert_eq!(csv, sink::csv("fig7-small", &parallel, hist));
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.trace, b.trace, "{}: trace varies", a.spec.key());
+            assert_eq!(a.trace_dropped, b.trace_dropped);
+        }
+    }
+    // The trace actually recorded something on the SCORPIO rows.
+    assert!(serial
+        .iter()
+        .any(|r| r.trace.as_ref().is_some_and(|t| !t.is_empty())));
+}
+
 /// Different seeds must actually produce different results (the seed axis
 /// is not decorative).
 #[test]
@@ -102,7 +141,7 @@ fn parallel_sweep_is_faster_than_serial() {
     let long = |threads| ExecOptions {
         threads,
         ops_per_core: 60,
-        verbose: false,
+        ..ExecOptions::default()
     };
     let t0 = std::time::Instant::now();
     let serial = run_grid(&scenario.grid, &long(1));

@@ -42,3 +42,45 @@ fn readme_documents_every_fabric_kind() {
         );
     }
 }
+
+/// DESIGN.md §13 is the trace schema's reference: every event kind the
+/// tracer can emit must be documented there (quoted, as it appears on
+/// the wire), and the README must show the `--trace` flag. The kind
+/// list mirrors `scorpio_noc::TraceKind::name` — a new variant without
+/// documentation fails here.
+#[test]
+fn design_md_documents_the_full_trace_schema() {
+    let md = repo_file("DESIGN.md");
+    for kind in [
+        "inject",
+        "vc-alloc",
+        "hop",
+        "bypass",
+        "eject",
+        "ordered-commit",
+    ] {
+        assert!(
+            md.contains(&format!("\"{kind}\"")),
+            "DESIGN.md never documents the {kind:?} trace event kind"
+        );
+    }
+    let readme = repo_file("README.md");
+    assert!(
+        readme.contains("--trace"),
+        "README.md lacks a --trace example"
+    );
+    assert!(readme.contains("--hist"), "README.md lacks the --hist flag");
+}
+
+/// EXPERIMENTS.md documents the histogram CSV columns the `--hist` flag
+/// adds, so consumers of sweep CSVs can find what the columns mean.
+#[test]
+fn experiments_md_documents_percentile_columns() {
+    let md = repo_file("EXPERIMENTS.md");
+    for col in ["packet_p50", "packet_p999", "ordering_p50", "ordering_p999"] {
+        assert!(
+            md.contains(col),
+            "EXPERIMENTS.md never mentions the {col} CSV column"
+        );
+    }
+}

@@ -5,7 +5,8 @@
 //! wake/sleep paths (notification windows, reorder buffers, expiry
 //! broadcasts, directory homes).
 
-use scorpio_harness::exec::run_spec;
+use scorpio::ObsLevel;
+use scorpio_harness::exec::{run_spec, run_spec_opts};
 use scorpio_harness::registry;
 use scorpio_harness::Engine;
 
@@ -135,6 +136,71 @@ fn cmesh_reports_are_byte_identical_across_engines() {
                 "engine divergence at {} vs {engine:?}",
                 spec.key()
             );
+            assert_eq!(active.config_hash, other.config_hash);
+        }
+    }
+}
+
+/// The observability layer inherits the equivalence guarantee: with full
+/// tracing on (counters, histograms and the flit-event stream), the
+/// report — now carrying the `"obs"` annex with its percentiles, stall
+/// splits and per-plane counters — and the merged trace itself must be
+/// byte-identical across all three engines. Every hook sits after the
+/// shared idle-skip check, so an engine that never visits a quiescent
+/// router and one that visits-and-skips it must record the same thing.
+/// Grid points cover single-plane mesh (fig7-small, all 5 protocols on
+/// one workload), multi-plane fabrics and a concentrated mesh.
+#[test]
+fn observability_reports_and_traces_are_byte_identical_across_engines() {
+    let fig7 = registry::by_name("fig7-small").expect("registered");
+    let planes = registry::by_name("planes-small").expect("registered");
+    let cmesh = registry::by_name("cmesh-small").expect("registered");
+    let mut specs: Vec<_> = fig7
+        .grid
+        .enumerate()
+        .into_iter()
+        .filter(|s| s.workload.name == "blackscholes")
+        .collect();
+    assert_eq!(specs.len(), 5, "all 5 ordering protocols");
+    specs.extend(
+        planes
+            .grid
+            .enumerate()
+            .into_iter()
+            .filter(|s| s.planes == 4 && s.protocol == scorpio::Protocol::Scorpio),
+    );
+    specs.extend(cmesh.grid.enumerate().into_iter().filter(|s| {
+        s.fabric == scorpio_harness::Fabric::CMesh(2) && s.protocol == scorpio::Protocol::Scorpio
+    }));
+    assert!(specs.len() > 5 + 3, "plane and cmesh cells present");
+    for spec in specs {
+        assert_eq!(spec.engine, Engine::ActiveSet);
+        let run =
+            |s: &scorpio_harness::RunSpec| run_spec_opts(s, 8, Some(ObsLevel::Trace), Some(2048));
+        let active = run(&spec);
+        let json = active.report.to_json();
+        assert!(
+            json.contains(r#""obs":{"packet_latency""#),
+            "obs annex missing at {}",
+            spec.key()
+        );
+        for engine in [Engine::AlwaysScan, Engine::CoordRoute] {
+            let mut other_spec = spec.clone();
+            other_spec.engine = engine;
+            let other = run(&other_spec);
+            assert_eq!(
+                json,
+                other.report.to_json(),
+                "obs report divergence at {} vs {engine:?}",
+                spec.key()
+            );
+            assert_eq!(
+                active.trace,
+                other.trace,
+                "trace divergence at {} vs {engine:?}",
+                spec.key()
+            );
+            assert_eq!(active.trace_dropped, other.trace_dropped);
             assert_eq!(active.config_hash, other.config_hash);
         }
     }

@@ -27,7 +27,7 @@ use scorpio_coherence::{
     fill_state, snoop_transition, CohMsg, FidList, FidPush, LineAddr, LineState, MsgKind,
 };
 use scorpio_noc::Endpoint;
-use scorpio_sim::stats::{Accumulator, Counter};
+use scorpio_sim::stats::{Accumulator, Counter, LogHistogram};
 use scorpio_sim::{Cycle, Fifo};
 use std::collections::VecDeque;
 
@@ -213,6 +213,21 @@ pub struct L2Stats {
     pub memory_served_latency: Accumulator,
     /// Ordering delay (issue → own ordered observation).
     pub ordering_delay: Accumulator,
+    /// Log-bucketed service-latency distribution; populated only when the
+    /// observability layer enables histograms ([`L2Stats::enable_histograms`]).
+    pub service_hist: Option<Box<LogHistogram>>,
+    /// Log-bucketed ordering-delay distribution; same gating.
+    pub ordering_hist: Option<Box<LogHistogram>>,
+}
+
+impl L2Stats {
+    /// Installs the latency histograms so subsequent recordings populate
+    /// them. A no-op for simulated behavior: histograms mirror the
+    /// accumulators' inputs without touching any decision path.
+    pub fn enable_histograms(&mut self) {
+        self.service_hist = Some(Box::default());
+        self.ordering_hist = Some(Box::default());
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -620,6 +635,9 @@ impl SnoopyL2 {
                 }
                 let t_issue = entry.t_issue;
                 self.stats.ordering_delay.record(now - t_issue);
+                if let Some(h) = self.stats.ordering_hist.as_deref_mut() {
+                    h.record(now - t_issue);
+                }
                 self.try_complete(tag, now);
             }
             MsgKind::WbReq => {
@@ -714,6 +732,9 @@ impl SnoopyL2 {
             self.stats.hits.incr();
         }
         self.stats.service_latency.record(now - req.enqueued);
+        if let Some(h) = self.stats.service_hist.as_deref_mut() {
+            h.record(now - req.enqueued);
+        }
         self.core_resps.push_back(CoreResp {
             token: req.token,
             value,
@@ -821,6 +842,9 @@ impl SnoopyL2 {
         let entry = self.rshr[tag].take().expect("completing a free tag");
         let total = now - entry.enqueued;
         self.stats.service_latency.record(total);
+        if let Some(h) = self.stats.service_hist.as_deref_mut() {
+            h.record(total);
+        }
         let record = MissRecord {
             total,
             ordering: entry.t_ordered.map(|t| t - entry.t_issue).unwrap_or(0),

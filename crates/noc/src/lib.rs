@@ -52,6 +52,7 @@ mod arbiter;
 mod config;
 mod flit;
 mod network;
+pub mod obs;
 pub mod planes;
 mod router;
 pub mod routing;
@@ -62,6 +63,7 @@ pub use arbiter::RotatingArbiter;
 pub use config::{NocConfig, VnetCfg};
 pub use flit::{data_packet_flits, Dest, Flit, Packet, Payload, Sid, VnetId};
 pub use network::{EjectSlot, Network, NocStats};
+pub use obs::{merge_trace, NetObs, ObsConfig, TraceEvent, TraceKind};
 pub use planes::{MultiNetwork, PlaneSteer, SteerKey};
 pub use router::RouterStats;
 pub use topology::{

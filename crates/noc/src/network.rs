@@ -18,6 +18,7 @@
 
 use crate::config::NocConfig;
 use crate::flit::{Flit, Packet, Payload, Sid, VnetId};
+use crate::obs::{NetObs, ObsConfig};
 use crate::router::{
     CreditArrival, DownstreamState, EsidOracle, FlitArrival, LaArrival, Router, RouterOut,
     RouterStats,
@@ -214,6 +215,9 @@ pub struct Network<T> {
     deliveries: HashMap<u64, u32>,
     last_progress: Cycle,
     stats: NocStats,
+    /// Observability sink; `None` (the default) keeps every hook on the
+    /// hot path down to a single branch.
+    obs: Option<Box<NetObs>>,
 }
 
 /// ESID view used by routers for reserved-VC eligibility. Expectations are
@@ -347,6 +351,7 @@ impl<T: Payload> Network<T> {
                 vnet_latency: vec![Accumulator::new(); vnets],
                 ..NocStats::default()
             },
+            obs: None,
         }
     }
 
@@ -437,6 +442,9 @@ impl<T: Payload> Network<T> {
         self.inject_active.wake(idx);
         self.next_uid += 1;
         self.stats.injected_packets.incr();
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_inject(self.cycle.as_u64(), idx as u32, packet.vnet.0, packet.uid);
+        }
         Ok(packet.uid)
     }
 
@@ -518,6 +526,16 @@ impl<T: Payload> Network<T> {
             let lat = self.cycle - flit.packet.inject_cycle;
             self.stats.packet_latency.record(lat);
             self.stats.vnet_latency[flit.packet.vnet.index()].record(lat);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.on_eject(
+                    self.cycle.as_u64(),
+                    idx as u32,
+                    flit.packet.vnet.0,
+                    slot.vc,
+                    flit.packet.uid,
+                    lat,
+                );
+            }
             if self.cfg.track_deliveries {
                 *self.deliveries.entry(flit.packet.uid).or_insert(0) += 1;
             }
@@ -558,6 +576,32 @@ impl<T: Payload> Network<T> {
         self.route_tables = tables;
     }
 
+    /// Installs (or, with `None`, removes) the observability sink for this
+    /// network, tagged as plane `plane` in trace events. Call before the
+    /// first cycle; every hook is engine-invariant, so enabling the sink
+    /// never changes simulated behavior.
+    pub fn set_observability(&mut self, plane: u16, cfg: Option<ObsConfig>) {
+        self.obs = cfg.map(|c| {
+            Box::new(NetObs::new(
+                plane,
+                c,
+                &self.cfg,
+                self.topology.router_count(),
+                self.inject.len(),
+            ))
+        });
+    }
+
+    /// The observability sink, if installed.
+    pub fn obs(&self) -> Option<&NetObs> {
+        self.obs.as_deref()
+    }
+
+    /// Mutable access to the observability sink (trace draining).
+    pub fn obs_mut(&mut self) -> Option<&mut NetObs> {
+        self.obs.as_deref_mut()
+    }
+
     /// Drains the set of endpoints whose ejection buffers received flits
     /// since the last call (ascending order, deduplicated). The system
     /// layer uses this to wake sleeping tiles and memory controllers.
@@ -567,6 +611,9 @@ impl<T: Payload> Network<T> {
 
     /// Compute phase of one cycle.
     pub fn tick(&mut self) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.cycle = self.cycle.as_u64();
+        }
         self.deliver_wires();
         self.tick_routers();
         self.tick_inject_ports();
@@ -643,6 +690,7 @@ impl<T: Payload> Network<T> {
             inject_credit_wire,
             router_active,
             always_scan,
+            obs,
             ..
         } = self;
         let view = EsidView {
@@ -665,10 +713,37 @@ impl<T: Payload> Network<T> {
             if router.is_idle() && flits.is_empty() && las.is_empty() && credits.is_empty() {
                 continue;
             }
+            if let Some(o) = obs.as_deref_mut() {
+                if o.counters {
+                    // Occupancy integral, sampled pre-tick over exactly the
+                    // routers both engines agree to tick.
+                    o.buffer_integral += u64::from(router.occupancy());
+                }
+            }
             outbox.clear();
-            router.tick(&route, cfg, &view, flits, las, credits, outbox);
+            router.tick(
+                &route,
+                cfg,
+                &view,
+                flits,
+                las,
+                credits,
+                outbox,
+                obs.as_deref_mut(),
+            );
             let rid = RouterId(ridx as u16);
             for ev in outbox.iter() {
+                if let RouterOut::Flit { out_port, vc, flit } = ev {
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.on_crossing(
+                            ridx as u32,
+                            out_port.index() as u8,
+                            flit.packet.vnet.0,
+                            *vc,
+                            flit.packet.uid,
+                        );
+                    }
+                }
                 Self::route_router_out(
                     tables,
                     rid,
@@ -932,6 +1007,18 @@ impl<T: Payload> Network<T> {
                 continue;
             };
             port.queues[v].pop();
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.on_injected(
+                    self.cycle.as_u64(),
+                    idx as u32,
+                    port.router.0 as u32,
+                    port.local_in.index() as u8,
+                    v as u8,
+                    vc,
+                    packet.uid,
+                    self.cycle - packet.inject_cycle,
+                );
+            }
             let head = Flit { packet, idx: 0 };
             if cfg.bypass && packet.len_flits == 1 {
                 self.la_wire.push((port.router, port.local_in, head));

@@ -1,0 +1,533 @@
+//! Observability: per-plane counters, latency histograms and a
+//! deterministic flit-event trace.
+//!
+//! The network carries an optional [`NetObs`] sink (one per plane). When
+//! absent — the default — every hook in the hot path is a single
+//! `Option::is_none` branch and nothing is allocated or recorded, so
+//! reports stay byte-identical to a build without the layer. When present,
+//! the sink accumulates:
+//!
+//! * **Counters** (`ObsConfig::counters`): per-router/per-output-port link
+//!   crossings, a buffer-occupancy integral (packet-cycles resident in
+//!   input VCs), per-VC buffered-flit counts, stall causes split by arbitration
+//!   stage (SA-I losses, SA-O losses, VC-allocation blocks, credit blocks),
+//!   and latency histograms — packet latency per message class
+//!   ([`LogHistogram`]) and per-endpoint injection wait.
+//! * **Trace** (`ObsConfig::trace`): a bounded stream of [`TraceEvent`]s
+//!   (inject / vc-alloc / hop / bypass / eject, plus the system layer's
+//!   ordered-commit) with a per-plane monotonic sequence number. Events
+//!   from all planes merge-sort on [`TraceEvent::sort_key`] into a single
+//!   deterministic stream; because each plane keeps an exact prefix of its
+//!   own stream, truncating the merged stream to the cap reproduces the
+//!   exact global prefix regardless of plane count or thread count.
+//!
+//! Every hook sits in code that executes identically under the active-set,
+//! always-scan and coord-route engines (after the shared idle-skip check),
+//! so enabling observability never perturbs simulated behavior and its
+//! output is engine-invariant. Counter-classification paths only ever call
+//! `&self` router queries — arbiter state is never touched.
+
+use crate::config::NocConfig;
+use crate::topology::Port;
+use scorpio_sim::stats::LogHistogram;
+
+/// What to record. Passed to [`crate::Network::set_observability`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record counters and latency histograms.
+    pub counters: bool,
+    /// Record the flit-event trace.
+    pub trace: bool,
+    /// Per-plane cap on retained trace events; later events are counted
+    /// as dropped. Also the cap on the merged stream.
+    pub trace_limit: usize,
+}
+
+impl ObsConfig {
+    /// Counters and histograms only — no trace.
+    pub fn counters_only() -> ObsConfig {
+        ObsConfig {
+            counters: true,
+            trace: false,
+            trace_limit: 0,
+        }
+    }
+
+    /// Counters plus a trace capped at `limit` events.
+    pub fn with_trace(limit: usize) -> ObsConfig {
+        ObsConfig {
+            counters: true,
+            trace: true,
+            trace_limit: limit,
+        }
+    }
+}
+
+/// The kind of a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A packet entered a NIC injection queue.
+    Inject,
+    /// A packet won a downstream virtual channel (at injection or at an
+    /// in-network VC allocator).
+    VcAlloc,
+    /// A flit crossed a router's crossbar toward an output port.
+    Hop,
+    /// A single-flit packet took the lookahead bypass path through a
+    /// router (zero-cycle buffering).
+    Bypass,
+    /// A tail flit was consumed at its destination endpoint.
+    Eject,
+    /// The system layer committed a globally ordered request at an
+    /// endpoint (recorded by `scorpio-core`, not the network).
+    OrderedCommit,
+}
+
+impl TraceKind {
+    /// The schema name of this event kind, as emitted in trace JSONL.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Inject => "inject",
+            TraceKind::VcAlloc => "vc-alloc",
+            TraceKind::Hop => "hop",
+            TraceKind::Bypass => "bypass",
+            TraceKind::Eject => "eject",
+            TraceKind::OrderedCommit => "ordered-commit",
+        }
+    }
+}
+
+/// One flit event. Field meaning varies by [`TraceKind`]; see
+/// [`TraceEvent::json_body`] for the rendered schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle the event occurred on.
+    pub cycle: u64,
+    /// Network plane (0 for single-plane fabrics; the system layer's
+    /// ordered-commit events carry the plane the request travelled on).
+    pub plane: u16,
+    /// Layer tiebreak for the merge sort: 0 = network, 1 = system.
+    pub src: u8,
+    /// Monotonic per-(plane, layer) sequence number.
+    pub seq: u64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Packet uid — or the SID for [`TraceKind::OrderedCommit`].
+    pub uid: u64,
+    /// Virtual network (unused for ordered-commit).
+    pub vnet: u8,
+    /// Endpoint index (inject/eject/ordered-commit) or router id
+    /// (vc-alloc/hop/bypass).
+    pub node: u32,
+    /// Port index ([`Port::index`] order): the output port for
+    /// vc-alloc/hop, the arrival port for bypass. Unused otherwise.
+    pub port: u8,
+    /// Virtual channel within `vnet` (vc-alloc/hop/eject).
+    pub vc: u8,
+    /// Extra: packet latency for eject, `own` flag (0/1) for
+    /// ordered-commit.
+    pub aux: u64,
+}
+
+impl TraceEvent {
+    /// The deterministic global ordering key: (cycle, plane, layer, seq).
+    pub fn sort_key(&self) -> (u64, u16, u8, u64) {
+        (self.cycle, self.plane, self.src, self.seq)
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn json_body(&self) -> String {
+        let head = format!(
+            r#"{{"cycle":{},"plane":{},"event":{:?}"#,
+            self.cycle,
+            self.plane,
+            self.kind.name()
+        );
+        let rest = match self.kind {
+            TraceKind::Inject => {
+                format!(
+                    r#","ep":{},"vnet":{},"uid":{}}}"#,
+                    self.node, self.vnet, self.uid
+                )
+            }
+            TraceKind::VcAlloc | TraceKind::Hop => format!(
+                r#","router":{},"port":{},"vc":{},"vnet":{},"uid":{}}}"#,
+                self.node, self.port, self.vc, self.vnet, self.uid
+            ),
+            TraceKind::Bypass => format!(
+                r#","router":{},"port":{},"vnet":{},"uid":{}}}"#,
+                self.node, self.port, self.vnet, self.uid
+            ),
+            TraceKind::Eject => format!(
+                r#","ep":{},"vnet":{},"vc":{},"uid":{},"lat":{}}}"#,
+                self.node, self.vnet, self.vc, self.uid, self.aux
+            ),
+            TraceKind::OrderedCommit => {
+                format!(
+                    r#","ep":{},"sid":{},"own":{}}}"#,
+                    self.node, self.uid, self.aux
+                )
+            }
+        };
+        head + &rest
+    }
+}
+
+/// Merges per-stream event buffers (each an exact prefix of its own
+/// stream, already in key order) into the exact global prefix of at most
+/// `limit` events.
+pub fn merge_trace(streams: Vec<Vec<TraceEvent>>, limit: usize) -> Vec<TraceEvent> {
+    let mut all: Vec<TraceEvent> = streams.into_iter().flatten().collect();
+    all.sort_by_key(TraceEvent::sort_key);
+    all.truncate(limit);
+    all
+}
+
+/// The per-plane observability sink. Owned by [`crate::Network`]; absent
+/// (a `None`) unless [`crate::Network::set_observability`] installs it.
+#[derive(Debug, Clone)]
+pub struct NetObs {
+    plane: u16,
+    /// Counters enabled?
+    pub counters: bool,
+    trace: bool,
+    trace_limit: usize,
+    /// Current cycle, refreshed by the network at the top of each tick.
+    pub(crate) cycle: u64,
+    seq: u64,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    /// Flit crossings per (router, output port), flattened as
+    /// `router * Port::COUNT + port`. Non-local ports measure link
+    /// utilization; local ports measure ejection traffic.
+    pub link_flits: Vec<u64>,
+    /// Sum over ticked routers and cycles of resident input-VC packets
+    /// (a buffer-occupancy integral in packet-cycles; idle-skipped routers
+    /// contribute zero by construction).
+    pub buffer_integral: u64,
+    /// Buffered flits that lost switch allocation stage I (another VC on
+    /// the same input port won the port this cycle).
+    pub stall_sa_i: u64,
+    /// SA-I winners that lost switch allocation stage II (another input
+    /// port — or a lookahead bypass — won the output).
+    pub stall_sa_o: u64,
+    /// Cycles a head flit sat blocked in VC allocation (no eligible free
+    /// downstream VC, or an in-flight SID conflict), counted per VC.
+    pub stall_vc_alloc: u64,
+    /// Cycles a body flit sat blocked on downstream credits, per VC.
+    pub stall_credit: u64,
+    /// Flits buffered per VC, flattened per vnet at `vc_offset`.
+    pub vc_buffered: Vec<u64>,
+    /// Start of each vnet's VC range within [`NetObs::vc_buffered`].
+    pub vc_offset: Vec<u32>,
+    /// Injection wait (queue entry to head-flit VC grant) per endpoint,
+    /// indexed like the network's injection ports.
+    pub inject_wait: Vec<LogHistogram>,
+    /// End-to-end packet latency (inject to tail ejection), all classes.
+    pub packet_latency: LogHistogram,
+    /// Packet latency split per virtual network.
+    pub vnet_latency: Vec<LogHistogram>,
+}
+
+impl NetObs {
+    /// Builds a sink for a plane with `routers` routers and `endpoints`
+    /// injection ports, shaped by `cfg`'s virtual networks.
+    pub fn new(
+        plane: u16,
+        obs: ObsConfig,
+        cfg: &NocConfig,
+        routers: usize,
+        endpoints: usize,
+    ) -> Self {
+        let mut vc_offset = Vec::with_capacity(cfg.vnets.len());
+        let mut total_vcs = 0u32;
+        for v in &cfg.vnets {
+            vc_offset.push(total_vcs);
+            total_vcs += v.total_vcs() as u32;
+        }
+        NetObs {
+            plane,
+            counters: obs.counters,
+            trace: obs.trace,
+            trace_limit: obs.trace_limit,
+            cycle: 0,
+            seq: 0,
+            events: Vec::new(),
+            dropped: 0,
+            link_flits: vec![0; routers * Port::COUNT],
+            buffer_integral: 0,
+            stall_sa_i: 0,
+            stall_sa_o: 0,
+            stall_vc_alloc: 0,
+            stall_credit: 0,
+            vc_buffered: vec![0; total_vcs as usize],
+            vc_offset,
+            inject_wait: vec![LogHistogram::new(); endpoints],
+            packet_latency: LogHistogram::new(),
+            vnet_latency: vec![LogHistogram::new(); cfg.vnets.len()],
+        }
+    }
+
+    /// The plane this sink belongs to.
+    pub fn plane(&self) -> u16 {
+        self.plane
+    }
+
+    /// Whether the trace stream is enabled.
+    pub fn tracing(&self) -> bool {
+        self.trace
+    }
+
+    /// Retained trace events, in key order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drains the retained trace events.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Events discarded after the per-plane cap filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flat index of (vnet, vc) into [`NetObs::vc_buffered`].
+    pub fn vc_flat(&self, vnet: u8, vc: u8) -> usize {
+        self.vc_offset[vnet as usize] as usize + vc as usize
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn event(
+        &mut self,
+        kind: TraceKind,
+        uid: u64,
+        vnet: u8,
+        node: u32,
+        port: u8,
+        vc: u8,
+        aux: u64,
+    ) {
+        if !self.trace {
+            return;
+        }
+        if self.events.len() < self.trace_limit {
+            self.events.push(TraceEvent {
+                cycle: self.cycle,
+                plane: self.plane,
+                src: 0,
+                seq: self.seq,
+                kind,
+                uid,
+                vnet,
+                node,
+                port,
+                vc,
+                aux,
+            });
+        } else {
+            self.dropped += 1;
+        }
+        self.seq += 1;
+    }
+
+    /// Hook: a packet entered injection queue `ep` (cycle passed in
+    /// because injection happens between network ticks).
+    pub(crate) fn on_inject(&mut self, cycle: u64, ep: u32, vnet: u8, uid: u64) {
+        self.cycle = cycle;
+        self.event(TraceKind::Inject, uid, vnet, ep, 0, 0, 0);
+    }
+
+    /// Hook: a head flit left injection queue `ep` into downstream VC
+    /// `(vnet, vc)` of router `router`'s local input `port` after
+    /// `wait` cycles in the queue.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_injected(
+        &mut self,
+        cycle: u64,
+        ep: u32,
+        router: u32,
+        port: u8,
+        vnet: u8,
+        vc: u8,
+        uid: u64,
+        wait: u64,
+    ) {
+        self.cycle = cycle;
+        if self.counters {
+            self.inject_wait[ep as usize].record(wait);
+        }
+        self.event(TraceKind::VcAlloc, uid, vnet, router, port, vc, 0);
+    }
+
+    /// Hook: a tail flit was consumed at endpoint `ep`; `lat` is the
+    /// end-to-end packet latency.
+    pub(crate) fn on_eject(&mut self, cycle: u64, ep: u32, vnet: u8, vc: u8, uid: u64, lat: u64) {
+        self.cycle = cycle;
+        if self.counters {
+            self.packet_latency.record(lat);
+            self.vnet_latency[vnet as usize].record(lat);
+        }
+        self.event(TraceKind::Eject, uid, vnet, ep, 0, vc, lat);
+    }
+
+    /// Hook: a flit crossed router `router`'s crossbar to `port`.
+    pub(crate) fn on_crossing(&mut self, router: u32, port: u8, vnet: u8, vc: u8, uid: u64) {
+        if self.counters {
+            self.link_flits[router as usize * Port::COUNT + port as usize] += 1;
+        }
+        self.event(TraceKind::Hop, uid, vnet, router, port, vc, 0);
+    }
+
+    /// Hook: a flit took the bypass path at `router`, arriving on `port`.
+    pub(crate) fn on_bypass(&mut self, router: u32, port: u8, vnet: u8, uid: u64) {
+        self.event(TraceKind::Bypass, uid, vnet, router, port, 0, 0);
+    }
+
+    /// Hook: a head flit won downstream VC `(vnet, vc)` toward `port` at
+    /// `router` (in-network VC allocation, including bypass grants).
+    pub(crate) fn on_vc_alloc(&mut self, router: u32, port: u8, vnet: u8, vc: u8, uid: u64) {
+        self.event(TraceKind::VcAlloc, uid, vnet, router, port, vc, 0);
+    }
+
+    /// Hook: a flit was written into an input VC buffer.
+    #[inline]
+    pub(crate) fn on_buffered(&mut self, vnet: u8, vc: u8) {
+        if self.counters {
+            let idx = self.vc_flat(vnet, vc);
+            self.vc_buffered[idx] += 1;
+        }
+    }
+
+    /// Merges another plane's counters into this one (histograms,
+    /// stalls, occupancy; link counters are merged element-wise).
+    pub fn merge_counters(&mut self, other: &NetObs) {
+        self.buffer_integral += other.buffer_integral;
+        self.stall_sa_i += other.stall_sa_i;
+        self.stall_sa_o += other.stall_sa_o;
+        self.stall_vc_alloc += other.stall_vc_alloc;
+        self.stall_credit += other.stall_credit;
+        for (a, b) in self.link_flits.iter_mut().zip(&other.link_flits) {
+            *a += b;
+        }
+        for (a, b) in self.vc_buffered.iter_mut().zip(&other.vc_buffered) {
+            *a += b;
+        }
+        for (a, b) in self.inject_wait.iter_mut().zip(&other.inject_wait) {
+            a.merge(b);
+        }
+        self.packet_latency.merge(&other.packet_latency);
+        for (a, b) in self.vnet_latency.iter_mut().zip(&other.vnet_latency) {
+            a.merge(b);
+        }
+        self.dropped += other.dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink() -> NetObs {
+        NetObs::new(0, ObsConfig::with_trace(4), &NocConfig::scorpio(), 4, 5)
+    }
+
+    #[test]
+    fn trace_cap_counts_drops() {
+        let mut o = sink();
+        for i in 0..6 {
+            o.on_inject(i, 0, 0, i);
+        }
+        assert_eq!(o.events().len(), 4);
+        assert_eq!(o.dropped(), 2);
+        // Sequence numbers keep advancing past the cap so merge keys of
+        // later retained events (there are none) would stay ordered.
+        assert_eq!(o.events()[3].seq, 3);
+    }
+
+    #[test]
+    fn vc_flat_layout_spans_vnets() {
+        let o = sink();
+        // GO-REQ: 4 VCs + rVC = 5, then UO-RESP: 2 VCs.
+        assert_eq!(o.vc_flat(0, 0), 0);
+        assert_eq!(o.vc_flat(0, 4), 4);
+        assert_eq!(o.vc_flat(1, 0), 5);
+        assert_eq!(o.vc_buffered.len(), 7);
+    }
+
+    #[test]
+    fn json_bodies_match_schema() {
+        let mut o = sink();
+        o.on_inject(3, 7, 1, 42);
+        o.on_eject(9, 8, 0, 2, 42, 6);
+        let e0 = o.events()[0].json_body();
+        assert_eq!(
+            e0,
+            r#"{"cycle":3,"plane":0,"event":"inject","ep":7,"vnet":1,"uid":42}"#
+        );
+        let e1 = o.events()[1].json_body();
+        assert_eq!(
+            e1,
+            r#"{"cycle":9,"plane":0,"event":"eject","ep":8,"vnet":0,"vc":2,"uid":42,"lat":6}"#
+        );
+        let commit = TraceEvent {
+            cycle: 11,
+            plane: 1,
+            src: 1,
+            seq: 0,
+            kind: TraceKind::OrderedCommit,
+            uid: 5,
+            vnet: 0,
+            node: 2,
+            port: 0,
+            vc: 0,
+            aux: 1,
+        };
+        assert_eq!(
+            commit.json_body(),
+            r#"{"cycle":11,"plane":1,"event":"ordered-commit","ep":2,"sid":5,"own":1}"#
+        );
+    }
+
+    #[test]
+    fn merge_trace_is_exact_prefix() {
+        // Plane 0 capped at 3 events (cycles 1..=3, later ones dropped);
+        // plane 1 under its cap with events at cycles 2 and 50. The merged
+        // prefix of 3 must be exactly the 3 globally-earliest events.
+        let mk = |cycle, plane, seq| TraceEvent {
+            cycle,
+            plane,
+            src: 0,
+            seq,
+            kind: TraceKind::Inject,
+            uid: 0,
+            vnet: 0,
+            node: 0,
+            port: 0,
+            vc: 0,
+            aux: 0,
+        };
+        let p0 = vec![mk(1, 0, 0), mk(2, 0, 1), mk(3, 0, 2)];
+        let p1 = vec![mk(2, 1, 0), mk(50, 1, 1)];
+        let merged = merge_trace(vec![p0, p1], 3);
+        let keys: Vec<_> = merged.iter().map(|e| (e.cycle, e.plane)).collect();
+        assert_eq!(keys, vec![(1, 0), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = sink();
+        let mut b = sink();
+        a.on_crossing(1, 2, 0, 0, 9);
+        b.on_crossing(1, 2, 0, 0, 10);
+        a.on_buffered(1, 1);
+        b.on_eject(4, 0, 1, 0, 10, 12);
+        a.merge_counters(&b);
+        assert_eq!(a.link_flits[Port::COUNT + 2], 2);
+        assert_eq!(a.vc_buffered[a.vc_flat(1, 1)], 1);
+        assert_eq!(a.packet_latency.count(), 1);
+        assert_eq!(a.vnet_latency[1].count(), 1);
+    }
+}

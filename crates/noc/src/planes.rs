@@ -311,6 +311,30 @@ impl<T: Payload + SteerKey> MultiNetwork<T> {
         }
     }
 
+    /// Installs (or removes) an observability sink on every plane, each
+    /// tagged with its plane index for trace merging. Call before the
+    /// first cycle.
+    pub fn set_observability(&mut self, cfg: Option<crate::obs::ObsConfig>) {
+        for (p, n) in self.planes.iter_mut().enumerate() {
+            n.set_observability(p as u16, cfg);
+        }
+    }
+
+    /// Plane `p`'s observability sink, if installed.
+    pub fn obs(&self, p: usize) -> Option<&crate::obs::NetObs> {
+        self.planes[p].obs()
+    }
+
+    /// Drains every plane's retained trace events into `out` (unsorted —
+    /// callers merge on [`crate::obs::TraceEvent::sort_key`]).
+    pub fn take_trace(&mut self, out: &mut Vec<Vec<crate::obs::TraceEvent>>) {
+        for n in &mut self.planes {
+            if let Some(o) = n.obs_mut() {
+                out.push(o.take_events());
+            }
+        }
+    }
+
     /// Drains the merged set of endpoints whose ejection buffers received
     /// flits on any plane (ascending, deduplicated).
     pub fn take_woken_endpoints(&mut self, out: &mut Vec<u32>) {

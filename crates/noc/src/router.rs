@@ -30,6 +30,7 @@
 use crate::arbiter::RotatingArbiter;
 use crate::config::NocConfig;
 use crate::flit::{Flit, Payload, Sid};
+use crate::obs::NetObs;
 use crate::tables::{RouteCtx, RoutingTables, VcClass};
 use crate::topology::{Port, PortMask, RouterId};
 use scorpio_sim::stats::Counter;
@@ -392,6 +393,12 @@ impl<T: Payload> Router<T> {
         self.busy == 0
     }
 
+    /// Resident packets (plus grants pending ST) across the input VCs —
+    /// the quantity the observability occupancy integral samples.
+    pub(crate) fn occupancy(&self) -> u32 {
+        self.busy
+    }
+
     /// One cycle: credits → ST → arrivals (bypass/BW) → SA-O/VS → SA-I.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn tick(
@@ -403,12 +410,13 @@ impl<T: Payload> Router<T> {
         las: &[LaArrival<T>],
         credits: &[CreditArrival],
         out: &mut Vec<RouterOut<T>>,
+        mut obs: Option<&mut NetObs>,
     ) {
         self.apply_credits(cfg, credits);
         self.execute_st(cfg, out);
-        self.process_arrivals(route, cfg, arrivals, out);
-        self.allocate_outputs(route, cfg, esid, las);
-        self.sa_i(route, cfg, esid);
+        self.process_arrivals(route, cfg, arrivals, out, obs.as_deref_mut());
+        self.allocate_outputs(route, cfg, esid, las, obs.as_deref_mut());
+        self.sa_i(route, cfg, esid, obs);
     }
 
     fn apply_credits(&mut self, cfg: &NocConfig, credits: &[CreditArrival]) {
@@ -500,6 +508,7 @@ impl<T: Payload> Router<T> {
         cfg: &NocConfig,
         arrivals: &[FlitArrival<T>],
         out: &mut Vec<RouterOut<T>>,
+        mut obs: Option<&mut NetObs>,
     ) {
         for a in arrivals {
             let res = self.bypass_res[a.port.index()].take();
@@ -511,6 +520,14 @@ impl<T: Payload> Router<T> {
                 // Full bypass: ST immediately; input buffer untouched, so
                 // the upstream VC+credit are released right away.
                 self.stats.bypassed_flits.incr();
+                if let Some(o) = obs.as_deref_mut() {
+                    o.on_bypass(
+                        self.id.0 as u32,
+                        a.port.index() as u8,
+                        a.flit.packet.vnet.0,
+                        a.flit.packet.uid,
+                    );
+                }
                 out.push(RouterOut::CreditUp {
                     in_port: a.port,
                     vnet: a.flit.packet.vnet.0,
@@ -521,6 +538,9 @@ impl<T: Payload> Router<T> {
                     self.emit_flit(cfg, p, dvc, a.flit, out);
                 }
                 continue;
+            }
+            if let Some(o) = obs.as_deref_mut() {
+                o.on_buffered(a.flit.packet.vnet.0, a.vc);
             }
             self.buffer_flit(route, a);
         }
@@ -567,6 +587,7 @@ impl<T: Payload> Router<T> {
         cfg: &NocConfig,
         esid: &dyn EsidOracle,
         las: &[LaArrival<T>],
+        mut obs: Option<&mut NetObs>,
     ) {
         let mut out_taken = [false; Port::COUNT];
         // Which source owns each input port's crossbar slot next cycle.
@@ -583,6 +604,7 @@ impl<T: Payload> Router<T> {
             true,
             &mut out_taken,
             &mut in_owner,
+            obs.as_deref_mut(),
         );
 
         // Class 2: lookaheads, all-or-nothing, rotating priority by port.
@@ -605,6 +627,7 @@ impl<T: Payload> Router<T> {
                 &mut out_taken,
                 &in_owner,
                 &mut in_owner_bypass,
+                obs.as_deref_mut(),
             ) {
                 self.stats.la_failures.incr();
             }
@@ -625,7 +648,23 @@ impl<T: Payload> Router<T> {
             false,
             &mut out_taken,
             &mut in_owner,
+            obs.as_deref_mut(),
         );
+
+        // SA-O stall accounting: an SA-I winner that did not end up owning
+        // its input's crossbar slot lost stage II this cycle (to another
+        // input port, or to a lookahead bypass holding the sentinel owner).
+        if let Some(o) = obs {
+            if o.counters {
+                for &p in self.ports() {
+                    if let Some(win) = sa_i_reg[p.index()] {
+                        if in_owner[p.index()] != Some((win.vnet, win.vc)) {
+                            o.stall_sa_o += 1;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Grants output ports to buffered SA-I winners of one priority class
@@ -640,6 +679,7 @@ impl<T: Payload> Router<T> {
         rvc_class: bool,
         out_taken: &mut [bool; Port::COUNT],
         in_owner: &mut [Option<(u8, u8)>; Port::COUNT],
+        mut obs: Option<&mut NetObs>,
     ) {
         for &out_port in self.ports() {
             if out_taken[out_port.index()] || self.downstream[out_port.index()].is_none() {
@@ -671,7 +711,7 @@ impl<T: Payload> Router<T> {
             };
             let in_port = Port::ALL[winner_idx];
             let win = sa_i_reg[in_port.index()].expect("winner without SA-I record");
-            self.commit_grant(route, cfg, esid, in_port, win, out_port);
+            self.commit_grant(route, cfg, esid, in_port, win, out_port, obs.as_deref_mut());
             out_taken[out_port.index()] = true;
             in_owner[in_port.index()] = Some((win.vnet, win.vc));
         }
@@ -729,6 +769,7 @@ impl<T: Payload> Router<T> {
     }
 
     /// Applies a grant decided by SA-O: VS allocation + ST scheduling.
+    #[allow(clippy::too_many_arguments)]
     fn commit_grant(
         &mut self,
         route: &RouteCtx<'_>,
@@ -737,12 +778,14 @@ impl<T: Payload> Router<T> {
         in_port: Port,
         win: SaIWin,
         out_port: Port,
+        obs: Option<&mut NetObs>,
     ) {
         let id = self.id;
         let sid;
         let seq;
         let single;
         let class;
+        let uid;
         {
             let state = &self.inputs[in_port.index()][win.vnet as usize][win.vc as usize];
             let flit = state.flits.front().expect("grant on empty VC");
@@ -750,6 +793,7 @@ impl<T: Payload> Router<T> {
             seq = flit.packet.sid_seq;
             single = flit.is_single();
             class = route.class_for(state.class_mask, out_port);
+            uid = flit.packet.uid;
         }
         if single {
             let rvc_ok = sid
@@ -760,6 +804,9 @@ impl<T: Payload> Router<T> {
                 .expect("grant toward absent port")
                 .alloc_vc(cfg, win.vnet, sid, rvc_ok, class)
                 .expect("candidate_wants guaranteed allocatability");
+            if let Some(o) = obs {
+                o.on_vc_alloc(id.0 as u32, out_port.index() as u8, win.vnet, dvc, uid);
+            }
             let state = &mut self.inputs[in_port.index()][win.vnet as usize][win.vc as usize];
             let first_grant = state.granted.is_empty();
             state.granted.insert(out_port);
@@ -782,6 +829,9 @@ impl<T: Payload> Router<T> {
                     .expect("grant toward absent port")
                     .alloc_vc(cfg, win.vnet, None, false, class)
                     .expect("candidate_wants guaranteed allocatability");
+                if let Some(o) = obs {
+                    o.on_vc_alloc(id.0 as u32, out_port.index() as u8, win.vnet, dvc, uid);
+                }
                 let state = &mut self.inputs[in_port.index()][win.vnet as usize][win.vc as usize];
                 state.out_port = Some(out_port);
                 state.out_vc = dvc;
@@ -813,6 +863,7 @@ impl<T: Payload> Router<T> {
         out_taken: &mut [bool; Port::COUNT],
         in_owner: &[Option<(u8, u8)>; Port::COUNT],
         in_owner_bypass: &mut [bool; Port::COUNT],
+        mut obs: Option<&mut NetObs>,
     ) -> bool {
         if !cfg.bypass {
             return false;
@@ -856,6 +907,15 @@ impl<T: Payload> Router<T> {
                 .expect("checked above")
                 .alloc_vc(cfg, vnet, sid, rvc_ok, route.class_for(routed.classes, p))
                 .expect("checked above");
+            if let Some(o) = obs.as_deref_mut() {
+                o.on_vc_alloc(
+                    self.id.0 as u32,
+                    p.index() as u8,
+                    vnet,
+                    dvc,
+                    la.flit.packet.uid,
+                );
+            }
             outs.push((p, dvc));
             out_taken[p.index()] = true;
         }
@@ -873,7 +933,13 @@ impl<T: Payload> Router<T> {
     /// (downstream VC/credit obtainable and no same-SID conflict). This
     /// matters most for the reserved VC, which wins SA-I outright: letting
     /// a blocked rVC flit hold the input slot would starve the port.
-    fn sa_i(&mut self, route: &RouteCtx<'_>, cfg: &NocConfig, esid: &dyn EsidOracle) {
+    fn sa_i(
+        &mut self,
+        route: &RouteCtx<'_>,
+        cfg: &NocConfig,
+        esid: &dyn EsidOracle,
+        mut obs: Option<&mut NetObs>,
+    ) {
         for in_port in self.ports() {
             let in_port = *in_port;
             let pidx = in_port.index();
@@ -883,6 +949,13 @@ impl<T: Payload> Router<T> {
             if self.port_occupancy[pidx] == 0 {
                 self.sa_i_reg[pidx] = None;
                 continue;
+            }
+            // Stall accounting runs on pure `&self` queries, so it can
+            // never perturb arbiter state or the outcome below.
+            if let Some(o) = obs.as_deref_mut() {
+                if o.counters {
+                    self.count_port_stalls(route, cfg, esid, in_port, o);
+                }
             }
             // Reserved VCs win outright.
             let mut rvc_win = None;
@@ -1019,6 +1092,71 @@ impl<T: Payload> Router<T> {
             }
         }
     }
+
+    /// Stall accounting for one input port (counters mode): every VC that
+    /// requests SA-I except the eventual winner loses stage I; an active VC
+    /// with somewhere to go that *cannot even request* is stalled in VC
+    /// allocation (head blocked on a free VC or a SID conflict) or on
+    /// credits (body flit of a routed stream). Pure `&self` reads only.
+    fn count_port_stalls(
+        &self,
+        route: &RouteCtx<'_>,
+        cfg: &NocConfig,
+        esid: &dyn EsidOracle,
+        in_port: Port,
+        o: &mut NetObs,
+    ) {
+        let mut requesters = 0u64;
+        for &(n, vc, _) in &self.vc_index {
+            let state = &self.inputs[in_port.index()][n as usize][vc as usize];
+            if !state.active {
+                continue;
+            }
+            if self.vc_requests(route, cfg, esid, n, vc, in_port) {
+                requesters += 1;
+            } else {
+                match Self::blocked_cause(state) {
+                    Some(Stall::VcAlloc) => o.stall_vc_alloc += 1,
+                    Some(Stall::Credit) => o.stall_credit += 1,
+                    None => {}
+                }
+            }
+        }
+        // Exactly one requester wins the port's crossbar slot.
+        o.stall_sa_i += requesters.saturating_sub(1);
+    }
+
+    /// Why an active, non-requesting VC is not progressing — `None` when it
+    /// is merely waiting on its own granted switch traversals.
+    fn blocked_cause(state: &VcState<T>) -> Option<Stall> {
+        let flit = state.flits.front()?;
+        if flit.is_single() {
+            let mut pending = state.remaining;
+            for p in state.granted.iter() {
+                pending.remove(p);
+            }
+            // A pending output it could not request = the downstream VC
+            // allocator (no free VC in its class, or a SID conflict).
+            (!pending.is_empty()).then_some(Stall::VcAlloc)
+        } else {
+            if state.flits.len() <= state.granted_flits as usize {
+                return None;
+            }
+            match state.out_port {
+                // Head waiting for a downstream VC.
+                None => Some(Stall::VcAlloc),
+                // Routed stream with buffered flits but no request: the
+                // only blocker on a fixed (port, VC) is credits.
+                Some(_) => Some(Stall::Credit),
+            }
+        }
+    }
+}
+
+/// Stall cause of a blocked (non-requesting) input VC.
+enum Stall {
+    VcAlloc,
+    Credit,
 }
 
 #[cfg(test)]
@@ -1139,7 +1277,7 @@ mod tests {
             datelines: false,
         };
         let mut out = Vec::new();
-        r.tick(&ctx, &c, &NoRvc, &[], &[], &[], &mut out);
+        r.tick(&ctx, &c, &NoRvc, &[], &[], &[], &mut out, None);
         assert!(out.is_empty());
         assert!(r.is_idle());
     }

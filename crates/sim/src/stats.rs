@@ -227,22 +227,187 @@ impl Histogram {
         self.buckets.iter().sum::<u64>() + self.overflow
     }
 
+    /// Number of buckets (excluding the overflow bucket).
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket width this histogram was built with.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Folds another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different shapes.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width differs"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "bucket count differs"
+        );
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.overflow += other.overflow;
+    }
+
     /// The smallest value `v` such that at least `fraction` of samples are
-    /// `<= v` (bucket-granular; returns upper bucket edge). `None` if empty.
+    /// `<= v` (bucket-granular; returns upper bucket edge). `None` if
+    /// empty. Samples in the overflow bucket report `u64::MAX` — the
+    /// histogram no longer knows their magnitude, only that they exceeded
+    /// the last bucket.
     pub fn percentile(&self, fraction: f64) -> Option<u64> {
         let total = self.total();
         if total == 0 {
             return None;
         }
-        let target = (fraction.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        // At least one sample must be covered even for fraction 0.0 —
+        // otherwise an empty first bucket's edge would be reported.
+        let target = ((fraction.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (idx, &count) in self.buckets.iter().enumerate() {
             seen += count;
-            if seen >= target {
+            if count > 0 && seen >= target {
                 return Some((idx as u64 + 1) * self.bucket_width - 1);
             }
         }
         Some(u64::MAX)
+    }
+}
+
+/// A histogram with power-of-two (logarithmic) buckets covering all of
+/// `u64` — no overflow bucket, no width to choose.
+///
+/// Bucket 0 holds the sample `0`; bucket `k ≥ 1` holds samples in
+/// `[2^(k-1), 2^k - 1]`. Latency distributions span orders of magnitude
+/// (a bypassed single-hop flit vs. a congested cross-chip data packet),
+/// which fixed-width buckets cannot cover without either losing the low
+/// end or overflowing the high end.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_sim::stats::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// h.record(0); // bucket 0
+/// h.record(5); // bucket 3: [4, 7]
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.percentile(1.0), Some(7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// One bucket per possible bit-length, plus bucket 0 for the value 0.
+    buckets: [u64; 65],
+    count: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [0; 65],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a sample falls into: its bit length (0 for 0).
+    #[inline]
+    pub fn bucket_of(sample: u64) -> usize {
+        (64 - sample.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `idx` holds: `2^idx - 1` (0 for bucket 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > 64`.
+    pub fn bucket_edge(idx: usize) -> u64 {
+        assert!(idx <= 64, "log bucket index out of range");
+        if idx >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << idx) - 1
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, sample: u64) {
+        self.buckets[Self::bucket_of(sample)] += 1;
+        self.count += 1;
+        self.max = self.max.max(sample);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The largest sample recorded, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Count in bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > 64`.
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// The non-empty buckets, in ascending order, as `(index, count)` —
+    /// the sparse form the report renderer emits.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The smallest bucket edge `v` such that at least `fraction` of
+    /// samples are `<= v`. `None` if empty. Bucket-granular: the true
+    /// percentile lies within the returned bucket.
+    pub fn percentile(&self, fraction: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((fraction.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if count > 0 && seen >= target {
+                return Some(Self::bucket_edge(idx));
+            }
+        }
+        unreachable!("count > 0 guarantees a non-empty bucket is reached")
     }
 }
 
@@ -324,6 +489,107 @@ mod tests {
         assert_eq!(h.percentile(0.5), Some(9)); // 3 of 5 in first bucket
         assert_eq!(h.percentile(1.0), Some(99));
         assert_eq!(Histogram::new(1, 1).percentile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_percentile_edge_cases() {
+        // Empty histogram: no percentile at any fraction.
+        let empty = Histogram::new(10, 4);
+        assert_eq!(empty.percentile(0.0), None);
+        assert_eq!(empty.percentile(0.5), None);
+        assert_eq!(empty.percentile(1.0), None);
+        // fraction 0.0 still covers one sample — it must not report the
+        // empty first bucket's edge.
+        let mut h = Histogram::new(10, 4);
+        h.record(25);
+        assert_eq!(h.percentile(0.0), Some(29));
+        assert_eq!(h.percentile(1.0), Some(29));
+        // Out-of-range fractions clamp.
+        assert_eq!(h.percentile(-3.0), Some(29));
+        assert_eq!(h.percentile(7.0), Some(29));
+        // Samples past the last bucket saturate to u64::MAX: the
+        // histogram no longer knows their magnitude.
+        let mut o = Histogram::new(10, 2);
+        o.record(5);
+        o.record(500);
+        assert_eq!(o.percentile(0.5), Some(9));
+        assert_eq!(o.percentile(1.0), Some(u64::MAX));
+        let mut all_over = Histogram::new(10, 2);
+        all_over.record(500);
+        assert_eq!(all_over.percentile(0.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(5, 2);
+        a.record(1);
+        a.record(11);
+        let mut b = Histogram::new(5, 2);
+        b.record(2);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.bucket_count(0), 2);
+        assert_eq!(a.bucket_count(1), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width differs")]
+    fn histogram_merge_shape_mismatch_panics() {
+        let mut a = Histogram::new(5, 2);
+        a.merge(&Histogram::new(10, 2));
+    }
+
+    #[test]
+    fn log_histogram_bucketing() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(255), 8);
+        assert_eq!(LogHistogram::bucket_of(256), 9);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_edge(0), 0);
+        assert_eq!(LogHistogram::bucket_edge(3), 7);
+        assert_eq!(LogHistogram::bucket_edge(64), u64::MAX);
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 3, 100, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 1);
+        assert_eq!(h.bucket_count(7), 1);
+        assert_eq!(h.bucket_count(64), 1);
+        let sparse: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(sparse, vec![(0, 1), (1, 1), (2, 1), (7, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn log_histogram_percentiles_and_merge() {
+        let empty = LogHistogram::new();
+        assert_eq!(empty.percentile(0.5), None);
+        assert_eq!(empty.max(), None);
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 4: [8, 15]
+        }
+        h.record(1000); // bucket 10: [512, 1023]
+        assert_eq!(h.percentile(0.0), Some(15));
+        assert_eq!(h.percentile(0.5), Some(15));
+        assert_eq!(h.percentile(0.99), Some(15));
+        assert_eq!(h.percentile(0.999), Some(1023));
+        assert_eq!(h.percentile(1.0), Some(1023));
+        let mut other = LogHistogram::new();
+        other.record(2000);
+        h.merge(&other);
+        assert_eq!(h.count(), 101);
+        assert_eq!(h.max(), Some(2000));
+        assert_eq!(h.percentile(1.0), Some(2047));
     }
 
     #[test]
