@@ -57,8 +57,17 @@ pub struct System {
     /// Directory-home state per tile (LPD-D / HT-D).
     dir_homes: Vec<DirHome>,
     expiry_sent: u64,
-    watchdog: Cycle,
+    /// Stepped-count snapshot at the last completed op (deadlock watchdog).
+    watchdog_steps: u64,
     watchdog_ops: u64,
+    /// Cycles actually stepped (ticked or skipped one at a time); with the
+    /// leap engine this lags [`System::cycle`] by the leaped spans.
+    stepped: u64,
+    /// Cycles skipped wholesale by the event-leaping clock.
+    leaped: u64,
+    /// When set, [`System::step`] may leap the clock straight to the next
+    /// timed deadline whenever the whole machine is provably idle.
+    leap: bool,
     // ---- Active-set engine state (see DESIGN.md, "wake/sleep protocol").
     /// Tiles/MCs with pending work; drained (in ascending order) each
     /// cycle so `tick_tiles`/`tick_mcs` only touch woken components.
@@ -80,8 +89,11 @@ pub struct System {
     ops_total: u64,
     /// Last notification window the wake logic has seen.
     last_notify_window: Option<u64>,
-    /// Timed wake-ups: tiles sleeping through a compute gap, keyed by the
-    /// absolute cycle their driver's gap deadline expires.
+    /// Timed wake-ups keyed by absolute deadline cycle: tiles sleeping
+    /// through a compute gap and MCs sleeping on a scheduled response.
+    /// Values are *endpoint* indices — `v < cores` is tile `v`, anything
+    /// above is MC `v - cores`. These deadlines are also what the
+    /// event-leaping clock jumps to when the whole machine is idle.
     timed_wakes: BTreeMap<u64, Vec<u32>>,
     /// When set, tick every tile and MC each cycle and compute
     /// [`System::is_complete`] by full scan — the pre-refactor engine,
@@ -251,8 +263,11 @@ impl System {
             resp_hold: vec![None; n_eps],
             dir_homes,
             expiry_sent: 0,
-            watchdog: Cycle::ZERO,
+            watchdog_steps: 0,
             watchdog_ops: 0,
+            stepped: 0,
+            leaped: 0,
+            leap: false,
             tile_active,
             mc_active,
             tile_scratch: Vec::new(),
@@ -326,6 +341,36 @@ impl System {
         self.net.set_table_routing(tables);
     }
 
+    /// Enables the event-leaping clock: when every component is provably
+    /// asleep and the only future work is a known timed deadline (a compute
+    /// gap or a scheduled memory response), [`System::step`] advances the
+    /// clock straight to that deadline instead of stepping empty cycles.
+    /// Exact by construction — leaping requires the active sets empty,
+    /// every plane quiescent and the notification network idle, states in
+    /// which a serial cycle is a provable no-op — and asserted
+    /// byte-identical (reports *and* traces) by the equivalence matrix.
+    /// Off by default; incompatible with the always-scan reference engine
+    /// (silently inert under it). Call before the first cycle.
+    pub fn set_leap(&mut self, leap: bool) {
+        self.leap = leap;
+    }
+
+    /// Selects the number of worker lanes for intra-run parallelism
+    /// (`<= 1`, the default, is the single-thread engine). Parallelism is
+    /// confined to the main network's compute phase behind a deterministic
+    /// commit, so results are byte-identical for every worker count. Call
+    /// before the first cycle.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.net.set_workers(workers);
+    }
+
+    /// Cycles actually executed as steps. Without the leap engine this
+    /// equals [`System::cycle`]; with it, `cycle - stepped_cycles` is the
+    /// span covered by clock leaps.
+    pub fn stepped_cycles(&self) -> u64 {
+        self.stepped
+    }
+
     /// Whether every core has finished and the machine is quiescent.
     ///
     /// The active-set engine answers from incrementally maintained
@@ -355,14 +400,18 @@ impl System {
         while !self.is_complete() && self.cycle().as_u64() < max {
             self.step();
             // The ops total is maintained incrementally as drivers tick
-            // (a sleeping driver is done and cannot complete ops).
+            // (a sleeping driver is done and cannot complete ops). The
+            // watchdog counts *steps* without progress, not raw cycles: a
+            // clock leap over a >50k-cycle compute gap is progress-neutral
+            // idleness, not a wedge (without the leap engine the two
+            // measures coincide, every step being one cycle).
             if self.ops_total > self.watchdog_ops {
                 self.watchdog_ops = self.ops_total;
-                self.watchdog = self.cycle();
+                self.watchdog_steps = self.stepped;
             }
             assert!(
-                self.cycle() - self.watchdog < 50_000,
-                "system wedged: no op completed for 50k cycles at {} ({} ops done)",
+                self.stepped - self.watchdog_steps < 50_000,
+                "system wedged: no op completed for 50k stepped cycles at {} ({} ops done)",
                 self.cycle(),
                 self.ops_total
             );
@@ -370,8 +419,15 @@ impl System {
         self.report()
     }
 
-    /// One full system cycle.
+    /// One full system cycle. With the leap engine enabled and the whole
+    /// machine provably idle, the clock first jumps to just before the
+    /// next timed deadline, so this call may advance [`System::cycle`] by
+    /// more than one.
     pub fn step(&mut self) {
+        if self.leap {
+            self.try_leap();
+        }
+        self.stepped += 1;
         let now = self.net.cycle();
         self.tick_tiles(now);
         self.tick_mcs(now);
@@ -383,6 +439,47 @@ impl System {
         self.apply_wakes();
     }
 
+    /// The event leap: if nothing can happen until the earliest timed
+    /// deadline `k`, advance the clock to `k - 1` and let the following
+    /// normal step fire the wake exactly as the serial engine would (timed
+    /// wakes with key `<= cycle` fire at the end of the step that reaches
+    /// them, so the woken component ticks at cycle `k`).
+    ///
+    /// The preconditions make the skipped span a provable no-op: both
+    /// active sets empty (no tile or MC would tick), every plane quiescent
+    /// (its tick/commit collapses to a clock edge — the same argument the
+    /// idle-plane skip rests on) and the notification network idle (its
+    /// windows advance arithmetically, see `NotifyNetwork::advance_idle`).
+    fn try_leap(&mut self) {
+        if self.always_scan || !self.tile_active.is_empty() || !self.mc_active.is_empty() {
+            return;
+        }
+        let Some((&k, _)) = self.timed_wakes.first_key_value() else {
+            return;
+        };
+        let now = self.net.cycle().as_u64();
+        // Never leap past the run bound: the serial engine would have
+        // stopped stepping at max_cycles with the deadline still pending.
+        let target = (k - 1).min(self.cfg.max_cycles.saturating_sub(1));
+        if target <= now {
+            return;
+        }
+        if !self.net.is_quiescent() {
+            return;
+        }
+        if let Some(n) = &self.notify {
+            if !n.is_idle() {
+                return;
+            }
+        }
+        let delta = target - now;
+        self.net.leap(delta);
+        if let Some(n) = self.notify.as_mut() {
+            n.advance_idle(delta);
+        }
+        self.leaped += delta;
+    }
+
     /// Post-cycle wake propagation (active-set engine): endpoints whose
     /// ejection buffers received flits wake their tile/MC, and a completed
     /// notification window carrying announcements (or a stop bit) wakes
@@ -391,19 +488,25 @@ impl System {
         if self.always_scan {
             return;
         }
-        // Fire due timed wakes (gap deadlines) for the next cycle.
+        // Fire due timed wakes (gap and MC-response deadlines) for the
+        // next cycle.
         let next = self.net.cycle().as_u64();
+        let cores = self.cfg.cores();
         while let Some(entry) = self.timed_wakes.first_entry() {
             if *entry.key() > next {
                 break;
             }
-            for t in entry.remove() {
-                self.tile_active.wake(t as usize);
+            for v in entry.remove() {
+                let v = v as usize;
+                if v < cores {
+                    self.tile_active.wake(v);
+                } else {
+                    self.mc_active.wake(v - cores);
+                }
             }
         }
         let mut eps = std::mem::take(&mut self.ep_scratch);
         self.net.take_woken_endpoints(&mut eps);
-        let cores = self.cfg.cores();
         for &ep in &eps {
             let ep = ep as usize;
             if ep < cores {
@@ -622,12 +725,22 @@ impl System {
             }
         }
         if !self.always_scan {
-            let asleep = quiet
-                && self.nics[ep_idx].can_sleep()
+            // Unlike a tile, an MC with in-flight DRAM accesses can still
+            // sleep: its only self-driven observable is releasing a
+            // response at a *known* cycle, so it parks on a timed wake at
+            // the earliest such deadline. Everything else that could need
+            // a tick arrives as an ejected flit, which wakes the endpoint.
+            let rest_asleep = self.nics[ep_idx].can_sleep()
                 && self.reorders[ep_idx].buffered() == 0
-                && !self.net.eject_occupied(ep_idx);
-            if !asleep {
+                && !self.net.eject_occupied(ep_idx)
+                && self.mcs[m].peek_out().is_none();
+            if !rest_asleep {
                 self.mc_active.wake(m);
+            } else if let Some(ready) = self.mcs[m].next_deadline() {
+                self.timed_wakes
+                    .entry(ready.as_u64())
+                    .or_default()
+                    .push(ep_idx as u32);
             }
         }
     }

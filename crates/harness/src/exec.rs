@@ -84,6 +84,10 @@ pub struct RunResult {
     /// Simulation phase (`run_to_completion` only) — the denominator of
     /// the simulated-cycles-per-second throughput metric.
     pub sim_nanos: u128,
+    /// Cycles the engine actually stepped. Equals `report.runtime_cycles`
+    /// unless the leap engine jumped idle spans; the gap is the leap
+    /// ratio the timing sinks report.
+    pub stepped_cycles: u64,
     /// Rendered flit-trace events (one JSON object per event, in
     /// deterministic merge order) when the run traced; `None` otherwise.
     pub trace: Option<Vec<String>>,
@@ -104,6 +108,39 @@ pub fn run_spec_opts(
     obs_override: Option<ObsLevel>,
     trace_limit: Option<usize>,
 ) -> RunResult {
+    // The parallel engines ask for four lanes but never more than the
+    // host has: results are byte-identical for any lane count, so extra
+    // lanes could only timeshare a core and slow the benchmark down.
+    let lanes = std::thread::available_parallelism().map_or(1, |n| n.get().min(4));
+    run_spec_custom(
+        spec,
+        ops_per_core,
+        obs_override,
+        trace_limit,
+        |sys| match spec.engine {
+            Engine::ActiveSet => {}
+            Engine::AlwaysScan => sys.set_always_scan(true),
+            Engine::CoordRoute => sys.set_table_routing(false),
+            Engine::Leap => sys.set_leap(true),
+            Engine::Parallel => sys.set_workers(lanes),
+            Engine::Turbo => {
+                sys.set_leap(true);
+                sys.set_workers(lanes);
+            }
+        },
+    )
+}
+
+/// Runs one spec to completion with an arbitrary pre-run system tweak in
+/// place of the spec's engine selection (the equivalence matrix uses this
+/// to set leap/worker combinations the [`Engine`] axis does not name).
+pub fn run_spec_custom(
+    spec: &RunSpec,
+    ops_per_core: usize,
+    obs_override: Option<ObsLevel>,
+    trace_limit: Option<usize>,
+    tweak: impl Fn(&mut System),
+) -> RunResult {
     let mut cfg = spec.config();
     if let Some(level) = obs_override {
         cfg = cfg.with_obs(level);
@@ -120,15 +157,12 @@ pub fn run_spec_opts(
     let started = Instant::now();
     let traces = generate(&params, cfg.cores(), cfg.seed);
     let mut sys = System::with_traces(cfg, traces);
-    match spec.engine {
-        Engine::ActiveSet => {}
-        Engine::AlwaysScan => sys.set_always_scan(true),
-        Engine::CoordRoute => sys.set_table_routing(false),
-    }
+    tweak(&mut sys);
     let setup_nanos = started.elapsed().as_nanos();
     let sim_started = Instant::now();
     let report = sys.run_to_completion();
     let sim_nanos = sim_started.elapsed().as_nanos();
+    let stepped_cycles = sys.stepped_cycles();
     let (trace, trace_dropped) = if tracing {
         let (events, dropped) = sys.take_trace();
         (
@@ -146,6 +180,7 @@ pub fn run_spec_opts(
         wall_nanos: started.elapsed().as_nanos(),
         setup_nanos,
         sim_nanos,
+        stepped_cycles,
         trace,
         trace_dropped,
     }

@@ -12,7 +12,9 @@ use scorpio::Protocol;
 use scorpio_workloads::WorkloadParams;
 
 use crate::exec::RunResult;
-use crate::scenario::{Engine, Fabric, Knob, McPlacement, RunSpec, Scenario, SweepGrid, Variant};
+use crate::scenario::{
+    Engine, Fabric, GridFilter, Knob, McPlacement, RunSpec, Scenario, SweepGrid, Variant,
+};
 use crate::table::render_normalized;
 
 /// Every registered scenario, in presentation order.
@@ -60,6 +62,8 @@ pub fn scenarios() -> Vec<Scenario> {
         mc_placement("mc-placement-small", 4),
         cmesh("cmesh", 8),
         cmesh("cmesh-small", 4),
+        scaling_kilocore("scaling-kilocore", &[16, 32], kilocore_filter),
+        scaling_kilocore("scaling-kilocore-small", &[8, 16], kilocore_small_filter),
     ];
     for s in &all {
         s.grid
@@ -761,7 +765,7 @@ fn throughput_render(s: &Scenario, results: &[RunResult]) -> String {
             let (slot, label) = match r.spec.engine {
                 Engine::ActiveSet => (0, "active"),
                 Engine::AlwaysScan => (1, "scan"),
-                Engine::CoordRoute => continue,
+                _ => continue,
             };
             rates[slot] = rate(r);
             out.push_str(&format!(
@@ -788,6 +792,135 @@ fn throughput_render(s: &Scenario, results: &[RunResult]) -> String {
     }
     out.push_str("\nBoth engines produce byte-identical reports (see the\n");
     out.push_str("engine-equivalence test suite); only wall-clock differs.\n");
+    out
+}
+
+// ------------------------------------------- Kilocore scale-out benchmark
+
+/// One cell of the kilocore sweep, parameterized on the grid's larger
+/// mesh side: the big side runs single-plane (the 1024-core flat mesh and
+/// its concentrated twin), the small side runs the 4-plane concentrated
+/// composition. The proportional-MC variant pairs with the flat mesh only
+/// (the placement is undefined elsewhere); concentrated cells keep their
+/// corner MCs.
+fn kilocore_cell(spec: &RunSpec, big: u16) -> bool {
+    let prop = spec.variant.knobs.contains(&Knob::ProportionalMcs);
+    let pairing_ok = match spec.fabric {
+        Fabric::Mesh => prop,
+        _ => !prop,
+    };
+    pairing_ok
+        && if spec.mesh_side == big {
+            spec.planes == 1
+        } else {
+            spec.fabric == Fabric::CMesh(4) && spec.planes == 4
+        }
+}
+
+fn kilocore_filter(spec: &RunSpec) -> bool {
+    kilocore_cell(spec, 32)
+}
+
+fn kilocore_small_filter(spec: &RunSpec) -> bool {
+    kilocore_cell(spec, 16)
+}
+
+/// Kilocore scale-out self-benchmark: the low-injection barrier workload
+/// on a 32×32 mesh (1024 cores, proportional MCs), its concentrated twin
+/// `cmesh16x16x4`, and a 4-plane `cmesh8x8x4` composition — each under
+/// the plain active-set engine, the event-leaping clock, and leap plus
+/// four worker lanes (`turbo`). All three engines produce byte-identical
+/// reports (equivalence matrix); the table measures what the leap and the
+/// workers buy at this scale.
+fn scaling_kilocore(name: &'static str, meshes: &'static [u16], filter: GridFilter) -> Scenario {
+    Scenario {
+        name,
+        title: format!(
+            "Scaling-kilocore — engine scale-out at {} cores (leap + parallel ticking)",
+            meshes.last().map_or(0, |&k| k as usize * k as usize)
+        ),
+        about: "Kilocore self-benchmark: active-set vs leap vs turbo on 1024-core fabrics",
+        grid: SweepGrid::over(vec![uniform_low()])
+            .meshes(meshes)
+            .fabrics(&[Fabric::Mesh, Fabric::CMesh(4)])
+            .planes(&[1, 4])
+            .engines(&[Engine::ActiveSet, Engine::Leap, Engine::Turbo])
+            .variants(vec![
+                Variant::new("prop-MCs", vec![Knob::ProportionalMcs]),
+                Variant::baseline(),
+            ])
+            .filtered(filter),
+        render: scaling_kilocore_render,
+    }
+}
+
+fn scaling_kilocore_render(s: &Scenario, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", s.title));
+    out.push_str(&format!(
+        "{:<16}{:>7}{:>8}{:>12}{:>12}{:>10}{:>14}{:>10}\n",
+        "geometry", "planes", "engine", "runtime", "stepped", "leap", "sim cyc/sec", "speedup"
+    ));
+    let rate = |r: &RunResult| -> f64 {
+        let secs = r.sim_nanos as f64 / 1e9;
+        if secs > 0.0 {
+            r.report.runtime_cycles as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    // Group rows by cell (geometry + planes); the speedup column is each
+    // engine's rate over the active-set engine on the same cell.
+    let mut cells: Vec<(u16, Fabric, usize)> = Vec::new();
+    for r in results {
+        let cell = (r.spec.mesh_side, r.spec.fabric, r.spec.planes);
+        if !cells.contains(&cell) {
+            cells.push(cell);
+        }
+    }
+    for (k, fabric, planes) in cells {
+        let base = find(results, |spec| {
+            spec.mesh_side == k
+                && spec.fabric == fabric
+                && spec.planes == planes
+                && spec.engine == Engine::ActiveSet
+        })
+        .map_or(0.0, rate);
+        for r in results
+            .iter()
+            .filter(|r| r.spec.mesh_side == k && r.spec.fabric == fabric && r.spec.planes == planes)
+        {
+            let engine = match r.spec.engine.label() {
+                "" => "active",
+                label => label,
+            };
+            let leap = if r.stepped_cycles > 0 {
+                format!(
+                    "{:>9.2}x",
+                    r.report.runtime_cycles as f64 / r.stepped_cycles as f64
+                )
+            } else {
+                format!("{:>10}", "-")
+            };
+            let speedup = if base > 0.0 && rate(r) > 0.0 {
+                format!("{:>9.2}x", rate(r) / base)
+            } else {
+                format!("{:>10}", "-")
+            };
+            out.push_str(&format!(
+                "{:<16}{:>7}{:>8}{:>12}{:>12}{leap}{:>14.0}{speedup}\n",
+                fabric.geometry(k),
+                planes,
+                engine,
+                r.report.runtime_cycles,
+                r.stepped_cycles,
+                rate(r),
+            ));
+        }
+    }
+    out.push_str("\nAll engines produce byte-identical reports and traces (the\n");
+    out.push_str("equivalence matrix asserts this); leap is simulated/stepped\n");
+    out.push_str("cycles, speedup is sim-cycles/sec over the active-set engine.\n");
     out
 }
 
@@ -890,7 +1023,7 @@ fn route_lookup_render(s: &Scenario, results: &[RunResult]) -> String {
             let (slot, label) = match r.spec.engine {
                 Engine::ActiveSet => (0, "tables"),
                 Engine::CoordRoute => (1, "coord"),
-                Engine::AlwaysScan => continue,
+                _ => continue,
             };
             rates[slot] = rate(r);
             out.push_str(&format!(

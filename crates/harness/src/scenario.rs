@@ -272,6 +272,15 @@ pub enum Engine {
     /// routers evaluate the topology's coordinate spec per flit instead of
     /// reading the compiled tables.
     CoordRoute,
+    /// The active-set engine plus the event-leaping clock: whole-machine
+    /// idle spans are jumped rather than stepped.
+    Leap,
+    /// The active-set engine with four worker lanes ticking planes (or
+    /// router shards) in parallel behind a deterministic commit.
+    Parallel,
+    /// Leap and four worker lanes combined — the kilocore scale-out
+    /// engine.
+    Turbo,
 }
 
 impl Engine {
@@ -282,6 +291,9 @@ impl Engine {
             Engine::ActiveSet => "",
             Engine::AlwaysScan => "scan",
             Engine::CoordRoute => "coord",
+            Engine::Leap => "leap",
+            Engine::Parallel => "par",
+            Engine::Turbo => "turbo",
         }
     }
 }

@@ -38,10 +38,11 @@ fn cycles_per_sec(r: &RunResult) -> f64 {
 pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
     let timing = if opts.include_timing {
         format!(
-            r#""wall_nanos":{},"setup_nanos":{},"sim_nanos":{},"cycles_per_sec":{:?},"#,
+            r#""wall_nanos":{},"setup_nanos":{},"sim_nanos":{},"stepped_cycles":{},"cycles_per_sec":{:?},"#,
             r.wall_nanos,
             r.setup_nanos,
             r.sim_nanos,
+            r.stepped_cycles,
             cycles_per_sec(r),
         )
     } else {
@@ -110,7 +111,7 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
         );
     }
     if opts.include_timing {
-        out.push_str(",wall_nanos,setup_nanos,sim_nanos,cycles_per_sec");
+        out.push_str(",wall_nanos,setup_nanos,sim_nanos,stepped_cycles,cycles_per_sec");
     }
     out.push('\n');
     for r in results {
@@ -160,10 +161,11 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
         }
         if opts.include_timing {
             out.push_str(&format!(
-                ",{},{},{},{:?}",
+                ",{},{},{},{},{:?}",
                 r.wall_nanos,
                 r.setup_nanos,
                 r.sim_nanos,
+                r.stepped_cycles,
                 cycles_per_sec(r)
             ));
         }
@@ -243,6 +245,7 @@ mod tests {
         assert!(with.contains("wall_nanos"));
         assert!(with.contains("setup_nanos"));
         assert!(with.contains("sim_nanos"));
+        assert!(with.contains("stepped_cycles"));
         assert!(with.contains("cycles_per_sec"));
         let csv_with = csv(
             "demo",
@@ -256,7 +259,7 @@ mod tests {
             .lines()
             .next()
             .unwrap()
-            .ends_with(",wall_nanos,setup_nanos,sim_nanos,cycles_per_sec"));
+            .ends_with(",wall_nanos,setup_nanos,sim_nanos,stepped_cycles,cycles_per_sec"));
     }
 
     #[test]

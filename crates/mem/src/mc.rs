@@ -308,6 +308,17 @@ impl MemoryController {
             && self.early_wb.is_empty()
     }
 
+    /// The earliest cycle at which a scheduled DRAM access completes, if
+    /// any. Between now and that cycle every [`MemoryController::tick`] is
+    /// a no-op (ticking only releases due responses), so a controller
+    /// whose remaining work is all scheduled — empty outbox, writebacks
+    /// all event-driven — can sleep until this deadline. The queue is not
+    /// kept sorted by readiness (writeback releases reschedule in place),
+    /// hence the scan.
+    pub fn next_deadline(&self) -> Option<Cycle> {
+        self.pending.iter().map(|p| p.ready).min()
+    }
+
     /// Direct read of memory's logical value (verification oracle).
     pub fn memory_value(&self, addr: LineAddr) -> u64 {
         self.store.value(addr)

@@ -45,7 +45,10 @@
 //! # Ok::<(), scorpio_sim::PushError<scorpio_noc::Packet<u32>>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed only in the two modules that
+// implement intra-run parallelism (`pool`, and the disjoint-shard tick in
+// `network`); everything else stays effectively forbid-level.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod arbiter;
@@ -54,6 +57,7 @@ mod flit;
 mod network;
 pub mod obs;
 pub mod planes;
+pub mod pool;
 mod router;
 pub mod routing;
 mod tables;
@@ -65,6 +69,7 @@ pub use flit::{data_packet_flits, Dest, Flit, Packet, Payload, Sid, VnetId};
 pub use network::{EjectSlot, Network, NocStats};
 pub use obs::{merge_trace, NetObs, ObsConfig, TraceEvent, TraceKind};
 pub use planes::{MultiNetwork, PlaneSteer, SteerKey};
+pub use pool::TickPool;
 pub use router::RouterStats;
 pub use topology::{
     CMesh, Coord, Endpoint, LocalSlot, Mesh, Port, PortMask, Ring, RouterId, Topology, Torus,

@@ -21,9 +21,20 @@
 use crate::config::NocConfig;
 use crate::flit::{Packet, Payload, Sid};
 use crate::network::{EjectSlot, Network, NocStats};
+use crate::pool::TickPool;
 use crate::topology::{Endpoint, Topology};
 use scorpio_sim::{Cycle, PushError};
 use std::num::NonZeroUsize;
+
+/// Raw pointer to the plane array for the parallel plane tick. Each pool
+/// job dereferences a *distinct* plane index, so the jobs hold disjoint
+/// `&mut Network<T>`s.
+struct PlanePtr<T>(*mut Network<T>);
+
+// SAFETY: jobs access disjoint planes (distinct indices from a deduped
+// live list); `T: Send` makes handing a plane to another thread sound.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for PlanePtr<T> {}
 
 /// Types that expose the address key the plane steering function
 /// interleaves on. Implemented by the coherence message (its line address)
@@ -156,6 +167,13 @@ pub struct MultiNetwork<T> {
     skipped: Vec<bool>,
     /// Scratch for merging per-plane woken-endpoint lists.
     woken_scratch: Vec<u32>,
+    /// Second merge scratch (the two-pointer merge ping-pongs buffers).
+    merge_scratch: Vec<u32>,
+    /// Non-quiescent plane indices of the current tick.
+    live_scratch: Vec<u32>,
+    /// Worker pool for intra-run parallelism (see
+    /// [`MultiNetwork::set_workers`]); `None` is the single-thread engine.
+    pool: Option<TickPool>,
 }
 
 impl<T: Payload + SteerKey> MultiNetwork<T> {
@@ -181,6 +199,9 @@ impl<T: Payload + SteerKey> MultiNetwork<T> {
             always_scan: false,
             skipped: vec![false; planes.get()],
             woken_scratch: Vec::new(),
+            merge_scratch: Vec::new(),
+            live_scratch: Vec::new(),
+            pool: None,
         }
     }
 
@@ -337,17 +358,87 @@ impl<T: Payload + SteerKey> MultiNetwork<T> {
 
     /// Drains the merged set of endpoints whose ejection buffers received
     /// flits on any plane (ascending, deduplicated).
+    ///
+    /// Each plane's list is already sorted and deduplicated, so the merge
+    /// is a repeated two-pointer pass over scratch buffers — no per-cycle
+    /// sort, no allocation once the scratches have grown to size.
     pub fn take_woken_endpoints(&mut self, out: &mut Vec<u32>) {
         self.planes[0].take_woken_endpoints(out);
-        if self.planes.len() > 1 {
-            let mut extra = std::mem::take(&mut self.woken_scratch);
-            for n in &mut self.planes[1..] {
-                n.take_woken_endpoints(&mut extra);
-                out.extend_from_slice(&extra);
+        if self.planes.len() == 1 {
+            return;
+        }
+        let mut extra = std::mem::take(&mut self.woken_scratch);
+        let mut merged = std::mem::take(&mut self.merge_scratch);
+        for n in &mut self.planes[1..] {
+            n.take_woken_endpoints(&mut extra);
+            if extra.is_empty() {
+                continue;
             }
-            out.sort_unstable();
-            out.dedup();
-            self.woken_scratch = extra;
+            if out.is_empty() {
+                std::mem::swap(out, &mut extra);
+                continue;
+            }
+            merged.clear();
+            let (mut i, mut j) = (0, 0);
+            while i < out.len() && j < extra.len() {
+                match out[i].cmp(&extra[j]) {
+                    std::cmp::Ordering::Less => {
+                        merged.push(out[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push(extra[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push(out[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            merged.extend_from_slice(&out[i..]);
+            merged.extend_from_slice(&extra[j..]);
+            std::mem::swap(out, &mut merged);
+        }
+        self.woken_scratch = extra;
+        self.merge_scratch = merged;
+    }
+
+    /// Selects the number of worker lanes for intra-run parallelism.
+    /// `workers <= 1` is the single-thread engine (the default); larger
+    /// values spawn `workers - 1` pool threads that tick live planes — or,
+    /// with a single live plane, disjoint router shards within it — in
+    /// parallel behind a deterministic commit. Results are byte-identical
+    /// for every worker count (the determinism suite asserts this). The
+    /// count is taken literally — callers picking a lane count for wall-
+    /// clock benefit should cap it at the host's available parallelism,
+    /// since extra lanes can only timeshare (the harness engines do).
+    pub fn set_workers(&mut self, workers: usize)
+    where
+        T: Send,
+    {
+        self.pool = if workers > 1 {
+            Some(TickPool::new(workers - 1))
+        } else {
+            None
+        };
+    }
+
+    /// Whether every plane is quiescent (empty active sets, empty wires,
+    /// no staged ESID update) — the precondition for [`MultiNetwork::leap`].
+    pub fn is_quiescent(&self) -> bool {
+        self.planes.iter().all(Network::is_quiescent)
+    }
+
+    /// Advances every plane's clock by `delta` cycles without ticking.
+    /// Exact only while [`MultiNetwork::is_quiescent`] holds: a quiescent
+    /// plane's tick/commit pair is a provable no-op apart from the clock
+    /// edge, so `delta` of them collapse to one addition per plane.
+    pub fn leap(&mut self, delta: u64) {
+        debug_assert!(self.is_quiescent(), "leap over a live network");
+        for n in &mut self.planes {
+            n.leap(delta);
         }
     }
 
@@ -360,14 +451,50 @@ impl<T: Payload + SteerKey> MultiNetwork<T> {
     /// at [`MultiNetwork::commit`]. The skip is exact — the equivalence
     /// suite asserts byte-identical reports against the always-scan
     /// engine, which never skips.
-    pub fn tick(&mut self) {
+    ///
+    /// With a worker pool installed ([`MultiNetwork::set_workers`]), live
+    /// planes tick concurrently — each plane is a disjoint unit of state,
+    /// and per-plane observability sinks stay disjoint too, so the only
+    /// ordering discipline needed is the one [`MultiNetwork::commit`]
+    /// already imposes (plane order). A lone live plane instead shards its
+    /// router ticks across the pool (see `Network::tick_with_pool`).
+    pub fn tick(&mut self)
+    where
+        T: Send,
+    {
+        let mut live = std::mem::take(&mut self.live_scratch);
+        live.clear();
         for (p, n) in self.planes.iter_mut().enumerate() {
             let skip = !self.always_scan && n.is_quiescent();
             self.skipped[p] = skip;
             if !skip {
-                n.tick();
+                live.push(p as u32);
             }
         }
+        match (&self.pool, live.len()) {
+            (Some(pool), 2..) => {
+                let ptr = PlanePtr(self.planes.as_mut_ptr());
+                // Capture the wrapper by reference (not its raw field) so
+                // the closure is `Sync` via `PlanePtr`'s impl.
+                let ptr = &ptr;
+                let live_ref: &[u32] = &live;
+                pool.run(live_ref.len(), &|i| {
+                    // SAFETY: `live` holds distinct plane indices, so each
+                    // job takes a disjoint `&mut Network<T>`.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        (*ptr.0.add(live_ref[i] as usize)).tick()
+                    };
+                });
+            }
+            (Some(pool), 1) => self.planes[live[0] as usize].tick_with_pool(pool),
+            _ => {
+                for &p in &live {
+                    self.planes[p as usize].tick();
+                }
+            }
+        }
+        self.live_scratch = live;
     }
 
     /// Clock edge: commits ticked planes, fast-forwards skipped ones.
@@ -382,7 +509,10 @@ impl<T: Payload + SteerKey> MultiNetwork<T> {
     }
 
     /// Convenience: `tick` + `commit`.
-    pub fn step(&mut self) {
+    pub fn step(&mut self)
+    where
+        T: Send,
+    {
         self.tick();
         self.commit();
     }

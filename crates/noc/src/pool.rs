@@ -1,0 +1,285 @@
+//! A persistent worker pool for intra-run parallelism.
+//!
+//! The simulator's inner loop runs millions of cycles, and a parallel tick
+//! is worth having only if dispatching it costs less than the tick itself —
+//! `std::thread::scope` spawns OS threads per call, which at tens of
+//! microseconds per cycle would swamp the work. [`TickPool`] keeps its
+//! workers alive across cycles: dispatch is one mutex round-trip plus an
+//! atomic job cursor, and the calling thread participates in draining the
+//! jobs instead of blocking.
+//!
+//! Determinism is the caller's problem by construction: the pool only ever
+//! runs a caller-supplied `Fn(usize)` over a job-index range, so any
+//! ordering discipline (commit results in index order, keep shards
+//! disjoint) lives at the call site. The pool guarantees that all jobs
+//! have finished — and their writes are visible — when [`TickPool::run`]
+//! returns, and that a panicking job surfaces as a panic on the caller.
+
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A dispatched batch: a type-erased closure plus the job count. The
+/// pointer refers into the caller's stack frame; it is valid for exactly
+/// the duration of the [`TickPool::run`] call that published it, which is
+/// also exactly the window in which workers may dereference it (`run`
+/// does not return until every worker has checked back in).
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+    n_jobs: usize,
+}
+
+// SAFETY: `data` points at a `F: Fn(usize) + Sync` owned by the `run`
+// caller, which blocks until all workers are done with it; `call` is the
+// monomorphized trampoline for that same `F`.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Bumped once per dispatched batch; workers run a batch exactly once.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers that have finished the current batch.
+    finished: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: a new batch was published (or shutdown).
+    start: Condvar,
+    /// Signals the dispatcher: a worker finished the batch.
+    done: Condvar,
+    /// Next job index to claim; shared work-stealing cursor.
+    cursor: AtomicUsize,
+    /// Set when any job panicked; `run` re-panics on the caller.
+    panicked: AtomicBool,
+}
+
+/// A pool of `n` persistent worker threads that, together with the calling
+/// thread, drain batches of independent jobs. See the module docs.
+pub struct TickPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TickPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TickPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl TickPool {
+    /// Spawns `threads` workers (the calling thread makes it `threads + 1`
+    /// active lanes during a [`TickPool::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero (a zero-worker pool is a plain loop;
+    /// callers should not construct one) or if thread spawning fails.
+    pub fn new(threads: usize) -> TickPool {
+        assert!(threads > 0, "a TickPool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                finished: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("scorpio-tick".into())
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a tick worker")
+            })
+            .collect();
+        TickPool { shared, workers }
+    }
+
+    /// Number of spawned workers (excluding the calling thread).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f(0), f(1), …, f(n_jobs - 1)` across the pool plus the
+    /// calling thread, in unspecified order, returning once every call has
+    /// finished (all writes made by the jobs are visible to the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job panicked (after all jobs have drained, so shared
+    /// state is never abandoned mid-batch).
+    pub fn run<F: Fn(usize) + Sync>(&self, n_jobs: usize, f: &F) {
+        if n_jobs == 0 {
+            return;
+        }
+        unsafe fn call_f<F: Fn(usize)>(data: *const (), i: usize) {
+            // SAFETY: `data` is the `&F` published by this very `run`
+            // invocation (see `Job`); `run` has not returned yet.
+            unsafe { (*data.cast::<F>())(i) }
+        }
+        let job = Job {
+            data: (f as *const F).cast(),
+            call: call_f::<F>,
+            n_jobs,
+        };
+        {
+            let mut st = self.shared.state.lock().expect("tick pool poisoned");
+            // All workers from the previous batch have checked back in
+            // (run waits for that below), so resetting the cursor cannot
+            // race a straggler.
+            self.shared.cursor.store(0, Ordering::Relaxed);
+            st.job = Some(job);
+            st.finished = 0;
+            st.epoch += 1;
+            self.shared.start.notify_all();
+        }
+        // The dispatcher is also a lane: claim jobs until none remain.
+        loop {
+            let i = self.shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n_jobs {
+                break;
+            }
+            run_one(&self.shared, job, i);
+        }
+        let mut st = self.shared.state.lock().expect("tick pool poisoned");
+        while st.finished < self.workers.len() {
+            st = self.shared.done.wait(st).expect("tick pool poisoned");
+        }
+        st.job = None;
+        drop(st);
+        if self.shared.panicked.swap(false, Ordering::Relaxed) {
+            panic!("a tick-pool job panicked");
+        }
+    }
+}
+
+impl Drop for TickPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("tick pool poisoned");
+            st.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Executes one job, converting a panic into the shared flag so siblings
+/// finish the batch and the dispatcher re-panics deterministically.
+fn run_one(shared: &Shared, job: Job, i: usize) {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        // SAFETY: dispatch discipline per `Job`'s invariant.
+        unsafe { (job.call)(job.data, i) }
+    }));
+    if r.is_err() {
+        shared.panicked.store(true, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("tick pool poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job.expect("a published epoch carries a job");
+                }
+                st = shared.start.wait(st).expect("tick pool poisoned");
+            }
+        };
+        loop {
+            let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= job.n_jobs {
+                break;
+            }
+            run_one(shared, job, i);
+        }
+        let mut st = shared.state.lock().expect("tick pool poisoned");
+        st.finished += 1;
+        shared.done.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let pool = TickPool::new(3);
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            pool.run(n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn batches_reuse_the_pool() {
+        let pool = TickPool::new(2);
+        let total = AtomicU64::new(0);
+        for _ in 0..500 {
+            pool.run(8, &|i| {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 500 * (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn worker_writes_are_visible_after_run() {
+        let pool = TickPool::new(4);
+        let mut data = vec![0u64; 256];
+        // Disjoint &mut access via raw parts, the shard-tick pattern.
+        struct Cells(*mut u64);
+        unsafe impl Sync for Cells {}
+        let cells = Cells(data.as_mut_ptr());
+        let cells = &cells;
+        pool.run(256, &|i| {
+            // SAFETY: each job index touches a distinct element.
+            unsafe { *cells.0.add(i) = i as u64 * 3 };
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+
+    #[test]
+    fn job_panic_propagates_to_the_dispatcher() {
+        let pool = TickPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, &|i| {
+                assert!(i != 9, "boom");
+            });
+        }));
+        assert!(r.is_err());
+        // The pool survives a panicked batch.
+        let ok = AtomicU64::new(0);
+        pool.run(4, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+}

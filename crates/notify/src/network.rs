@@ -332,6 +332,48 @@ impl NotifyNetwork {
     pub fn router_or_gate_count() -> usize {
         5
     }
+
+    /// Whether every remaining tick is a pure window-bookkeeping no-op:
+    /// nothing is staged for the next window and the window in flight (if
+    /// any) carries nothing. Note that `live` stays set from a window's
+    /// end until the *next* window-start tick clears the latches, so a
+    /// network is idle-leapable at the earliest one cycle into the window
+    /// after its last live one.
+    pub fn is_idle(&self) -> bool {
+        !self.live && self.pending_dirty.is_empty()
+    }
+
+    /// Advances `delta` cycles at once, reproducing exactly what `delta`
+    /// consecutive [`NotifyNetwork::tick`] calls would do on an idle
+    /// network: every window boundary crossed completes an empty window
+    /// (counted, and published as the blank `latest` message with the
+    /// right window index — `acc[0]` is all-zero whenever the network is
+    /// idle). Latches, liveness and staging are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts [`NotifyNetwork::is_idle`]; leaping a live network
+    /// would skip real propagation steps.
+    pub fn advance_idle(&mut self, delta: u64) {
+        debug_assert!(self.is_idle(), "idle-advance on a live notify network");
+        let w = self.cfg.window;
+        let start = self.cycle.as_u64();
+        let end = start + delta;
+        // Cycles c in [start, end) with c % w == w - 1 complete a window.
+        let completed = end / w - start / w;
+        if completed > 0 {
+            self.windows_completed.add(completed);
+            let window_index = end / w - 1;
+            match &mut self.latest {
+                Some((idx, msg)) => {
+                    *idx = window_index;
+                    msg.copy_from(&self.acc[0]);
+                }
+                None => self.latest = Some((window_index, self.acc[0].clone())),
+            }
+        }
+        self.cycle += delta;
+    }
 }
 
 #[cfg(test)]
@@ -450,6 +492,64 @@ mod tests {
         let (w, msg) = nn.latest().unwrap();
         assert_eq!(w, 2);
         assert!(msg.is_empty());
+    }
+
+    /// `advance_idle(d)` must leave the network in exactly the state `d`
+    /// ticks would — from any in-window offset, across any number of
+    /// window boundaries, before and after live traffic.
+    #[test]
+    fn advance_idle_matches_ticked_reference() {
+        for warmup in [0u64, 1, 3, 8, 9] {
+            for delta in [1u64, 2, 8, 9, 10, 26, 27, 40] {
+                let mut ticked = net(4); // window 9
+                let mut leaped = net(4);
+                for _ in 0..warmup {
+                    ticked.tick();
+                    leaped.tick();
+                }
+                assert!(leaped.is_idle());
+                for _ in 0..delta {
+                    ticked.tick();
+                }
+                leaped.advance_idle(delta);
+                assert_eq!(
+                    ticked.windows_completed.get(),
+                    leaped.windows_completed.get()
+                );
+                assert_eq!(ticked.nonempty_windows.get(), leaped.nonempty_windows.get());
+                assert_eq!(
+                    ticked.latest().map(|(w, m)| (w, m.clone())),
+                    leaped.latest().map(|(w, m)| (w, m.clone())),
+                    "latest diverged at warmup {warmup} delta {delta}"
+                );
+                // Subsequent live traffic behaves identically.
+                ticked.stage_injection(5, 1, false);
+                leaped.stage_injection(5, 1, false);
+                for _ in 0..18 {
+                    ticked.tick();
+                    leaped.tick();
+                }
+                assert_eq!(
+                    ticked.latest().map(|(w, m)| (w, m.clone())),
+                    leaped.latest().map(|(w, m)| (w, m.clone()))
+                );
+            }
+        }
+    }
+
+    /// A network is not idle-leapable between a live window's end and the
+    /// next window start (the latch clear has not happened yet).
+    #[test]
+    fn live_window_blocks_idle_until_next_window_start() {
+        let mut nn = net(4); // window 9
+        nn.stage_injection(0, 1, false);
+        assert!(!nn.is_idle(), "staged injection blocks leaping");
+        for _ in 0..9 {
+            nn.tick();
+        }
+        assert!(!nn.is_idle(), "live flag persists past the window end");
+        nn.tick(); // window-start tick clears the latches
+        assert!(nn.is_idle());
     }
 
     #[test]
