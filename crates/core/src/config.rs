@@ -3,6 +3,7 @@
 use scorpio_mem::{L2Config, McConfig};
 use scorpio_nic::NicConfig;
 use scorpio_noc::{CMesh, Endpoint, Mesh, NocConfig, Ring, Topology, Torus};
+use scorpio_notify::NotifyScheme;
 use std::fmt;
 use std::num::NonZeroUsize;
 
@@ -122,6 +123,12 @@ pub struct SystemConfig {
     /// Plane-interleave granularity: `2^n` consecutive cache lines share a
     /// plane (0 = stripe line by line). Ignored with one plane.
     pub plane_stripe_lines_log2: u32,
+    /// Notification aggregation scheme: the chip's flat diameter-bounded
+    /// OR mesh (default), or hierarchical quad aggregation whose window is
+    /// logarithmic in the grid side ([`NotifyScheme::Quad`]) — the
+    /// kilocore window knob. Quad partitioning also defines the regions
+    /// per-region event leaping tracks.
+    pub notify: NotifyScheme,
     /// Observability level (histograms / counters / trace).
     pub obs: ObsLevel,
     /// Retained flit-trace events (per plane and in the merged stream);
@@ -157,6 +164,9 @@ impl fmt::Debug for SystemConfig {
         if self.planes.get() != 1 || self.plane_stripe_lines_log2 != 0 {
             d.field("planes", &self.planes)
                 .field("plane_stripe_lines_log2", &self.plane_stripe_lines_log2);
+        }
+        if self.notify != NotifyScheme::Flat {
+            d.field("notify", &self.notify);
         }
         if self.obs != ObsLevel::Off || self.trace_limit != DEFAULT_TRACE_LIMIT {
             d.field("obs", &self.obs)
@@ -201,6 +211,7 @@ impl SystemConfig {
             seed: 1,
             planes: NonZeroUsize::new(1).expect("1 is non-zero"),
             plane_stripe_lines_log2: 0,
+            notify: NotifyScheme::Flat,
             obs: ObsLevel::Off,
             trace_limit: DEFAULT_TRACE_LIMIT,
         }
@@ -351,6 +362,26 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the notification aggregation scheme, builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a quad fanout below 2.
+    #[must_use]
+    pub fn with_notify(mut self, scheme: NotifyScheme) -> SystemConfig {
+        if let NotifyScheme::Quad { fanout } = scheme {
+            assert!(fanout >= 2, "quad fanout must be at least 2");
+        }
+        self.notify = scheme;
+        self
+    }
+
+    /// The notification window this configuration materializes: the
+    /// scheme's minimum on the fabric plus the configured slack.
+    pub fn notification_window(&self) -> u64 {
+        self.notify.window_for(&self.mesh) + self.notification_window_slack
+    }
+
     /// Sets the observability level, builder-style.
     #[must_use]
     pub fn with_obs(mut self, obs: ObsLevel) -> SystemConfig {
@@ -374,14 +405,19 @@ impl SystemConfig {
     /// Short human-readable label: fabric geometry, protocol and seed
     /// (`"6x6/SCORPIO/seed1"`, `"torus6x6/…"`, `"ring36/…"` — mesh labels
     /// are unchanged from before the topology axis existed). Multi-plane
-    /// systems append the plane count to the geometry (`"8x8+4pl"`).
+    /// systems append the plane count to the geometry (`"8x8+4pl"`); a
+    /// quad notification scheme appends its tag (`"32x32+q2"`).
     pub fn label(&self) -> String {
         let planes = match self.planes.get() {
             1 => String::new(),
             n => format!("+{n}pl"),
         };
+        let notify = match self.notify.label().as_str() {
+            "" => String::new(),
+            tag => format!("+{tag}"),
+        };
         format!(
-            "{}{planes}/{}/seed{}",
+            "{}{planes}{notify}/{}/seed{}",
             self.mesh.label(),
             self.protocol.name(),
             self.seed
@@ -529,6 +565,36 @@ mod tests {
         // The steering shift covers the line-offset bits (32 B lines).
         assert_eq!(base.plane_interleave_log2(), 5);
         assert_eq!(coarse.plane_interleave_log2(), 8);
+    }
+
+    #[test]
+    fn notify_axis_is_hash_transparent_at_default_and_distinct_otherwise() {
+        // The flat scheme renders (and hashes) exactly as the pre-scheme
+        // config did — pinned hashes and stored JSONL rows stay valid.
+        let base = SystemConfig::square(4);
+        assert_eq!(base.notify, NotifyScheme::Flat);
+        assert!(!format!("{base:?}").contains("notify:"));
+        assert_eq!(base.stable_hash(), 0xbbb791b93ac0807b);
+        // Quad schemes fingerprint differently from the base and from each
+        // other, and join the label's geometry segment.
+        let q2 = SystemConfig::square(4).with_notify(NotifyScheme::Quad { fanout: 2 });
+        let q4 = SystemConfig::square(4).with_notify(NotifyScheme::Quad { fanout: 4 });
+        assert!(format!("{q2:?}").contains("notify: Quad"));
+        assert_ne!(base.stable_hash(), q2.stable_hash());
+        assert_ne!(q2.stable_hash(), q4.stable_hash());
+        assert_eq!(base.label(), "4x4/SCORPIO/seed1");
+        assert_eq!(q2.label(), "4x4+q2/SCORPIO/seed1");
+        // The derived window: 4x4 mesh diameter 6 → flat 9; depth-2 quad
+        // tree → 7; fanout 4 folds in one level → 5.
+        assert_eq!(base.notification_window(), 9);
+        assert_eq!(q2.notification_window(), 7);
+        assert_eq!(q4.notification_window(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quad fanout")]
+    fn quad_fanout_below_two_panics() {
+        let _ = SystemConfig::square(4).with_notify(NotifyScheme::Quad { fanout: 1 });
     }
 
     #[test]

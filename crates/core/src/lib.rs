@@ -39,5 +39,6 @@ mod tile;
 
 pub use config::{ObsLevel, Protocol, SystemConfig, DEFAULT_TRACE_LIMIT};
 pub use report::{ObsReport, PlaneObs, SystemReport};
+pub use scorpio_notify::NotifyScheme;
 pub use system::System;
 pub use tile::{CoreDriver, CoreKind};

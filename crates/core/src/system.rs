@@ -89,12 +89,31 @@ pub struct System {
     ops_total: u64,
     /// Last notification window the wake logic has seen.
     last_notify_window: Option<u64>,
-    /// Timed wake-ups keyed by absolute deadline cycle: tiles sleeping
-    /// through a compute gap and MCs sleeping on a scheduled response.
-    /// Values are *endpoint* indices — `v < cores` is tile `v`, anything
-    /// above is MC `v - cores`. These deadlines are also what the
-    /// event-leaping clock jumps to when the whole machine is idle.
-    timed_wakes: BTreeMap<u64, Vec<u32>>,
+    /// Timed wake-ups keyed by absolute deadline cycle and bucketed by
+    /// notification region: tiles sleeping through a compute gap and MCs
+    /// sleeping on a scheduled response. Values are *endpoint* indices —
+    /// `v < cores` is tile `v`, anything above is MC `v - cores`. These
+    /// deadlines are also what the event-leaping clock jumps to when the
+    /// whole machine is idle.
+    timed_wakes: RegionWakes,
+    // ---- Per-region leap accounting (quad notification schemes).
+    /// Leaf-quad count of the notification tree (1 under the flat scheme
+    /// or for baselines without a notification network).
+    regions: usize,
+    /// Router index → leaf-quad region, copied from the notification tree
+    /// so the delivery fabric's activity read-back shares its partition.
+    region_of_router: Vec<u32>,
+    /// Endpoint index (tiles then MCs) → leaf-quad region of its router.
+    region_of_ep: Vec<u32>,
+    /// Scratch bitset of regions seen active this stepped cycle.
+    region_bits: Vec<u64>,
+    /// Σ over stepped cycles of the active-region count (min 1): the
+    /// per-region analogue of [`System::stepped_cycles`]. A region that
+    /// provably had nothing woken in a stepped cycle leaps that cycle
+    /// locally — maintained only under `leap` with `regions > 1`; read
+    /// through [`System::region_cycles_stepped`], which falls back to
+    /// `stepped × regions` when the accounting is off.
+    region_cycles_stepped: u64,
     /// When set, tick every tile and MC each cycle and compute
     /// [`System::is_complete`] by full scan — the pre-refactor engine,
     /// kept as the equivalence/benchmark reference.
@@ -160,15 +179,17 @@ impl System {
         });
         let notify = scorpio.then(|| {
             // One notification fabric whose messages carry an independent
-            // announcement word group per plane.
-            NotifyNetwork::with_planes(
+            // announcement word group per plane; the scheme picks flat
+            // grid-diameter propagation or the hierarchical quad tree.
+            NotifyNetwork::with_scheme(
                 &cfg.mesh,
                 NotifyConfig {
                     cores,
                     bits_per_core: cfg.notification_bits,
-                    window: cfg.mesh.notification_window() + cfg.notification_window_slack,
+                    window: cfg.notification_window(),
                 },
                 planes.get(),
+                cfg.notify,
             )
         });
         let mode = if scorpio {
@@ -242,6 +263,21 @@ impl System {
             .collect();
         let n_eps = endpoints.len();
         let n_mcs = mcs.len();
+        // The per-region layer shares the notification tree's leaf-quad
+        // partition; flat schemes and baselines collapse to one region.
+        let (regions, region_of_router): (usize, Vec<u32>) = match &notify {
+            Some(n) if n.regions() > 1 => (
+                n.regions(),
+                (0..cfg.mesh.router_count())
+                    .map(|r| n.region_of_router(r))
+                    .collect(),
+            ),
+            _ => (1, vec![0; cfg.mesh.router_count()]),
+        };
+        let region_of_ep: Vec<u32> = endpoints
+            .iter()
+            .map(|ep| region_of_router[ep.router.index()])
+            .collect();
         let mut tile_active = ActiveSet::new(cores);
         tile_active.wake_all();
         let mut mc_active = ActiveSet::new(n_mcs);
@@ -280,7 +316,12 @@ impl System {
             ops_cache: vec![0; cores],
             ops_total: 0,
             last_notify_window: None,
-            timed_wakes: BTreeMap::new(),
+            timed_wakes: RegionWakes::new(regions, region_of_ep.clone()),
+            regions,
+            region_of_router,
+            region_of_ep,
+            region_bits: vec![0; regions.div_ceil(64)],
+            region_cycles_stepped: 0,
             always_scan: false,
             sys_trace: vec![Vec::new(); cfg.planes.get()],
             sys_seq: 0,
@@ -343,12 +384,18 @@ impl System {
 
     /// Enables the event-leaping clock: when every component is provably
     /// asleep and the only future work is a known timed deadline (a compute
-    /// gap or a scheduled memory response), [`System::step`] advances the
-    /// clock straight to that deadline instead of stepping empty cycles.
-    /// Exact by construction — leaping requires the active sets empty,
-    /// every plane quiescent and the notification network idle, states in
-    /// which a serial cycle is a provable no-op — and asserted
+    /// gap or a scheduled memory response) or a notification window's
+    /// publish tick, [`System::step`] advances the clock straight there
+    /// instead of stepping empty cycles. Live windows no longer pin the
+    /// clock: an announcer whose only obligation is its in-flight
+    /// announcement sleeps (`Nic::can_sleep_leap`), and the window's OR
+    /// state fast-forwards arithmetically to its publish tick
+    /// (`NotifyNetwork::leap_horizon` / `advance`). Exact by construction
+    /// — leaping requires the active sets empty and every plane quiescent,
+    /// states in which a serial cycle is a provable no-op — and asserted
     /// byte-identical (reports *and* traces) by the equivalence matrix.
+    /// Under a quad notification scheme the engine additionally keeps
+    /// per-region stepped-cycle accounts ([`System::region_cycles_stepped`]).
     /// Off by default; incompatible with the always-scan reference engine
     /// (silently inert under it). Call before the first cycle.
     pub fn set_leap(&mut self, leap: bool) {
@@ -369,6 +416,27 @@ impl System {
     /// span covered by clock leaps.
     pub fn stepped_cycles(&self) -> u64 {
         self.stepped
+    }
+
+    /// Number of per-region leap domains: the notification tree's leaf
+    /// quads under a quad scheme, 1 under the flat scheme or for
+    /// protocols without a notification network.
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// Σ over stepped cycles of the number of regions active that cycle
+    /// (min 1). Dividing by [`System::regions`] gives the mean per-region
+    /// stepped-cycle count, whose ratio to the runtime is the per-region
+    /// leap ratio. Without per-region accounting (flat scheme, single
+    /// region, or a non-leap engine) every region steps every stepped
+    /// cycle, so this is `stepped_cycles × regions`.
+    pub fn region_cycles_stepped(&self) -> u64 {
+        if self.leap && self.regions > 1 {
+            self.region_cycles_stepped
+        } else {
+            self.stepped * self.regions as u64
+        }
     }
 
     /// Whether every core has finished and the machine is quiescent.
@@ -437,6 +505,40 @@ impl System {
             n.tick();
         }
         self.apply_wakes();
+        if self.leap && self.regions > 1 {
+            self.account_region_activity();
+        }
+    }
+
+    /// Per-region stepped-cycle accounting (quad schemes under the leap
+    /// engine): after the cycle's ticks, OR together the regions of every
+    /// component that was on a work list this cycle — drained tiles and
+    /// MCs, plus the delivery fabric's drained routers and injection ports
+    /// on every non-skipped plane — and charge one stepped region-cycle
+    /// per active region (min 1, for pure bookkeeping cycles such as
+    /// notification-window edges). Regions absent from the mask leap the
+    /// cycle locally; they rejoin the global clock deterministically at
+    /// their next timer fire, flit-delivery endpoint wake, or
+    /// window-completion wake-all — the clock-join protocol (DESIGN.md
+    /// §15). Pure accounting: the simulation itself is byte-identical with
+    /// the accounting on or off.
+    fn account_region_activity(&mut self) {
+        let mut bits = std::mem::take(&mut self.region_bits);
+        bits.iter_mut().for_each(|w| *w = 0);
+        let cores = self.cfg.cores();
+        for &t in &self.tile_scratch {
+            let g = self.region_of_ep[t as usize];
+            bits[g as usize / 64] |= 1 << (g % 64);
+        }
+        for &m in &self.mc_scratch {
+            let g = self.region_of_ep[cores + m as usize];
+            bits[g as usize / 64] |= 1 << (g % 64);
+        }
+        self.net
+            .or_ticked_regions(&self.region_of_router, &self.region_of_ep, &mut bits);
+        let active: u32 = bits.iter().map(|w| w.count_ones()).sum();
+        self.region_cycles_stepped += u64::from(active.max(1));
+        self.region_bits = bits;
     }
 
     /// The event leap: if nothing can happen until the earliest timed
@@ -445,37 +547,42 @@ impl System {
     /// wakes with key `<= cycle` fire at the end of the step that reaches
     /// them, so the woken component ticks at cycle `k`).
     ///
-    /// The preconditions make the skipped span a provable no-op: both
-    /// active sets empty (no tile or MC would tick), every plane quiescent
-    /// (its tick/commit collapses to a clock edge — the same argument the
-    /// idle-plane skip rests on) and the notification network idle (its
-    /// windows advance arithmetically, see `NotifyNetwork::advance_idle`).
+    /// The notification network no longer has to be idle: a live window
+    /// whose announcers are all asleep (see `Nic::can_sleep_leap`) bounds
+    /// the jump instead, via [`NotifyNetwork::leap_horizon`] — the clock
+    /// leaps straight to the window's publish tick (or to `k - 1`,
+    /// whichever is earlier), and [`NotifyNetwork::advance`] fast-forwards
+    /// the OR-tree state exactly (mid-window propagation over latched
+    /// inputs is time-invariant). The remaining preconditions make the
+    /// skipped span a provable no-op: both active sets empty (no tile or
+    /// MC would tick) and every plane quiescent (its tick/commit collapses
+    /// to a clock edge — the same argument the idle-plane skip rests on).
     fn try_leap(&mut self) {
         if self.always_scan || !self.tile_active.is_empty() || !self.mc_active.is_empty() {
             return;
         }
-        let Some((&k, _)) = self.timed_wakes.first_key_value() else {
-            return;
+        let wake = self.timed_wakes.first_deadline();
+        let horizon = self.notify.as_ref().and_then(NotifyNetwork::leap_horizon);
+        let target = match (wake, horizon) {
+            (Some(k), Some(h)) => (k - 1).min(h),
+            (Some(k), None) => k - 1,
+            (None, Some(h)) => h,
+            (None, None) => return,
         };
         let now = self.net.cycle().as_u64();
         // Never leap past the run bound: the serial engine would have
         // stopped stepping at max_cycles with the deadline still pending.
-        let target = (k - 1).min(self.cfg.max_cycles.saturating_sub(1));
+        let target = target.min(self.cfg.max_cycles.saturating_sub(1));
         if target <= now {
             return;
         }
         if !self.net.is_quiescent() {
             return;
         }
-        if let Some(n) = &self.notify {
-            if !n.is_idle() {
-                return;
-            }
-        }
         let delta = target - now;
         self.net.leap(delta);
         if let Some(n) = self.notify.as_mut() {
-            n.advance_idle(delta);
+            n.advance(delta);
         }
         self.leaped += delta;
     }
@@ -489,23 +596,21 @@ impl System {
             return;
         }
         // Fire due timed wakes (gap and MC-response deadlines) for the
-        // next cycle.
+        // next cycle. The region buckets drain in region order, not global
+        // deadline order — harmless, since waking an active set is
+        // order-independent (it drains sorted).
         let next = self.net.cycle().as_u64();
         let cores = self.cfg.cores();
-        while let Some(entry) = self.timed_wakes.first_entry() {
-            if *entry.key() > next {
-                break;
-            }
-            for v in entry.remove() {
-                let v = v as usize;
-                if v < cores {
-                    self.tile_active.wake(v);
-                } else {
-                    self.mc_active.wake(v - cores);
-                }
+        let mut eps = std::mem::take(&mut self.ep_scratch);
+        self.timed_wakes.pop_due(next, &mut eps);
+        for &v in &eps {
+            let v = v as usize;
+            if v < cores {
+                self.tile_active.wake(v);
+            } else {
+                self.mc_active.wake(v - cores);
             }
         }
-        let mut eps = std::mem::take(&mut self.ep_scratch);
         self.net.take_woken_endpoints(&mut eps);
         for &ep in &eps {
             let ep = ep as usize;
@@ -618,12 +723,21 @@ impl System {
             // Sleep only when every obligation other than the core itself
             // is gone; any future work must then arrive as an ejected
             // flit or a notification window, both of which wake the tile.
-            // INSO tiles never sleep: slot expiry is wall-clock driven.
+            // Under the leap engine the NIC predicate relaxes: a tile
+            // whose only obligation is an in-flight announcement sleeps
+            // too (its window's publication wakes everyone), which is what
+            // lets the clock leap through live windows. INSO tiles never
+            // sleep: slot expiry is wall-clock driven.
+            let nic_asleep = if self.leap {
+                self.nics[t].can_sleep_leap()
+            } else {
+                self.nics[t].can_sleep()
+            };
             let rest_asleep = drained
                 && !matches!(self.cfg.protocol, Protocol::Inso { .. })
                 && self.pending_expiry[t].is_none()
                 && self.l2s[t].outputs_drained()
-                && self.nics[t].can_sleep()
+                && nic_asleep
                 && self.reorders[t].buffered() == 0
                 && !self.net.eject_occupied(t);
             if !rest_asleep {
@@ -632,11 +746,7 @@ impl System {
                 // The core still has work: sleep through its compute gap
                 // with a timed wake-up, or keep ticking if it is active.
                 match self.drivers[t].next_wake(now) {
-                    Some(wake) => self
-                        .timed_wakes
-                        .entry(wake.as_u64())
-                        .or_default()
-                        .push(t as u32),
+                    Some(wake) => self.timed_wakes.push(wake.as_u64(), t as u32),
                     None => self.tile_active.wake(t),
                 }
             }
@@ -730,17 +840,19 @@ impl System {
             // response at a *known* cycle, so it parks on a timed wake at
             // the earliest such deadline. Everything else that could need
             // a tick arrives as an ejected flit, which wakes the endpoint.
-            let rest_asleep = self.nics[ep_idx].can_sleep()
+            let nic_asleep = if self.leap {
+                self.nics[ep_idx].can_sleep_leap()
+            } else {
+                self.nics[ep_idx].can_sleep()
+            };
+            let rest_asleep = nic_asleep
                 && self.reorders[ep_idx].buffered() == 0
                 && !self.net.eject_occupied(ep_idx)
                 && self.mcs[m].peek_out().is_none();
             if !rest_asleep {
                 self.mc_active.wake(m);
             } else if let Some(ready) = self.mcs[m].next_deadline() {
-                self.timed_wakes
-                    .entry(ready.as_u64())
-                    .or_default()
-                    .push(ep_idx as u32);
+                self.timed_wakes.push(ready.as_u64(), ep_idx as u32);
             }
         }
     }
@@ -1233,6 +1345,70 @@ impl System {
     /// verification tests read memory through fresh loads instead.
     pub fn cores_done(&self) -> usize {
         self.drivers.iter().filter(|d| d.is_done()).count()
+    }
+}
+
+/// Timed wake-ups bucketed by notification region (leaf quad of the
+/// hierarchical notification tree; one bucket under the flat scheme).
+/// Each bucket is the same deadline-keyed map the engine always used, so
+/// a region's earliest local deadline is one `first_key_value` away —
+/// that is what lets a quiescent quad's clock leap independently of a
+/// bursting neighbour. A cached global minimum keeps the per-cycle due
+/// check O(1) on the (dominant) nothing-due path.
+struct RegionWakes {
+    per: Vec<BTreeMap<u64, Vec<u32>>>,
+    /// Endpoint index (tiles then MCs) → region bucket.
+    region_of_ep: Vec<u32>,
+    /// Earliest deadline across every bucket; `u64::MAX` when empty.
+    min_deadline: u64,
+}
+
+impl RegionWakes {
+    fn new(regions: usize, region_of_ep: Vec<u32>) -> RegionWakes {
+        RegionWakes {
+            per: vec![BTreeMap::new(); regions.max(1)],
+            region_of_ep,
+            min_deadline: u64::MAX,
+        }
+    }
+
+    /// Parks endpoint `ep` until `deadline` in its region's bucket.
+    fn push(&mut self, deadline: u64, ep: u32) {
+        self.min_deadline = self.min_deadline.min(deadline);
+        self.per[self.region_of_ep[ep as usize] as usize]
+            .entry(deadline)
+            .or_default()
+            .push(ep);
+    }
+
+    /// The earliest pending deadline across all regions — the machine-wide
+    /// leap target.
+    fn first_deadline(&self) -> Option<u64> {
+        (self.min_deadline != u64::MAX).then_some(self.min_deadline)
+    }
+
+    /// Clears `out`, then moves every endpoint whose deadline is `<= now`
+    /// into it. Buckets drain in region order rather than global deadline
+    /// order; the caller wakes active sets, for which order is
+    /// indifferent.
+    fn pop_due(&mut self, now: u64, out: &mut Vec<u32>) {
+        out.clear();
+        if self.min_deadline > now {
+            return;
+        }
+        let mut min = u64::MAX;
+        for m in &mut self.per {
+            while let Some(entry) = m.first_entry() {
+                if *entry.key() > now {
+                    break;
+                }
+                out.extend(entry.remove());
+            }
+            if let Some((&k, _)) = m.first_key_value() {
+                min = min.min(k);
+            }
+        }
+        self.min_deadline = min;
     }
 }
 

@@ -829,9 +829,12 @@ fn kilocore_small_filter(spec: &RunSpec) -> bool {
 /// on a 32×32 mesh (1024 cores, proportional MCs), its concentrated twin
 /// `cmesh16x16x4`, and a 4-plane `cmesh8x8x4` composition — each under
 /// the plain active-set engine, the event-leaping clock, and leap plus
-/// four worker lanes (`turbo`). All three engines produce byte-identical
-/// reports (equivalence matrix); the table measures what the leap and the
-/// workers buy at this scale.
+/// four worker lanes (`turbo`), and each with the flat notification
+/// scheme and the hierarchical quad tree (`quad-f2`, which shrinks the
+/// notification window from O(grid diameter) to O(2·tree depth) and
+/// unlocks per-region leap accounting). All engines produce byte-identical
+/// reports (equivalence matrix); the table measures what the leap, the
+/// workers and the quad window buy at this scale.
 fn scaling_kilocore(name: &'static str, meshes: &'static [u16], filter: GridFilter) -> Scenario {
     Scenario {
         name,
@@ -839,7 +842,7 @@ fn scaling_kilocore(name: &'static str, meshes: &'static [u16], filter: GridFilt
             "Scaling-kilocore — engine scale-out at {} cores (leap + parallel ticking)",
             meshes.last().map_or(0, |&k| k as usize * k as usize)
         ),
-        about: "Kilocore self-benchmark: active-set vs leap vs turbo on 1024-core fabrics",
+        about: "Kilocore self-benchmark: active-set vs leap vs turbo, flat vs quad notify",
         grid: SweepGrid::over(vec![uniform_low()])
             .meshes(meshes)
             .fabrics(&[Fabric::Mesh, Fabric::CMesh(4)])
@@ -847,19 +850,46 @@ fn scaling_kilocore(name: &'static str, meshes: &'static [u16], filter: GridFilt
             .engines(&[Engine::ActiveSet, Engine::Leap, Engine::Turbo])
             .variants(vec![
                 Variant::new("prop-MCs", vec![Knob::ProportionalMcs]),
+                Variant::new(
+                    "prop-MCs+quad-f2",
+                    vec![Knob::ProportionalMcs, Knob::QuadNotify(2)],
+                ),
                 Variant::baseline(),
+                Variant::new("quad-f2", vec![Knob::QuadNotify(2)]),
             ])
             .filtered(filter),
         render: scaling_kilocore_render,
     }
 }
 
+/// The notification-scheme label of a spec's variant: "flat", or
+/// `quad-fN` when the variant carries a [`Knob::QuadNotify`].
+fn kilocore_notify_label(spec: &RunSpec) -> String {
+    spec.variant
+        .knobs
+        .iter()
+        .find_map(|k| match k {
+            Knob::QuadNotify(f) => Some(format!("quad-f{f}")),
+            _ => None,
+        })
+        .unwrap_or_else(|| "flat".into())
+}
+
 fn scaling_kilocore_render(s: &Scenario, results: &[RunResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!("=== {} ===\n", s.title));
     out.push_str(&format!(
-        "{:<16}{:>7}{:>8}{:>12}{:>12}{:>10}{:>14}{:>10}\n",
-        "geometry", "planes", "engine", "runtime", "stepped", "leap", "sim cyc/sec", "speedup"
+        "{:<16}{:>7}{:>9}{:>8}{:>12}{:>12}{:>10}{:>10}{:>14}{:>10}\n",
+        "geometry",
+        "planes",
+        "notify",
+        "engine",
+        "runtime",
+        "stepped",
+        "leap",
+        "r-leap",
+        "sim cyc/sec",
+        "speedup"
     ));
     let rate = |r: &RunResult| -> f64 {
         let secs = r.sim_nanos as f64 / 1e9;
@@ -869,27 +899,38 @@ fn scaling_kilocore_render(s: &Scenario, results: &[RunResult]) -> String {
             0.0
         }
     };
-    // Group rows by cell (geometry + planes); the speedup column is each
-    // engine's rate over the active-set engine on the same cell.
-    let mut cells: Vec<(u16, Fabric, usize)> = Vec::new();
+    // Group rows by cell (geometry + planes + notification scheme); the
+    // speedup column is each engine's rate over the active-set engine on
+    // the same cell.
+    let mut cells: Vec<(u16, Fabric, usize, String)> = Vec::new();
     for r in results {
-        let cell = (r.spec.mesh_side, r.spec.fabric, r.spec.planes);
+        let cell = (
+            r.spec.mesh_side,
+            r.spec.fabric,
+            r.spec.planes,
+            kilocore_notify_label(&r.spec),
+        );
         if !cells.contains(&cell) {
             cells.push(cell);
         }
     }
-    for (k, fabric, planes) in cells {
-        let base = find(results, |spec| {
-            spec.mesh_side == k
-                && spec.fabric == fabric
-                && spec.planes == planes
-                && spec.engine == Engine::ActiveSet
-        })
-        .map_or(0.0, rate);
-        for r in results
+    for (k, fabric, planes, notify) in cells {
+        let base = results
             .iter()
-            .filter(|r| r.spec.mesh_side == k && r.spec.fabric == fabric && r.spec.planes == planes)
-        {
+            .find(|r| {
+                r.spec.mesh_side == k
+                    && r.spec.fabric == fabric
+                    && r.spec.planes == planes
+                    && kilocore_notify_label(&r.spec) == notify
+                    && r.spec.engine == Engine::ActiveSet
+            })
+            .map_or(0.0, rate);
+        for r in results.iter().filter(|r| {
+            r.spec.mesh_side == k
+                && r.spec.fabric == fabric
+                && r.spec.planes == planes
+                && kilocore_notify_label(&r.spec) == notify
+        }) {
             let engine = match r.spec.engine.label() {
                 "" => "active",
                 label => label,
@@ -902,25 +943,40 @@ fn scaling_kilocore_render(s: &Scenario, results: &[RunResult]) -> String {
             } else {
                 format!("{:>10}", "-")
             };
-            let speedup = if base > 0.0 && rate(r) > 0.0 {
-                format!("{:>9.2}x", rate(r) / base)
+            // Per-region leap: simulated cycles over mean stepped cycles
+            // per region — what event leaping buys once a quiescent quad
+            // no longer has to lockstep with a bursting neighbour.
+            let rleap = if r.regions > 1 && r.region_cycles_stepped > 0 {
+                format!(
+                    "{:>9.2}x",
+                    r.report.runtime_cycles as f64 * r.regions as f64
+                        / r.region_cycles_stepped as f64
+                )
             } else {
                 format!("{:>10}", "-")
             };
             out.push_str(&format!(
-                "{:<16}{:>7}{:>8}{:>12}{:>12}{leap}{:>14.0}{speedup}\n",
+                "{:<16}{:>7}{:>9}{:>8}{:>12}{:>12}{leap}{rleap}{:>14.0}{speedup}\n",
                 fabric.geometry(k),
                 planes,
+                notify,
                 engine,
                 r.report.runtime_cycles,
                 r.stepped_cycles,
                 rate(r),
+                speedup = if base > 0.0 && rate(r) > 0.0 {
+                    format!("{:>9.2}x", rate(r) / base)
+                } else {
+                    format!("{:>10}", "-")
+                },
             ));
         }
     }
     out.push_str("\nAll engines produce byte-identical reports and traces (the\n");
     out.push_str("equivalence matrix asserts this); leap is simulated/stepped\n");
-    out.push_str("cycles, speedup is sim-cycles/sec over the active-set engine.\n");
+    out.push_str("cycles, r-leap is simulated cycles over mean stepped cycles\n");
+    out.push_str("per leaf quad (quad notify only), speedup is sim-cycles/sec\n");
+    out.push_str("over the active-set engine on the same cell.\n");
     out
 }
 

@@ -7,7 +7,7 @@
 //! an ordered, duplicate-free list of [`RunSpec`]s that the executor can
 //! run in any order and on any number of threads without changing results.
 
-use scorpio::{ObsLevel, Protocol, SystemConfig};
+use scorpio::{NotifyScheme, ObsLevel, Protocol, SystemConfig};
 use scorpio_workloads::WorkloadParams;
 
 /// One settable configuration knob, applied on top of the square-mesh
@@ -34,6 +34,10 @@ pub enum Knob {
     FidCapacity(usize),
     /// Extra cycles over the minimum notification window (ablation).
     NotificationWindowSlack(u64),
+    /// Hierarchical quad-tree notification aggregation with the given
+    /// fanout: the window shrinks from O(grid diameter) to O(2·tree depth)
+    /// (the kilocore sweeps; default-path runs keep the flat scheme).
+    QuadNotify(u8),
     /// Total directory-cache storage in bytes (Figure 6 scaling note).
     DirTotalBytes(usize),
     /// Perimeter MC placement scaled to the core count (scaling-mesh
@@ -170,6 +174,7 @@ impl Knob {
                 cfg.notification_window_slack = s;
                 cfg
             }
+            Knob::QuadNotify(fanout) => cfg.with_notify(NotifyScheme::Quad { fanout }),
             Knob::DirTotalBytes(b) => {
                 cfg.dir_total_bytes = b;
                 cfg
@@ -197,6 +202,7 @@ impl Knob {
             Knob::RegionTracker(false) => "no-region-tracker".into(),
             Knob::FidCapacity(n) => format!("fid-cap={n}"),
             Knob::NotificationWindowSlack(s) => format!("slack={s}"),
+            Knob::QuadNotify(f) => format!("quad-f{f}"),
             Knob::DirTotalBytes(b) => format!("dir={b}B"),
             Knob::ProportionalMcs => "prop-MCs".into(),
             Knob::Obs(ObsLevel::Off) => "obs-off".into(),
@@ -768,6 +774,14 @@ mod tests {
         assert!(cfg.l2.region_entries.is_none());
         let cfg = Knob::NotificationWindowSlack(13).apply(SystemConfig::square(3));
         assert_eq!(cfg.notification_window_slack, 13);
+        let cfg = Knob::QuadNotify(2).apply(SystemConfig::square(4));
+        assert_eq!(cfg.notify, NotifyScheme::Quad { fanout: 2 });
+        assert_ne!(
+            cfg.stable_hash(),
+            SystemConfig::square(4).stable_hash(),
+            "the notify scheme is a config axis"
+        );
+        assert_eq!(Knob::QuadNotify(4).label(), "quad-f4");
         assert_eq!(Knob::GoreqVcs(6).label(), "GO-VCs=6");
         assert_eq!(Knob::PipelinedUncore(false).label(), "non-PL");
         let v = Variant::new("combo", vec![Knob::ChannelBytes(8), Knob::UoRespVcs(4)]);

@@ -67,8 +67,19 @@ pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
         None => String::new(),
         Some(key) => format!(r#""placement":{key:?},"#),
     };
+    // Per-region leap accounting appears only for runs with more than one
+    // region (a quad notification scheme), like the other conditional
+    // fields: flat-scheme output is byte-for-byte what it always was.
+    let regions = if r.regions > 1 {
+        format!(
+            r#""regions":{},"region_cycles_stepped":{},"#,
+            r.regions, r.region_cycles_stepped
+        )
+    } else {
+        String::new()
+    };
     format!(
-        r#"{{"scenario":{:?},"index":{},"workload":{:?},"mesh":{},{}{}{}"protocol":{:?},"variant":{:?},"seed":{},{}"config":{:?},"config_hash":"{:#018x}",{}"report":{}}}"#,
+        r#"{{"scenario":{:?},"index":{},"workload":{:?},"mesh":{},{}{}{}"protocol":{:?},"variant":{:?},"seed":{},{}{}"config":{:?},"config_hash":"{:#018x}",{}"report":{}}}"#,
         scenario,
         r.spec.index,
         r.spec.workload.name,
@@ -80,6 +91,7 @@ pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
         r.spec.variant.label,
         r.spec.seed,
         engine,
+        regions,
         r.config_label,
         r.config_hash,
         timing,
@@ -111,7 +123,9 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
         );
     }
     if opts.include_timing {
-        out.push_str(",wall_nanos,setup_nanos,sim_nanos,stepped_cycles,cycles_per_sec");
+        out.push_str(
+            ",wall_nanos,setup_nanos,sim_nanos,stepped_cycles,regions,region_cycles_stepped,cycles_per_sec",
+        );
     }
     out.push('\n');
     for r in results {
@@ -161,11 +175,13 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
         }
         if opts.include_timing {
             out.push_str(&format!(
-                ",{},{},{},{},{:?}",
+                ",{},{},{},{},{},{},{:?}",
                 r.wall_nanos,
                 r.setup_nanos,
                 r.sim_nanos,
                 r.stepped_cycles,
+                r.regions,
+                r.region_cycles_stepped,
                 cycles_per_sec(r)
             ));
         }
@@ -255,11 +271,10 @@ mod tests {
                 ..SinkOptions::default()
             },
         );
-        assert!(csv_with
-            .lines()
-            .next()
-            .unwrap()
-            .ends_with(",wall_nanos,setup_nanos,sim_nanos,stepped_cycles,cycles_per_sec"));
+        assert!(csv_with.lines().next().unwrap().ends_with(
+            ",wall_nanos,setup_nanos,sim_nanos,stepped_cycles,\
+             regions,region_cycles_stepped,cycles_per_sec"
+        ));
     }
 
     #[test]

@@ -1620,6 +1620,20 @@ impl Topology {
         self.diameter() as u64 + 3
     }
 
+    /// The router grid as `(cols, rows)` — the coordinate space quad
+    /// partitioning operates over. Router `(x, y)` has index
+    /// `y * cols + x` on every 2-D fabric; a ring is treated as a
+    /// `router_count × 1` line (the aggregation tree is a logical overlay,
+    /// not a set of physical mesh links, so wraparound is irrelevant).
+    pub fn router_grid(&self) -> (u16, u16) {
+        match self {
+            Topology::Mesh(m) => (m.cols(), m.rows()),
+            Topology::Torus(t) => (t.cols(), t.rows()),
+            Topology::Ring(r) => (r.router_count() as u16, 1),
+            Topology::CMesh(c) => (c.cols(), c.rows()),
+        }
+    }
+
     /// Hop distance between two routers, derived by walking the unicast
     /// routing spec — distance and path length cannot diverge.
     pub fn hops(&self, a: RouterId, b: RouterId) -> u16 {

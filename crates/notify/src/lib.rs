@@ -35,4 +35,4 @@ mod message;
 mod network;
 
 pub use message::NotifyMsg;
-pub use network::{NotifyConfig, NotifyNetwork};
+pub use network::{NotifyConfig, NotifyNetwork, NotifyScheme};

@@ -350,6 +350,46 @@ pub fn notification_width_bits_planes(cores: usize, bits_per_core: u8, planes: u
     planes * (cores * bits_per_core as usize + 1)
 }
 
+/// Depth of the hierarchical (quad-tree) notification aggregator over a
+/// `cols × rows` router grid with the given fanout: the number of times
+/// each grid dimension is divided by `fanout` (rounding up) before a
+/// single root quad covers the machine. The flat bufferless network is
+/// depth 0.
+pub fn notification_tree_depth(cols: usize, rows: usize, fanout: usize) -> usize {
+    assert!(fanout >= 2, "a tree needs fanout >= 2");
+    let (mut c, mut r, mut depth) = (cols.max(1), rows.max(1), 0);
+    while c > 1 || r > 1 {
+        c = c.div_ceil(fanout);
+        r = r.div_ceil(fanout);
+        depth += 1;
+    }
+    depth
+}
+
+/// Notification window of the quad-tree aggregator: one up-sweep plus one
+/// down-sweep of the tree (2·depth propagation cycles) plus the same
+/// 3-cycle latch/merge/publish overhead the flat network pays. At 32×32
+/// with fanout 2 this is 13 cycles against the flat network's 65
+/// (diameter 62 + 3) — O(log N) against O(√N).
+pub fn notification_tree_window(cols: usize, rows: usize, fanout: usize) -> usize {
+    2 * notification_tree_depth(cols, rows, fanout) + 3
+}
+
+/// Aggregate-node count of the quad-tree: one OR node per quad per level
+/// above the leaves. Each node is pure combinational OR logic over
+/// [`notification_width_bits_planes`] wires, so tree cost scales with
+/// this count times the flat network's per-hop width.
+pub fn notification_tree_nodes(cols: usize, rows: usize, fanout: usize) -> usize {
+    assert!(fanout >= 2, "a tree needs fanout >= 2");
+    let (mut c, mut r, mut nodes) = (cols.max(1), rows.max(1), 0);
+    while c > 1 || r > 1 {
+        c = c.div_ceil(fanout);
+        r = r.div_ceil(fanout);
+        nodes += c * r;
+    }
+    nodes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +481,35 @@ mod tests {
         let e4 = energy_per_message_scale(4, "mesh", 4, 1000, 100);
         assert!((e4 / e1 - 4.0 / 3.0).abs() < 1e-9);
         assert_eq!(energy_per_message_scale(4, "mesh", 1, 100, 0), 0.0);
+    }
+
+    #[test]
+    fn notification_tree_shrinks_the_window_logarithmically() {
+        // 32×32: flat diameter is 62 (window 65); the fanout-2 tree is
+        // depth 5 (window 13), fanout 4 depth 3 (window 9).
+        assert_eq!(notification_tree_depth(32, 32, 2), 5);
+        assert_eq!(notification_tree_window(32, 32, 2), 13);
+        assert_eq!(notification_tree_depth(32, 32, 4), 3);
+        assert_eq!(notification_tree_window(32, 32, 4), 9);
+        // 6×6 (the paper's 36-core chip): depth 3 at fanout 2.
+        assert_eq!(notification_tree_depth(6, 6, 2), 3);
+        // Non-square grids round each dimension up independently.
+        assert_eq!(notification_tree_depth(8, 2, 2), 3);
+        // A 1×1 grid needs no tree at all.
+        assert_eq!(notification_tree_depth(1, 1, 2), 0);
+        assert_eq!(notification_tree_window(1, 1, 2), 3);
+    }
+
+    #[test]
+    fn notification_tree_node_count_is_geometric() {
+        // 4×4 fanout 2: 2×2 + 1×1 = 5 aggregate nodes.
+        assert_eq!(notification_tree_nodes(4, 4, 2), 5);
+        // 32×32 fanout 2: 256 + 64 + 16 + 4 + 1 = 341 — about a third of
+        // the 1024 leaf latches, so the tree adds O(N/3) OR nodes.
+        assert_eq!(notification_tree_nodes(32, 32, 2), 341);
+        // Wider fanout trades depth for per-node fan-in: fewer nodes.
+        assert_eq!(notification_tree_nodes(32, 32, 4), 64 + 4 + 1);
+        assert_eq!(notification_tree_nodes(1, 1, 2), 0);
     }
 
     #[test]
