@@ -134,6 +134,15 @@ pub struct SystemConfig {
     /// Retained flit-trace events (per plane and in the merged stream);
     /// meaningful only at [`ObsLevel::Trace`].
     pub trace_limit: usize,
+    /// Record per-coherence-transaction lifecycle spans (issue → inject →
+    /// ordered commit → data → retire) for the paper-style per-phase
+    /// latency breakdown. Independent of `obs`: spans live in the L2/RSHR
+    /// layer, not the flit-level observer.
+    pub spans: bool,
+    /// Window length, in cycles, for epoch-bucketed time-series telemetry
+    /// (throughput, latency percentiles, per-endpoint injection wait,
+    /// buffer-occupancy integrals). `0` disables windowing entirely.
+    pub window_cycles: u64,
 }
 
 /// Renders exactly as the derived `Debug` did before the plane axis
@@ -171,6 +180,12 @@ impl fmt::Debug for SystemConfig {
         if self.obs != ObsLevel::Off || self.trace_limit != DEFAULT_TRACE_LIMIT {
             d.field("obs", &self.obs)
                 .field("trace_limit", &self.trace_limit);
+        }
+        if self.spans {
+            d.field("spans", &self.spans);
+        }
+        if self.window_cycles != 0 {
+            d.field("window_cycles", &self.window_cycles);
         }
         d.finish()
     }
@@ -214,6 +229,8 @@ impl SystemConfig {
             notify: NotifyScheme::Flat,
             obs: ObsLevel::Off,
             trace_limit: DEFAULT_TRACE_LIMIT,
+            spans: false,
+            window_cycles: 0,
         }
     }
 
@@ -393,6 +410,20 @@ impl SystemConfig {
     #[must_use]
     pub fn with_trace_limit(mut self, limit: usize) -> SystemConfig {
         self.trace_limit = limit;
+        self
+    }
+
+    /// Enables per-transaction lifecycle spans, builder-style.
+    #[must_use]
+    pub fn with_spans(mut self, spans: bool) -> SystemConfig {
+        self.spans = spans;
+        self
+    }
+
+    /// Sets the telemetry window length in cycles (0 = off), builder-style.
+    #[must_use]
+    pub fn with_windows(mut self, window_cycles: u64) -> SystemConfig {
+        self.window_cycles = window_cycles;
         self
     }
 
@@ -620,6 +651,32 @@ mod tests {
         // Observability never changes the label: it alters what a run
         // records, not what it simulates.
         assert_eq!(trace.label(), base.label());
+    }
+
+    #[test]
+    fn span_and_window_axes_are_hash_transparent_at_default_and_distinct_otherwise() {
+        // Spans off and windows off render (and hash) exactly as the
+        // pre-telemetry config did, so pinned config hashes survive.
+        let base = SystemConfig::square(4);
+        assert!(!base.spans);
+        assert_eq!(base.window_cycles, 0);
+        assert!(!format!("{base:?}").contains("spans"));
+        assert!(!format!("{base:?}").contains("window_cycles"));
+        assert_eq!(base.stable_hash(), 0xbbb791b93ac0807b);
+        // Non-default knobs fingerprint differently from the base and from
+        // each other.
+        let spans = SystemConfig::square(4).with_spans(true);
+        let win = SystemConfig::square(4).with_windows(1024);
+        let win_small = SystemConfig::square(4).with_windows(256);
+        assert!(format!("{spans:?}").contains("spans: true"));
+        assert!(format!("{win:?}").contains("window_cycles: 1024"));
+        assert_ne!(base.stable_hash(), spans.stable_hash());
+        assert_ne!(base.stable_hash(), win.stable_hash());
+        assert_ne!(win.stable_hash(), win_small.stable_hash());
+        assert_ne!(spans.stable_hash(), win.stable_hash());
+        // Like observability, telemetry never changes the label.
+        assert_eq!(spans.label(), base.label());
+        assert_eq!(win.label(), base.label());
     }
 
     #[test]

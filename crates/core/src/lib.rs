@@ -38,7 +38,10 @@ mod system;
 mod tile;
 
 pub use config::{ObsLevel, Protocol, SystemConfig, DEFAULT_TRACE_LIMIT};
-pub use report::{ObsReport, PlaneObs, SystemReport};
+pub use report::{
+    span_json, EpWait, ObsReport, PlaneObs, SpanReport, SystemReport, WindowReport, WindowRow,
+    OBS_SCHEMA_VERSION,
+};
 pub use scorpio_notify::NotifyScheme;
 pub use system::System;
 pub use tile::{CoreDriver, CoreKind};

@@ -1,6 +1,14 @@
 //! End-of-run reporting: the numbers the paper's figures are built from.
 
+use scorpio_mem::MissSpan;
 use scorpio_sim::stats::{Accumulator, LogHistogram};
+
+/// Version of the `"obs"` JSON annex schema, emitted as its first key so
+/// downstream parsers can evolve without sniffing for the presence of
+/// individual keys. History: 1 = PR 6 (histograms, counter planes, trace
+/// totals); 2 = this version (explicit `schema_version`, histogram
+/// `sum` fields, `spans` and `windows` sub-annexes).
+pub const OBS_SCHEMA_VERSION: u32 = 2;
 
 /// One delivery plane's counter snapshot (observability layer).
 #[derive(Debug, Clone, Default)]
@@ -71,6 +79,221 @@ pub struct ObsReport {
     pub trace_kept: u64,
     /// Events beyond the cap.
     pub trace_dropped: u64,
+    /// Per-phase transaction-span breakdown; present only when the run
+    /// recorded spans ([`crate::config::SystemConfig::spans`]).
+    pub spans: Option<SpanReport>,
+    /// Windowed-telemetry summary; present only when the run bucketed
+    /// windows ([`crate::config::SystemConfig::window_cycles`]).
+    pub windows: Option<WindowReport>,
+}
+
+/// The per-phase latency breakdown built from every recorded
+/// [`MissSpan`] (before any stream cap): six phase histograms that
+/// partition each miss's end-to-end latency, the whole-miss totals, and
+/// the hit latencies needed to rebuild the full L2 service distribution.
+#[derive(Debug, Clone, Default)]
+pub struct SpanReport {
+    /// Spans recorded (equals the number of completed misses).
+    pub count: u64,
+    /// Spans beyond the stream cap — dropped from the JSONL stream only;
+    /// the histograms here always cover every span.
+    pub dropped: u64,
+    /// Phase 1: core enqueue → RSHR allocation.
+    pub queue: LogHistogram,
+    /// Phase 2: RSHR allocation → network injection.
+    pub inject: LogHistogram,
+    /// Phase 3: network injection → own ordered pop.
+    pub flight: LogHistogram,
+    /// Phase 4: own ordered pop → L2 applies the observation.
+    pub commit: LogHistogram,
+    /// Phase 5: ordering done → data arrival (0 if data raced ahead).
+    pub data: LogHistogram,
+    /// Phase 6: both prerequisites in hand → core reply.
+    pub fill: LogHistogram,
+    /// End-to-end miss latency (the sum of the six phases, per span).
+    pub total: LogHistogram,
+    /// Hit latencies (spans only cover misses; hits + totals rebuild the
+    /// full service-latency distribution).
+    pub hit: LogHistogram,
+}
+
+impl SpanReport {
+    /// The JSONL schema names of the six phases, in breakdown order.
+    pub const PHASE_NAMES: [&'static str; 6] =
+        ["queue", "inject", "flight", "commit", "data", "fill"];
+
+    /// Folds one span into the phase histograms.
+    pub fn fold(&mut self, s: &MissSpan) {
+        self.count += 1;
+        self.queue.record(s.queue());
+        self.inject.record(s.inject_wait());
+        self.flight.record(s.flight());
+        self.commit.record(s.commit());
+        self.data.record(s.data_wait());
+        self.fill.record(s.fill());
+        self.total.record(s.total());
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            r#"{{"count":{},"dropped":{},"queue":{},"inject":{},"flight":{},"commit":{},"data":{},"fill":{},"total":{},"hit":{}}}"#,
+            self.count,
+            self.dropped,
+            hist_json(&self.queue),
+            hist_json(&self.inject),
+            hist_json(&self.flight),
+            hist_json(&self.commit),
+            hist_json(&self.data),
+            hist_json(&self.fill),
+            hist_json(&self.total),
+            hist_json(&self.hit),
+        )
+    }
+}
+
+/// One endpoint's injection-wait aggregate within one window — the
+/// windowed starvation signal (`sum / count` is its mean wait).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpWait {
+    /// Endpoint index (injection-port order; MC ports last).
+    pub ep: u32,
+    /// Window (epoch) index.
+    pub window: u64,
+    /// Waits granted in the window.
+    pub count: u64,
+    /// Their sum, in cycles.
+    pub sum: u64,
+}
+
+impl EpWait {
+    fn to_json(self) -> String {
+        format!(
+            r#"{{"ep":{},"window":{},"count":{},"sum":{}}}"#,
+            self.ep, self.window, self.count, self.sum
+        )
+    }
+}
+
+/// Windowed-telemetry summary: window geometry, the warmup/steady-state
+/// split, and the per-endpoint windowed-wait extremes.
+#[derive(Debug, Clone, Default)]
+pub struct WindowReport {
+    /// Window length in cycles.
+    pub window_cycles: u64,
+    /// Number of windows (epochs) the run covered.
+    pub count: u64,
+    /// Windows classified as warmup: the prefix before the first window
+    /// whose completed-op count reaches half the peak window's.
+    pub warmup: u64,
+    /// Ops completed in steady-state (post-warmup) windows.
+    pub steady_ops: u64,
+    /// Packets ejected in steady-state windows.
+    pub steady_ejected: u64,
+    /// The (endpoint, window) cell with the highest mean injection wait.
+    pub max_wait: Option<EpWait>,
+    /// The cell with the lowest mean wait (among cells with samples).
+    pub min_wait: Option<EpWait>,
+}
+
+impl WindowReport {
+    fn to_json(&self) -> String {
+        let opt = |e: &Option<EpWait>| e.map_or_else(|| "null".into(), EpWait::to_json);
+        format!(
+            r#"{{"window_cycles":{},"count":{},"warmup":{},"steady_ops":{},"steady_ejected":{},"max_wait":{},"min_wait":{}}}"#,
+            self.window_cycles,
+            self.count,
+            self.warmup,
+            self.steady_ops,
+            self.steady_ejected,
+            opt(&self.max_wait),
+            opt(&self.min_wait),
+        )
+    }
+}
+
+/// One window's merged (all-plane) telemetry, as emitted to the
+/// `--windows` JSONL stream and summarized into [`WindowReport`].
+#[derive(Debug, Clone, Default)]
+pub struct WindowRow {
+    /// Window (epoch) index.
+    pub window: u64,
+    /// First cycle of the window (`window * cycles`).
+    pub start: u64,
+    /// Window length in cycles.
+    pub cycles: u64,
+    /// Packets injected (all planes).
+    pub injected: u64,
+    /// Packets ejected.
+    pub ejected: u64,
+    /// Packet latency of this window's ejections.
+    pub latency: LogHistogram,
+    /// Injection waits granted: count, sum, and single largest.
+    pub wait_count: u64,
+    /// Sum of the waits.
+    pub wait_sum: u64,
+    /// Largest single wait.
+    pub wait_max: u64,
+    /// Packet-cycles resident in input VCs.
+    pub buffer_integral: u64,
+    /// Core memory operations completed.
+    pub ops: u64,
+    /// Notification-window publish ticks that fell in this window.
+    pub publishes: u64,
+    /// The endpoint with the highest mean wait this window.
+    pub ep_wait_max: Option<EpWait>,
+    /// The endpoint with the lowest mean wait (among those with waits).
+    pub ep_wait_min: Option<EpWait>,
+}
+
+impl WindowRow {
+    /// Renders the row as one JSON object (no trailing newline), same
+    /// byte-stability contract as [`SystemReport::to_json`].
+    pub fn json_body(&self) -> String {
+        let opt = |e: &Option<EpWait>| e.map_or_else(|| "null".into(), EpWait::to_json);
+        format!(
+            r#"{{"window":{},"start":{},"cycles":{},"injected":{},"ejected":{},"latency":{},"wait":{{"count":{},"sum":{},"max":{}}},"buffer_integral":{},"ops":{},"publishes":{},"ep_wait_max":{},"ep_wait_min":{}}}"#,
+            self.window,
+            self.start,
+            self.cycles,
+            self.injected,
+            self.ejected,
+            hist_json(&self.latency),
+            self.wait_count,
+            self.wait_sum,
+            self.wait_max,
+            self.buffer_integral,
+            self.ops,
+            self.publishes,
+            opt(&self.ep_wait_max),
+            opt(&self.ep_wait_min),
+        )
+    }
+}
+
+/// Renders one transaction span as a JSON object (no trailing newline):
+/// the absolute stamps plus the derived six-phase breakdown, which sums
+/// to `retire - enqueued` exactly.
+pub fn span_json(s: &MissSpan) -> String {
+    format!(
+        r#"{{"tile":{},"addr":{},"kind":{:?},"served_by":{:?},"enqueued":{},"issue":{},"inject":{},"popped":{},"ordered":{},"data":{},"retire":{},"phases":{{"queue":{},"inject":{},"flight":{},"commit":{},"data":{},"fill":{}}}}}"#,
+        s.tile,
+        s.addr.0,
+        format!("{:?}", s.kind),
+        format!("{:?}", s.served_by),
+        s.enqueued,
+        s.issue,
+        s.inject,
+        s.popped,
+        s.ordered,
+        s.data,
+        s.retire,
+        s.queue(),
+        s.inject_wait(),
+        s.flight(),
+        s.commit(),
+        s.data_wait(),
+        s.fill(),
+    )
 }
 
 /// Renders a log histogram as JSON: count, p50/p95/p99/p999 and max (all
@@ -89,8 +312,9 @@ fn hist_json(h: &LogHistogram) -> String {
         b.push_str(&format!("[{idx},{c}]"));
     }
     format!(
-        r#"{{"count":{},"p50":{},"p95":{},"p99":{},"p999":{},"max":{},"buckets":[{}]}}"#,
+        r#"{{"count":{},"sum":{},"p50":{},"p95":{},"p99":{},"p999":{},"max":{},"buckets":[{}]}}"#,
         h.count(),
+        h.sum(),
         p(0.50),
         p(0.95),
         p(0.99),
@@ -107,6 +331,7 @@ impl ObsReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
         s.push('{');
+        s.push_str(&format!(r#""schema_version":{OBS_SCHEMA_VERSION},"#));
         s.push_str(&format!(
             r#""packet_latency":{},"#,
             hist_json(&self.packet_latency)
@@ -148,6 +373,12 @@ impl ObsReport {
             r#""trace":{{"kept":{},"dropped":{}}}"#,
             self.trace_kept, self.trace_dropped
         ));
+        if let Some(sp) = &self.spans {
+            s.push_str(&format!(r#","spans":{}"#, sp.to_json()));
+        }
+        if let Some(w) = &self.windows {
+            s.push_str(&format!(r#","windows":{}"#, w.to_json()));
+        }
         s.push('}');
         s
     }
@@ -430,16 +661,100 @@ mod tests {
         });
         r.obs = Some(Box::new(o));
         let j = r.to_json();
+        // The annex leads with its schema version.
+        assert!(j.contains(&format!(
+            r#""obs":{{"schema_version":{OBS_SCHEMA_VERSION},"#
+        )));
         // 5 → bucket 3 ([4,7]), 9 → bucket 4 ([8,15]); p50 = edge(3) = 7.
         assert!(j.contains(
-            r#""obs":{"packet_latency":{"count":2,"p50":7,"p95":15,"p99":15,"p999":15,"max":9,"buckets":[[3,1],[4,1]]}"#
+            r#""packet_latency":{"count":2,"sum":14,"p50":7,"p95":15,"p99":15,"p999":15,"max":9,"buckets":[[3,1],[4,1]]}"#
         ));
         // Empty histograms render null percentiles, not a panic.
-        assert!(j.contains(r#""GO-REQ":{"count":0,"p50":null,"p95":null,"p99":null,"p999":null,"max":null,"buckets":[]}"#));
+        assert!(j.contains(r#""GO-REQ":{"count":0,"sum":0,"p50":null,"p95":null,"p99":null,"p999":null,"max":null,"buckets":[]}"#));
         assert!(j.contains(r#""link_flits":7,"links_used":3,"max_link_flits":4"#));
         assert!(j.contains(r#""trace":{"kept":0,"dropped":0}"#));
+        // Span and window sub-annexes are absent unless their recorders
+        // ran.
+        assert!(!j.contains(r#""spans""#));
+        assert!(!j.contains(r#""windows""#));
         assert!(j.ends_with('}'));
         assert_eq!(j, r.clone().to_json(), "serialization must be stable");
+    }
+
+    #[test]
+    fn span_and_window_annexes_render() {
+        let mut r = SystemReport::default();
+        let mut o = ObsReport::default();
+        let span = MissSpan {
+            tile: 3,
+            addr: scorpio_coherence::LineAddr(64),
+            kind: scorpio_coherence::MsgKind::GetS,
+            served_by: scorpio_mem::ServedBy::Cache,
+            enqueued: 10,
+            issue: 12,
+            inject: 13,
+            popped: 20,
+            ordered: 22,
+            data: 18,
+            retire: 25,
+        };
+        let mut sp = SpanReport::default();
+        sp.fold(&span);
+        // Phases partition the end-to-end latency.
+        assert_eq!(
+            span.queue()
+                + span.inject_wait()
+                + span.flight()
+                + span.commit()
+                + span.data_wait()
+                + span.fill(),
+            span.total()
+        );
+        assert_eq!(span.ordering(), 10);
+        o.spans = Some(sp);
+        o.windows = Some(WindowReport {
+            window_cycles: 1024,
+            count: 2,
+            warmup: 1,
+            steady_ops: 40,
+            steady_ejected: 9,
+            max_wait: Some(EpWait {
+                ep: 7,
+                window: 1,
+                count: 2,
+                sum: 10,
+            }),
+            min_wait: None,
+        });
+        r.obs = Some(Box::new(o));
+        let j = r.to_json();
+        assert!(j.contains(r#""spans":{"count":1,"dropped":0,"queue":{"count":1,"sum":2,"#));
+        assert!(j.contains(
+            r#""windows":{"window_cycles":1024,"count":2,"warmup":1,"steady_ops":40,"steady_ejected":9,"max_wait":{"ep":7,"window":1,"count":2,"sum":10},"min_wait":null}"#
+        ));
+        // The span JSONL row carries stamps and the derived phases.
+        let body = span_json(&span);
+        assert_eq!(
+            body,
+            r#"{"tile":3,"addr":64,"kind":"GetS","served_by":"Cache","enqueued":10,"issue":12,"inject":13,"popped":20,"ordered":22,"data":18,"retire":25,"phases":{"queue":2,"inject":1,"flight":7,"commit":2,"data":0,"fill":3}}"#
+        );
+        // And the window JSONL row schema.
+        let row = WindowRow {
+            window: 1,
+            start: 1024,
+            cycles: 1024,
+            injected: 4,
+            ejected: 3,
+            ops: 5,
+            publishes: 2,
+            ..WindowRow::default()
+        };
+        assert!(row.json_body().starts_with(
+            r#"{"window":1,"start":1024,"cycles":1024,"injected":4,"ejected":3,"latency":{"count":0,"sum":0,"#
+        ));
+        assert!(row
+            .json_body()
+            .ends_with(r#""ops":5,"publishes":2,"ep_wait_max":null,"ep_wait_min":null}"#));
     }
 
     #[test]

@@ -12,17 +12,19 @@
 //! conditions equal besides the ordered network").
 
 use crate::config::{ObsLevel, Protocol, SystemConfig};
-use crate::report::{ObsReport, PlaneObs, SystemReport};
+use crate::report::{
+    EpWait, ObsReport, PlaneObs, SpanReport, SystemReport, WindowReport, WindowRow,
+};
 use crate::tile::{CoreDriver, CoreKind};
 use scorpio_coherence::{
     home_tile, CohMsg, DirectoryCache, InsoReorderBuffer, InsoSlotAllocator, LpdEntry, MsgKind,
     SlotContent,
 };
-use scorpio_mem::{L2Out, MemoryController, OrderedSnoop, SnoopyL2};
+use scorpio_mem::{L2Out, MemoryController, MissSpan, OrderedSnoop, SnoopyL2};
 use scorpio_nic::{Nic, NicMode};
 use scorpio_noc::{
     merge_trace, Endpoint, LocalSlot, MultiNetwork, ObsConfig, SteerKey, TraceEvent, TraceKind,
-    VnetId,
+    VnetId, WindowCell,
 };
 use scorpio_notify::{NotifyConfig, NotifyNetwork};
 use scorpio_sim::stats::LogHistogram;
@@ -128,6 +130,9 @@ pub struct System {
     sys_seq: u64,
     /// System-layer events discarded at the cap.
     sys_trace_dropped: u64,
+    /// Core ops completed per telemetry window (epoch-indexed, grown on
+    /// demand); maintained only when `cfg.window_cycles` is non-zero.
+    win_ops: Vec<u64>,
 }
 
 impl System {
@@ -172,16 +177,31 @@ impl System {
         // Observability sinks are installed before the first cycle;
         // every level simulates identically (asserted by the obs
         // equivalence tests), the level only controls what is recorded.
-        net.set_observability(match cfg.obs {
+        // Windowed telemetry needs a sink even at `ObsLevel::Off` (its
+        // counters then stay disabled — only the window cells record).
+        let base_obs = match cfg.obs {
             ObsLevel::Off => None,
             ObsLevel::Counters => Some(ObsConfig::counters_only()),
             ObsLevel::Trace => Some(ObsConfig::with_trace(cfg.trace_limit)),
+        };
+        net.set_observability(match (base_obs, cfg.window_cycles) {
+            (obs, 0) => obs,
+            (Some(obs), w) => Some(obs.with_windows(w)),
+            (None, w) => Some(
+                ObsConfig {
+                    counters: false,
+                    trace: false,
+                    trace_limit: 0,
+                    window_cycles: 0,
+                }
+                .with_windows(w),
+            ),
         });
         let notify = scorpio.then(|| {
             // One notification fabric whose messages carry an independent
             // announcement word group per plane; the scheme picks flat
             // grid-diameter propagation or the hierarchical quad tree.
-            NotifyNetwork::with_scheme(
+            let mut n = NotifyNetwork::with_scheme(
                 &cfg.mesh,
                 NotifyConfig {
                     cores,
@@ -190,7 +210,11 @@ impl System {
                 },
                 planes.get(),
                 cfg.notify,
-            )
+            );
+            // Windowed telemetry wants every publish-tick timestamp,
+            // including those inside empty-window leaps.
+            n.set_publish_log(cfg.window_cycles != 0);
+            n
         });
         let mode = if scorpio {
             NicMode::Ordered
@@ -241,6 +265,9 @@ impl System {
                 let mut l2 = SnoopyL2::new(t, cfg.l2.clone());
                 if cfg.obs != ObsLevel::Off {
                     l2.stats.enable_histograms();
+                }
+                if cfg.spans {
+                    l2.enable_spans();
                 }
                 l2
             })
@@ -326,6 +353,7 @@ impl System {
             sys_trace: vec![Vec::new(); cfg.planes.get()],
             sys_seq: 0,
             sys_trace_dropped: 0,
+            win_ops: Vec::new(),
             cfg,
         }
     }
@@ -662,6 +690,12 @@ impl System {
                         break;
                     };
                     self.trace_commit(now, t, d.sid, d.own, d.payload.steer_key());
+                    if self.cfg.spans
+                        && d.own
+                        && matches!(d.payload.kind, MsgKind::GetS | MsgKind::GetX)
+                    {
+                        self.l2s[t].stamp_popped(d.payload.req_tag, now);
+                    }
                     self.l2s[t].push_snoop(OrderedSnoop {
                         own: d.own,
                         msg: d.payload,
@@ -675,6 +709,12 @@ impl System {
                     match self.reorders[t].pop_ready() {
                         Some(Some(msg)) => {
                             let own = msg.requester as usize == t;
+                            if self.cfg.spans
+                                && own
+                                && matches!(msg.kind, MsgKind::GetS | MsgKind::GetX)
+                            {
+                                self.l2s[t].stamp_popped(msg.req_tag, now);
+                            }
                             self.l2s[t].push_snoop(OrderedSnoop { own, msg });
                         }
                         Some(None) => {} // expired slot
@@ -717,8 +757,16 @@ impl System {
             }
         }
         let ops = self.drivers[t].ops_done;
-        self.ops_total += ops - self.ops_cache[t];
+        let ops_delta = ops - self.ops_cache[t];
+        self.ops_total += ops_delta;
         self.ops_cache[t] = ops;
+        if self.cfg.window_cycles != 0 && ops_delta != 0 {
+            let idx = (now.as_u64() / self.cfg.window_cycles) as usize;
+            if self.win_ops.len() <= idx {
+                self.win_ops.resize(idx + 1, 0);
+            }
+            self.win_ops[idx] += ops_delta;
+        }
         if !self.always_scan {
             // Sleep only when every obligation other than the core itself
             // is gone; any future work must then arrive as an ejected
@@ -928,6 +976,23 @@ impl System {
             }
         }
         while let Some(out) = self.l2s[t].peek_out().copied() {
+            // Span stamp for every ordered-request pop below: the cycle the
+            // request leaves the L2 outbox toward the interconnect layer.
+            // WbReq is excluded — it has no RSHR entry, and its tag could
+            // alias a live one.
+            let span_tag = match out {
+                L2Out::OrderedRequest(m)
+                    if self.cfg.spans && matches!(m.kind, MsgKind::GetS | MsgKind::GetX) =>
+                {
+                    Some(m.req_tag)
+                }
+                _ => None,
+            };
+            let stamp = |l2: &mut SnoopyL2| {
+                if let Some(tag) = span_tag {
+                    l2.stamp_inject(tag, now);
+                }
+            };
             match out {
                 L2Out::OrderedRequest(msg) => match self.cfg.protocol {
                     Protocol::LpdDir | Protocol::HtDir => {
@@ -943,6 +1008,7 @@ impl System {
                         if home == t {
                             // Local home: no network hop for the request.
                             self.l2s[t].pop_out();
+                            stamp(&mut self.l2s[t]);
                             self.dir_homes[t].accept(dir_msg, now);
                         } else {
                             let dest = self.cfg.mesh.tile_endpoint(home);
@@ -953,6 +1019,7 @@ impl System {
                                 break;
                             }
                             self.l2s[t].pop_out();
+                            stamp(&mut self.l2s[t]);
                         }
                     }
                     Protocol::Scorpio => {
@@ -963,12 +1030,14 @@ impl System {
                             break;
                         }
                         self.l2s[t].pop_out();
+                        stamp(&mut self.l2s[t]);
                     }
                     Protocol::TokenB => {
                         let slot = self.oracle_seq;
                         self.oracle_seq += 1;
                         let stamped = msg.with_value(slot);
                         self.l2s[t].pop_out();
+                        stamp(&mut self.l2s[t]);
                         self.reorders[t].insert(slot, SlotContent::Request(stamped));
                         if self.nics[t]
                             .try_send_broadcast(VnetId(0), stamped, &mut self.net)
@@ -982,6 +1051,7 @@ impl System {
                         let slot = self.inso_alloc[t].take_slot(now);
                         let stamped = msg.with_value(slot);
                         self.l2s[t].pop_out();
+                        stamp(&mut self.l2s[t]);
                         self.reorders[t].insert(slot, SlotContent::Request(stamped));
                         if self.nics[t]
                             .try_send_broadcast(VnetId(0), stamped, &mut self.net)
@@ -1160,6 +1230,148 @@ impl System {
         (merged, dropped)
     }
 
+    /// The run's transaction spans, merged across tiles into retire order
+    /// (stable sort, tiles visited in index order, so ties keep tile
+    /// order — a deterministic, engine-invariant key), capped at
+    /// `cfg.trace_limit`. The second value counts spans beyond the cap.
+    /// Empty unless `cfg.spans` is set.
+    pub fn span_records(&self) -> (Vec<MissSpan>, u64) {
+        let mut all: Vec<MissSpan> = Vec::new();
+        for l2 in &self.l2s {
+            all.extend_from_slice(l2.spans());
+        }
+        all.sort_by_key(|s| s.retire);
+        let total = all.len();
+        all.truncate(self.cfg.trace_limit);
+        let dropped = (total - all.len()) as u64;
+        (all, dropped)
+    }
+
+    /// The run's merged windowed-telemetry rows — every plane's epoch
+    /// cells folded together, plus core-op progress and notification
+    /// publish ticks. Empty unless `cfg.window_cycles` is non-zero.
+    pub fn window_rows(&self) -> Vec<WindowRow> {
+        self.window_data().0
+    }
+
+    /// Builds the window rows and their summary in one pass.
+    fn window_data(&self) -> (Vec<WindowRow>, WindowReport) {
+        let w = self.cfg.window_cycles;
+        let mut report = WindowReport {
+            window_cycles: w,
+            ..WindowReport::default()
+        };
+        if w == 0 {
+            return (Vec::new(), report);
+        }
+        // Fold the planes' epoch cells together; epochs one plane never
+        // touched merge as zero.
+        let mut cells: Vec<WindowCell> = Vec::new();
+        for p in 0..self.cfg.planes.get() {
+            let Some(o) = self.net.obs(p) else { continue };
+            if cells.len() < o.windows().len() {
+                cells.resize_with(o.windows().len(), || WindowCell::new(0));
+            }
+            for (a, b) in cells.iter_mut().zip(o.windows()) {
+                a.merge(b);
+            }
+        }
+        // Notification publish ticks, bucketed by epoch.
+        let mut publishes: Vec<u64> = Vec::new();
+        if let Some(n) = &self.notify {
+            for &c in n.publish_log() {
+                let idx = (c / w) as usize;
+                if publishes.len() <= idx {
+                    publishes.resize(idx + 1, 0);
+                }
+                publishes[idx] += 1;
+            }
+        }
+        let count = cells.len().max(self.win_ops.len()).max(publishes.len());
+        let mut rows = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut row = WindowRow {
+                window: i as u64,
+                start: i as u64 * w,
+                cycles: w,
+                ops: self.win_ops.get(i).copied().unwrap_or(0),
+                publishes: publishes.get(i).copied().unwrap_or(0),
+                ..WindowRow::default()
+            };
+            if let Some(c) = cells.get(i) {
+                row.injected = c.injected;
+                row.ejected = c.ejected;
+                row.latency = c.latency.clone();
+                row.wait_count = c.wait_count;
+                row.wait_sum = c.wait_sum;
+                row.wait_max = c.wait_max;
+                row.buffer_integral = c.buffer_integral;
+                for (ep, &(cnt, sum)) in c.ep_wait.iter().enumerate() {
+                    if cnt == 0 {
+                        continue;
+                    }
+                    let cand = EpWait {
+                        ep: ep as u32,
+                        window: i as u64,
+                        count: cnt,
+                        sum,
+                    };
+                    let beats_max = match &row.ep_wait_max {
+                        None => true,
+                        Some(b) => wait_mean_gt(sum, cnt, b.sum, b.count),
+                    };
+                    if beats_max {
+                        row.ep_wait_max = Some(cand);
+                    }
+                    let beats_min = match &row.ep_wait_min {
+                        None => true,
+                        Some(b) => wait_mean_gt(b.sum, b.count, sum, cnt),
+                    };
+                    if beats_min {
+                        row.ep_wait_min = Some(cand);
+                    }
+                }
+            }
+            // Fold the row extremes into the run-level starvation signal
+            // (strict comparisons keep the earliest window / lowest
+            // endpoint on ties — deterministic).
+            if let Some(m) = &row.ep_wait_max {
+                let take = match &report.max_wait {
+                    None => true,
+                    Some(b) => wait_mean_gt(m.sum, m.count, b.sum, b.count),
+                };
+                if take {
+                    report.max_wait = Some(*m);
+                }
+            }
+            if let Some(m) = &row.ep_wait_min {
+                let take = match &report.min_wait {
+                    None => true,
+                    Some(b) => wait_mean_gt(b.sum, b.count, m.sum, m.count),
+                };
+                if take {
+                    report.min_wait = Some(*m);
+                }
+            }
+            rows.push(row);
+        }
+        // Warmup/steady-state split: the prefix before the first window
+        // whose completed-op count reaches half the peak window's.
+        let peak = rows.iter().map(|r| r.ops).max().unwrap_or(0);
+        let warmup = if peak == 0 {
+            0
+        } else {
+            rows.iter().position(|r| r.ops * 2 >= peak).unwrap_or(0)
+        };
+        report.count = rows.len() as u64;
+        report.warmup = warmup as u64;
+        for r in &rows[warmup..] {
+            report.steady_ops += r.ops;
+            report.steady_ejected += r.ejected;
+        }
+        (rows, report)
+    }
+
     /// Assembles the observability annex: latency histograms merged
     /// across planes and L2s, per-plane counter snapshots, and the trace
     /// totals [`System::take_trace`] will report.
@@ -1221,6 +1433,22 @@ impl System {
         let merged_kept = kept.min(self.cfg.trace_limit);
         o.trace_kept = merged_kept as u64;
         o.trace_dropped = dropped + (kept - merged_kept) as u64;
+        if self.cfg.spans {
+            let mut sp = SpanReport::default();
+            for l2 in &self.l2s {
+                for s in l2.spans() {
+                    sp.fold(s);
+                }
+                sp.hit.merge(l2.span_hits());
+            }
+            // The phase histograms above fold every span; only the
+            // record stream itself is capped.
+            sp.dropped = sp.count.saturating_sub(self.cfg.trace_limit as u64);
+            o.spans = Some(sp);
+        }
+        if self.cfg.window_cycles != 0 {
+            o.windows = Some(self.window_data().1);
+        }
         o
     }
 
@@ -1272,7 +1500,7 @@ impl System {
             r.dir_accesses += h.dir.hits() + h.dir.misses();
             r.dir_misses += h.dir.misses();
         }
-        if self.cfg.obs != ObsLevel::Off {
+        if self.cfg.obs != ObsLevel::Off || self.cfg.spans || self.cfg.window_cycles != 0 {
             r.obs = Some(self.obs_report());
         }
         r
@@ -1346,6 +1574,13 @@ impl System {
     pub fn cores_done(&self) -> usize {
         self.drivers.iter().filter(|d| d.is_done()).count()
     }
+}
+
+/// `a_sum / a_count > b_sum / b_count`, exactly, via cross-multiplication
+/// in u128 — windowed wait means are compared without ever dividing, so
+/// the starvation extremes are bit-stable across platforms.
+fn wait_mean_gt(a_sum: u64, a_count: u64, b_sum: u64, b_count: u64) -> bool {
+    u128::from(a_sum) * u128::from(b_count) > u128::from(b_sum) * u128::from(a_count)
 }
 
 /// Timed wake-ups bucketed by notification region (leaf quad of the

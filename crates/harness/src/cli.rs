@@ -7,14 +7,18 @@
 //! harness run <scenario>... [--threads N] [--ops N] [--seeds 1,2,3]
 //!                           [--json PATH] [--csv PATH] [--timing]
 //!                           [--hist] [--trace PATH] [--trace-limit N]
+//!                           [--spans PATH] [--windows PATH]
+//!                           [--window-cycles N]
 //!                           [--verbose] [--no-table]
 //! ```
 //!
-//! `--json`/`--csv`/`--trace` accept `-` for stdout. Output is
-//! deterministic for a given (scenario, seeds, ops) regardless of
-//! `--threads`, unless `--timing` opts into per-run wall-clock columns;
-//! `--hist` (latency histograms + NoC counters) and `--trace` (the flit
-//! trace) keep that byte-stability.
+//! `--json`/`--csv`/`--trace`/`--spans`/`--windows` accept `-` for
+//! stdout. Output is deterministic for a given (scenario, seeds, ops)
+//! regardless of `--threads`, unless `--timing` opts into per-run
+//! wall-clock columns; `--hist` (latency histograms + NoC counters),
+//! `--trace` (the flit trace), `--spans` (per-transaction lifecycle
+//! records) and `--windows` (epoch-bucketed time-series telemetry) keep
+//! that byte-stability.
 
 use std::io::Write;
 use std::time::Instant;
@@ -36,9 +40,15 @@ struct RunOptions {
     hist: bool,
     trace: Option<String>,
     trace_limit: Option<usize>,
+    spans: Option<String>,
+    windows: Option<String>,
+    window_cycles: Option<u64>,
     verbose: bool,
     no_table: bool,
 }
+
+/// Epoch length `--windows` uses when `--window-cycles` is not given.
+pub const DEFAULT_WINDOW_CYCLES: u64 = 1024;
 
 const USAGE: &str = "usage:
   harness list                      show registered scenarios
@@ -55,7 +65,13 @@ run options:
                   (adds percentile columns; deterministic)
   --trace PATH    record the deterministic flit-event trace and write it
                   as JSON lines (- for stdout; implies --hist's recording)
-  --trace-limit N cap retained trace events per run (default 100000)
+  --trace-limit N cap retained trace events per run (default 100000;
+                  also caps retained spans)
+  --spans PATH    record per-transaction lifecycle spans and write them
+                  as JSON lines (- for stdout; deterministic)
+  --windows PATH  record epoch-bucketed time-series telemetry and write
+                  one JSON line per window (- for stdout; deterministic)
+  --window-cycles N  window length in cycles for --windows (default 1024)
   --verbose       per-run progress lines on stderr
   --no-table      skip the human-readable tables";
 
@@ -165,6 +181,12 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
                 let raw = value("--trace-limit")?;
                 opts.trace_limit = Some(positive("--trace-limit", raw)?);
             }
+            "--spans" => opts.spans = Some(value("--spans")?),
+            "--windows" => opts.windows = Some(value("--windows")?),
+            "--window-cycles" => {
+                let raw = value("--window-cycles")?;
+                opts.window_cycles = Some(positive("--window-cycles", raw)? as u64);
+            }
             "--verbose" => opts.verbose = true,
             "--no-table" => opts.no_table = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
@@ -173,6 +195,9 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     }
     if opts.scenarios.is_empty() {
         return Err("no scenario given".into());
+    }
+    if opts.window_cycles.is_some() && opts.windows.is_none() {
+        return Err("--window-cycles needs --windows".into());
     }
     for name in &opts.scenarios {
         if registry::by_name(name).is_none() {
@@ -196,10 +221,17 @@ fn run(opts: &RunOptions) -> i32 {
         verbose: opts.verbose,
         obs_override,
         trace_limit: opts.trace_limit,
+        spans: opts.spans.is_some(),
+        window_cycles: opts
+            .windows
+            .as_ref()
+            .map(|_| opts.window_cycles.unwrap_or(DEFAULT_WINDOW_CYCLES)),
     };
     let sink_opts = SinkOptions {
         include_timing: opts.timing,
         include_hist: opts.hist || opts.trace.is_some(),
+        include_spans: opts.spans.is_some(),
+        include_windows: opts.windows.is_some(),
     };
     let mut all: Vec<(String, Vec<RunResult>)> = Vec::new();
     for name in &opts.scenarios {
@@ -259,15 +291,7 @@ fn run(opts: &RunOptions) -> i32 {
             for r in results {
                 dropped += r.trace_dropped;
                 for body in r.trace.as_deref().unwrap_or_default() {
-                    // Each event line leads with its run's identity so a
-                    // multi-run file keeps one self-describing schema
-                    // (the event body starts with '{').
-                    doc.push_str(&format!(
-                        "{{\"scenario\":{name:?},\"index\":{},\"seed\":{},{}",
-                        r.spec.index,
-                        r.spec.seed,
-                        &body[1..]
-                    ));
+                    doc.push_str(&prefixed(name, r, body));
                     doc.push('\n');
                 }
             }
@@ -282,7 +306,56 @@ fn run(opts: &RunOptions) -> i32 {
             return 1;
         }
     }
+    if let Some(path) = &opts.spans {
+        let mut doc = String::new();
+        let mut dropped = 0u64;
+        for (name, results) in &all {
+            for r in results {
+                dropped += r.spans_dropped;
+                for body in r.spans.as_deref().unwrap_or_default() {
+                    doc.push_str(&prefixed(name, r, body));
+                    doc.push('\n');
+                }
+            }
+        }
+        if dropped > 0 {
+            eprintln!(
+                "[harness] spans: {dropped} span(s) beyond the cap dropped (raise --trace-limit)"
+            );
+        }
+        if let Err(e) = sink::write(path, &doc) {
+            eprintln!("harness: writing {path}: {e}");
+            return 1;
+        }
+    }
+    if let Some(path) = &opts.windows {
+        let mut doc = String::new();
+        for (name, results) in &all {
+            for r in results {
+                for body in r.windows.as_deref().unwrap_or_default() {
+                    doc.push_str(&prefixed(name, r, body));
+                    doc.push('\n');
+                }
+            }
+        }
+        if let Err(e) = sink::write(path, &doc) {
+            eprintln!("harness: writing {path}: {e}");
+            return 1;
+        }
+    }
     0
+}
+
+/// One stream line: the record body led by its run's identity, so a
+/// multi-run file keeps one self-describing schema (the body starts
+/// with '{').
+fn prefixed(scenario: &str, r: &RunResult, body: &str) -> String {
+    format!(
+        "{{\"scenario\":{scenario:?},\"index\":{},\"seed\":{},{}",
+        r.spec.index,
+        r.spec.seed,
+        &body[1..]
+    )
 }
 
 /// Entry point for the thin figure binaries: runs `scenarios` with any
@@ -337,6 +410,12 @@ mod tests {
             "t.jsonl",
             "--trace-limit",
             "500",
+            "--spans",
+            "s.jsonl",
+            "--windows",
+            "w.jsonl",
+            "--window-cycles",
+            "512",
             "--verbose",
             "--no-table",
         ]
@@ -352,6 +431,9 @@ mod tests {
         assert_eq!(o.csv.as_deref(), Some("-"));
         assert_eq!(o.trace.as_deref(), Some("t.jsonl"));
         assert_eq!(o.trace_limit, Some(500));
+        assert_eq!(o.spans.as_deref(), Some("s.jsonl"));
+        assert_eq!(o.windows.as_deref(), Some("w.jsonl"));
+        assert_eq!(o.window_cycles, Some(512));
         assert!(o.timing && o.hist && o.verbose && o.no_table);
     }
 
@@ -367,6 +449,10 @@ mod tests {
         assert!(parse_run(&s(&["fig7", "--wat"])).is_err());
         assert!(parse_run(&s(&["fig7", "--trace"])).is_err());
         assert!(parse_run(&s(&["fig7", "--trace-limit", "0"])).is_err());
+        assert!(parse_run(&s(&["fig7", "--spans"])).is_err());
+        assert!(parse_run(&s(&["fig7", "--window-cycles", "0"])).is_err());
+        // --window-cycles without --windows has nothing to apply to.
+        assert!(parse_run(&s(&["fig7", "--window-cycles", "512"])).is_err());
     }
 
     #[test]

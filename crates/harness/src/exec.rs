@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use scorpio::{ObsLevel, System, SystemReport};
+use scorpio::{span_json, ObsLevel, System, SystemReport, WindowRow};
 use scorpio_noc::TraceEvent;
 use scorpio_workloads::generate;
 
@@ -40,6 +40,12 @@ pub struct ExecOptions {
     pub obs_override: Option<ObsLevel>,
     /// Force the flit-trace cap on every run (`--trace-limit`).
     pub trace_limit: Option<usize>,
+    /// Force transaction-span recording on every run (`--spans`).
+    pub spans: bool,
+    /// Force windowed telemetry with this epoch length on every run
+    /// (`--windows` / `--window-cycles`). `None` keeps each spec's own
+    /// setting (usually off, or whatever a `Knob::Windows` variant set).
+    pub window_cycles: Option<u64>,
 }
 
 impl Default for ExecOptions {
@@ -50,8 +56,24 @@ impl Default for ExecOptions {
             verbose: false,
             obs_override: None,
             trace_limit: None,
+            spans: false,
+            window_cycles: None,
         }
     }
+}
+
+/// Config-level overrides applied on top of a spec's own configuration
+/// before a run; the config hash fingerprints the overridden config.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Overrides {
+    /// Force an observability level (`--hist` / `--trace`).
+    pub obs: Option<ObsLevel>,
+    /// Force the flit-trace cap (`--trace-limit`).
+    pub trace_limit: Option<usize>,
+    /// Force transaction-span recording (`--spans`).
+    pub spans: bool,
+    /// Force windowed telemetry with this epoch length (`--windows`).
+    pub window_cycles: Option<u64>,
 }
 
 impl ExecOptions {
@@ -100,6 +122,14 @@ pub struct RunResult {
     pub trace: Option<Vec<String>>,
     /// Trace events dropped at the cap.
     pub trace_dropped: u64,
+    /// Rendered transaction spans (one JSON object per retired miss, in
+    /// deterministic retire order) when the run recorded spans.
+    pub spans: Option<Vec<String>>,
+    /// Spans dropped at the cap.
+    pub spans_dropped: u64,
+    /// Rendered windowed-telemetry rows (one JSON object per epoch, in
+    /// epoch order) when the run bucketed windows.
+    pub windows: Option<Vec<String>>,
 }
 
 /// Runs one spec to completion.
@@ -115,27 +145,35 @@ pub fn run_spec_opts(
     obs_override: Option<ObsLevel>,
     trace_limit: Option<usize>,
 ) -> RunResult {
+    run_spec_ov(
+        spec,
+        ops_per_core,
+        &Overrides {
+            obs: obs_override,
+            trace_limit,
+            ..Overrides::default()
+        },
+    )
+}
+
+/// Runs one spec to completion with the full override set on top of the
+/// spec's own configuration.
+pub fn run_spec_ov(spec: &RunSpec, ops_per_core: usize, ov: &Overrides) -> RunResult {
     // The parallel engines ask for four lanes but never more than the
     // host has: results are byte-identical for any lane count, so extra
     // lanes could only timeshare a core and slow the benchmark down.
     let lanes = std::thread::available_parallelism().map_or(1, |n| n.get().min(4));
-    run_spec_custom(
-        spec,
-        ops_per_core,
-        obs_override,
-        trace_limit,
-        |sys| match spec.engine {
-            Engine::ActiveSet => {}
-            Engine::AlwaysScan => sys.set_always_scan(true),
-            Engine::CoordRoute => sys.set_table_routing(false),
-            Engine::Leap => sys.set_leap(true),
-            Engine::Parallel => sys.set_workers(lanes),
-            Engine::Turbo => {
-                sys.set_leap(true);
-                sys.set_workers(lanes);
-            }
-        },
-    )
+    run_spec_full(spec, ops_per_core, ov, |sys| match spec.engine {
+        Engine::ActiveSet => {}
+        Engine::AlwaysScan => sys.set_always_scan(true),
+        Engine::CoordRoute => sys.set_table_routing(false),
+        Engine::Leap => sys.set_leap(true),
+        Engine::Parallel => sys.set_workers(lanes),
+        Engine::Turbo => {
+            sys.set_leap(true);
+            sys.set_workers(lanes);
+        }
+    })
 }
 
 /// Runs one spec to completion with an arbitrary pre-run system tweak in
@@ -148,18 +186,47 @@ pub fn run_spec_custom(
     trace_limit: Option<usize>,
     tweak: impl Fn(&mut System),
 ) -> RunResult {
+    run_spec_full(
+        spec,
+        ops_per_core,
+        &Overrides {
+            obs: obs_override,
+            trace_limit,
+            ..Overrides::default()
+        },
+        tweak,
+    )
+}
+
+/// The executor core: applies every override, runs the spec, and
+/// collects whichever deterministic streams the final configuration
+/// enabled (flit trace, transaction spans, window rows).
+pub fn run_spec_full(
+    spec: &RunSpec,
+    ops_per_core: usize,
+    ov: &Overrides,
+    tweak: impl Fn(&mut System),
+) -> RunResult {
     let mut cfg = spec.config();
-    if let Some(level) = obs_override {
+    if let Some(level) = ov.obs {
         cfg = cfg.with_obs(level);
     }
-    if let Some(n) = trace_limit {
+    if let Some(n) = ov.trace_limit {
         cfg = cfg.with_trace_limit(n);
+    }
+    if ov.spans {
+        cfg = cfg.with_spans(true);
+    }
+    if let Some(w) = ov.window_cycles {
+        cfg = cfg.with_windows(w);
     }
     // The hash fingerprints the exact configuration run, overrides
     // included — an obs-off run keeps its pre-observability hash.
     let config_hash = cfg.stable_hash();
     let config_label = cfg.label();
     let tracing = cfg.obs == ObsLevel::Trace;
+    let spanning = cfg.spans;
+    let windowing = cfg.window_cycles != 0;
     let params = spec.workload.clone().with_ops(ops_per_core);
     let started = Instant::now();
     let traces = generate(&params, cfg.cores(), cfg.seed);
@@ -181,6 +248,13 @@ pub fn run_spec_custom(
     } else {
         (None, 0)
     };
+    let (spans, spans_dropped) = if spanning {
+        let (records, dropped) = sys.span_records();
+        (Some(records.iter().map(span_json).collect()), dropped)
+    } else {
+        (None, 0)
+    };
+    let windows = windowing.then(|| sys.window_rows().iter().map(WindowRow::json_body).collect());
     RunResult {
         spec: spec.clone(),
         config_hash,
@@ -194,6 +268,9 @@ pub fn run_spec_custom(
         region_cycles_stepped,
         trace,
         trace_dropped,
+        spans,
+        spans_dropped,
+        windows,
     }
 }
 
@@ -209,11 +286,17 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> Vec<RunResult> {
         return Vec::new();
     }
     let workers = opts.effective_threads().clamp(1, n);
+    let ov = Overrides {
+        obs: opts.obs_override,
+        trace_limit: opts.trace_limit,
+        spans: opts.spans,
+        window_cycles: opts.window_cycles,
+    };
     if workers == 1 {
         return specs
             .iter()
             .map(|s| {
-                let r = run_spec_opts(s, opts.ops_per_core, opts.obs_override, opts.trace_limit);
+                let r = run_spec_ov(s, opts.ops_per_core, &ov);
                 if opts.verbose {
                     eprintln!(
                         "[harness] {} -> {} cycles",
@@ -257,12 +340,7 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> Vec<RunResult> {
                         .find_map(|v| queues[v].lock().unwrap().pop_back())
                 });
                 let Some(i) = job else { break };
-                let r = run_spec_opts(
-                    &specs[i],
-                    opts.ops_per_core,
-                    opts.obs_override,
-                    opts.trace_limit,
-                );
+                let r = run_spec_ov(&specs[i], opts.ops_per_core, &ov);
                 if opts.verbose {
                     eprintln!(
                         "[harness] {} -> {} cycles (worker {w})",

@@ -54,6 +54,8 @@ pub fn scenarios() -> Vec<Scenario> {
         route_lookup("route-lookup-small", 6),
         obs_overhead("obs-overhead", 12),
         obs_overhead("obs-overhead-small", 6),
+        latency_breakdown("latency-breakdown", 8),
+        latency_breakdown("latency-breakdown-small", 4),
         planes_scenario("planes", 6),
         planes_scenario("planes-small", 4),
         planes_throughput("planes-throughput", 8),
@@ -1127,6 +1129,8 @@ fn obs_overhead(name: &'static str, mesh: u16) -> Scenario {
                 Variant::new("obs-off", vec![]),
                 Variant::knob(Knob::Obs(scorpio::ObsLevel::Counters)),
                 Variant::knob(Knob::Obs(scorpio::ObsLevel::Trace)),
+                Variant::knob(Knob::Spans),
+                Variant::knob(Knob::Windows(1024)),
             ]),
         render: obs_overhead_render,
     }
@@ -1172,6 +1176,98 @@ fn obs_overhead_render(s: &Scenario, results: &[RunResult]) -> String {
     }
     out.push_str("\nSimulated behavior is identical at every level (obs\n");
     out.push_str("equivalence tests); only recording work differs.\n");
+    out
+}
+
+// ------------------------------------------------------ Latency breakdown
+
+/// The paper's latency-decomposition story, measured from transaction
+/// spans: every ordering protocol on the chip mesh and on a concentrated
+/// mesh with half the routers (smaller diameter). The span phases show
+/// queueing, injection wait, traversal, ordering commit, data wait and
+/// fill separately — for SCORPIO the ordering-commit share stays flat
+/// while traversal tracks the fabric diameter, the decoupling thesis.
+fn latency_breakdown(name: &'static str, mesh: u16) -> Scenario {
+    Scenario {
+        name,
+        title: format!("Latency breakdown — span phases per protocol ({mesh}x{mesh} tiles)"),
+        about: "Per-phase miss-latency decomposition from transaction spans",
+        grid: SweepGrid::over(vec![WorkloadParams::by_name("blackscholes").unwrap()])
+            .meshes(&[mesh])
+            .fabrics(&[Fabric::Mesh, Fabric::CMesh(2)])
+            .protocols(&[
+                Protocol::Scorpio,
+                Protocol::TokenB,
+                Protocol::Inso { expiry_window: 40 },
+                Protocol::LpdDir,
+                Protocol::HtDir,
+            ])
+            .variants(vec![Variant::knob(Knob::Spans)]),
+        render: latency_breakdown_render,
+    }
+}
+
+fn latency_breakdown_render(s: &Scenario, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", s.title));
+    out.push_str(&format!(
+        "{:<12}{:>9}{:>8}{:>8}{:>8}{:>8}{:>8}{:>8}{:>9}{:>11}\n",
+        "fabric",
+        "protocol",
+        "queue",
+        "inject",
+        "flight",
+        "commit",
+        "data",
+        "fill",
+        "total",
+        "reconcile"
+    ));
+    let mean = |sum: u64, count: u64| {
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    };
+    for r in results {
+        let Some(sp) = r.report.obs.as_ref().and_then(|o| o.spans.as_ref()) else {
+            continue;
+        };
+        // Exact reconciliation against the scalar report: inject + flight
+        // + commit is the ordering delay, and the span totals plus the
+        // hit latencies rebuild the full L2 service distribution.
+        let ordering = &r.report.ordering_delay;
+        let service = &r.report.l2_service_latency;
+        let ordering_exact = sp.inject.sum() + sp.flight.sum() + sp.commit.sum() == ordering.sum()
+            && sp.inject.count() == ordering.count();
+        let service_exact = sp.total.sum() + sp.hit.sum() == service.sum()
+            && sp.total.count() + sp.hit.count() == service.count();
+        let fabric = match r.spec.fabric.label() {
+            "" => "mesh".to_string(),
+            label => label.to_string(),
+        };
+        out.push_str(&format!(
+            "{:<12}{:>9}{:>8.1}{:>8.1}{:>8.1}{:>8.1}{:>8.1}{:>8.1}{:>9.1}{:>11}\n",
+            fabric,
+            protocol_label(r.spec.protocol),
+            mean(sp.queue.sum(), sp.queue.count()),
+            mean(sp.inject.sum(), sp.inject.count()),
+            mean(sp.flight.sum(), sp.flight.count()),
+            mean(sp.commit.sum(), sp.commit.count()),
+            mean(sp.data.sum(), sp.data.count()),
+            mean(sp.fill.sum(), sp.fill.count()),
+            mean(sp.total.sum(), sp.total.count()),
+            if ordering_exact && service_exact {
+                "exact"
+            } else {
+                "MISMATCH"
+            },
+        ));
+    }
+    out.push_str("\nPer-phase means over every recorded miss span (cycles).\n");
+    out.push_str("reconcile=exact: inject+flight+commit sums equal the ordering-\n");
+    out.push_str("delay scalars and span totals + hits rebuild l2_service_latency.\n");
     out
 }
 

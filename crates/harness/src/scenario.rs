@@ -49,6 +49,13 @@ pub enum Knob {
     Obs(ObsLevel),
     /// Flit-trace cap, paired with `Obs(ObsLevel::Trace)`.
     TraceLimit(usize),
+    /// Per-transaction lifecycle spans plus counter-level observability
+    /// (the `latency-breakdown` sweeps; simulated behavior is unchanged).
+    Spans,
+    /// Windowed time-series telemetry with the given epoch length in
+    /// cycles, plus counter-level observability (the `obs-overhead`
+    /// windows variant).
+    Windows(u64),
     /// Topology-aware MC placement: `mcs` memory-controller ports placed
     /// by `placement` (the `mc-placement` sweeps). The L2's interleaving
     /// endpoints are rewired to match.
@@ -182,6 +189,8 @@ impl Knob {
             Knob::ProportionalMcs => cfg.with_proportional_mcs(),
             Knob::Obs(level) => cfg.with_obs(level),
             Knob::TraceLimit(n) => cfg.with_trace_limit(n),
+            Knob::Spans => cfg.with_obs(ObsLevel::Counters).with_spans(true),
+            Knob::Windows(w) => cfg.with_obs(ObsLevel::Counters).with_windows(w),
             Knob::McPlacement { placement, mcs } => apply_mc_placement(cfg, placement, mcs),
         }
     }
@@ -209,6 +218,8 @@ impl Knob {
             Knob::Obs(ObsLevel::Counters) => "obs-counters".into(),
             Knob::Obs(ObsLevel::Trace) => "obs-trace".into(),
             Knob::TraceLimit(n) => format!("trace-cap={n}"),
+            Knob::Spans => "spans".into(),
+            Knob::Windows(w) => format!("windows={w}"),
             Knob::McPlacement {
                 placement: McPlacement::Proportional,
                 ..

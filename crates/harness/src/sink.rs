@@ -23,6 +23,14 @@ pub struct SinkOptions {
     /// histograms; deterministic when it did, so this flag keeps the
     /// byte-stability guarantee (unlike `include_timing`).
     pub include_hist: bool,
+    /// Add the span-breakdown CSV columns (span count plus the mean of
+    /// each of the six lifecycle phases). Blank when a run recorded no
+    /// spans; deterministic when it did.
+    pub include_spans: bool,
+    /// Add the windowed-telemetry CSV columns (window count, warmup
+    /// split, steady-state totals, worst windowed wait). Blank when a
+    /// run bucketed no windows; deterministic when it did.
+    pub include_windows: bool,
 }
 
 /// Simulated cycles per wall-clock second of the simulation phase.
@@ -122,6 +130,12 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
              ordering_p50,ordering_p95,ordering_p99,ordering_p999",
         );
     }
+    if opts.include_spans {
+        out.push_str(",spans,span_queue,span_inject,span_flight,span_commit,span_data,span_fill");
+    }
+    if opts.include_windows {
+        out.push_str(",windows,warmup,steady_ops,steady_ejected,max_wait_ep,max_wait_mean");
+    }
     if opts.include_timing {
         out.push_str(
             ",wall_nanos,setup_nanos,sim_nanos,stepped_cycles,regions,region_cycles_stepped,cycles_per_sec",
@@ -171,6 +185,36 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
                     ",{}",
                     cell(obs.and_then(|o| o.ordering_delay.percentile(f)))
                 ));
+            }
+        }
+        if opts.include_spans {
+            // Phase means are exact integer ratios rendered as shortest
+            // round-trip floats — deterministic, like every other cell.
+            match r.report.obs.as_deref().and_then(|o| o.spans.as_ref()) {
+                Some(s) if s.count > 0 => {
+                    out.push_str(&format!(",{}", s.count));
+                    for h in [&s.queue, &s.inject, &s.flight, &s.commit, &s.data, &s.fill] {
+                        out.push_str(&format!(",{:?}", h.sum() as f64 / h.count() as f64));
+                    }
+                }
+                _ => out.push_str(",,,,,,,"),
+            }
+        }
+        if opts.include_windows {
+            match r.report.obs.as_deref().and_then(|o| o.windows.as_ref()) {
+                Some(w) => {
+                    out.push_str(&format!(
+                        ",{},{},{},{}",
+                        w.count, w.warmup, w.steady_ops, w.steady_ejected
+                    ));
+                    match &w.max_wait {
+                        Some(m) => {
+                            out.push_str(&format!(",{},{:?}", m.ep, m.sum as f64 / m.count as f64))
+                        }
+                        None => out.push_str(",,"),
+                    }
+                }
+                None => out.push_str(",,,,,,"),
             }
         }
         if opts.include_timing {
@@ -301,6 +345,35 @@ mod tests {
         for line in with.lines().skip(1) {
             assert_eq!(line.split(',').count(), cols);
             assert!(line.ends_with(",,,,,,,"));
+        }
+    }
+
+    #[test]
+    fn span_and_window_columns_are_opt_in_and_blank_without_recording() {
+        let rs = results();
+        let plain = csv("demo", &rs, SinkOptions::default());
+        assert!(!plain.contains("span_queue"));
+        assert!(!plain.contains("max_wait_ep"));
+        let with = csv(
+            "demo",
+            &rs,
+            SinkOptions {
+                include_spans: true,
+                include_windows: true,
+                ..SinkOptions::default()
+            },
+        );
+        let header = with.lines().next().unwrap();
+        assert!(header.ends_with(
+            ",spans,span_queue,span_inject,span_flight,span_commit,span_data,span_fill,\
+             windows,warmup,steady_ops,steady_ejected,max_wait_ep,max_wait_mean"
+        ));
+        // These runs recorded neither spans nor windows, so every cell is
+        // blank — and every row still matches the header's arity.
+        let cols = header.split(',').count();
+        for line in with.lines().skip(1) {
+            assert_eq!(line.split(',').count(), cols);
+            assert!(line.ends_with(",,,,,,,,,,,,,"));
         }
     }
 

@@ -84,3 +84,51 @@ fn experiments_md_documents_percentile_columns() {
         );
     }
 }
+
+/// DESIGN.md §16 is the span schema's reference: each of the six phase
+/// names must appear quoted as it does on the wire, and the README must
+/// show the `--spans`/`--windows` flags. The phase list mirrors
+/// `scorpio::span_json` — a renamed phase without documentation fails
+/// here.
+#[test]
+fn design_md_documents_the_span_phases() {
+    let md = repo_file("DESIGN.md");
+    for phase in ["queue", "inject", "flight", "commit", "data", "fill"] {
+        assert!(
+            md.contains(&format!("\"{phase}\"")),
+            "DESIGN.md never documents the {phase:?} span phase"
+        );
+    }
+    let readme = repo_file("README.md");
+    assert!(
+        readme.contains("--spans"),
+        "README.md lacks a --spans example"
+    );
+    assert!(
+        readme.contains("--windows"),
+        "README.md lacks a --windows example"
+    );
+}
+
+/// EXPERIMENTS.md documents the span and window CSV columns so sweep-CSV
+/// consumers can find what the opt-in columns mean.
+#[test]
+fn experiments_md_documents_span_and_window_columns() {
+    let md = repo_file("EXPERIMENTS.md");
+    for col in [
+        "span_queue",
+        "span_fill",
+        "warmup",
+        "steady_ops",
+        "max_wait_ep",
+    ] {
+        assert!(
+            md.contains(col),
+            "EXPERIMENTS.md never mentions the {col} CSV column"
+        );
+    }
+    assert!(
+        md.contains("schema_version"),
+        "EXPERIMENTS.md never mentions the obs annex schema_version"
+    );
+}

@@ -6,7 +6,7 @@
 //! when off (the `--ignored` release benchmark below).
 
 use scorpio::ObsLevel;
-use scorpio_harness::exec::{run_spec, run_spec_opts, RunResult};
+use scorpio_harness::exec::{run_spec, run_spec_full, run_spec_opts, Overrides, RunResult};
 use scorpio_harness::registry;
 use std::collections::{HashMap, HashSet};
 
@@ -126,6 +126,199 @@ fn capped_trace_is_an_exact_prefix_of_the_uncapped_trace() {
     assert!(capped.trace_dropped > 0);
     // Identical simulation either way: the cap only truncates output.
     assert_eq!(full.report.runtime_cycles, capped.report.runtime_cycles);
+}
+
+/// The SCORPIO cell of `fig7-small` — the shared subject of the span
+/// suite below.
+fn scorpio_cell() -> scorpio_harness::RunSpec {
+    registry::by_name("fig7-small")
+        .expect("registered")
+        .grid
+        .enumerate()
+        .into_iter()
+        .find(|s| s.protocol == scorpio::Protocol::Scorpio)
+        .expect("a SCORPIO cell exists")
+}
+
+/// Transaction spans are not a parallel truth either. Every span line
+/// must (a) carry phases that are exactly the differences of its stamps
+/// and partition its end-to-end latency, (b) rebuild the annex's
+/// per-phase histograms bucket for bucket, and (c) reconcile with the
+/// scalar report: inject+flight+commit is the ordering delay, and span
+/// totals plus hit latencies rebuild the full L2 service distribution.
+#[test]
+fn spans_reconcile_with_report_histograms() {
+    let r = run_spec_full(
+        &scorpio_cell(),
+        10,
+        &Overrides {
+            spans: true,
+            ..Overrides::default()
+        },
+        |_| {},
+    );
+    let obs = r.report.obs.as_deref().expect("obs annex present");
+    let sp = obs.spans.as_ref().expect("span report present");
+    let spans = r.spans.as_ref().expect("spans recorded");
+    assert_eq!(r.spans_dropped, 0, "the cap must not truncate this run");
+    assert_eq!(sp.dropped, 0);
+    assert_eq!(sp.count as usize, spans.len());
+    assert!(!spans.is_empty(), "the run missed at least once");
+
+    const PHASES: [&str; 6] = ["queue", "inject", "flight", "commit", "data", "fill"];
+    let mut rebuilt: HashMap<&str, [u64; 65]> = HashMap::new();
+    let mut totals = [0u64; 65];
+    let bucket = |v: u64| (64 - v.leading_zeros()) as usize;
+    for line in spans {
+        // `inject`/`data` name both an absolute stamp and a phase, so
+        // split at the phases object before extracting fields.
+        let (head, phases) = line.split_once("\"phases\":").expect("span has phases");
+        let stamp = |key| field(head, key).unwrap_or_else(|| panic!("span lacks {key}: {line}"));
+        let phase = |key| field(phases, key).unwrap_or_else(|| panic!("span lacks {key}: {line}"));
+        // Stamps are monotonic through the pipeline and the phases are
+        // exactly their differences.
+        assert_eq!(phase("queue"), stamp("issue") - stamp("enqueued"));
+        assert_eq!(phase("inject"), stamp("inject") - stamp("issue"));
+        assert_eq!(phase("flight"), stamp("popped") - stamp("inject"));
+        assert_eq!(phase("commit"), stamp("ordered") - stamp("popped"));
+        let ready = stamp("data").max(stamp("ordered"));
+        assert_eq!(phase("data"), ready - stamp("ordered"));
+        assert_eq!(phase("fill"), stamp("retire") - ready);
+        // The six phases partition the end-to-end miss latency.
+        let total: u64 = PHASES.iter().map(|&p| phase(p)).sum();
+        assert_eq!(total, stamp("retire") - stamp("enqueued"));
+        for p in PHASES {
+            rebuilt.entry(p).or_insert([0; 65])[bucket(phase(p))] += 1;
+        }
+        totals[bucket(total)] += 1;
+    }
+    let nz = |b: &[u64; 65]| -> Vec<(usize, u64)> {
+        b.iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    };
+    for (name, hist) in PHASES.iter().zip([
+        &sp.queue, &sp.inject, &sp.flight, &sp.commit, &sp.data, &sp.fill,
+    ]) {
+        assert_eq!(
+            hist.nonzero_buckets().collect::<Vec<_>>(),
+            nz(&rebuilt[name]),
+            "span stream does not rebuild the {name} histogram"
+        );
+    }
+    assert_eq!(sp.total.nonzero_buckets().collect::<Vec<_>>(), nz(&totals));
+
+    // Scalar reconciliation — the identities the latency-breakdown
+    // table prints as `exact`.
+    let ordering = &r.report.ordering_delay;
+    assert_eq!(sp.inject.count(), ordering.count());
+    assert_eq!(
+        sp.inject.sum() + sp.flight.sum() + sp.commit.sum(),
+        ordering.sum(),
+        "inject+flight+commit must be the ordering delay"
+    );
+    let service = &r.report.l2_service_latency;
+    assert_eq!(sp.total.count() + sp.hit.count(), service.count());
+    assert_eq!(
+        sp.total.sum() + sp.hit.sum(),
+        service.sum(),
+        "span totals + hits must rebuild the L2 service distribution"
+    );
+}
+
+/// Spans and windows are simulation truth, so every engine must render
+/// byte-identical streams — the always-scan and coordinate-routing
+/// references, the leaping clock, parallel worker lanes, and the
+/// combined turbo engine, on single- and multi-plane configurations.
+#[test]
+fn span_and_window_streams_are_engine_invariant() {
+    let ov = Overrides {
+        spans: true,
+        window_cycles: Some(256),
+        ..Overrides::default()
+    };
+    type Tweak = fn(&mut scorpio::System);
+    let cases: [(&str, Tweak); 5] = [
+        ("scan", |s| s.set_always_scan(true)),
+        ("coord", |s| s.set_table_routing(false)),
+        ("leap", |s| s.set_leap(true)),
+        ("workers2", |s| s.set_workers(2)),
+        ("turbo4", |s| {
+            s.set_leap(true);
+            s.set_workers(4);
+        }),
+    ];
+    for planes in [1, 2] {
+        let mut spec = scorpio_cell();
+        spec.planes = planes;
+        let base = run_spec_full(&spec, 13, &ov, |_| {});
+        let spans = base.spans.as_ref().expect("spans recorded");
+        let windows = base.windows.as_ref().expect("windows recorded");
+        assert!(!spans.is_empty() && !windows.is_empty());
+        for (name, tweak) in cases {
+            let r = run_spec_full(&spec, 13, &ov, tweak);
+            assert_eq!(
+                r.spans.as_ref().unwrap(),
+                spans,
+                "{name} spans diverge at {planes} plane(s)"
+            );
+            assert_eq!(
+                r.windows.as_ref().unwrap(),
+                windows,
+                "{name} windows diverge at {planes} plane(s)"
+            );
+            assert_eq!(
+                r.report.to_json(),
+                base.report.to_json(),
+                "{name} report diverges at {planes} plane(s)"
+            );
+        }
+    }
+}
+
+/// Executor worker counts must not leak into the recorded streams or the
+/// sinks: `--threads 1/2/8` over the whole latency-breakdown grid emit
+/// byte-identical span/window JSONL and CSV.
+#[test]
+fn span_and_window_output_is_thread_invariant() {
+    use scorpio_harness::exec::{run_grid, ExecOptions};
+    use scorpio_harness::sink::{self, SinkOptions};
+    let scenario = registry::by_name("latency-breakdown-small").expect("registered");
+    let mk = |threads| ExecOptions {
+        threads,
+        ops_per_core: 8,
+        spans: true,
+        window_cycles: Some(256),
+        ..ExecOptions::default()
+    };
+    let sink_opts = SinkOptions {
+        include_hist: true,
+        include_spans: true,
+        include_windows: true,
+        ..SinkOptions::default()
+    };
+    let serial = run_grid(&scenario.grid, &mk(1));
+    let base_json = sink::jsonl("lb", &serial, sink_opts);
+    let base_csv = sink::csv("lb", &serial, sink_opts);
+    assert!(serial
+        .iter()
+        .all(|r| r.spans.is_some() && r.windows.is_some()));
+    for threads in [2, 8] {
+        let parallel = run_grid(&scenario.grid, &mk(threads));
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.spans, b.spans, "{} spans depend on threads", a.spec.key());
+            assert_eq!(
+                a.windows,
+                b.windows,
+                "{} windows depend on threads",
+                a.spec.key()
+            );
+        }
+        assert_eq!(sink::jsonl("lb", &parallel, sink_opts), base_json);
+        assert_eq!(sink::csv("lb", &parallel, sink_opts), base_csv);
+    }
 }
 
 /// The disabled-cost bound behind the `obs-overhead` scenario. The

@@ -181,6 +181,86 @@ pub struct MissRecord {
     pub served_by: ServedBy,
 }
 
+/// One completed coherence transaction's lifecycle, as absolute cycle
+/// stamps (span recording — [`SnoopyL2::enable_spans`]).
+///
+/// The stamps are monotone (`enqueued ≤ issue ≤ inject ≤ popped ≤
+/// ordered ≤ retire`, `data ≤ retire`), so the six phase accessors
+/// partition the end-to-end latency exactly: their sum equals
+/// [`MissSpan::total`], and `inject_wait + flight + commit` equals the
+/// ordering-delay sample the scalar report records.
+#[derive(Debug, Clone, Copy)]
+pub struct MissSpan {
+    /// The requesting tile.
+    pub tile: u16,
+    /// The missed line.
+    pub addr: LineAddr,
+    /// `GetS` or `GetX`.
+    pub kind: MsgKind,
+    /// Who supplied the data.
+    pub served_by: ServedBy,
+    /// Core handed the request to the L2.
+    pub enqueued: u64,
+    /// L2 allocated the RSHR and emitted the ordered request.
+    pub issue: u64,
+    /// The request left the L2 outbox into the interconnect layer.
+    pub inject: u64,
+    /// The own ordered observation left the NIC / reorder buffer.
+    pub popped: u64,
+    /// The L2 pipeline applied the own ordered observation.
+    pub ordered: u64,
+    /// The data response arrived (may precede `ordered`).
+    pub data: u64,
+    /// The miss completed and the core reply was enqueued.
+    pub retire: u64,
+}
+
+impl MissSpan {
+    /// Phase 1 — queueing: core enqueue → RSHR allocation.
+    pub fn queue(&self) -> u64 {
+        self.issue - self.enqueued
+    }
+
+    /// Phase 2 — injection wait: RSHR allocation → network injection.
+    pub fn inject_wait(&self) -> u64 {
+        self.inject - self.issue
+    }
+
+    /// Phase 3 — flight: network injection → own ordered pop.
+    pub fn flight(&self) -> u64 {
+        self.popped - self.inject
+    }
+
+    /// Phase 4 — commit: own ordered pop → L2 applies the observation.
+    pub fn commit(&self) -> u64 {
+        self.ordered - self.popped
+    }
+
+    /// Phase 5 — data wait: ordering done → data arrival (0 when the
+    /// data raced ahead of the ordered observation).
+    pub fn data_wait(&self) -> u64 {
+        self.data.max(self.ordered) - self.ordered
+    }
+
+    /// Phase 6 — fill: both prerequisites in hand → core reply.
+    pub fn fill(&self) -> u64 {
+        self.retire - self.data.max(self.ordered)
+    }
+
+    /// End-to-end latency; equals the sum of the six phases and the
+    /// service-latency sample the scalar stats record for this miss.
+    pub fn total(&self) -> u64 {
+        self.retire - self.enqueued
+    }
+
+    /// Ordering delay (`issue → ordered`); equals
+    /// `inject_wait + flight + commit` and the ordering-delay sample the
+    /// scalar stats record for this miss.
+    pub fn ordering(&self) -> u64 {
+        self.ordered - self.issue
+    }
+}
+
 /// L2 statistics.
 #[derive(Debug, Clone, Default)]
 pub struct L2Stats {
@@ -245,6 +325,8 @@ struct RshrEntry {
     served_by: ServedBy,
     enqueued: Cycle,
     t_issue: Cycle,
+    t_inject: Option<Cycle>,
+    t_popped: Option<Cycle>,
     t_ordered: Option<Cycle>,
     t_data: Option<Cycle>,
 }
@@ -289,6 +371,9 @@ pub struct SnoopyL2 {
     core_resps: VecDeque<CoreResp>,
     l1_invalidations: VecDeque<LineAddr>,
     miss_records: VecDeque<MissRecord>,
+    record_spans: bool,
+    spans: Vec<MissSpan>,
+    span_hits: LogHistogram,
     busy_until: Cycle,
     /// Statistics.
     pub stats: L2Stats,
@@ -311,6 +396,9 @@ impl SnoopyL2 {
             core_resps: VecDeque::new(),
             l1_invalidations: VecDeque::new(),
             miss_records: VecDeque::new(),
+            record_spans: false,
+            spans: Vec::new(),
+            span_hits: LogHistogram::new(),
             busy_until: Cycle::ZERO,
             stats: L2Stats::default(),
             cfg,
@@ -389,6 +477,49 @@ impl SnoopyL2 {
     /// Next completed-miss latency record, if any.
     pub fn pop_miss_record(&mut self) -> Option<MissRecord> {
         self.miss_records.pop_front()
+    }
+
+    /// Enables per-transaction lifecycle spans. Like the histograms, a
+    /// no-op for simulated behavior: spans only mirror timestamps the
+    /// controller already tracks.
+    pub fn enable_spans(&mut self) {
+        self.record_spans = true;
+    }
+
+    /// Stamps the network-injection cycle on RSHR entry `tag` (the cycle
+    /// the ordered request left the L2 outbox). Called by the system at
+    /// the inject site; a no-op unless spans are enabled.
+    pub fn stamp_inject(&mut self, tag: u8, now: Cycle) {
+        if !self.record_spans {
+            return;
+        }
+        if let Some(entry) = self.rshr[tag as usize].as_mut() {
+            entry.t_inject = Some(now);
+        }
+    }
+
+    /// Stamps the own-ordered-pop cycle on RSHR entry `tag` (the cycle
+    /// the own ordered observation left the NIC or reorder buffer toward
+    /// the snoop queue). A no-op unless spans are enabled.
+    pub fn stamp_popped(&mut self, tag: u8, now: Cycle) {
+        if !self.record_spans {
+            return;
+        }
+        if let Some(entry) = self.rshr[tag as usize].as_mut() {
+            entry.t_popped = Some(now);
+        }
+    }
+
+    /// The completed-transaction spans recorded so far, in retire order.
+    pub fn spans(&self) -> &[MissSpan] {
+        &self.spans
+    }
+
+    /// The hit-latency histogram spans record beside the miss spans, so
+    /// span consumers can rebuild the full service-latency distribution
+    /// (misses via spans + hits via this histogram).
+    pub fn span_hits(&self) -> &LogHistogram {
+        &self.span_hits
     }
 
     /// Whether the queues toward the core side are drained too: no
@@ -721,6 +852,8 @@ impl SnoopyL2 {
             served_by: ServedBy::Memory,
             enqueued: req.enqueued,
             t_issue: now,
+            t_inject: None,
+            t_popped: None,
             t_ordered: None,
             t_data: None,
         });
@@ -734,6 +867,9 @@ impl SnoopyL2 {
         self.stats.service_latency.record(now - req.enqueued);
         if let Some(h) = self.stats.service_hist.as_deref_mut() {
             h.record(now - req.enqueued);
+        }
+        if self.record_spans {
+            self.span_hits.record(now - req.enqueued);
         }
         self.core_resps.push_back(CoreResp {
             token: req.token,
@@ -856,6 +992,21 @@ impl SnoopyL2 {
             ServedBy::Memory => self.stats.memory_served_latency.record(total),
         }
         self.miss_records.push_back(record);
+        if self.record_spans {
+            self.spans.push(MissSpan {
+                tile: self.tile,
+                addr: entry.addr,
+                kind: entry.kind,
+                served_by: entry.served_by,
+                enqueued: entry.enqueued.as_u64(),
+                issue: entry.t_issue.as_u64(),
+                inject: entry.t_inject.expect("span missing inject stamp").as_u64(),
+                popped: entry.t_popped.expect("span missing pop stamp").as_u64(),
+                ordered: entry.t_ordered.expect("completed unordered").as_u64(),
+                data: entry.t_data.expect("completed without data").as_u64(),
+                retire: now.as_u64(),
+            });
+        }
         self.core_resps.push_back(CoreResp {
             token: entry.token,
             value: core_value,

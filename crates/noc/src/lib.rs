@@ -67,7 +67,7 @@ pub use arbiter::RotatingArbiter;
 pub use config::{NocConfig, VnetCfg};
 pub use flit::{data_packet_flits, Dest, Flit, Packet, Payload, Sid, VnetId};
 pub use network::{EjectSlot, Network, NocStats};
-pub use obs::{merge_trace, NetObs, ObsConfig, TraceEvent, TraceKind};
+pub use obs::{merge_trace, NetObs, ObsConfig, TraceEvent, TraceKind, WindowCell};
 pub use planes::{MultiNetwork, PlaneSteer, SteerKey};
 pub use pool::TickPool;
 pub use router::RouterStats;

@@ -839,11 +839,9 @@ impl<T: Payload> Network<T> {
                 continue;
             }
             if let Some(o) = obs.as_deref_mut() {
-                if o.counters {
-                    // Occupancy integral, sampled pre-tick over exactly the
-                    // routers both engines agree to tick.
-                    o.buffer_integral += u64::from(router.occupancy());
-                }
+                // Occupancy integral, sampled pre-tick over exactly the
+                // routers both engines agree to tick.
+                o.on_occupancy(u64::from(router.occupancy()));
             }
             outbox.clear();
             router.tick(

@@ -41,6 +41,10 @@ pub struct ObsConfig {
     /// Per-plane cap on retained trace events; later events are counted
     /// as dropped. Also the cap on the merged stream.
     pub trace_limit: usize,
+    /// Window length, in cycles, for epoch-bucketed time-series
+    /// telemetry. `0` (the default in both constructors) disables
+    /// windowing.
+    pub window_cycles: u64,
 }
 
 impl ObsConfig {
@@ -50,6 +54,7 @@ impl ObsConfig {
             counters: true,
             trace: false,
             trace_limit: 0,
+            window_cycles: 0,
         }
     }
 
@@ -59,6 +64,78 @@ impl ObsConfig {
             counters: true,
             trace: true,
             trace_limit: limit,
+            window_cycles: 0,
+        }
+    }
+
+    /// Adds epoch-bucketed windowed telemetry with `window_cycles`-cycle
+    /// windows, builder-style.
+    #[must_use]
+    pub fn with_windows(mut self, window_cycles: u64) -> ObsConfig {
+        self.window_cycles = window_cycles;
+        self
+    }
+}
+
+/// One window's (epoch's) telemetry for one plane: everything is derived
+/// from event timestamps (`epoch = cycle / window_cycles`), so leaped or
+/// idle-skipped cycles — during which the plane is quiescent by
+/// construction — contribute exactly zero and the cells stay
+/// byte-identical across engines and worker counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowCell {
+    /// Packets that entered an injection queue this window.
+    pub injected: u64,
+    /// Tail flits consumed at their destination this window (bucketed by
+    /// ejection cycle; the packet may have been injected earlier).
+    pub ejected: u64,
+    /// Packet latency of this window's ejections.
+    pub latency: LogHistogram,
+    /// Injection-queue waits granted this window: sample count…
+    pub wait_count: u64,
+    /// …their sum…
+    pub wait_sum: u64,
+    /// …and the largest single wait.
+    pub wait_max: u64,
+    /// Packet-cycles resident in input VCs this window.
+    pub buffer_integral: u64,
+    /// Per-endpoint `(count, sum)` of injection waits granted this
+    /// window — the starvation signal: a windowed per-endpoint mean.
+    pub ep_wait: Vec<(u64, u64)>,
+}
+
+impl WindowCell {
+    /// An empty cell with per-endpoint wait slots for `endpoints`
+    /// endpoints (merging grows the slot vector on demand, so zero is a
+    /// fine starting size for accumulator cells).
+    pub fn new(endpoints: usize) -> WindowCell {
+        WindowCell {
+            injected: 0,
+            ejected: 0,
+            latency: LogHistogram::new(),
+            wait_count: 0,
+            wait_sum: 0,
+            wait_max: 0,
+            buffer_integral: 0,
+            ep_wait: vec![(0, 0); endpoints],
+        }
+    }
+
+    /// Folds another plane's same-epoch cell into this one.
+    pub fn merge(&mut self, other: &WindowCell) {
+        self.injected += other.injected;
+        self.ejected += other.ejected;
+        self.latency.merge(&other.latency);
+        self.wait_count += other.wait_count;
+        self.wait_sum += other.wait_sum;
+        self.wait_max = self.wait_max.max(other.wait_max);
+        self.buffer_integral += other.buffer_integral;
+        if self.ep_wait.len() < other.ep_wait.len() {
+            self.ep_wait.resize(other.ep_wait.len(), (0, 0));
+        }
+        for (a, b) in self.ep_wait.iter_mut().zip(&other.ep_wait) {
+            a.0 += b.0;
+            a.1 += b.1;
         }
     }
 }
@@ -227,6 +304,13 @@ pub struct NetObs {
     pub packet_latency: LogHistogram,
     /// Packet latency split per virtual network.
     pub vnet_latency: Vec<LogHistogram>,
+    /// Window length in cycles; 0 disables the windowed telemetry.
+    window_cycles: u64,
+    /// Epoch-indexed telemetry cells (epoch = cycle / window length),
+    /// grown on first touch so untouched tail epochs simply don't exist.
+    windows: Vec<WindowCell>,
+    /// Injection-port count, for sizing new cells.
+    endpoints: usize,
 }
 
 impl NetObs {
@@ -265,6 +349,9 @@ impl NetObs {
             inject_wait: vec![LogHistogram::new(); endpoints],
             packet_latency: LogHistogram::new(),
             vnet_latency: vec![LogHistogram::new(); cfg.vnets.len()],
+            window_cycles: obs.window_cycles,
+            windows: Vec::new(),
+            endpoints,
         }
     }
 
@@ -296,6 +383,28 @@ impl NetObs {
     /// Flat index of (vnet, vc) into [`NetObs::vc_buffered`].
     pub fn vc_flat(&self, vnet: u8, vc: u8) -> usize {
         self.vc_offset[vnet as usize] as usize + vc as usize
+    }
+
+    /// The configured window length in cycles (0 = windowing off).
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    /// The epoch-indexed window cells recorded so far.
+    pub fn windows(&self) -> &[WindowCell] {
+        &self.windows
+    }
+
+    /// The cell for the epoch containing `cycle`, grown on demand.
+    #[inline]
+    fn window_at(&mut self, cycle: u64) -> &mut WindowCell {
+        let idx = (cycle / self.window_cycles) as usize;
+        if self.windows.len() <= idx {
+            let endpoints = self.endpoints;
+            self.windows
+                .resize_with(idx + 1, || WindowCell::new(endpoints));
+        }
+        &mut self.windows[idx]
     }
 
     #[inline]
@@ -337,6 +446,9 @@ impl NetObs {
     /// because injection happens between network ticks).
     pub(crate) fn on_inject(&mut self, cycle: u64, ep: u32, vnet: u8, uid: u64) {
         self.cycle = cycle;
+        if self.window_cycles != 0 {
+            self.window_at(cycle).injected += 1;
+        }
         self.event(TraceKind::Inject, uid, vnet, ep, 0, 0, 0);
     }
 
@@ -359,6 +471,14 @@ impl NetObs {
         if self.counters {
             self.inject_wait[ep as usize].record(wait);
         }
+        if self.window_cycles != 0 {
+            let cell = self.window_at(cycle);
+            cell.wait_count += 1;
+            cell.wait_sum += wait;
+            cell.wait_max = cell.wait_max.max(wait);
+            cell.ep_wait[ep as usize].0 += 1;
+            cell.ep_wait[ep as usize].1 += wait;
+        }
         self.event(TraceKind::VcAlloc, uid, vnet, router, port, vc, 0);
     }
 
@@ -369,6 +489,11 @@ impl NetObs {
         if self.counters {
             self.packet_latency.record(lat);
             self.vnet_latency[vnet as usize].record(lat);
+        }
+        if self.window_cycles != 0 {
+            let cell = self.window_at(cycle);
+            cell.ejected += 1;
+            cell.latency.record(lat);
         }
         self.event(TraceKind::Eject, uid, vnet, ep, 0, vc, lat);
     }
@@ -401,6 +526,19 @@ impl NetObs {
         }
     }
 
+    /// Hook: a ticked router holds `occupancy` resident input-VC packets
+    /// this cycle (the buffer-occupancy integral's integrand).
+    #[inline]
+    pub(crate) fn on_occupancy(&mut self, occupancy: u64) {
+        if self.counters {
+            self.buffer_integral += occupancy;
+        }
+        if self.window_cycles != 0 && occupancy != 0 {
+            let cycle = self.cycle;
+            self.window_at(cycle).buffer_integral += occupancy;
+        }
+    }
+
     /// Merges another plane's counters into this one (histograms,
     /// stalls, occupancy; link counters are merged element-wise).
     pub fn merge_counters(&mut self, other: &NetObs) {
@@ -420,6 +558,14 @@ impl NetObs {
         }
         self.packet_latency.merge(&other.packet_latency);
         for (a, b) in self.vnet_latency.iter_mut().zip(&other.vnet_latency) {
+            a.merge(b);
+        }
+        if self.windows.len() < other.windows.len() {
+            let endpoints = self.endpoints;
+            self.windows
+                .resize_with(other.windows.len(), || WindowCell::new(endpoints));
+        }
+        for (a, b) in self.windows.iter_mut().zip(&other.windows) {
             a.merge(b);
         }
         self.dropped += other.dropped;

@@ -280,6 +280,11 @@ pub struct NotifyNetwork {
     regions: usize,
     /// The merged message of the last completed window.
     latest: Option<(u64, NotifyMsg)>,
+    /// Publish-tick cycles, recorded when enabled ([`NotifyNetwork::set_publish_log`]).
+    /// Lives here rather than in the system layer because a single
+    /// empty-window advance can complete several windows at once — an
+    /// external observer polling `latest` would only see the last.
+    publish_log: Option<Vec<u64>>,
     /// Completed windows so far.
     pub windows_completed: Counter,
     /// Completed windows that carried at least one announcement.
@@ -399,10 +404,23 @@ impl NotifyNetwork {
             region_of_router,
             regions,
             latest: None,
+            publish_log: None,
             windows_completed: Counter::new(),
             nonempty_windows: Counter::new(),
             cfg,
         }
+    }
+
+    /// Enables (or disables) recording of every publish-tick cycle —
+    /// the windowed-telemetry timestamps. Purely observational: the log
+    /// is written, never read, by the network itself.
+    pub fn set_publish_log(&mut self, on: bool) {
+        self.publish_log = on.then(Vec::new);
+    }
+
+    /// The recorded publish-tick cycles (empty unless enabled).
+    pub fn publish_log(&self) -> &[u64] {
+        self.publish_log.as_deref().unwrap_or(&[])
     }
 
     /// The configuration in use.
@@ -566,6 +584,9 @@ impl NotifyNetwork {
                 "notification network failed to converge within the window"
             );
             let window_index = self.cycle.as_u64() / w;
+            if let Some(log) = &mut self.publish_log {
+                log.push(self.cycle.as_u64());
+            }
             self.windows_completed.incr();
             if self.live() {
                 self.nonempty_windows.incr();
@@ -624,6 +645,14 @@ impl NotifyNetwork {
         let end = start + delta;
         // Cycles c in [start, end) with c % w == w - 1 complete a window.
         let completed = end / w - start / w;
+        if let Some(log) = &mut self.publish_log {
+            // The first publish tick at or after `start`.
+            let mut c = start + (w - 1 - start % w);
+            while c < end {
+                log.push(c);
+                c += w;
+            }
+        }
         if completed > 0 {
             self.windows_completed.add(completed);
             let window_index = end / w - 1;

@@ -308,6 +308,7 @@ pub struct LogHistogram {
     buckets: [u64; 65],
     count: u64,
     max: u64,
+    sum: u64,
 }
 
 impl Default for LogHistogram {
@@ -323,6 +324,7 @@ impl LogHistogram {
             buckets: [0; 65],
             count: 0,
             max: 0,
+            sum: 0,
         }
     }
 
@@ -352,11 +354,20 @@ impl LogHistogram {
         self.buckets[Self::bucket_of(sample)] += 1;
         self.count += 1;
         self.max = self.max.max(sample);
+        // Saturating: pathological samples (e.g. `u64::MAX` probes in
+        // tests) must not poison the whole histogram with a panic.
+        self.sum = self.sum.saturating_add(sample);
     }
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Exact sum of all samples — lets readers reconcile bucket-granular
+    /// percentiles against the scalar means the report already carries.
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// The largest sample recorded, or `None` when empty.
@@ -390,6 +401,7 @@ impl LogHistogram {
         }
         self.count += other.count;
         self.max = self.max.max(other.max);
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// The smallest bucket edge `v` such that at least `fraction` of
