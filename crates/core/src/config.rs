@@ -4,6 +4,7 @@ use scorpio_mem::{L2Config, McConfig};
 use scorpio_nic::NicConfig;
 use scorpio_noc::{CMesh, Endpoint, Mesh, NocConfig, Ring, Topology, Torus};
 use scorpio_notify::NotifyScheme;
+use scorpio_workloads::ArrivalProcess;
 use std::fmt;
 use std::num::NonZeroUsize;
 
@@ -55,6 +56,58 @@ impl Protocol {
 
 /// Default cap on retained flit-trace events ([`SystemConfig::trace_limit`]).
 pub const DEFAULT_TRACE_LIMIT: usize = 100_000;
+
+/// Default bounded source-queue depth for open-loop injection
+/// ([`OpenLoopConfig::queue_cap`]).
+pub const DEFAULT_SOURCE_QUEUE_CAP: usize = 64;
+
+/// Open-loop injection: requests are *released* by an arrival process at
+/// a configured offered load instead of by the completion of the previous
+/// operation, queueing in a bounded per-core source queue. `None` (the
+/// default) keeps the historical closed-loop semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoopConfig {
+    /// The arrival process shaping inter-arrival gaps.
+    pub process: ArrivalProcess,
+    /// Offered load in requests per 1000 cycles per core. `0` degenerates
+    /// to the closed-loop trace (except under
+    /// [`ArrivalProcess::Replay`], which carries its own schedule).
+    pub load_millis: u32,
+    /// Bounded source-queue depth; arrivals past a full queue are
+    /// tail-dropped and counted in the report.
+    pub queue_cap: usize,
+}
+
+impl OpenLoopConfig {
+    /// Poisson arrivals at `load_millis` requests per 1000 cycles per
+    /// core, with the default queue depth.
+    pub fn poisson(load_millis: u32) -> OpenLoopConfig {
+        OpenLoopConfig {
+            process: ArrivalProcess::Poisson,
+            load_millis,
+            queue_cap: DEFAULT_SOURCE_QUEUE_CAP,
+        }
+    }
+
+    /// Bursty (Markov-modulated on/off) arrivals at the same long-run
+    /// offered load, with the default queue depth.
+    pub fn bursty(load_millis: u32, on: u32, off: u32) -> OpenLoopConfig {
+        OpenLoopConfig {
+            process: ArrivalProcess::Bursty { on, off },
+            load_millis,
+            queue_cap: DEFAULT_SOURCE_QUEUE_CAP,
+        }
+    }
+
+    /// Replays the trace's own think-time deltas as arrival times.
+    pub fn replay() -> OpenLoopConfig {
+        OpenLoopConfig {
+            process: ArrivalProcess::Replay,
+            load_millis: 0,
+            queue_cap: DEFAULT_SOURCE_QUEUE_CAP,
+        }
+    }
+}
 
 /// How much the observability layer records during a run.
 ///
@@ -143,6 +196,9 @@ pub struct SystemConfig {
     /// (throughput, latency percentiles, per-endpoint injection wait,
     /// buffer-occupancy integrals). `0` disables windowing entirely.
     pub window_cycles: u64,
+    /// Open-loop injection (arrival-timed request release). `None` keeps
+    /// the historical closed-loop trace semantics.
+    pub open_loop: Option<OpenLoopConfig>,
 }
 
 /// Renders exactly as the derived `Debug` did before the plane axis
@@ -186,6 +242,9 @@ impl fmt::Debug for SystemConfig {
         }
         if self.window_cycles != 0 {
             d.field("window_cycles", &self.window_cycles);
+        }
+        if let Some(ol) = &self.open_loop {
+            d.field("open_loop", ol);
         }
         d.finish()
     }
@@ -231,6 +290,7 @@ impl SystemConfig {
             trace_limit: DEFAULT_TRACE_LIMIT,
             spans: false,
             window_cycles: 0,
+            open_loop: None,
         }
     }
 
@@ -424,6 +484,14 @@ impl SystemConfig {
     #[must_use]
     pub fn with_windows(mut self, window_cycles: u64) -> SystemConfig {
         self.window_cycles = window_cycles;
+        self
+    }
+
+    /// Enables open-loop injection, builder-style. A zero-load Poisson or
+    /// bursty config degenerates to the closed-loop trace at build time.
+    #[must_use]
+    pub fn with_open_loop(mut self, open_loop: OpenLoopConfig) -> SystemConfig {
+        self.open_loop = Some(open_loop);
         self
     }
 
@@ -677,6 +745,35 @@ mod tests {
         // Like observability, telemetry never changes the label.
         assert_eq!(spans.label(), base.label());
         assert_eq!(win.label(), base.label());
+    }
+
+    #[test]
+    fn open_loop_axis_is_hash_transparent_at_default_and_distinct_otherwise() {
+        // Closed-loop configs render (and hash) exactly as before the
+        // open-loop axis existed — pinned hashes and stored JSONL rows
+        // keyed on them stay valid.
+        let base = SystemConfig::square(4);
+        assert!(base.open_loop.is_none());
+        assert!(!format!("{base:?}").contains("open_loop"));
+        assert_eq!(base.stable_hash(), 0xbbb791b93ac0807b);
+        // Open-loop knobs fingerprint differently from the base and from
+        // each other, across process, load and queue depth.
+        let pois = SystemConfig::square(4).with_open_loop(OpenLoopConfig::poisson(40));
+        let pois_hot = SystemConfig::square(4).with_open_loop(OpenLoopConfig::poisson(80));
+        let burst = SystemConfig::square(4).with_open_loop(OpenLoopConfig::bursty(40, 50, 150));
+        let replay = SystemConfig::square(4).with_open_loop(OpenLoopConfig::replay());
+        let mut deep = OpenLoopConfig::poisson(40);
+        deep.queue_cap = 256;
+        let deep = SystemConfig::square(4).with_open_loop(deep);
+        assert!(format!("{pois:?}").contains("open_loop"));
+        assert_ne!(base.stable_hash(), pois.stable_hash());
+        assert_ne!(pois.stable_hash(), pois_hot.stable_hash());
+        assert_ne!(pois.stable_hash(), burst.stable_hash());
+        assert_ne!(pois.stable_hash(), replay.stable_hash());
+        assert_ne!(pois.stable_hash(), deep.stable_hash());
+        // Injection mode never changes the label: the sink carries it in
+        // dedicated columns instead.
+        assert_eq!(pois.label(), base.label());
     }
 
     #[test]

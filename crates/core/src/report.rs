@@ -6,9 +6,10 @@ use scorpio_sim::stats::{Accumulator, LogHistogram};
 /// Version of the `"obs"` JSON annex schema, emitted as its first key so
 /// downstream parsers can evolve without sniffing for the presence of
 /// individual keys. History: 1 = PR 6 (histograms, counter planes, trace
-/// totals); 2 = this version (explicit `schema_version`, histogram
-/// `sum` fields, `spans` and `windows` sub-annexes).
-pub const OBS_SCHEMA_VERSION: u32 = 2;
+/// totals); 2 = PR 9 (explicit `schema_version`, histogram `sum` fields,
+/// `spans` and `windows` sub-annexes); 3 = this version (open-loop
+/// injection: the `source` span phase and the `admitted` span stamp).
+pub const OBS_SCHEMA_VERSION: u32 = 3;
 
 /// One delivery plane's counter snapshot (observability layer).
 #[derive(Debug, Clone, Default)]
@@ -88,7 +89,7 @@ pub struct ObsReport {
 }
 
 /// The per-phase latency breakdown built from every recorded
-/// [`MissSpan`] (before any stream cap): six phase histograms that
+/// [`MissSpan`] (before any stream cap): seven phase histograms that
 /// partition each miss's end-to-end latency, the whole-miss totals, and
 /// the hit latencies needed to rebuild the full L2 service distribution.
 #[derive(Debug, Clone, Default)]
@@ -98,7 +99,10 @@ pub struct SpanReport {
     /// Spans beyond the stream cap — dropped from the JSONL stream only;
     /// the histograms here always cover every span.
     pub dropped: u64,
-    /// Phase 1: core enqueue → RSHR allocation.
+    /// Phase 0: arrival → release from the bounded source queue (always
+    /// 0 in closed-loop runs, where arrival and release coincide).
+    pub source: LogHistogram,
+    /// Phase 1: source-queue release → RSHR allocation.
     pub queue: LogHistogram,
     /// Phase 2: RSHR allocation → network injection.
     pub inject: LogHistogram,
@@ -110,7 +114,7 @@ pub struct SpanReport {
     pub data: LogHistogram,
     /// Phase 6: both prerequisites in hand → core reply.
     pub fill: LogHistogram,
-    /// End-to-end miss latency (the sum of the six phases, per span).
+    /// End-to-end miss latency (the sum of the seven phases, per span).
     pub total: LogHistogram,
     /// Hit latencies (spans only cover misses; hits + totals rebuild the
     /// full service-latency distribution).
@@ -118,13 +122,15 @@ pub struct SpanReport {
 }
 
 impl SpanReport {
-    /// The JSONL schema names of the six phases, in breakdown order.
-    pub const PHASE_NAMES: [&'static str; 6] =
-        ["queue", "inject", "flight", "commit", "data", "fill"];
+    /// The JSONL schema names of the seven phases, in breakdown order.
+    pub const PHASE_NAMES: [&'static str; 7] = [
+        "source", "queue", "inject", "flight", "commit", "data", "fill",
+    ];
 
     /// Folds one span into the phase histograms.
     pub fn fold(&mut self, s: &MissSpan) {
         self.count += 1;
+        self.source.record(s.source());
         self.queue.record(s.queue());
         self.inject.record(s.inject_wait());
         self.flight.record(s.flight());
@@ -136,9 +142,10 @@ impl SpanReport {
 
     fn to_json(&self) -> String {
         format!(
-            r#"{{"count":{},"dropped":{},"queue":{},"inject":{},"flight":{},"commit":{},"data":{},"fill":{},"total":{},"hit":{}}}"#,
+            r#"{{"count":{},"dropped":{},"source":{},"queue":{},"inject":{},"flight":{},"commit":{},"data":{},"fill":{},"total":{},"hit":{}}}"#,
             self.count,
             self.dropped,
+            hist_json(&self.source),
             hist_json(&self.queue),
             hist_json(&self.inject),
             hist_json(&self.flight),
@@ -271,22 +278,24 @@ impl WindowRow {
 }
 
 /// Renders one transaction span as a JSON object (no trailing newline):
-/// the absolute stamps plus the derived six-phase breakdown, which sums
-/// to `retire - enqueued` exactly.
+/// the absolute stamps plus the derived seven-phase breakdown, which
+/// sums to `retire - enqueued` exactly.
 pub fn span_json(s: &MissSpan) -> String {
     format!(
-        r#"{{"tile":{},"addr":{},"kind":{:?},"served_by":{:?},"enqueued":{},"issue":{},"inject":{},"popped":{},"ordered":{},"data":{},"retire":{},"phases":{{"queue":{},"inject":{},"flight":{},"commit":{},"data":{},"fill":{}}}}}"#,
+        r#"{{"tile":{},"addr":{},"kind":{:?},"served_by":{:?},"enqueued":{},"admitted":{},"issue":{},"inject":{},"popped":{},"ordered":{},"data":{},"retire":{},"phases":{{"source":{},"queue":{},"inject":{},"flight":{},"commit":{},"data":{},"fill":{}}}}}"#,
         s.tile,
         s.addr.0,
         format!("{:?}", s.kind),
         format!("{:?}", s.served_by),
         s.enqueued,
+        s.admitted,
         s.issue,
         s.inject,
         s.popped,
         s.ordered,
         s.data,
         s.retire,
+        s.source(),
         s.queue(),
         s.inject_wait(),
         s.flight(),
@@ -442,6 +451,10 @@ pub struct SystemReport {
     pub dir_accesses: u64,
     /// Directory-cache misses at the homes.
     pub dir_misses: u64,
+    /// Open-loop arrivals tail-dropped at full source queues (0 in
+    /// closed-loop runs, and omitted from the JSON when 0 so closed-loop
+    /// reports stay byte-identical to pre-open-loop output).
+    pub source_dropped: u64,
     /// Observability annex — histograms, counter planes and trace totals.
     /// `None` (and absent from the JSON) unless the run enabled
     /// observability, keeping default reports byte-identical to
@@ -529,6 +542,9 @@ impl SystemReport {
         s.push_str(&format!(r#""expiry_messages":{},"#, self.expiry_messages));
         s.push_str(&format!(r#""dir_accesses":{},"#, self.dir_accesses));
         s.push_str(&format!(r#""dir_misses":{}"#, self.dir_misses));
+        if self.source_dropped > 0 {
+            s.push_str(&format!(r#","source_dropped":{}"#, self.source_dropped));
+        }
         if let Some(o) = &self.obs {
             s.push_str(r#","obs":"#);
             s.push_str(&o.to_json());
@@ -544,14 +560,14 @@ impl SystemReport {
          packet_latency_mean,data_forwards,memory_responses,snoops_filtered,\
          snoops_looked_up,writebacks,writebacks_squashed,bypassed_flits,\
          buffered_flits,packets_injected,notify_windows,notify_nonempty,\
-         stop_windows,expiry_messages,dir_accesses,dir_misses"
+         stop_windows,expiry_messages,dir_accesses,dir_misses,source_dropped"
     }
 
     /// The report's scalar columns as one CSV row (see
     /// [`SystemReport::csv_header`]).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.protocol,
             self.cores,
             self.runtime_cycles,
@@ -579,6 +595,7 @@ impl SystemReport {
             self.expiry_messages,
             self.dir_accesses,
             self.dir_misses,
+            self.source_dropped,
         )
     }
 
@@ -641,7 +658,17 @@ mod tests {
         let header_cols = SystemReport::csv_header().split(',').count();
         let row_cols = SystemReport::default().csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
-        assert_eq!(header_cols, 27);
+        assert_eq!(header_cols, 28);
+    }
+
+    #[test]
+    fn source_dropped_is_json_transparent_at_zero() {
+        // Closed-loop reports (source_dropped == 0) must serialize
+        // byte-identically to pre-open-loop output.
+        let mut r = SystemReport::default();
+        assert!(!r.to_json().contains("source_dropped"));
+        r.source_dropped = 3;
+        assert!(r.to_json().contains(r#""source_dropped":3"#));
     }
 
     #[test]
@@ -691,6 +718,7 @@ mod tests {
             kind: scorpio_coherence::MsgKind::GetS,
             served_by: scorpio_mem::ServedBy::Cache,
             enqueued: 10,
+            admitted: 11,
             issue: 12,
             inject: 13,
             popped: 20,
@@ -702,7 +730,8 @@ mod tests {
         sp.fold(&span);
         // Phases partition the end-to-end latency.
         assert_eq!(
-            span.queue()
+            span.source()
+                + span.queue()
                 + span.inject_wait()
                 + span.flight()
                 + span.commit()
@@ -728,7 +757,7 @@ mod tests {
         });
         r.obs = Some(Box::new(o));
         let j = r.to_json();
-        assert!(j.contains(r#""spans":{"count":1,"dropped":0,"queue":{"count":1,"sum":2,"#));
+        assert!(j.contains(r#""spans":{"count":1,"dropped":0,"source":{"count":1,"sum":1,"#));
         assert!(j.contains(
             r#""windows":{"window_cycles":1024,"count":2,"warmup":1,"steady_ops":40,"steady_ejected":9,"max_wait":{"ep":7,"window":1,"count":2,"sum":10},"min_wait":null}"#
         ));
@@ -736,7 +765,7 @@ mod tests {
         let body = span_json(&span);
         assert_eq!(
             body,
-            r#"{"tile":3,"addr":64,"kind":"GetS","served_by":"Cache","enqueued":10,"issue":12,"inject":13,"popped":20,"ordered":22,"data":18,"retire":25,"phases":{"queue":2,"inject":1,"flight":7,"commit":2,"data":0,"fill":3}}"#
+            r#"{"tile":3,"addr":64,"kind":"GetS","served_by":"Cache","enqueued":10,"admitted":11,"issue":12,"inject":13,"popped":20,"ordered":22,"data":18,"retire":25,"phases":{"source":1,"queue":1,"inject":1,"flight":7,"commit":2,"data":0,"fill":3}}"#
         );
         // And the window JSONL row schema.
         let row = WindowRow {

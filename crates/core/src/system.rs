@@ -254,9 +254,17 @@ impl System {
             .collect();
         let drivers: Vec<CoreDriver> = kinds
             .into_iter()
-            .map(|k| {
+            .enumerate()
+            .map(|(i, k)| {
                 let mut d = CoreDriver::new(k, cfg.l1_bytes, cfg.l1_ways, cfg.l2.line_bytes);
                 d.set_max_outstanding(cfg.core_outstanding);
+                if let Some(ol) = &cfg.open_loop {
+                    // Schedules are drawn serially here from (seed, core)
+                    // lanes, so they are byte-identical for every engine
+                    // and worker-thread count. A zero-load schedule is
+                    // empty and the driver stays closed-loop.
+                    d.set_open_loop(ol.process, ol.load_millis, ol.queue_cap, i as u64, cfg.seed);
+                }
                 d
             })
             .collect();
@@ -1468,6 +1476,7 @@ impl System {
         for d in &self.drivers {
             r.ops_completed += d.ops_done;
             r.l1_hits += d.l1_hits;
+            r.source_dropped += d.src_dropped;
         }
         for l2 in &self.l2s {
             r.l2_hits += l2.stats.hits.get();

@@ -5,10 +5,14 @@
 //! transaction — the core blocks on every L2 access (loads that miss the
 //! L1, all stores, all atomics).
 
+use std::collections::VecDeque;
+
 use scorpio_coherence::LineAddr;
 use scorpio_mem::{CoreOp, CoreReq, CoreResp, L1Cache, SnoopyL2};
 use scorpio_sim::Cycle;
-use scorpio_workloads::{CoreProgram, Trace, TraceOp};
+use scorpio_workloads::{
+    arrival_schedule, ArrivalProcess, CoreProgram, Trace, TraceOp, TraceRecord,
+};
 
 /// What drives this core.
 pub enum CoreKind {
@@ -47,6 +51,18 @@ pub struct CoreDriver {
     max_outstanding: usize,
     last_value: Option<u64>,
     token_counter: u64,
+    /// Open-loop arrival schedule (absolute cycles, one per trace record).
+    /// Empty in closed-loop mode — the only mode switch.
+    arrivals: Vec<u64>,
+    /// Next unadmitted index into `arrivals`.
+    arrival_next: usize,
+    /// Bounded source queue of admitted-but-unissued `(arrival, record)`
+    /// pairs. Records are pulled from the trace at admission time so a
+    /// tail-drop discards exactly the op whose arrival overflowed.
+    src_queue: VecDeque<(u64, TraceRecord)>,
+    src_cap: usize,
+    /// Arrivals tail-dropped because the source queue was full.
+    pub src_dropped: u64,
     done: bool,
     /// Cycle the driver finished all its work.
     pub finished_at: Option<Cycle>,
@@ -72,6 +88,11 @@ impl CoreDriver {
             max_outstanding: 1,
             last_value: None,
             token_counter: 0,
+            arrivals: Vec::new(),
+            arrival_next: 0,
+            src_queue: VecDeque::new(),
+            src_cap: 0,
+            src_dropped: 0,
             done: false,
             finished_at: None,
             ops_done: 0,
@@ -85,6 +106,35 @@ impl CoreDriver {
         if matches!(self.kind, CoreKind::Trace(_)) {
             self.max_outstanding = n.max(1);
         }
+    }
+
+    /// Switches a trace core to open-loop injection: record `i` is
+    /// *released* at the arrival cycle the process draws for it (rather
+    /// than by the completion of record `i-1`), queueing in a bounded
+    /// source queue of `cap` entries while the core is busy. The compute
+    /// gaps recorded in the trace become the Replay process's arrival
+    /// deltas and are otherwise not charged. A zero-load schedule is
+    /// empty and the driver keeps closed-loop semantics — the degenerate
+    /// case *is* the closed-loop trace. No-op for program cores.
+    pub fn set_open_loop(
+        &mut self,
+        process: ArrivalProcess,
+        load_millis: u32,
+        cap: usize,
+        core: u64,
+        seed: u64,
+    ) {
+        if let CoreKind::Trace(trace) = &self.kind {
+            self.arrivals = arrival_schedule(process, load_millis, trace, core, seed);
+            self.arrival_next = 0;
+            self.src_cap = cap.max(1);
+            self.src_queue = VecDeque::with_capacity(self.src_cap.min(1024));
+        }
+    }
+
+    /// Whether this driver releases requests by arrival time.
+    pub fn is_open_loop(&self) -> bool {
+        !self.arrivals.is_empty()
     }
 
     /// Whether all work is complete (and nothing is in flight).
@@ -102,6 +152,21 @@ impl CoreDriver {
     /// in flight, so every tick before the deadline is a no-op by
     /// construction. `None` means "tick me every cycle".
     pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_open_loop() {
+            // Sleep only when truly idle: nothing admitted, nothing in
+            // flight, next arrival strictly in the future. The deadline
+            // feeds the system's timed-wake heap, which also bounds how
+            // far the leap engine may jump — a leap can never skip a
+            // pending arrival.
+            if !self.done && self.src_queue.is_empty() && self.outstanding.is_empty() {
+                return self
+                    .arrivals
+                    .get(self.arrival_next)
+                    .map(|&a| Cycle::from(a))
+                    .filter(|&a| now < a);
+            }
+            return None;
+        }
         (!self.done && self.outstanding.is_empty() && now < self.gap_until)
             .then_some(self.gap_until)
     }
@@ -109,6 +174,9 @@ impl CoreDriver {
     /// One cycle: consume a completion, or issue the next operation.
     /// Completions arrive via [`CoreDriver::complete`]; this only issues.
     pub fn tick(&mut self, now: Cycle, l2: &mut SnoopyL2) {
+        if self.is_open_loop() {
+            return self.tick_open(now, l2);
+        }
         if self.done || self.outstanding.len() >= self.max_outstanding {
             return;
         }
@@ -150,6 +218,7 @@ impl CoreDriver {
             value,
             token,
             enqueued: now,
+            admitted: now,
         });
         if accepted {
             self.outstanding.push((token, op));
@@ -157,6 +226,73 @@ impl CoreDriver {
             // L2 busy: retry the same op next cycle.
             self.rewind();
         }
+    }
+
+    /// One open-loop cycle: admit every arrival whose deadline has
+    /// passed (tail-dropping at the queue cap — the trace record is
+    /// consumed either way, so later drops discard exactly the right
+    /// ops), then issue at most one queued request, matching the
+    /// closed-loop issue width.
+    fn tick_open(&mut self, now: Cycle, l2: &mut SnoopyL2) {
+        while let Some(&a) = self.arrivals.get(self.arrival_next) {
+            if now < Cycle::from(a) {
+                break;
+            }
+            let rec = match &self.kind {
+                CoreKind::Trace(t) => t.records()[self.arrival_next],
+                CoreKind::Program(_) => unreachable!("open loop is trace-only"),
+            };
+            self.arrival_next += 1;
+            if self.src_queue.len() >= self.src_cap {
+                self.src_dropped += 1;
+            } else {
+                self.src_queue.push_back((a, rec));
+            }
+        }
+        if self.arrival_next >= self.arrivals.len() && self.src_queue.is_empty() {
+            self.mark_done(now);
+        }
+        if self.done || self.outstanding.len() >= self.max_outstanding {
+            return;
+        }
+        let Some(&(arrival, rec)) = self.src_queue.front() else {
+            return;
+        };
+        let line = LineAddr::containing(rec.addr, self.line_bytes);
+        match rec.op {
+            TraceOp::Load => {
+                if let Some(v) = self.l1.load(line) {
+                    self.l1_hits += 1;
+                    self.src_queue.pop_front();
+                    self.op_completed(now, v);
+                    return;
+                }
+            }
+            TraceOp::Store => self.l1.store(line, rec.value),
+            TraceOp::AtomicAdd => self.l1.invalidate(line),
+        }
+        let core_op = match rec.op {
+            TraceOp::Load => CoreOp::Load,
+            TraceOp::Store => CoreOp::Store,
+            TraceOp::AtomicAdd => CoreOp::AtomicAdd,
+        };
+        let token = self.token_counter + 1;
+        let accepted = l2.try_core_req(CoreReq {
+            op: core_op,
+            addr: rec.addr,
+            value: rec.value,
+            token,
+            enqueued: Cycle::from(arrival),
+            admitted: now,
+        });
+        if accepted {
+            self.token_counter = token;
+            self.src_queue.pop_front();
+            self.outstanding.push((token, rec.op));
+        }
+        // Rejected: the pair stays at the queue front and retries next
+        // cycle. The L1 store/invalidate side effects above are
+        // idempotent, the same property the closed-loop rewind relies on.
     }
 
     /// Delivers an L2 completion to this core.

@@ -8,7 +8,7 @@
 //! that can be run, including the reduced `-small` variants the binaries
 //! historically accepted as a positional argument.
 
-use scorpio::Protocol;
+use scorpio::{ArrivalProcess, Protocol};
 use scorpio_workloads::WorkloadParams;
 
 use crate::exec::RunResult;
@@ -66,6 +66,8 @@ pub fn scenarios() -> Vec<Scenario> {
         cmesh("cmesh-small", 4),
         scaling_kilocore("scaling-kilocore", &[16, 32], kilocore_filter),
         scaling_kilocore("scaling-kilocore-small", &[8, 16], kilocore_small_filter),
+        latency_curve("latency-curve", true),
+        latency_curve("latency-curve-small", false),
     ];
     for s in &all {
         s.grid
@@ -1644,6 +1646,250 @@ fn cmesh_render(s: &Scenario, results: &[RunResult]) -> String {
     out
 }
 
+// ------------------------------------------------ Open-loop latency curves
+
+/// The `latency-curve` offered-load steps, in requests per 1000 cycles
+/// per core. With one outstanding access per core the service rate knees
+/// in the low tens, so the ladder brackets it from far below.
+const CURVE_LOADS_SMALL: [u32; 5] = [2, 6, 12, 20, 30];
+const CURVE_LOADS_FULL: [u32; 6] = [2, 6, 12, 20, 30, 45];
+
+/// The knee multiple: the first load step whose p99 sojourn exceeds
+/// `KNEE_FACTOR ×` the lowest-load baseline p99 is reported as the knee.
+const KNEE_FACTOR: u64 = 3;
+
+/// The bursty contrast point's Markov-modulated dwell means: 50-cycle ON
+/// bursts separated by 150-cycle quiets (25% duty), at the same long-run
+/// offered load as the mid-ladder Poisson step.
+const CURVE_BURST: ArrivalProcess = ArrivalProcess::Bursty { on: 50, off: 150 };
+
+/// Shared-heavy uniform traffic for the open-loop sweeps: half the
+/// accesses touch a large shared pool, so most offered load turns into
+/// coherence transactions on the fabric rather than L1 hits. The trace's
+/// own think-time gaps are ignored by the Poisson/bursty release (they
+/// only time the Replay process).
+fn open_uniform() -> WorkloadParams {
+    WorkloadParams {
+        name: "open-uniform",
+        ops_per_core: 400,
+        mean_gap: 10.0,
+        write_fraction: 0.35,
+        shared_fraction: 0.5,
+        shared_lines: 4096,
+        private_lines: 1024,
+        hot_fraction: 0.1,
+        hot_lines: 64,
+        migratory_fraction: 0.1,
+        locality: 0.6,
+        phase_ops: 0,
+        phase_gap: 0,
+    }
+}
+
+/// Open-loop latency-vs-offered-load curves (the conventional NoC
+/// characterisation): sweep the injection ladder past the saturation
+/// knee per fabric × planes × protocol, with a bursty contrast point at
+/// the mid ladder. Spans give the p99 sojourn (source wait included) the
+/// knee detector runs on; windows give the per-endpoint injection-wait
+/// extremes the CMesh fairness columns surface per concentration slot.
+fn latency_curve(name: &'static str, full: bool) -> Scenario {
+    let loads: &[u32] = if full {
+        &CURVE_LOADS_FULL
+    } else {
+        &CURVE_LOADS_SMALL
+    };
+    let mut variants: Vec<Variant> = loads
+        .iter()
+        .map(|&millis| {
+            Variant::knob(Knob::OpenLoad {
+                process: ArrivalProcess::Poisson,
+                millis,
+            })
+        })
+        .collect();
+    variants.push(Variant::knob(Knob::OpenLoad {
+        process: CURVE_BURST,
+        millis: 20,
+    }));
+    let fabrics: &[Fabric] = if full {
+        &[Fabric::Mesh, Fabric::CMesh(2), Fabric::CMesh(4)]
+    } else {
+        &[Fabric::Mesh, Fabric::CMesh(2)]
+    };
+    let planes: &[usize] = if full { &[1, 2] } else { &[1] };
+    Scenario {
+        name,
+        title: "Latency curve — open-loop offered load to the saturation knee".into(),
+        about: "Open-loop injection sweeps: latency vs offered load, knee + fairness",
+        grid: SweepGrid::over(vec![open_uniform()])
+            .meshes(&[8])
+            .fabrics(fabrics)
+            .planes(planes)
+            .protocols(&[Protocol::Scorpio, Protocol::LpdDir])
+            .variants(variants)
+            .with_base(vec![Knob::Spans, Knob::Windows(512)]),
+        render: latency_curve_render,
+    }
+}
+
+/// The arrival-process family tag grouping a curve's load steps: knee
+/// detection compares p99s *within* one (fabric, planes, protocol,
+/// process) curve, never across processes.
+fn curve_group(spec: &RunSpec) -> Option<(String, usize, String, &'static str)> {
+    let (process, _) = spec.open_load()?;
+    let kind = match process {
+        ArrivalProcess::Poisson => "pois",
+        ArrivalProcess::Bursty { .. } => "burst",
+        ArrivalProcess::Replay => "replay",
+    };
+    Some((
+        spec.fabric.label().to_string(),
+        spec.planes,
+        spec.protocol.name(),
+        kind,
+    ))
+}
+
+/// p99 of the full request sojourn (arrival → retire, source wait
+/// included) from a run's span annex.
+fn curve_p99(r: &RunResult) -> Option<u64> {
+    r.report
+        .obs
+        .as_ref()
+        .and_then(|o| o.spans.as_ref())
+        .and_then(|sp| sp.total.percentile(0.99))
+}
+
+fn latency_curve_render(s: &Scenario, results: &[RunResult]) -> String {
+    use std::collections::BTreeMap;
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", s.title));
+    out.push_str(&format!(
+        "{:<10}{:>3}{:>9}{:>10}{:>8}{:>9}{:>8}{:>10}{:>10}{:>11}{:>11}{}\n",
+        "fabric",
+        "pl",
+        "protocol",
+        "arrival",
+        "p50",
+        "p99",
+        "drops",
+        "slot-max",
+        "slot-min",
+        "wmax",
+        "wmin",
+        "  knee"
+    ));
+    // First pass: the knee per curve — the first load step whose p99
+    // exceeds KNEE_FACTOR x the lowest step's p99.
+    let mut curves: BTreeMap<_, Vec<(u32, u64)>> = BTreeMap::new();
+    for r in results {
+        if let (Some(g), Some((_, load)), Some(p99)) =
+            (curve_group(&r.spec), r.spec.open_load(), curve_p99(r))
+        {
+            curves.entry(g).or_default().push((load, p99));
+        }
+    }
+    let mut knees: BTreeMap<_, u32> = BTreeMap::new();
+    for (g, mut steps) in curves {
+        steps.sort();
+        let Some(&(_, base)) = steps.first() else {
+            continue;
+        };
+        if let Some(&(load, _)) = steps.iter().find(|&&(_, p99)| p99 > KNEE_FACTOR * base) {
+            knees.insert(g, load);
+        }
+    }
+    // Second pass: one row per run, fairness cells for concentrated rows.
+    for r in results {
+        let Some((process, load)) = r.spec.open_load() else {
+            continue;
+        };
+        let obs = r.report.obs.as_deref();
+        let sp = obs.and_then(|o| o.spans.as_ref());
+        let p = |f: f64| {
+            sp.and_then(|sp| sp.total.percentile(f))
+                .map_or_else(|| "-".into(), |v| v.to_string())
+        };
+        // Per-slot injection-wait means: on a concentrated mesh all c
+        // tiles of a router share its local injection bandwidth, so the
+        // spread between the best- and worst-served slot is the
+        // arbitration-fairness signal (it diverges past the knee).
+        let (slot_max, slot_min) = match r.spec.fabric {
+            Fabric::CMesh(c) if c > 1 => {
+                let means: Vec<f64> = obs
+                    .map(|o| {
+                        o.inject_wait_slots
+                            .iter()
+                            .take(c as usize)
+                            .map(|h| {
+                                if h.count() == 0 {
+                                    0.0
+                                } else {
+                                    h.sum() as f64 / h.count() as f64
+                                }
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let max = means.iter().cloned().fold(f64::MIN, f64::max);
+                let min = means.iter().cloned().fold(f64::MAX, f64::min);
+                if means.is_empty() {
+                    ("-".into(), "-".into())
+                } else {
+                    (format!("{max:.1}"), format!("{min:.1}"))
+                }
+            }
+            _ => ("-".into(), "-".into()),
+        };
+        // Windowed per-endpoint extremes, mapped to concentration slots
+        // (endpoint index modulo c; MC ports render as "mc").
+        let w = obs.and_then(|o| o.windows.as_ref());
+        let cores = r.spec.config().cores() as u32;
+        let slot_of = |ep: u32| -> String {
+            match r.spec.fabric {
+                _ if ep >= cores => "mc".into(),
+                Fabric::CMesh(c) if c > 1 => format!("s{}", ep % c as u32),
+                _ => format!("e{ep}"),
+            }
+        };
+        let wcell = |e: &Option<scorpio::EpWait>| {
+            e.as_ref().map_or_else(
+                || "-".into(),
+                |m| format!("{}:{:.1}", slot_of(m.ep), m.sum as f64 / m.count as f64),
+            )
+        };
+        let knee = curve_group(&r.spec)
+            .and_then(|g| knees.get(&g).copied())
+            .is_some_and(|k| k == load);
+        out.push_str(&format!(
+            "{:<10}{:>3}{:>9}{:>10}{:>8}{:>9}{:>8}{:>10}{:>10}{:>11}{:>11}{}\n",
+            match r.spec.fabric.label() {
+                "" => "mesh",
+                l => l,
+            },
+            r.spec.planes,
+            protocol_label(r.spec.protocol),
+            process.label(load),
+            p(0.50),
+            p(0.99),
+            r.report.source_dropped,
+            slot_max,
+            slot_min,
+            wcell(&w.and_then(|w| w.max_wait.as_ref()).copied()),
+            wcell(&w.and_then(|w| w.min_wait.as_ref()).copied()),
+            if knee { "  <-- knee" } else { "" },
+        ));
+    }
+    out.push_str("\np50/p99: full request sojourn (arrival -> retire, source wait\n");
+    out.push_str("included) from the span annex. knee: first load step whose p99\n");
+    out.push_str(&format!(
+        "exceeds {KNEE_FACTOR}x the lowest step's. slot-max/slot-min: per-slot mean\n"
+    ));
+    out.push_str("injection wait on concentrated meshes (c tiles share one router\n");
+    out.push_str("port). wmax/wmin: worst/best windowed per-endpoint mean wait.\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1861,5 +2107,35 @@ mod tests {
             protocol_label(Protocol::Inso { expiry_window: 40 }),
             "INSO-40"
         );
+    }
+
+    #[test]
+    fn latency_curve_scenarios_are_registered() {
+        // Small: 2 fabrics x 1 plane x 2 protocols x (5 loads + 1 burst).
+        let s = by_name("latency-curve-small").unwrap();
+        assert_eq!(s.grid.len(), 2 * 2 * 6);
+        let specs = s.grid.enumerate();
+        // Every cell is open-loop, and the variant label carries the
+        // arrival process and the offered-load knob.
+        for spec in &specs {
+            let (_, load) = spec.open_load().expect("open-loop cell");
+            assert!(spec.config().open_loop.is_some(), "{}", spec.key());
+            assert!(load > 0);
+        }
+        assert!(specs
+            .iter()
+            .any(|s| s.key() == "open-uniform/8x8/SCORPIO/pois-2/seed1"));
+        assert!(specs
+            .iter()
+            .any(|s| s.key() == "open-uniform/cmesh8x4x2/LPD-D/burst-20/seed1"));
+        // Full: 3 fabrics x 2 planes x 2 protocols x (6 loads + 1 burst),
+        // and the load ladder extends past the small sweep's top step.
+        let f = by_name("latency-curve").unwrap();
+        assert_eq!(f.grid.len(), 3 * 2 * 2 * 7);
+        assert!(f
+            .grid
+            .enumerate()
+            .iter()
+            .any(|s| s.key().contains("/pois-45/")));
     }
 }

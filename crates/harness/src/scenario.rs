@@ -7,7 +7,10 @@
 //! an ordered, duplicate-free list of [`RunSpec`]s that the executor can
 //! run in any order and on any number of threads without changing results.
 
-use scorpio::{NotifyScheme, ObsLevel, Protocol, SystemConfig};
+use scorpio::{
+    ArrivalProcess, NotifyScheme, ObsLevel, OpenLoopConfig, Protocol, SystemConfig,
+    DEFAULT_SOURCE_QUEUE_CAP,
+};
 use scorpio_workloads::WorkloadParams;
 
 /// One settable configuration knob, applied on top of the square-mesh
@@ -56,6 +59,16 @@ pub enum Knob {
     /// cycles, plus counter-level observability (the `obs-overhead`
     /// windows variant).
     Windows(u64),
+    /// Open-loop injection (the `latency-curve` sweeps): requests are
+    /// released by `process` at `millis` requests per 1000 cycles per
+    /// core instead of by the previous op's completion, with the default
+    /// bounded source queue. Load 0 degenerates to the closed-loop trace.
+    OpenLoad {
+        /// The arrival process shaping inter-arrival gaps.
+        process: ArrivalProcess,
+        /// Offered load in requests per 1000 cycles per core.
+        millis: u32,
+    },
     /// Topology-aware MC placement: `mcs` memory-controller ports placed
     /// by `placement` (the `mc-placement` sweeps). The L2's interleaving
     /// endpoints are rewired to match.
@@ -191,6 +204,11 @@ impl Knob {
             Knob::TraceLimit(n) => cfg.with_trace_limit(n),
             Knob::Spans => cfg.with_obs(ObsLevel::Counters).with_spans(true),
             Knob::Windows(w) => cfg.with_obs(ObsLevel::Counters).with_windows(w),
+            Knob::OpenLoad { process, millis } => cfg.with_open_loop(OpenLoopConfig {
+                process,
+                load_millis: millis,
+                queue_cap: DEFAULT_SOURCE_QUEUE_CAP,
+            }),
             Knob::McPlacement { placement, mcs } => apply_mc_placement(cfg, placement, mcs),
         }
     }
@@ -220,6 +238,7 @@ impl Knob {
             Knob::TraceLimit(n) => format!("trace-cap={n}"),
             Knob::Spans => "spans".into(),
             Knob::Windows(w) => format!("windows={w}"),
+            Knob::OpenLoad { process, millis } => process.label(millis),
             Knob::McPlacement {
                 placement: McPlacement::Proportional,
                 ..
@@ -684,6 +703,15 @@ impl RunSpec {
         })
     }
 
+    /// The open-loop injection point of this spec's variant, if it
+    /// carries a [`Knob::OpenLoad`] (recorded by the JSONL/CSV sinks).
+    pub fn open_load(&self) -> Option<(ArrivalProcess, u32)> {
+        self.variant.knobs.iter().find_map(|k| match k {
+            Knob::OpenLoad { process, millis } => Some((*process, *millis)),
+            _ => None,
+        })
+    }
+
     /// A human-readable identity key, unique within a grid. Default-engine
     /// single-plane mesh keys are unchanged from before the engine, fabric
     /// and plane axes existed; other fabrics change the geometry segment
@@ -940,6 +968,33 @@ mod tests {
             mcs: 2,
         }
         .apply(SystemConfig::ring(16, 4));
+    }
+
+    #[test]
+    fn open_load_knob_applies_labels_and_surfaces_in_specs() {
+        let k = Knob::OpenLoad {
+            process: ArrivalProcess::Poisson,
+            millis: 40,
+        };
+        let cfg = k.apply(SystemConfig::square(3));
+        let ol = cfg.open_loop.expect("knob must set the open-loop axis");
+        assert_eq!(ol.load_millis, 40);
+        assert_eq!(ol.queue_cap, DEFAULT_SOURCE_QUEUE_CAP);
+        assert_eq!(k.label(), "pois-40");
+        assert_eq!(
+            Knob::OpenLoad {
+                process: ArrivalProcess::Bursty { on: 50, off: 150 },
+                millis: 80,
+            }
+            .label(),
+            "burst-80"
+        );
+        let g = SweepGrid::over(vec![WorkloadParams::by_name("lu").unwrap()])
+            .meshes(&[2])
+            .variants(vec![Variant::knob(k)]);
+        let spec = &g.enumerate()[0];
+        assert_eq!(spec.open_load(), Some((ArrivalProcess::Poisson, 40)));
+        assert!(spec.key().contains("/pois-40/"));
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub struct SinkOptions {
     /// byte-stability guarantee (unlike `include_timing`).
     pub include_hist: bool,
     /// Add the span-breakdown CSV columns (span count plus the mean of
-    /// each of the six lifecycle phases). Blank when a run recorded no
+    /// each of the seven lifecycle phases). Blank when a run recorded no
     /// spans; deterministic when it did.
     pub include_spans: bool,
     /// Add the windowed-telemetry CSV columns (window count, warmup
@@ -75,6 +75,12 @@ pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
         None => String::new(),
         Some(key) => format!(r#""placement":{key:?},"#),
     };
+    // Open-loop fields appear only for open-loop runs, so closed-loop
+    // output is byte-for-byte what it was before the injection axis.
+    let open_load = match r.spec.open_load() {
+        None => String::new(),
+        Some((p, millis)) => format!(r#""arrival":{:?},"load_millis":{millis},"#, p.label(millis)),
+    };
     // Per-region leap accounting appears only for runs with more than one
     // region (a quad notification scheme), like the other conditional
     // fields: flat-scheme output is byte-for-byte what it always was.
@@ -87,7 +93,7 @@ pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
         String::new()
     };
     format!(
-        r#"{{"scenario":{:?},"index":{},"workload":{:?},"mesh":{},{}{}{}"protocol":{:?},"variant":{:?},"seed":{},{}{}"config":{:?},"config_hash":"{:#018x}",{}"report":{}}}"#,
+        r#"{{"scenario":{:?},"index":{},"workload":{:?},"mesh":{},{}{}{}{}"protocol":{:?},"variant":{:?},"seed":{},{}{}"config":{:?},"config_hash":"{:#018x}",{}"report":{}}}"#,
         scenario,
         r.spec.index,
         r.spec.workload.name,
@@ -95,6 +101,7 @@ pub fn json_line(scenario: &str, r: &RunResult, opts: SinkOptions) -> String {
         fabric,
         planes,
         placement,
+        open_load,
         r.spec.protocol.name(),
         r.spec.variant.label,
         r.spec.seed,
@@ -121,7 +128,7 @@ pub fn jsonl(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String
 pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
     let mut out = String::new();
     out.push_str(
-        "scenario,index,workload,mesh,fabric,planes,placement,variant,engine,seed,config_hash,",
+        "scenario,index,workload,mesh,fabric,planes,placement,arrival,load_millis,variant,engine,seed,config_hash,",
     );
     out.push_str(scorpio::SystemReport::csv_header());
     if opts.include_hist {
@@ -131,10 +138,15 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
         );
     }
     if opts.include_spans {
-        out.push_str(",spans,span_queue,span_inject,span_flight,span_commit,span_data,span_fill");
+        out.push_str(
+            ",spans,span_source,span_queue,span_inject,span_flight,span_commit,span_data,span_fill",
+        );
     }
     if opts.include_windows {
-        out.push_str(",windows,warmup,steady_ops,steady_ejected,max_wait_ep,max_wait_mean");
+        out.push_str(
+            ",windows,warmup,steady_ops,steady_ejected,max_wait_ep,max_wait_mean,\
+             min_wait_ep,min_wait_mean",
+        );
     }
     if opts.include_timing {
         out.push_str(
@@ -156,8 +168,12 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
             label => label,
         };
         let placement = r.spec.mc_placement().unwrap_or_else(|| "default".into());
+        let (arrival, load_millis) = match r.spec.open_load() {
+            Some((p, millis)) => (p.label(millis), millis),
+            None => ("closed".into(), 0),
+        };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{:#018x},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:#018x},{}",
             scenario,
             r.spec.index,
             r.spec.workload.name,
@@ -165,6 +181,8 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
             fabric,
             r.spec.planes,
             placement,
+            arrival,
+            load_millis,
             r.spec.variant.label,
             engine,
             r.spec.seed,
@@ -193,11 +211,13 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
             match r.report.obs.as_deref().and_then(|o| o.spans.as_ref()) {
                 Some(s) if s.count > 0 => {
                     out.push_str(&format!(",{}", s.count));
-                    for h in [&s.queue, &s.inject, &s.flight, &s.commit, &s.data, &s.fill] {
+                    for h in [
+                        &s.source, &s.queue, &s.inject, &s.flight, &s.commit, &s.data, &s.fill,
+                    ] {
                         out.push_str(&format!(",{:?}", h.sum() as f64 / h.count() as f64));
                     }
                 }
-                _ => out.push_str(",,,,,,,"),
+                _ => out.push_str(",,,,,,,,"),
             }
         }
         if opts.include_windows {
@@ -207,14 +227,18 @@ pub fn csv(scenario: &str, results: &[RunResult], opts: SinkOptions) -> String {
                         ",{},{},{},{}",
                         w.count, w.warmup, w.steady_ops, w.steady_ejected
                     ));
-                    match &w.max_wait {
-                        Some(m) => {
-                            out.push_str(&format!(",{},{:?}", m.ep, m.sum as f64 / m.count as f64))
+                    for cell in [&w.max_wait, &w.min_wait] {
+                        match cell {
+                            Some(m) => out.push_str(&format!(
+                                ",{},{:?}",
+                                m.ep,
+                                m.sum as f64 / m.count as f64
+                            )),
+                            None => out.push_str(",,"),
                         }
-                        None => out.push_str(",,"),
                     }
                 }
-                None => out.push_str(",,,,,,"),
+                None => out.push_str(",,,,,,,,"),
             }
         }
         if opts.include_timing {
@@ -365,15 +389,16 @@ mod tests {
         );
         let header = with.lines().next().unwrap();
         assert!(header.ends_with(
-            ",spans,span_queue,span_inject,span_flight,span_commit,span_data,span_fill,\
-             windows,warmup,steady_ops,steady_ejected,max_wait_ep,max_wait_mean"
+            ",spans,span_source,span_queue,span_inject,span_flight,span_commit,span_data,\
+             span_fill,windows,warmup,steady_ops,steady_ejected,max_wait_ep,max_wait_mean,\
+             min_wait_ep,min_wait_mean"
         ));
         // These runs recorded neither spans nor windows, so every cell is
         // blank — and every row still matches the header's arity.
         let cols = header.split(',').count();
         for line in with.lines().skip(1) {
             assert_eq!(line.split(',').count(), cols);
-            assert!(line.ends_with(",,,,,,,,,,,,,"));
+            assert!(line.ends_with(",,,,,,,,,,,,,,,,"));
         }
     }
 

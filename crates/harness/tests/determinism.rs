@@ -95,7 +95,7 @@ fn observability_output_is_thread_count_invariant() {
     let serial = run_grid(&scenario.grid, &o(1));
     let json = sink::jsonl("fig7-small", &serial, hist);
     let csv = sink::csv("fig7-small", &serial, hist);
-    assert!(json.contains(r#""obs":{"schema_version":2,"packet_latency":{"count":"#));
+    assert!(json.contains(r#""obs":{"schema_version":3,"packet_latency":{"count":"#));
     assert!(json.contains(r#""p999":"#));
     assert!(csv.lines().next().unwrap().contains("packet_p50"));
     for threads in [2, 8] {

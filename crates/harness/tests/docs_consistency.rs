@@ -85,7 +85,7 @@ fn experiments_md_documents_percentile_columns() {
     }
 }
 
-/// DESIGN.md §16 is the span schema's reference: each of the six phase
+/// DESIGN.md §16 is the span schema's reference: each of the seven phase
 /// names must appear quoted as it does on the wire, and the README must
 /// show the `--spans`/`--windows` flags. The phase list mirrors
 /// `scorpio::span_json` — a renamed phase without documentation fails
@@ -93,7 +93,9 @@ fn experiments_md_documents_percentile_columns() {
 #[test]
 fn design_md_documents_the_span_phases() {
     let md = repo_file("DESIGN.md");
-    for phase in ["queue", "inject", "flight", "commit", "data", "fill"] {
+    for phase in [
+        "source", "queue", "inject", "flight", "commit", "data", "fill",
+    ] {
         assert!(
             md.contains(&format!("\"{phase}\"")),
             "DESIGN.md never documents the {phase:?} span phase"
@@ -130,5 +132,40 @@ fn experiments_md_documents_span_and_window_columns() {
     assert!(
         md.contains("schema_version"),
         "EXPERIMENTS.md never mentions the obs annex schema_version"
+    );
+}
+
+/// EXPERIMENTS.md documents the open-loop sweep columns: the arrival
+/// axis every sink row now carries, the source-queue span phase, the
+/// window-fairness minimum and the drop counter. DESIGN.md §17 is the
+/// arrival-process reference, so the generator names and the knee rule
+/// must appear there.
+#[test]
+fn open_loop_columns_and_processes_are_documented() {
+    let md = repo_file("EXPERIMENTS.md");
+    for col in [
+        "arrival",
+        "load_millis",
+        "span_source",
+        "min_wait_ep",
+        "min_wait_mean",
+        "source_dropped",
+    ] {
+        assert!(
+            md.contains(col),
+            "EXPERIMENTS.md never mentions the {col} CSV column"
+        );
+    }
+    let design = repo_file("DESIGN.md");
+    for term in ["Poisson", "bursty", "offered load", "knee"] {
+        assert!(
+            design.contains(term),
+            "DESIGN.md never documents the open-loop term {term:?}"
+        );
+    }
+    let readme = repo_file("README.md");
+    assert!(
+        readme.contains("latency-curve-small"),
+        "README.md lacks an open-loop run example"
     );
 }

@@ -180,7 +180,7 @@ fn observability_reports_and_traces_are_byte_identical_across_engines() {
         let active = run(&spec);
         let json = active.report.to_json();
         assert!(
-            json.contains(r#""obs":{"schema_version":2,"packet_latency""#),
+            json.contains(r#""obs":{"schema_version":3,"packet_latency""#),
             "obs annex missing at {}",
             spec.key()
         );

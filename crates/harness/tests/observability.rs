@@ -140,23 +140,13 @@ fn scorpio_cell() -> scorpio_harness::RunSpec {
         .expect("a SCORPIO cell exists")
 }
 
-/// Transaction spans are not a parallel truth either. Every span line
+/// The shared body of the span-reconciliation suite: every span line
 /// must (a) carry phases that are exactly the differences of its stamps
 /// and partition its end-to-end latency, (b) rebuild the annex's
 /// per-phase histograms bucket for bucket, and (c) reconcile with the
 /// scalar report: inject+flight+commit is the ordering delay, and span
 /// totals plus hit latencies rebuild the full L2 service distribution.
-#[test]
-fn spans_reconcile_with_report_histograms() {
-    let r = run_spec_full(
-        &scorpio_cell(),
-        10,
-        &Overrides {
-            spans: true,
-            ..Overrides::default()
-        },
-        |_| {},
-    );
+fn check_span_reconciliation(r: &RunResult) {
     let obs = r.report.obs.as_deref().expect("obs annex present");
     let sp = obs.spans.as_ref().expect("span report present");
     let spans = r.spans.as_ref().expect("spans recorded");
@@ -165,7 +155,9 @@ fn spans_reconcile_with_report_histograms() {
     assert_eq!(sp.count as usize, spans.len());
     assert!(!spans.is_empty(), "the run missed at least once");
 
-    const PHASES: [&str; 6] = ["queue", "inject", "flight", "commit", "data", "fill"];
+    const PHASES: [&str; 7] = [
+        "source", "queue", "inject", "flight", "commit", "data", "fill",
+    ];
     let mut rebuilt: HashMap<&str, [u64; 65]> = HashMap::new();
     let mut totals = [0u64; 65];
     let bucket = |v: u64| (64 - v.leading_zeros()) as usize;
@@ -177,14 +169,15 @@ fn spans_reconcile_with_report_histograms() {
         let phase = |key| field(phases, key).unwrap_or_else(|| panic!("span lacks {key}: {line}"));
         // Stamps are monotonic through the pipeline and the phases are
         // exactly their differences.
-        assert_eq!(phase("queue"), stamp("issue") - stamp("enqueued"));
+        assert_eq!(phase("source"), stamp("admitted") - stamp("enqueued"));
+        assert_eq!(phase("queue"), stamp("issue") - stamp("admitted"));
         assert_eq!(phase("inject"), stamp("inject") - stamp("issue"));
         assert_eq!(phase("flight"), stamp("popped") - stamp("inject"));
         assert_eq!(phase("commit"), stamp("ordered") - stamp("popped"));
         let ready = stamp("data").max(stamp("ordered"));
         assert_eq!(phase("data"), ready - stamp("ordered"));
         assert_eq!(phase("fill"), stamp("retire") - ready);
-        // The six phases partition the end-to-end miss latency.
+        // The seven phases partition the end-to-end miss latency.
         let total: u64 = PHASES.iter().map(|&p| phase(p)).sum();
         assert_eq!(total, stamp("retire") - stamp("enqueued"));
         for p in PHASES {
@@ -200,7 +193,7 @@ fn spans_reconcile_with_report_histograms() {
             .collect()
     };
     for (name, hist) in PHASES.iter().zip([
-        &sp.queue, &sp.inject, &sp.flight, &sp.commit, &sp.data, &sp.fill,
+        &sp.source, &sp.queue, &sp.inject, &sp.flight, &sp.commit, &sp.data, &sp.fill,
     ]) {
         assert_eq!(
             hist.nonzero_buckets().collect::<Vec<_>>(),
@@ -225,6 +218,62 @@ fn spans_reconcile_with_report_histograms() {
         sp.total.sum() + sp.hit.sum(),
         service.sum(),
         "span totals + hits must rebuild the L2 service distribution"
+    );
+}
+
+/// Closed-loop spans reconcile, and the source phase — arrival to
+/// source-queue release, which only open-loop injection can stretch —
+/// is identically zero because a closed-loop request is admitted the
+/// cycle it is generated.
+#[test]
+fn spans_reconcile_with_report_histograms() {
+    let r = run_spec_full(
+        &scorpio_cell(),
+        10,
+        &Overrides {
+            spans: true,
+            ..Overrides::default()
+        },
+        |_| {},
+    );
+    check_span_reconciliation(&r);
+    let sp = r.report.obs.as_deref().unwrap().spans.as_ref().unwrap();
+    assert_eq!(sp.source.sum(), 0, "closed-loop source wait must be zero");
+    assert_eq!(sp.source.count(), sp.total.count());
+}
+
+/// Open-loop spans reconcile too, and the source phase is *live*: at an
+/// offered load past the service capacity the bounded source queue
+/// actually backs up, so the rebuilt-from-stream source histogram must
+/// carry real wait — the new phase joins the partition of
+/// retire−enqueued rather than riding alongside it.
+#[test]
+fn open_loop_spans_reconcile_and_fill_the_source_phase() {
+    let scenario = registry::by_name("latency-curve-small").expect("registered");
+    let spec = scenario
+        .grid
+        .enumerate()
+        .into_iter()
+        .find(|s| {
+            s.protocol == scorpio::Protocol::Scorpio
+                && s.fabric == scorpio_harness::Fabric::Mesh
+                && s.variant.label == "pois-30"
+        })
+        .expect("the mesh SCORPIO pois-30 cell exists");
+    let r = run_spec_full(
+        &spec,
+        10,
+        &Overrides {
+            spans: true,
+            ..Overrides::default()
+        },
+        |_| {},
+    );
+    check_span_reconciliation(&r);
+    let sp = r.report.obs.as_deref().unwrap().spans.as_ref().unwrap();
+    assert!(
+        sp.source.sum() > 0,
+        "past-capacity offered load never queued at the source"
     );
 }
 

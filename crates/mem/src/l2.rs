@@ -113,8 +113,15 @@ pub struct CoreReq {
     pub value: u64,
     /// Caller-chosen id echoed in the reply.
     pub token: u64,
-    /// Enqueue timestamp (service-latency accounting).
+    /// Arrival timestamp (service-latency accounting). Under open-loop
+    /// injection this is the request's theoretical arrival cycle, so
+    /// recorded latencies are sojourn times; closed-loop callers pass the
+    /// issue cycle (equal to `admitted`).
     pub enqueued: Cycle,
+    /// Cycle the request left the core's source queue and was handed to
+    /// the L2. `admitted - enqueued` is the source-queue wait (0 in
+    /// closed-loop mode).
+    pub admitted: Cycle,
 }
 
 /// The L2's reply to the core.
@@ -184,9 +191,9 @@ pub struct MissRecord {
 /// One completed coherence transaction's lifecycle, as absolute cycle
 /// stamps (span recording — [`SnoopyL2::enable_spans`]).
 ///
-/// The stamps are monotone (`enqueued ≤ issue ≤ inject ≤ popped ≤
-/// ordered ≤ retire`, `data ≤ retire`), so the six phase accessors
-/// partition the end-to-end latency exactly: their sum equals
+/// The stamps are monotone (`enqueued ≤ admitted ≤ issue ≤ inject ≤
+/// popped ≤ ordered ≤ retire`, `data ≤ retire`), so the seven phase
+/// accessors partition the end-to-end latency exactly: their sum equals
 /// [`MissSpan::total`], and `inject_wait + flight + commit` equals the
 /// ordering-delay sample the scalar report records.
 #[derive(Debug, Clone, Copy)]
@@ -199,8 +206,11 @@ pub struct MissSpan {
     pub kind: MsgKind,
     /// Who supplied the data.
     pub served_by: ServedBy,
-    /// Core handed the request to the L2.
+    /// The request arrived (open loop: its theoretical arrival cycle;
+    /// closed loop: the issue cycle, making the source phase 0).
     pub enqueued: u64,
+    /// The request left the core's source queue into the L2.
+    pub admitted: u64,
     /// L2 allocated the RSHR and emitted the ordered request.
     pub issue: u64,
     /// The request left the L2 outbox into the interconnect layer.
@@ -216,9 +226,15 @@ pub struct MissSpan {
 }
 
 impl MissSpan {
-    /// Phase 1 — queueing: core enqueue → RSHR allocation.
+    /// Phase 0 — source wait: arrival → release from the source queue
+    /// (0 for closed-loop traffic, where arrival and release coincide).
+    pub fn source(&self) -> u64 {
+        self.admitted - self.enqueued
+    }
+
+    /// Phase 1 — queueing: source-queue release → RSHR allocation.
     pub fn queue(&self) -> u64 {
-        self.issue - self.enqueued
+        self.issue - self.admitted
     }
 
     /// Phase 2 — injection wait: RSHR allocation → network injection.
@@ -247,7 +263,7 @@ impl MissSpan {
         self.retire - self.data.max(self.ordered)
     }
 
-    /// End-to-end latency; equals the sum of the six phases and the
+    /// End-to-end latency; equals the sum of the seven phases and the
     /// service-latency sample the scalar stats record for this miss.
     pub fn total(&self) -> u64 {
         self.retire - self.enqueued
@@ -324,6 +340,7 @@ struct RshrEntry {
     fill_blocked: bool,
     served_by: ServedBy,
     enqueued: Cycle,
+    admitted: Cycle,
     t_issue: Cycle,
     t_inject: Option<Cycle>,
     t_popped: Option<Cycle>,
@@ -851,6 +868,7 @@ impl SnoopyL2 {
             fill_blocked: false,
             served_by: ServedBy::Memory,
             enqueued: req.enqueued,
+            admitted: req.admitted,
             t_issue: now,
             t_inject: None,
             t_popped: None,
@@ -999,6 +1017,7 @@ impl SnoopyL2 {
                 kind: entry.kind,
                 served_by: entry.served_by,
                 enqueued: entry.enqueued.as_u64(),
+                admitted: entry.admitted.as_u64(),
                 issue: entry.t_issue.as_u64(),
                 inject: entry.t_inject.expect("span missing inject stamp").as_u64(),
                 popped: entry.t_popped.expect("span missing pop stamp").as_u64(),

@@ -18,7 +18,7 @@
 //! let mc = vec![Endpoint::mc(RouterId(0))];
 //! let mut l2 = SnoopyL2::new(0, L2Config::chip(mc));
 //! l2.try_core_req(CoreReq { op: CoreOp::Load, addr: 0x80, value: 0, token: 1,
-//!                           enqueued: Cycle::ZERO });
+//!                           enqueued: Cycle::ZERO, admitted: Cycle::ZERO });
 //! let mut now = Cycle::ZERO;
 //! // Let the request reach the outbox.
 //! for _ in 0..32 {

@@ -120,6 +120,7 @@ impl World {
             value,
             token,
             enqueued: self.now,
+            admitted: self.now,
         });
         assert!(ok, "core queue full");
     }

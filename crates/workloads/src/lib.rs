@@ -19,10 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrival;
 mod program;
 mod synthetic;
 mod trace;
 
+pub use arrival::{arrival_schedule, ArrivalProcess};
 pub use program::{BarrierProgram, CoreProgram, ProgOp, TicketLockProgram};
 pub use synthetic::{generate, WorkloadParams};
 pub use trace::{Trace, TraceOp, TraceRecord};
